@@ -1,0 +1,66 @@
+// Supernode amalgamation ablation (paper §2.2: "We use amalgamation in our
+// experiments", citing Ashcraft & Grimes): merging small supernodes pads the
+// factor with explicit zeros but shrinks the number of blocks and block
+// operations, cutting the fixed per-op overhead that dominates for small
+// blocks — a net win for the simulated factorization.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gen/benchmark_suite.hpp"
+#include "support/table.hpp"
+#include "symbolic/amalgamate.hpp"
+
+int main() {
+  using namespace spc;
+  const SuiteScale scale = suite_scale_from_env();
+  std::printf("Amalgamation ablation, P=64, ID/CY mapping, B=48\n");
+  bench::print_scale_banner(scale);
+
+  Table t({"Matrix", "supernodes off/on", "block ops off/on", "padding %",
+           "MF off", "MF on"});
+  for (const char* name : {"GRID150", "GRID300", "CUBE30", "BCSSTK15", "BCSSTK29"}) {
+    BenchMatrix bm = make_bench_matrix(name, scale);
+    const std::vector<idx> perm = order_bench_matrix(bm);
+    double mf[2];
+    idx supernodes[2];
+    i64 ops[2];
+    i64 exact_entries = 0;
+    i64 padded_entries = 0;
+    for (int amalg = 0; amalg < 2; ++amalg) {
+      SolverOptions opt;
+      opt.ordering = SolverOptions::Ordering::kNatural;
+      opt.amalgamate = amalg == 1;
+      SparseCholesky chol = SparseCholesky::analyze_ordered(bm.matrix, perm, opt);
+      supernodes[amalg] = chol.symbolic().num_supernodes();
+      ops[amalg] = chol.task_graph().total_ops();
+      if (amalg == 0) {
+        exact_entries = chol.symbolic().total_stored_entries();
+      } else {
+        padded_entries = chol.symbolic().total_stored_entries();
+      }
+      const ParallelPlan plan = chol.plan_parallel(
+          64, RemapHeuristic::kIncreasingDepth, RemapHeuristic::kCyclic);
+      mf[amalg] =
+          chol.simulate(plan).mflops(chol.factor_flops_exact());
+    }
+    t.new_row();
+    t.add(bm.name);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%d / %d", supernodes[0], supernodes[1]);
+    t.add(std::string(buf));
+    std::snprintf(buf, sizeof(buf), "%lld / %lld", static_cast<long long>(ops[0]),
+                  static_cast<long long>(ops[1]));
+    t.add(std::string(buf));
+    t.add_percent(static_cast<double>(padded_entries - exact_entries) /
+                  static_cast<double>(exact_entries));
+    t.add(mf[0], 0);
+    t.add(mf[1], 0);
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape: amalgamation merges many tiny supernodes, cuts block\n"
+      "ops substantially for a few %% of storage padding, and raises simulated\n"
+      "performance — which is why the paper uses it throughout.\n");
+  return 0;
+}

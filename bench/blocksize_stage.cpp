@@ -1,0 +1,84 @@
+// Reproduces the paper's §5 stage-varying block size NEGATIVE result:
+// "Intuitively, it would appear that the factorization computation can
+// tolerate large blocks towards the beginning of the factorization ...
+// We discovered that this intuition is actually incorrect. Varying the block
+// size between the early stages of the computation and the later ones has no
+// effect on load imbalance; and it reduces the amount of parallelism."
+//
+// We compare a fixed B=48 partition against depth-varying partitions
+// (large blocks at the bottom of the elimination tree, small at the top, and
+// the reverse) on balance, critical path, and simulated performance.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "blocks/partition.hpp"
+#include "mapping/balance.hpp"
+#include "mapping/heuristics.hpp"
+#include "sim/critical_path.hpp"
+#include "sim/fanout_sim.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  spc::idx bottom, top;  // block size at deepest supernodes / at the roots
+};
+
+}  // namespace
+
+int main() {
+  using namespace spc;
+  const SuiteScale scale = suite_scale_from_env();
+  std::printf("Stage-varying block size (S5 negative result), P=64, ID/CY map\n");
+  bench::print_scale_banner(scale);
+
+  const Variant variants[] = {
+      {"fixed B=48", 48, 48},
+      {"fixed B=24", 24, 24},
+      {"96 early -> 24 late", 96, 24},
+      {"24 early -> 96 late", 24, 96},
+  };
+  for (const char* name : {"GRID300", "CUBE30"}) {
+    std::printf("%s\n", name);
+    const bench::Prepared base = bench::prepare(make_bench_matrix(name, scale));
+    const SymbolicFactor& sf = base.chol.symbolic();
+    Table t({"partition", "block cols", "overall bal.", "t_cp (s)", "MF (P=64)"});
+    for (const Variant& v : variants) {
+      const std::vector<idx> sizes = block_sizes_by_depth(sf.sn_parent, v.bottom, v.top);
+      BlockPartition part =
+          v.bottom == v.top ? make_block_partition(sf.sn, v.bottom)
+                            : make_block_partition_variable(sf.sn, sizes);
+      const BlockStructure bs = build_block_structure(sf, std::move(part));
+      const TaskGraph tg = build_task_graph(bs);
+      const idx procs = 64;
+      const DomainDecomposition dom = find_domains(sf, bs, tg, procs);
+      const RootWork rw = compute_root_work(tg, bs, dom, procs);
+      const std::vector<idx> depth = block_depths(bs, base.chol.etree_parent());
+      const BlockMap map =
+          make_heuristic_map(make_grid(procs), RemapHeuristic::kIncreasingDepth,
+                             RemapHeuristic::kCyclic, rw, depth);
+      const BalanceStats bal = compute_balance(rw, map);
+      const SimResult r = simulate_fanout(bs, tg, map, dom);
+      const CriticalPathResult cp = critical_path(bs, tg);
+      t.new_row();
+      t.add(v.name);
+      t.add(static_cast<long long>(bs.num_block_cols()));
+      t.add(bal.overall, 2);
+      t.add(cp.critical_path_s, 4);
+      t.add(static_cast<double>(base.chol.factor_flops_exact()) / r.runtime_s / 1e6,
+            0);
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper): stage-varying B offers nothing beyond what the\n"
+      "block size near the TOP of the tree already determines — the\n"
+      "96->24 scheme tracks fixed B=24 (the top dominates the schedule), and\n"
+      "the 24->96 scheme is strictly worse (longer critical path, worse\n"
+      "balance). Varying by stage is not an independent lever, matching the\n"
+      "paper's finding.\n");
+  return 0;
+}

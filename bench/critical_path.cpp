@@ -1,0 +1,42 @@
+// Reproduces the §5 critical-path analysis: the task-DAG concurrency bound
+// shows substantial headroom above achieved performance — for BCSSTK15 on
+// P = 100 the paper reports ~50% more performance should be possible, for
+// BCSSTK31 ~30% — implicating data-driven scheduling, not a lack of
+// parallelism, as the post-remapping bottleneck.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/critical_path.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace spc;
+  const SuiteScale scale = suite_scale_from_env();
+  std::printf("Critical path analysis (S5), P=100, heuristic mapping, B=48\n");
+  bench::print_scale_banner(scale);
+
+  Table t({"Matrix", "t_cp (s)", "t_seq (s)", "achieved MF", "CP-bound MF",
+           "headroom"});
+  for (const bench::Prepared& p : bench::prepare_standard_suite(scale)) {
+    const CriticalPathResult cp = critical_path(p.chol.structure(), p.chol.task_graph());
+    const ParallelPlan plan = p.chol.plan_parallel(
+        100, RemapHeuristic::kIncreasingDepth, RemapHeuristic::kCyclic);
+    const SimResult r = p.chol.simulate(plan);
+    const double achieved = r.mflops(p.chol.factor_flops_exact());
+    const double bound = cp.mflops_bound(p.chol.factor_flops_exact(), 100);
+    t.new_row();
+    t.add(p.name);
+    t.add(cp.critical_path_s, 4);
+    t.add(cp.seq_runtime_s, 3);
+    t.add(achieved, 0);
+    t.add(bound, 0);
+    t.add_percent(bound / achieved - 1.0);
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): the concurrency bound sits well above the\n"
+      "achieved rate (e.g. ~50%% headroom for BCSSTK15, ~30%% for BCSSTK31),\n"
+      "so want of parallelism does not explain the remaining idle time.\n");
+  return 0;
+}

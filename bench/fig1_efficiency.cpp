@@ -1,0 +1,37 @@
+// Reproduces Figure 1: parallel efficiency and overall balance for the block
+// fan-out method under the 2-D cyclic mapping, P = 64 and 100, B = 48.
+//
+// Paper (full scale): efficiencies 16%-58%, overall balance 27%-68%, balance
+// always an upper bound on efficiency, both generally low — the paper's
+// motivation for remapping.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace spc;
+  const SuiteScale scale = suite_scale_from_env();
+  std::printf("Figure 1: efficiency and overall balance, cyclic mapping (B=48)\n");
+  bench::print_scale_banner(scale);
+
+  Table t({"Matrix", "P=64 balance", "P=64 efficiency", "P=100 balance",
+           "P=100 efficiency"});
+  for (const bench::Prepared& p : bench::prepare_standard_suite(scale)) {
+    t.new_row();
+    t.add(p.name);
+    for (idx procs : {64, 100}) {
+      const ParallelPlan plan = p.chol.plan_parallel(
+          procs, RemapHeuristic::kCyclic, RemapHeuristic::kCyclic);
+      const SimResult r = p.chol.simulate(plan);
+      t.add(plan.balance.overall, 2);
+      t.add(r.efficiency(), 2);
+    }
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): balance bounds efficiency from above;\n"
+      "both low (paper: balance 0.27-0.68, efficiency 0.16-0.58).\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Microbenchmarks of the dense block kernels (google-benchmark): the
+// BFAC / BDIV / BMOD primitives at the block sizes the factorization uses.
+// These are OUR kernels' wall-clock rates on the host machine, reported for
+// completeness — the simulator uses the calibrated Paragon cost model, not
+// these timings (see DESIGN.md §2).
+#include <benchmark/benchmark.h>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/kernels.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using spc::DenseMatrix;
+using spc::idx;
+
+DenseMatrix random_spd(idx n, std::uint64_t seed) {
+  spc::Rng rng(seed);
+  DenseMatrix a(n, n);
+  for (idx c = 0; c < n; ++c) {
+    for (idx r = 0; r < n; ++r) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(c, c) += static_cast<double>(2 * n);
+  }
+  // Symmetrize the lower triangle (potrf only reads the lower part).
+  for (idx c = 0; c < n; ++c) {
+    for (idx r = c; r < n; ++r) a(r, c) = (a(r, c) + a(c, r)) / 2;
+  }
+  return a;
+}
+
+DenseMatrix random_matrix(idx rows, idx cols, std::uint64_t seed) {
+  spc::Rng rng(seed);
+  DenseMatrix m(rows, cols);
+  for (idx c = 0; c < cols; ++c) {
+    for (idx r = 0; r < rows; ++r) m(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+void BM_Bfac(benchmark::State& state) {
+  const idx k = static_cast<idx>(state.range(0));
+  const DenseMatrix a = random_spd(k, 1);
+  for (auto _ : state) {
+    DenseMatrix l = a;
+    spc::potrf_lower(l);
+    benchmark::DoNotOptimize(l.data());
+  }
+  state.counters["Mflops"] = benchmark::Counter(
+      static_cast<double>(spc::flops_bfac(k)) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Bfac)->Arg(16)->Arg(48)->Arg(96);
+
+void BM_Bdiv(benchmark::State& state) {
+  const idx k = static_cast<idx>(state.range(0));
+  const idx m = 4 * k;
+  DenseMatrix l = random_spd(k, 2);
+  spc::potrf_lower(l);
+  const DenseMatrix b0 = random_matrix(m, k, 3);
+  for (auto _ : state) {
+    DenseMatrix b = b0;
+    spc::trsm_right_ltrans(l, b);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.counters["Mflops"] = benchmark::Counter(
+      static_cast<double>(spc::flops_bdiv(m, k)) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Bdiv)->Arg(16)->Arg(48)->Arg(96);
+
+void BM_Bmod(benchmark::State& state) {
+  const idx k = static_cast<idx>(state.range(0));
+  const idx m = 2 * k, n = 2 * k;
+  const DenseMatrix a = random_matrix(m, k, 4);
+  const DenseMatrix b = random_matrix(n, k, 5);
+  DenseMatrix c = random_matrix(m, n, 6);
+  for (auto _ : state) {
+    spc::gemm_nt_minus(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["Mflops"] = benchmark::Counter(
+      static_cast<double>(spc::flops_bmod(m, n, k)) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Bmod)->Arg(16)->Arg(48)->Arg(96);
+
+void BM_BmodNaive(benchmark::State& state) {
+  const idx k = static_cast<idx>(state.range(0));
+  const idx m = 2 * k, n = 2 * k;
+  const DenseMatrix a = random_matrix(m, k, 4);
+  const DenseMatrix b = random_matrix(n, k, 5);
+  DenseMatrix c = random_matrix(m, n, 6);
+  for (auto _ : state) {
+    spc::gemm_nt_minus_naive(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["Mflops"] = benchmark::Counter(
+      static_cast<double>(spc::flops_bmod(m, n, k)) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BmodNaive)->Arg(48)->Arg(96);
+
+void BM_BmodBlocked(benchmark::State& state) {
+  const idx k = static_cast<idx>(state.range(0));
+  const idx m = 2 * k, n = 2 * k;
+  const DenseMatrix a = random_matrix(m, k, 4);
+  const DenseMatrix b = random_matrix(n, k, 5);
+  DenseMatrix c = random_matrix(m, n, 6);
+  for (auto _ : state) {
+    spc::gemm_nt_minus_blocked(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["Mflops"] = benchmark::Counter(
+      static_cast<double>(spc::flops_bmod(m, n, k)) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BmodBlocked)->Arg(48)->Arg(96);
+
+}  // namespace
+
+BENCHMARK_MAIN();

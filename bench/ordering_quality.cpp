@@ -1,0 +1,75 @@
+// Ordering quality comparison backing the paper's §3.1 choices: nested
+// dissection for regular grid problems ("asymptotically optimal") and
+// multiple minimum degree for irregular matrices ("considered the best for
+// most irregular sparse matrices with respect to sequential operation count
+// and fill"). Natural order and RCM are included as baselines, AMD as the
+// modern cheap alternative.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/permutation.hpp"
+#include "ordering/geometric_nd.hpp"
+#include "ordering/mmd.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "ordering/rcm.hpp"
+#include "support/table.hpp"
+#include "symbolic/colcount.hpp"
+#include "symbolic/etree.hpp"
+
+namespace {
+
+spc::i64 fill_of(const spc::SymSparse& a, const std::vector<spc::idx>& perm,
+                 spc::i64* ops) {
+  const spc::SymSparse p = a.permuted(perm);
+  const std::vector<spc::i64> counts =
+      spc::factor_col_counts(p, spc::elimination_tree(p));
+  if (ops != nullptr) *ops = spc::factor_flops(counts);
+  return spc::factor_nnz(counts);
+}
+
+}  // namespace
+
+int main() {
+  using namespace spc;
+  const SuiteScale scale = suite_scale_from_env();
+  std::printf("Ordering quality: NZ(L) in thousands / ops in Mflops\n");
+  bench::print_scale_banner(scale);
+
+  Table t({"Matrix", "natural", "RCM", "AMD", "MMD", "ND (general)", "paper's choice"});
+  for (const char* name : {"GRID150", "CUBE30", "BCSSTK15", "BCSSTK29", "10FLEET"}) {
+    const BenchMatrix bm = make_bench_matrix(name, scale);
+    const Graph g = bm.matrix.pattern();
+    t.new_row();
+    t.add(bm.name);
+    for (int variant = 0; variant < 5; ++variant) {
+      std::vector<idx> perm;
+      switch (variant) {
+        case 0: perm = identity_permutation(bm.matrix.num_rows()); break;
+        case 1: perm = rcm_order(g); break;
+        case 2: perm = amd_order(g); break;
+        case 3: perm = mmd_order(g); break;
+        case 4: perm = nested_dissection_order(g); break;
+      }
+      i64 ops = 0;
+      const i64 nz = fill_of(bm.matrix, perm, &ops);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%lldk / %.0fM", static_cast<long long>(nz / 1000),
+                    static_cast<double>(ops) / 1e6);
+      t.add(std::string(buf));
+    }
+    // The ordering the paper prescribes for this matrix class.
+    i64 ops = 0;
+    const i64 nz = fill_of(bm.matrix, order_bench_matrix(bm), &ops);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%lldk / %.0fM", static_cast<long long>(nz / 1000),
+                  static_cast<double>(ops) / 1e6);
+    t.add(std::string(buf));
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape: fill-reducing orderings (AMD/MMD/ND) beat profile\n"
+      "orderings (natural/RCM) by large factors; geometric ND wins on grids;\n"
+      "MMD/AMD win or tie on irregular problems.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Machine utilization profile (§5's idle-time story, made visible): ASCII
+// timelines of per-processor busy fractions for the cyclic and remapped
+// mappings on one matrix. The cyclic run shows long ragged idle tails —
+// overloaded diagonal/high-row processors finish late while the rest wait;
+// remapping squares the profile up.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spc;
+  const SuiteScale scale = suite_scale_from_env();
+  const char* name = argc > 1 ? argv[1] : "CUBE30";
+  const idx procs = 64;
+  std::printf("Utilization profiles, %s, P=%d, B=48\n", name, procs);
+  bench::print_scale_banner(scale);
+
+  const bench::Prepared p = bench::prepare(make_bench_matrix(name, scale));
+  for (const auto row_h : {RemapHeuristic::kCyclic, RemapHeuristic::kIncreasingDepth}) {
+    const ParallelPlan plan =
+        p.chol.plan_parallel(procs, row_h, RemapHeuristic::kCyclic);
+    SimTrace trace;
+    const SimResult r = p.chol.simulate(plan, CostModel{},
+                                        SchedulingPolicy::kDataDriven, &trace);
+    std::printf("\n%s rows / cyclic columns: %.0f Mflops, efficiency %.2f\n",
+                heuristic_long_name(row_h).c_str(),
+                r.mflops(p.chol.factor_flops_exact()), r.efficiency());
+    trace.print_timeline(std::cout, procs, r.runtime_s, 64, 12);
+  }
+  std::printf(
+      "\nExpected shape: both profiles drain toward the end (the elimination\n"
+      "tree narrows), but the cyclic run's rows go idle earlier and more\n"
+      "unevenly — the load imbalance the paper's heuristics remove.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces the §1/§2.4 scalability claim: 1-D column fan-out communication
+// volume grows ~linearly in P, while the 2-D block fan-out volume grows
+// ~like sqrt(P) — so the block method's advantage widens with machine size.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/column_fanout_sim.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace spc;
+  const SuiteScale scale = suite_scale_from_env();
+  std::printf("Communication volume scaling: 1-D column vs 2-D block fan-out\n");
+  bench::print_scale_banner(scale);
+
+  for (const char* name : {"GRID300", "CUBE30"}) {
+    const bench::Prepared p = bench::prepare(make_bench_matrix(name, scale));
+    std::printf("%s\n", name);
+    Table t({"P", "1-D MB", "2-D MB", "ratio 1D/2D", "1-D growth", "2-D growth"});
+    double prev1 = 0.0, prev2 = 0.0;
+    for (idx procs : {4, 16, 64, 256}) {
+      const CommVolume v1 = column_fanout_comm_volume(p.chol.structure(), procs);
+      const ParallelPlan plan = p.chol.plan_parallel(
+          procs, RemapHeuristic::kCyclic, RemapHeuristic::kCyclic,
+          /*use_domains=*/false);
+      const SimResult r = p.chol.simulate(plan);
+      const double mb1 = static_cast<double>(v1.bytes) / 1e6;
+      const double mb2 = static_cast<double>(r.total_bytes()) / 1e6;
+      t.new_row();
+      t.add(static_cast<long long>(procs));
+      t.add(mb1, 2);
+      t.add(mb2, 2);
+      t.add(mb1 / mb2, 2);
+      t.add(prev1 > 0 ? mb1 / prev1 : 0.0, 2);
+      t.add(prev2 > 0 ? mb2 / prev2 : 0.0, 2);
+      prev1 = mb1;
+      prev2 = mb2;
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: per 4x increase in P, the 1-D volume grows toward 4x\n"
+      "(until saturation) while 2-D grows toward 2x (= sqrt(4)); the 1D/2D\n"
+      "ratio widens with P.\n");
+  return 0;
+}

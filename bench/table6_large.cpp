@@ -1,0 +1,35 @@
+// Reproduces Table 6: the larger benchmark matrices.
+//
+// Paper values (full scale):
+//   DENSE4096   4,096  8,386,560  22,915M
+//   CUBE40     64,000 21,408,189  23,084M
+//   COPTER2    55,476 13,501,253  11,377M
+//   10FLEET    11,222  4,782,460   7,450M
+// (COPTER2 and 10FLEET are synthetic stand-ins here; see DESIGN.md §2.)
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace spc;
+  const SuiteScale scale = suite_scale_from_env();
+  std::printf("Table 6: large benchmark matrices\n");
+  bench::print_scale_banner(scale);
+
+  Table t({"Name", "Equations", "NZ in L", "Ops to factor (M)", "Supernodes",
+           "Block cols (B=48)"});
+  for (const char* name : {"DENSE4096", "CUBE40", "COPTER2", "10FLEET"}) {
+    const bench::Prepared p = bench::prepare(make_bench_matrix(name, scale));
+    t.new_row();
+    t.add(p.name);
+    t.add(static_cast<long long>(p.a.num_rows()));
+    t.add(static_cast<long long>(p.chol.factor_nnz_exact()));
+    t.add(static_cast<double>(p.chol.factor_flops_exact()) / 1e6, 1);
+    t.add(static_cast<long long>(p.chol.symbolic().num_supernodes()));
+    t.add(static_cast<long long>(p.chol.structure().num_block_cols()));
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Table 7: simulated performance (Mflops) for the larger
+// problems on P = 144 and 196, cyclic mapping vs the paper's chosen
+// heuristic (Increasing Depth on rows, cyclic on columns), B = 48.
+//
+// Paper values (full scale, Mflops and improvement):
+//            P=144 cyc  heur  impr | P=196 cyc  heur  impr
+//   CUBE35      1788    2207   23% |   2019    2456   22%
+//   CUBE40      2093    2384   14% |   2515    3187   27%
+//   DENSE4096   3587    4156   16% |   4489    5237   17%
+//   BCSSTK31    1161    1322   14% |   1361    1709   26%
+//   COPTER2     1693    1779    5% |   1959    2312   18%
+//   10FLEET     2027    2246   11% |   2488    2722    9%
+// Expected shape: heuristic wins everywhere, ~10-25%; absolute Mflops in
+// the low thousands (peak 40 Mflops/node => 196 nodes cap at 7840).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace spc;
+  const SuiteScale scale = suite_scale_from_env();
+  std::printf(
+      "Table 7: performance (Mflops), cyclic vs ID-rows/CY-cols heuristic "
+      "(B=48)\n");
+  bench::print_scale_banner(scale);
+
+  Table t({"Matrix", "P=144 cyclic", "P=144 heur.", "impr.", "P=196 cyclic",
+           "P=196 heur.", "impr."});
+  Accumulator impr144, impr196;
+  for (const bench::Prepared& p : bench::prepare_large_suite(scale)) {
+    t.new_row();
+    t.add(p.name);
+    for (idx procs : {144, 196}) {
+      const SimResult cy = p.chol.simulate(p.chol.plan_parallel(
+          procs, RemapHeuristic::kCyclic, RemapHeuristic::kCyclic));
+      const SimResult heur = p.chol.simulate(p.chol.plan_parallel(
+          procs, RemapHeuristic::kIncreasingDepth, RemapHeuristic::kCyclic));
+      const double mf_cy = cy.mflops(p.chol.factor_flops_exact());
+      const double mf_h = heur.mflops(p.chol.factor_flops_exact());
+      t.add(mf_cy, 0);
+      t.add(mf_h, 0);
+      t.add_percent(mf_h / mf_cy - 1.0);
+      (procs == 144 ? impr144 : impr196).add(mf_h / mf_cy - 1.0);
+    }
+  }
+  t.print(std::cout);
+  std::printf("\nmean improvement: P=144 %.0f%%, P=196 %.0f%% (paper: 14%%, 20%%)\n",
+              impr144.mean() * 100.0, impr196.mean() * 100.0);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Network topology ablation: the paper's results treat the Paragon's 2-D
+// wormhole-routed mesh as a flat network ("These advantages accrue even when
+// the underlying machine has some interconnection network whose topology is
+// not a grid", §1). This bench enables per-hop mesh routing costs in the
+// simulator and shows the results are insensitive to them — per-hop latency
+// on wormhole meshes is tens of nanoseconds against 50 us software latency.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace spc;
+  const SuiteScale scale = suite_scale_from_env();
+  std::printf("Mesh topology ablation, P=196 (14x14 mesh), ID/CY mapping\n");
+  bench::print_scale_banner(scale);
+
+  Table t({"Matrix", "flat MF", "mesh 40ns/hop MF", "mesh 1us/hop MF",
+           "mesh 50us/hop MF"});
+  for (const bench::Prepared& p : bench::prepare_standard_suite(scale)) {
+    const ParallelPlan plan = p.chol.plan_parallel(
+        196, RemapHeuristic::kIncreasingDepth, RemapHeuristic::kCyclic);
+    t.new_row();
+    t.add(p.name);
+    for (double hop : {-1.0, 40e-9, 1e-6, 50e-6}) {
+      CostModel cm;
+      if (hop >= 0) {
+        cm.mesh_cols = 14;
+        cm.per_hop_latency_s = hop;
+      }
+      const SimResult r = p.chol.simulate(plan, cm);
+      t.add(r.mflops(p.chol.factor_flops_exact()), 0);
+    }
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape: realistic per-hop costs (40ns) are indistinguishable\n"
+      "from the flat model; only absurd per-hop latencies (~the full software\n"
+      "latency per hop) visibly hurt — topology is not what limits the\n"
+      "factorization, as the paper assumes.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Factor-reuse workflow: factor a stiffness matrix once, save the
+// factorization to disk, reload it (as a later process would), and solve a
+// batch of load cases against the reloaded factor — plus a condition-number
+// estimate to forecast solve accuracy.
+#include <cstdio>
+#include <vector>
+
+#include "cholesky/sparse_cholesky.hpp"
+#include "factor/condest.hpp"
+#include "factor/residual.hpp"
+#include "factor/serialize.hpp"
+#include "gen/mesh_gen.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  spc::MeshGenOptions mesh;
+  mesh.nodes = 1200;
+  mesh.dof = 3;
+  mesh.dim = 3;
+  mesh.avg_node_degree = 9.0;
+  mesh.seed = 42;
+  const spc::SymSparse a = spc::make_fem_mesh(mesh);
+
+  // --- Run 1: analyze, factor (multithreaded), estimate, save. ------------
+  spc::SparseCholesky chol = spc::SparseCholesky::analyze(a);
+  chol.factorize_parallel();
+  std::printf("factored %d equations: NZ(L)=%lld, %.1f Mops\n", a.num_rows(),
+              static_cast<long long>(chol.factor_nnz_exact()),
+              static_cast<double>(chol.factor_flops_exact()) / 1e6);
+  const double cond =
+      spc::estimate_condition(chol.permuted_matrix(), chol.factor());
+  std::printf("estimated cond_2(A) = %.1f  (expect ~%.0e relative solve error)\n",
+              cond, cond * 2.2e-16);
+
+  const char* path = "/tmp/spc_factor_reuse.bin";
+  spc::save_factorization_file(path, chol.ordering(), chol.structure(),
+                               chol.factor());
+  std::printf("saved factorization to %s\n", path);
+
+  // --- Run 2 (simulated): reload and solve load cases. --------------------
+  const spc::SavedFactorization saved = spc::load_factorization_file(path);
+  spc::Rng rng(7);
+  double worst = 0.0;
+  for (int lc = 0; lc < 10; ++lc) {
+    std::vector<double> load(static_cast<std::size_t>(a.num_rows()));
+    for (double& v : load) v = rng.uniform(-1.0, 1.0);
+    const std::vector<double> x = saved.solve(load);
+    worst = std::max(worst, spc::solve_residual(a, x, load));
+  }
+  std::printf("10 load cases solved from the reloaded factor; worst residual %.2e\n",
+              worst);
+  return 0;
+}

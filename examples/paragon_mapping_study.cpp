@@ -1,0 +1,78 @@
+// Mapping study: the paper's §4 methodology end-to-end on one matrix.
+//
+// For a chosen benchmark matrix (default CUBE30, override with argv[1]) and
+// processor count (default 64, argv[2]), prints the full 5x5 row/column
+// heuristic grid of balances and simulated performance, the effect of
+// domains, and the per-processor time breakdown for the best mapping.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "cholesky/sparse_cholesky.hpp"
+#include "gen/benchmark_suite.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spc;
+  const std::string name = argc > 1 ? argv[1] : "CUBE30";
+  const idx procs = argc > 2 ? static_cast<idx>(std::atoi(argv[2])) : 64;
+
+  BenchMatrix bm = make_bench_matrix(name, suite_scale_from_env());
+  std::printf("%s: %d equations, P=%d (grid %dx%d)\n", bm.name.c_str(),
+              bm.matrix.num_rows(), procs, make_grid(procs).rows,
+              make_grid(procs).cols);
+  SolverOptions opt;
+  opt.ordering = SolverOptions::Ordering::kNatural;
+  SparseCholesky chol =
+      SparseCholesky::analyze_ordered(bm.matrix, order_bench_matrix(bm), opt);
+  std::printf("factor: %lld NZ, %.1f Mops, %d block columns\n\n",
+              static_cast<long long>(chol.factor_nnz_exact()),
+              static_cast<double>(chol.factor_flops_exact()) / 1e6,
+              chol.structure().num_block_cols());
+
+  Table t({"Row \\ Col", "CY", "DW", "IN", "DN", "ID"});
+  Table t2({"Row \\ Col", "CY", "DW", "IN", "DN", "ID"});
+  double best_mf = 0.0;
+  RemapHeuristic best_r = RemapHeuristic::kCyclic, best_c = RemapHeuristic::kCyclic;
+  for (RemapHeuristic row_h : kAllHeuristics) {
+    t.new_row();
+    t2.new_row();
+    t.add(heuristic_long_name(row_h));
+    t2.add(heuristic_long_name(row_h));
+    for (RemapHeuristic col_h : kAllHeuristics) {
+      const ParallelPlan plan = chol.plan_parallel(procs, row_h, col_h);
+      const SimResult r = chol.simulate(plan);
+      const double mf = r.mflops(chol.factor_flops_exact());
+      t.add(plan.balance.overall, 2);
+      t2.add(mf, 0);
+      if (mf > best_mf) {
+        best_mf = mf;
+        best_r = row_h;
+        best_c = col_h;
+      }
+    }
+  }
+  std::printf("overall balance:\n");
+  t.print(std::cout);
+  std::printf("\nsimulated Mflops:\n");
+  t2.print(std::cout);
+
+  // Domains on/off for the best mapping.
+  std::printf("\nbest mapping: %s rows / %s cols (%.0f Mflops)\n",
+              heuristic_long_name(best_r).c_str(),
+              heuristic_long_name(best_c).c_str(), best_mf);
+  for (bool domains : {true, false}) {
+    const ParallelPlan plan = chol.plan_parallel(procs, best_r, best_c, domains);
+    const SimResult r = chol.simulate(plan);
+    const double denom = static_cast<double>(procs) * r.runtime_s;
+    std::printf(
+        "  domains %-3s: %5.0f Mflops, eff %.2f, comm %4.1f%%, idle %4.1f%%, "
+        "%lld msgs, %.1f MB\n",
+        domains ? "on" : "off", r.mflops(chol.factor_flops_exact()),
+        r.efficiency(), 100.0 * r.total_comm_s() / denom,
+        100.0 * r.total_idle_s() / denom, static_cast<long long>(r.total_msgs()),
+        static_cast<double>(r.total_bytes()) / 1e6);
+  }
+  return 0;
+}

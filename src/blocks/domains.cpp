@@ -1,0 +1,111 @@
+#include "blocks/domains.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "blocks/work_model.hpp"
+#include "support/error.hpp"
+
+namespace spc {
+
+std::vector<i64> source_work_per_column(const TaskGraph& tg, idx num_block_cols) {
+  std::vector<i64> srcwork(static_cast<std::size_t>(num_block_cols), 0);
+  for (block_id b = 0; b < tg.num_blocks(); ++b) {
+    srcwork[static_cast<std::size_t>(tg.col_of_block[static_cast<std::size_t>(b)])] +=
+        tg.completion_flops[static_cast<std::size_t>(b)] + kFixedOpCost;
+  }
+  for (const BlockMod& m : tg.mods) {
+    srcwork[static_cast<std::size_t>(m.col_k)] += m.flops + kFixedOpCost;
+  }
+  return srcwork;
+}
+
+DomainDecomposition no_domains(idx num_block_cols) {
+  DomainDecomposition d;
+  d.domain_proc.assign(static_cast<std::size_t>(num_block_cols), kNone);
+  return d;
+}
+
+DomainDecomposition find_domains(const SymbolicFactor& sf, const BlockStructure& bs,
+                                 const TaskGraph& tg, idx num_procs,
+                                 const DomainOptions& opt) {
+  SPC_CHECK(num_procs >= 1, "find_domains: need at least one processor");
+  const idx num_sn = sf.num_supernodes();
+  const idx nb = bs.num_block_cols();
+  DomainDecomposition dec = no_domains(nb);
+  if (num_sn == 0) return dec;
+
+  // Supernode-level source work and subtree sums.
+  const std::vector<i64> col_work = source_work_per_column(tg, nb);
+  std::vector<i64> sn_work(static_cast<std::size_t>(num_sn), 0);
+  for (idx j = 0; j < nb; ++j) {
+    sn_work[static_cast<std::size_t>(bs.part.sn_of_block[j])] += col_work[j];
+  }
+  std::vector<i64> subtree(sn_work);
+  i64 total = 0;
+  for (idx s = 0; s < num_sn; ++s) {
+    const idx p = sf.sn_parent[static_cast<std::size_t>(s)];
+    if (p != kNone) subtree[static_cast<std::size_t>(p)] += subtree[static_cast<std::size_t>(s)];
+    total += sn_work[static_cast<std::size_t>(s)];
+  }
+
+  // Children lists of the supernodal etree.
+  std::vector<std::vector<idx>> children(static_cast<std::size_t>(num_sn));
+  std::vector<idx> roots;
+  for (idx s = 0; s < num_sn; ++s) {
+    const idx p = sf.sn_parent[static_cast<std::size_t>(s)];
+    if (p == kNone) {
+      roots.push_back(s);
+    } else {
+      children[static_cast<std::size_t>(p)].push_back(s);
+    }
+  }
+
+  // Split the heaviest candidate subtree until all fit under the threshold.
+  const i64 threshold = std::max<i64>(
+      1, static_cast<i64>(opt.max_work_fraction * static_cast<double>(total) /
+                          static_cast<double>(num_procs)));
+  auto cmp = [&](idx a, idx b) {
+    return subtree[static_cast<std::size_t>(a)] < subtree[static_cast<std::size_t>(b)];
+  };
+  std::priority_queue<idx, std::vector<idx>, decltype(cmp)> heap(cmp);
+  for (idx r : roots) heap.push(r);
+  std::vector<idx> domains;  // root supernode of each accepted domain subtree
+  while (!heap.empty()) {
+    const idx s = heap.top();
+    heap.pop();
+    if (subtree[static_cast<std::size_t>(s)] <= threshold) {
+      domains.push_back(s);
+    } else {
+      for (idx c : children[static_cast<std::size_t>(s)]) heap.push(c);
+      // s itself joins the root portion.
+    }
+  }
+
+  // LPT assignment of domain subtrees onto processors.
+  std::sort(domains.begin(), domains.end(), [&](idx a, idx b) {
+    return subtree[static_cast<std::size_t>(a)] > subtree[static_cast<std::size_t>(b)];
+  });
+  std::vector<i64> load(static_cast<std::size_t>(num_procs), 0);
+  std::vector<idx> domain_sn_proc(static_cast<std::size_t>(num_sn), kNone);
+  for (idx d : domains) {
+    const idx p = static_cast<idx>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    load[static_cast<std::size_t>(p)] += subtree[static_cast<std::size_t>(d)];
+    // Mark the whole subtree.
+    std::vector<idx> stack{d};
+    while (!stack.empty()) {
+      const idx s = stack.back();
+      stack.pop_back();
+      domain_sn_proc[static_cast<std::size_t>(s)] = p;
+      for (idx c : children[static_cast<std::size_t>(s)]) stack.push_back(c);
+    }
+  }
+  dec.num_domains = static_cast<idx>(domains.size());
+  for (idx j = 0; j < nb; ++j) {
+    dec.domain_proc[j] = domain_sn_proc[static_cast<std::size_t>(bs.part.sn_of_block[j])];
+  }
+  return dec;
+}
+
+}  // namespace spc

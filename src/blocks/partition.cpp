@@ -1,0 +1,81 @@
+#include "blocks/partition.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "symbolic/etree.hpp"
+
+namespace spc {
+namespace {
+
+void split_supernode(BlockPartition& bp, idx first, idx end, idx s, idx block_size) {
+  const idx w = end - first;
+  const idx chunks = (w + block_size - 1) / block_size;
+  // Even split: chunk c gets w/chunks columns, the first w%chunks one extra.
+  const idx base = w / chunks;
+  const idx extra = w % chunks;
+  idx col = first;
+  for (idx c = 0; c < chunks; ++c) {
+    col += base + (c < extra ? 1 : 0);
+    bp.first_col.push_back(col);
+    bp.sn_of_block.push_back(s);
+  }
+  SPC_CHECK(col == end, "block partition: split mismatch");
+}
+
+void finish_partition(BlockPartition& bp, idx num_cols) {
+  bp.block_of_col.assign(static_cast<std::size_t>(num_cols), 0);
+  for (idx b = 0; b < bp.count(); ++b) {
+    for (idx c = bp.first_col[b]; c < bp.first_col[b + 1]; ++c) {
+      bp.block_of_col[static_cast<std::size_t>(c)] = b;
+    }
+  }
+}
+
+}  // namespace
+
+BlockPartition make_block_partition(const SupernodePartition& sn, idx block_size) {
+  SPC_CHECK(block_size >= 1, "make_block_partition: block_size must be >= 1");
+  BlockPartition bp;
+  bp.first_col.push_back(0);
+  for (idx s = 0; s < sn.count(); ++s) {
+    split_supernode(bp, sn.first_col[s], sn.first_col[s + 1], s, block_size);
+  }
+  finish_partition(bp, sn.num_cols());
+  return bp;
+}
+
+BlockPartition make_block_partition_variable(const SupernodePartition& sn,
+                                             const std::vector<idx>& block_size_per_sn) {
+  SPC_CHECK(static_cast<idx>(block_size_per_sn.size()) == sn.count(),
+            "make_block_partition_variable: size mismatch");
+  BlockPartition bp;
+  bp.first_col.push_back(0);
+  for (idx s = 0; s < sn.count(); ++s) {
+    SPC_CHECK(block_size_per_sn[static_cast<std::size_t>(s)] >= 1,
+              "make_block_partition_variable: block sizes must be >= 1");
+    split_supernode(bp, sn.first_col[s], sn.first_col[s + 1], s,
+                    block_size_per_sn[static_cast<std::size_t>(s)]);
+  }
+  finish_partition(bp, sn.num_cols());
+  return bp;
+}
+
+std::vector<idx> block_sizes_by_depth(const std::vector<idx>& sn_parent,
+                                      idx size_bottom, idx size_top) {
+  SPC_CHECK(size_bottom >= 1 && size_top >= 1,
+            "block_sizes_by_depth: sizes must be >= 1");
+  const std::vector<idx> depth = etree_depth(sn_parent);
+  const idx max_depth = depth.empty() ? 0 : *std::max_element(depth.begin(), depth.end());
+  std::vector<idx> sizes(sn_parent.size());
+  for (std::size_t s = 0; s < sn_parent.size(); ++s) {
+    const double frac =
+        max_depth > 0 ? static_cast<double>(depth[s]) / max_depth : 0.0;
+    // depth 0 = root (eliminated last) -> size_top; deepest -> size_bottom.
+    sizes[s] = static_cast<idx>(size_top + frac * (size_bottom - size_top) + 0.5);
+    sizes[s] = std::max<idx>(1, sizes[s]);
+  }
+  return sizes;
+}
+
+}  // namespace spc

@@ -1,0 +1,42 @@
+// Block partition (paper §2.1, §3.1): the columns are divided into N
+// contiguous subsets, each a sub-range of a single supernode, with subset
+// sizes "as close to B as possible" (B = 48 in the paper's experiments).
+// The identical partition is applied to the rows.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+#include "symbolic/supernode.hpp"
+
+namespace spc {
+
+struct BlockPartition {
+  std::vector<idx> first_col;    // size N+1; block k covers [first_col[k], first_col[k+1])
+  std::vector<idx> block_of_col; // size n
+  std::vector<idx> sn_of_block;  // size N: owning supernode
+
+  idx count() const { return static_cast<idx>(first_col.size()) - 1; }
+  idx width(idx b) const { return first_col[b + 1] - first_col[b]; }
+  idx num_cols() const { return first_col.empty() ? 0 : first_col.back(); }
+};
+
+// Splits each supernode of `sn` into chunks of at most `block_size` columns,
+// as evenly as possible (a 70-column supernode becomes 35+35, not 48+22).
+BlockPartition make_block_partition(const SupernodePartition& sn, idx block_size);
+
+// Variable block size per supernode (paper §5's stage-varying experiment):
+// supernode s is chunked with block_size_per_sn[s] columns. The paper found
+// that varying B between early and late elimination stages does NOT improve
+// load balance and reduces available parallelism; bench/blocksize_stage
+// reproduces that negative result.
+BlockPartition make_block_partition_variable(const SupernodePartition& sn,
+                                             const std::vector<idx>& block_size_per_sn);
+
+// Helper for the stage-varying experiment: block size interpolated by etree
+// depth, from `size_bottom` at the deepest supernodes (eliminated first) to
+// `size_top` at the roots (eliminated last).
+std::vector<idx> block_sizes_by_depth(const std::vector<idx>& sn_parent,
+                                      idx size_bottom, idx size_top);
+
+}  // namespace spc

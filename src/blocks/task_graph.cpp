@@ -1,0 +1,81 @@
+#include "blocks/task_graph.hpp"
+
+#include "linalg/kernels.hpp"
+#include "support/error.hpp"
+
+namespace spc {
+
+i64 TaskGraph::total_flops() const {
+  i64 total = 0;
+  for (const BlockMod& m : mods) total += m.flops;
+  for (i64 f : completion_flops) total += f;
+  return total;
+}
+
+i64 TaskGraph::total_ops() const {
+  return static_cast<i64>(mods.size()) + num_blocks();
+}
+
+TaskGraph build_task_graph(const BlockStructure& bs) {
+  const idx nb = bs.num_block_cols();
+  const i64 num_blocks = nb + bs.num_entries();
+  TaskGraph tg;
+  tg.completion_flops.assign(static_cast<std::size_t>(num_blocks), 0);
+  tg.mods_into.assign(static_cast<std::size_t>(num_blocks), 0);
+  tg.col_of_block.resize(static_cast<std::size_t>(num_blocks));
+  tg.row_of_block.resize(static_cast<std::size_t>(num_blocks));
+  tg.rows_of_block.resize(static_cast<std::size_t>(num_blocks));
+
+  for (idx j = 0; j < nb; ++j) {
+    tg.col_of_block[static_cast<std::size_t>(j)] = j;
+    tg.row_of_block[static_cast<std::size_t>(j)] = j;
+    tg.rows_of_block[static_cast<std::size_t>(j)] = bs.part.width(j);
+    tg.completion_flops[static_cast<std::size_t>(j)] = flops_bfac(bs.part.width(j));
+  }
+  for (idx k = 0; k < nb; ++k) {
+    const idx w = bs.part.width(k);
+    for (i64 e = bs.blkptr[k]; e < bs.blkptr[k + 1]; ++e) {
+      const block_id b = nb + e;
+      tg.col_of_block[static_cast<std::size_t>(b)] = k;
+      tg.row_of_block[static_cast<std::size_t>(b)] = bs.blkrow[e];
+      tg.rows_of_block[static_cast<std::size_t>(b)] = bs.blkcnt[e];
+      tg.completion_flops[static_cast<std::size_t>(b)] = flops_bdiv(bs.blkcnt[e], w);
+    }
+  }
+
+  // BMOD enumeration: for each column K and each ordered pair of entries
+  // (ej <= ei), destination L_(I,J). The destination must exist by the
+  // supernodal containment property; find_entry asserts that.
+  for (idx k = 0; k < nb; ++k) {
+    const idx w = bs.part.width(k);
+    for (i64 ej = bs.blkptr[k]; ej < bs.blkptr[k + 1]; ++ej) {
+      const idx j = bs.blkrow[ej];
+      const idx n_cols = bs.blkcnt[ej];
+      for (i64 ei = ej; ei < bs.blkptr[k + 1]; ++ei) {
+        const idx i = bs.blkrow[ei];
+        const idx m_rows = bs.blkcnt[ei];
+        BlockMod mod;
+        mod.src_a = nb + ei;
+        mod.src_b = nb + ej;
+        mod.col_k = k;
+        if (ei == ej) {
+          // Symmetric update of the diagonal block L_JJ: only the lower
+          // triangle is computed.
+          mod.dest = diag_block_id(j);
+          mod.flops = static_cast<i64>(m_rows) * (m_rows + 1) * w;
+        } else {
+          const i64 dest_entry = bs.find_entry(j, i);
+          SPC_CHECK(dest_entry != kNone,
+                    "build_task_graph: containment violated, missing L_IJ");
+          mod.dest = nb + dest_entry;
+          mod.flops = flops_bmod(m_rows, n_cols, w);
+        }
+        ++tg.mods_into[static_cast<std::size_t>(mod.dest)];
+        tg.mods.push_back(mod);
+      }
+    }
+  }
+  return tg;
+}
+
+}  // namespace spc

@@ -1,0 +1,59 @@
+// Enumeration of the block operations (paper §2.1):
+//   BFAC(K,K), BDIV(I,K), BMOD(I,J,K)
+// together with their flop counts and destinations. This is the task set the
+// work model, the numeric factorization, the simulator, and the critical-path
+// analysis all consume.
+//
+// Block identifiers: the diagonal block of block column J has id J
+// (0 <= J < N); off-diagonal block entry e of the BlockStructure has id
+// N + e. This gives every stored block a dense global id.
+#pragma once
+
+#include <vector>
+
+#include "blocks/block_structure.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+using block_id = i64;
+
+inline block_id diag_block_id(idx j) { return j; }
+inline bool is_diag_block(const BlockStructure& bs, block_id b) {
+  return b < bs.num_block_cols();
+}
+
+struct BlockMod {
+  block_id src_a;   // L_IK (row block I of column K)
+  block_id src_b;   // L_JK (row block J of column K); == src_a when I == J
+  block_id dest;    // L_IJ (diagonal id when I == J)
+  idx col_k;        // source block column K
+  i64 flops;
+};
+
+struct TaskGraph {
+  // All BMOD operations, grouped by source column K (ascending col_k).
+  std::vector<BlockMod> mods;
+  // Per-block: flop cost of the block's own completion op (BFAC for diagonal
+  // blocks, BDIV for off-diagonal), indexed by block id.
+  std::vector<i64> completion_flops;
+  // Per-block: number of BMODs targeting it.
+  std::vector<i64> mods_into;
+  // Block column of each block id (J for both diagonal and entry blocks).
+  std::vector<idx> col_of_block;
+  // Block row of each block id (== column for diagonal blocks).
+  std::vector<idx> row_of_block;
+  // Dense row count of each block (width of column for diagonal blocks).
+  std::vector<idx> rows_of_block;
+
+  i64 num_blocks() const { return static_cast<i64>(completion_flops.size()); }
+
+  // Total flops over all ops (matches the sequential block factorization).
+  i64 total_flops() const;
+  // Total number of block operations (BFACs + BDIVs + BMODs).
+  i64 total_ops() const;
+};
+
+TaskGraph build_task_graph(const BlockStructure& bs);
+
+}  // namespace spc

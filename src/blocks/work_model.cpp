@@ -1,0 +1,27 @@
+#include "blocks/work_model.hpp"
+
+namespace spc {
+
+WorkModel compute_work_model(const TaskGraph& tg, idx num_block_cols) {
+  WorkModel wm;
+  wm.work.assign(static_cast<std::size_t>(tg.num_blocks()), 0);
+  // Every block has one completion op (BFAC or BDIV) destined to itself.
+  for (block_id b = 0; b < tg.num_blocks(); ++b) {
+    wm.work[static_cast<std::size_t>(b)] =
+        tg.completion_flops[static_cast<std::size_t>(b)] + kFixedOpCost;
+  }
+  for (const BlockMod& m : tg.mods) {
+    wm.work[static_cast<std::size_t>(m.dest)] += m.flops + kFixedOpCost;
+  }
+  wm.work_row.assign(static_cast<std::size_t>(num_block_cols), 0);
+  wm.work_col.assign(static_cast<std::size_t>(num_block_cols), 0);
+  for (block_id b = 0; b < tg.num_blocks(); ++b) {
+    const i64 w = wm.work[static_cast<std::size_t>(b)];
+    wm.work_row[static_cast<std::size_t>(tg.row_of_block[static_cast<std::size_t>(b)])] += w;
+    wm.work_col[static_cast<std::size_t>(tg.col_of_block[static_cast<std::size_t>(b)])] += w;
+    wm.total += w;
+  }
+  return wm;
+}
+
+}  // namespace spc

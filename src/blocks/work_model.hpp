@@ -1,0 +1,29 @@
+// The paper's per-block work model (§3.2): work[I,J] is the number of
+// floating point operations performed on behalf of block L_IJ by its owner,
+// plus 1000 per distinct block operation — the measured fixed cost of a
+// block op in the authors' code, which dominates for small blocks.
+#pragma once
+
+#include <vector>
+
+#include "blocks/task_graph.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+inline constexpr i64 kFixedOpCost = 1000;
+
+struct WorkModel {
+  // work[b] per block id (diagonal blocks first, then entries).
+  std::vector<i64> work;
+  // Aggregates over the identical row/column partition:
+  //   work_row[I]  = sum over J of work[I,J]   (the paper's workI)
+  //   work_col[J]  = sum over I of work[I,J]   (the paper's workJ)
+  std::vector<i64> work_row;
+  std::vector<i64> work_col;
+  i64 total = 0;
+};
+
+WorkModel compute_work_model(const TaskGraph& tg, idx num_block_cols);
+
+}  // namespace spc

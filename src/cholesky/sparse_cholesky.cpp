@@ -1,0 +1,153 @@
+#include "cholesky/sparse_cholesky.hpp"
+
+#include "factor/block_solve.hpp"
+#include "factor/parallel_factor.hpp"
+#include "graph/permutation.hpp"
+#include "ordering/mmd.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "sim/fanout_sim.hpp"
+#include "support/error.hpp"
+#include "symbolic/colcount.hpp"
+#include "symbolic/etree.hpp"
+
+namespace spc {
+
+SparseCholesky SparseCholesky::analyze(const SymSparse& a, const SolverOptions& opt) {
+  std::vector<idx> perm;
+  switch (opt.ordering) {
+    case SolverOptions::Ordering::kMmd:
+      perm = mmd_order(a.pattern());
+      break;
+    case SolverOptions::Ordering::kAmd:
+      perm = amd_order(a.pattern());
+      break;
+    case SolverOptions::Ordering::kNd:
+      perm = nested_dissection_order(a.pattern());
+      break;
+    case SolverOptions::Ordering::kNatural:
+      perm = identity_permutation(a.num_rows());
+      break;
+  }
+  return analyze_ordered(a, std::move(perm), opt);
+}
+
+SparseCholesky SparseCholesky::analyze_ordered(const SymSparse& a,
+                                               std::vector<idx> perm,
+                                               const SolverOptions& opt) {
+  SPC_CHECK(static_cast<idx>(perm.size()) == a.num_rows(),
+            "analyze_ordered: permutation size mismatch");
+  SPC_CHECK(opt.block_size >= 1, "analyze_ordered: block_size must be >= 1");
+  SparseCholesky chol;
+
+  // Apply the fill ordering, then postorder the elimination tree so that
+  // supernodes and subtrees are contiguous (required by the block partition
+  // and by amalgamation).
+  SymSparse a1 = a.permuted(perm);
+  const std::vector<idx> parent1 = elimination_tree(a1);
+  const std::vector<idx> post = etree_postorder(parent1);
+  chol.perm_ = compose_permutations(perm, post);
+  chol.a_perm_ = a1.permuted(post);
+  chol.parent_ = relabel_parent(parent1, post);
+
+  const std::vector<i64> counts = factor_col_counts(chol.a_perm_, chol.parent_);
+  chol.factor_nnz_ = factor_nnz(counts);
+  chol.factor_flops_ = factor_flops(counts);
+
+  SupernodePartition sn = find_supernodes(chol.parent_, counts);
+  if (opt.amalgamate) {
+    sn = amalgamate_supernodes(sn, chol.parent_, counts, opt.amalgamation);
+  }
+  chol.sf_ = symbolic_factorize(chol.a_perm_, chol.parent_, sn);
+  chol.bs_ = build_block_structure(chol.sf_, opt.block_size);
+  chol.tg_ = build_task_graph(chol.bs_);
+  return chol;
+}
+
+void SparseCholesky::factorize() { factor_ = block_factorize(a_perm_, bs_); }
+
+void SparseCholesky::factorize_parallel(int num_threads) {
+  ParallelFactorOptions opt;
+  opt.num_threads = num_threads;
+  factor_ = block_factorize_parallel(a_perm_, bs_, tg_, opt);
+}
+
+const BlockFactor& SparseCholesky::factor() const {
+  SPC_CHECK(factor_.has_value(), "factor(): call factorize() first");
+  return *factor_;
+}
+
+std::vector<double> SparseCholesky::solve(const std::vector<double>& b) const {
+  SPC_CHECK(factor_.has_value(), "solve(): call factorize() first");
+  SPC_CHECK(static_cast<idx>(b.size()) == a_perm_.num_rows(),
+            "solve(): right-hand side size mismatch");
+  // Permute b, solve, permute back: perm_[k] = original index of position k.
+  std::vector<double> pb(b.size());
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    pb[k] = b[static_cast<std::size_t>(perm_[k])];
+  }
+  const std::vector<double> px = block_solve(*factor_, pb);
+  std::vector<double> x(b.size());
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    x[static_cast<std::size_t>(perm_[k])] = px[k];
+  }
+  return x;
+}
+
+std::vector<double> SparseCholesky::solve_refined(const std::vector<double>& b,
+                                                  int max_iters, double tol) const {
+  SPC_CHECK(factor_.has_value(), "solve_refined(): call factorize() first");
+  SPC_CHECK(static_cast<idx>(b.size()) == a_perm_.num_rows(),
+            "solve_refined(): right-hand side size mismatch");
+  std::vector<double> pb(b.size());
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    pb[k] = b[static_cast<std::size_t>(perm_[k])];
+  }
+  std::vector<double> px = block_solve(*factor_, pb);
+  for (int it = 0; it < max_iters; ++it) {
+    if (refine_once(a_perm_, *factor_, pb, px) <= tol) break;
+  }
+  std::vector<double> x(b.size());
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    x[static_cast<std::size_t>(perm_[k])] = px[k];
+  }
+  return x;
+}
+
+ParallelPlan SparseCholesky::plan_parallel(idx num_procs, RemapHeuristic row_h,
+                                           RemapHeuristic col_h,
+                                           bool use_domains) const {
+  const ProcessorGrid grid = make_grid(num_procs);
+  ParallelPlan plan;
+  plan.domains = use_domains ? find_domains(sf_, bs_, tg_, num_procs)
+                             : no_domains(bs_.num_block_cols());
+  plan.root_work = compute_root_work(tg_, bs_, plan.domains, num_procs);
+  const std::vector<idx> depth = block_depths(bs_, parent_);
+  plan.map = make_heuristic_map(grid, row_h, col_h, plan.root_work, depth);
+  plan.balance = compute_balance(plan.root_work, plan.map);
+  return plan;
+}
+
+ParallelPlan SparseCholesky::plan_from_map(BlockMap map, bool use_domains) const {
+  const idx num_procs = map.grid.size();
+  ParallelPlan plan;
+  plan.domains = use_domains ? find_domains(sf_, bs_, tg_, num_procs)
+                             : no_domains(bs_.num_block_cols());
+  plan.root_work = compute_root_work(tg_, bs_, plan.domains, num_procs);
+  plan.map = std::move(map);
+  plan.balance = compute_balance(plan.root_work, plan.map);
+  return plan;
+}
+
+SimResult SparseCholesky::simulate(const ParallelPlan& plan, const CostModel& cm,
+                                   SchedulingPolicy policy, SimTrace* trace) const {
+  return simulate_fanout(bs_, tg_, plan.map, plan.domains, cm, policy, trace);
+}
+
+std::vector<double> solve_spd(const SymSparse& a, const std::vector<double>& b,
+                              const SolverOptions& opt) {
+  SparseCholesky chol = SparseCholesky::analyze(a, opt);
+  chol.factorize();
+  return chol.solve(b);
+}
+
+}  // namespace spc

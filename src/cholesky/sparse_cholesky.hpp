@@ -1,0 +1,133 @@
+// Public API: sparse Cholesky factorization with block fan-out analysis.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   spc::SymSparse a = spc::make_grid2d(64, 64);
+//   auto chol = spc::SparseCholesky::analyze(a);        // order + symbolic
+//   chol.factorize();                                   // numeric L
+//   std::vector<double> x = chol.solve(b);              // A x = b
+//
+//   // Parallel mapping analysis on a simulated Paragon:
+//   auto plan = chol.plan_parallel(64, spc::RemapHeuristic::kIncreasingDepth,
+//                                  spc::RemapHeuristic::kCyclic);
+//   spc::SimResult r = chol.simulate(plan);
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "blocks/block_structure.hpp"
+#include "blocks/domains.hpp"
+#include "blocks/task_graph.hpp"
+#include "factor/numeric_factor.hpp"
+#include "graph/graph.hpp"
+#include "mapping/balance.hpp"
+#include "mapping/block_map.hpp"
+#include "mapping/heuristics.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/fanout_sim.hpp"
+#include "sim/machine.hpp"
+#include "support/types.hpp"
+#include "symbolic/amalgamate.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spc {
+
+struct SolverOptions {
+  enum class Ordering {
+    kMmd,      // multiple minimum degree (default; the paper's choice for
+               // irregular problems)
+    kAmd,      // approximate minimum degree (cheaper updates, similar fill)
+    kNd,       // general nested dissection with BFS separators
+    kNatural,  // keep the given order (dense problems, pre-ordered input)
+  };
+  Ordering ordering = Ordering::kMmd;
+  idx block_size = 48;  // the paper's B
+  bool amalgamate = true;
+  AmalgamationOptions amalgamation;
+};
+
+// A processor count + block mapping + domain decomposition, with the load
+// balance statistics the paper's analysis is built on.
+struct ParallelPlan {
+  BlockMap map;
+  DomainDecomposition domains;
+  RootWork root_work;
+  BalanceStats balance;
+};
+
+class SparseCholesky {
+ public:
+  // Symbolic phase: ordering, elimination tree, supernodes (+amalgamation),
+  // block partition, block structure, task graph.
+  static SparseCholesky analyze(const SymSparse& a, const SolverOptions& opt = {});
+  // Same, but with a caller-provided fill-reducing ordering (new->old), e.g.
+  // nested dissection for grid problems.
+  static SparseCholesky analyze_ordered(const SymSparse& a, std::vector<idx> perm,
+                                        const SolverOptions& opt = {});
+
+  // Numeric factorization (throws spc::Error if A is not SPD).
+  void factorize();
+  // Same factor computed by the shared-memory data-driven executor (real
+  // std::thread workers over the BFAC/BDIV/BMOD task graph; see
+  // factor/parallel_factor.hpp). 0 threads = hardware concurrency.
+  void factorize_parallel(int num_threads = 0);
+  bool factorized() const { return factor_.has_value(); }
+
+  // Solves A x = b in the ORIGINAL row/column order of the input matrix.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  // Solve followed by iterative refinement until the correction's inf-norm
+  // drops below `tol` or `max_iters` steps. For well-conditioned SPD systems
+  // one step already reaches working accuracy; the option matters for the
+  // ill-conditioned stiffness matrices in the BCSSTK class.
+  std::vector<double> solve_refined(const std::vector<double>& b, int max_iters = 3,
+                                    double tol = 1e-14) const;
+
+  // --- Introspection -------------------------------------------------------
+  idx num_rows() const { return a_perm_.num_rows(); }
+  const std::vector<idx>& ordering() const { return perm_; }  // new->old
+  const SymSparse& permuted_matrix() const { return a_perm_; }
+  const std::vector<idx>& etree_parent() const { return parent_; }
+  const SymbolicFactor& symbolic() const { return sf_; }
+  const BlockStructure& structure() const { return bs_; }
+  const TaskGraph& task_graph() const { return tg_; }
+  const BlockFactor& factor() const;
+
+  i64 factor_nnz_exact() const { return factor_nnz_; }     // NZ in L (Table 1)
+  i64 factor_flops_exact() const { return factor_flops_; } // "Ops to factor"
+
+  // --- Parallel analysis ---------------------------------------------------
+  // Builds a 2-D mapping for `num_procs` processors with the given row and
+  // column remapping heuristics; domains per the paper's §2.3 when enabled.
+  ParallelPlan plan_parallel(idx num_procs, RemapHeuristic row_h,
+                             RemapHeuristic col_h, bool use_domains = true) const;
+  // Plan from an explicit map (for custom mappings, e.g. subcube columns).
+  ParallelPlan plan_from_map(BlockMap map, bool use_domains = true) const;
+
+  // Simulated block fan-out factorization on the Paragon-like machine model.
+  // `policy` selects the paper's data-driven scheduling or the priority
+  // scheduling it proposes as future work (see sim/fanout_sim.hpp).
+  SimResult simulate(const ParallelPlan& plan, const CostModel& cm = {},
+                     SchedulingPolicy policy = SchedulingPolicy::kDataDriven,
+                     SimTrace* trace = nullptr) const;
+
+ private:
+  SparseCholesky() = default;
+
+  std::vector<idx> perm_;      // final new->old (fill order composed with postorder)
+  SymSparse a_perm_;
+  std::vector<idx> parent_;    // column etree of a_perm_
+  SymbolicFactor sf_;
+  BlockStructure bs_;
+  TaskGraph tg_;
+  i64 factor_nnz_ = 0;
+  i64 factor_flops_ = 0;
+  std::optional<BlockFactor> factor_;
+};
+
+// Convenience one-shot solve.
+std::vector<double> solve_spd(const SymSparse& a, const std::vector<double>& b,
+                              const SolverOptions& opt = {});
+
+}  // namespace spc

@@ -1,0 +1,31 @@
+// Triangular solves with the block factor: L y = b and L^T x = y, giving the
+// solve path of the library's public API (A x = b after factorization).
+#pragma once
+
+#include <vector>
+
+#include "factor/numeric_factor.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+// In-place forward solve: x := L^{-1} x.
+void block_lower_solve(const BlockFactor& f, std::vector<double>& x);
+
+// In-place backward solve: x := L^{-T} x.
+void block_lower_transpose_solve(const BlockFactor& f, std::vector<double>& x);
+
+// Full solve A x = b given A = L L^T.
+std::vector<double> block_solve(const BlockFactor& f, const std::vector<double>& b);
+
+// Multiple right-hand sides: columns of B solved independently in place.
+// B is n x nrhs, column-major.
+void block_solve_multi(const BlockFactor& f, DenseMatrix& b);
+
+// One step of iterative refinement: x += A^{-1} (b - A x) using the factor.
+// Returns the inf-norm of the correction (a convergence indicator). `a` must
+// be the SAME (permuted) matrix the factor was computed from.
+double refine_once(const SymSparse& a, const BlockFactor& f,
+                   const std::vector<double>& b, std::vector<double>& x);
+
+}  // namespace spc

@@ -1,0 +1,46 @@
+// Distributed-memory block fan-out factorization with EXPLICIT data
+// isolation — the protocol-level validation of the machine model.
+//
+// Every simulated processor owns a private store holding only (a) the blocks
+// the mapping assigns to it (initialized from its part of A) and (b) copies
+// of blocks other processors have sent it. Each operation executes at the
+// processor the protocol prescribes (destination owner for root columns,
+// domain processor for domain columns) and may touch ONLY that processor's
+// store — a missing block is a protocol bug and throws. Completed blocks are
+// "sent" by deep-copying into consumer stores; domain updates travel as one
+// aggregated buffer per (domain processor, destination block), exactly as in
+// the Paragon simulator.
+//
+// The result must equal the shared-memory factorization up to summation
+// order; the message/byte counts must match simulate_fanout's. Together
+// these close the loop between the simulator's protocol and the numeric
+// factorization.
+#pragma once
+
+#include "blocks/block_structure.hpp"
+#include "blocks/domains.hpp"
+#include "blocks/task_graph.hpp"
+#include "factor/numeric_factor.hpp"
+#include "graph/graph.hpp"
+#include "mapping/block_map.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+struct DistributedFactorResult {
+  BlockFactor factor;
+  i64 messages = 0;       // block sends + aggregate sends
+  i64 bytes = 0;          // same accounting as the simulator (block_bytes)
+  i64 aggregates = 0;     // aggregated update messages among `messages`
+  // Peak replicated entries held in any single processor's received store —
+  // the memory overhead the fan-out protocol pays for communication.
+  i64 peak_received_entries = 0;
+};
+
+DistributedFactorResult distributed_fanout_factorize(const SymSparse& a,
+                                                     const BlockStructure& bs,
+                                                     const TaskGraph& tg,
+                                                     const BlockMap& map,
+                                                     const DomainDecomposition& dom);
+
+}  // namespace spc

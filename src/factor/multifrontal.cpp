@@ -1,0 +1,195 @@
+#include "factor/multifrontal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+// Factors the leading `w` columns of the dense lower front F (full height)
+// and applies their Schur update to the trailing (n-w) x (n-w) lower block.
+void partial_cholesky(DenseMatrix& f, idx w) {
+  const idx n = f.rows();
+  for (idx j = 0; j < w; ++j) {
+    double d = f(j, j);
+    for (idx k = 0; k < j; ++k) d -= f(j, k) * f(j, k);
+    SPC_CHECK(d > 0.0, "multifrontal: front pivot failed (matrix not SPD)");
+    d = std::sqrt(d);
+    f(j, j) = d;
+    const double inv = 1.0 / d;
+    for (idx i = j + 1; i < n; ++i) {
+      double s = f(i, j);
+      for (idx k = 0; k < j; ++k) s -= f(i, k) * f(j, k);
+      f(i, j) = s * inv;
+    }
+  }
+  // Trailing Schur complement (lower triangle only), column-major friendly:
+  // F(i, j2) -= sum_k F(i, k) F(j2, k) for j2 >= w, i >= j2.
+  for (idx j2 = w; j2 < n; ++j2) {
+    double* fj = f.col(j2);
+    for (idx k = 0; k < w; ++k) {
+      const double fjk = f(j2, k);
+      if (fjk == 0.0) continue;
+      const double* fk = f.col(k);
+      for (idx i = j2; i < n; ++i) fj[i] -= fk[i] * fjk;
+    }
+  }
+}
+
+}  // namespace
+
+BlockFactor block_factorize_multifrontal(const SymSparse& a, const BlockStructure& bs,
+                                         const SymbolicFactor& sf) {
+  SPC_CHECK(bs.part.num_cols() == sf.sn.num_cols(),
+            "multifrontal: structure/symbolic mismatch");
+  const idx num_sn = sf.num_supernodes();
+  BlockFactor f;
+  f.structure = &bs;
+  f.diag.resize(static_cast<std::size_t>(bs.num_block_cols()));
+  f.offdiag.resize(static_cast<std::size_t>(bs.num_entries()));
+
+  // Children lists of the supernodal etree.
+  std::vector<idx> child_head(static_cast<std::size_t>(num_sn), kNone);
+  std::vector<idx> child_next(static_cast<std::size_t>(num_sn), kNone);
+  for (idx s = num_sn - 1; s >= 0; --s) {
+    const idx p = sf.sn_parent[static_cast<std::size_t>(s)];
+    if (p != kNone) {
+      child_next[static_cast<std::size_t>(s)] = child_head[static_cast<std::size_t>(p)];
+      child_head[static_cast<std::size_t>(p)] = s;
+    }
+  }
+
+  const auto& ptr = a.col_ptr();
+  const auto& rowv = a.row_idx();
+  const auto& val = a.values();
+  std::vector<DenseMatrix> update(static_cast<std::size_t>(num_sn));
+  std::vector<idx> rel;
+  DenseMatrix front;
+
+  // Blocks of a supernode are contiguous in block index.
+  std::vector<idx> first_block(static_cast<std::size_t>(num_sn) + 1, 0);
+  for (idx b = 0; b < bs.num_block_cols(); ++b) {
+    first_block[static_cast<std::size_t>(bs.part.sn_of_block[b]) + 1] = b + 1;
+  }
+  for (idx s = 0; s < num_sn; ++s) {
+    first_block[static_cast<std::size_t>(s) + 1] = std::max(
+        first_block[static_cast<std::size_t>(s) + 1], first_block[static_cast<std::size_t>(s)]);
+  }
+
+  for (idx s = 0; s < num_sn; ++s) {
+    const idx first = sf.sn.first_col[s];
+    const idx w = sf.sn.width(s);
+    const idx r = static_cast<idx>(sf.rows_below(s));
+    const idx nf = w + r;
+    front.resize(nf, nf);
+
+    // Front row ids: the supernode's own columns followed by rows(s).
+    auto front_pos = [&](idx global_row) -> idx {
+      if (global_row < first + w) return global_row - first;
+      const idx* lo = sf.rows_begin(s);
+      const idx* it = std::lower_bound(lo, sf.rows_end(s), global_row);
+      SPC_CHECK(it != sf.rows_end(s) && *it == global_row,
+                "multifrontal: A row outside front");
+      return w + static_cast<idx>(it - lo);
+    };
+
+    // Assemble A's columns of this supernode.
+    for (idx c = first; c < first + w; ++c) {
+      const idx cc = c - first;
+      for (i64 k = ptr[static_cast<std::size_t>(c)]; k < ptr[static_cast<std::size_t>(c) + 1]; ++k) {
+        front(front_pos(rowv[static_cast<std::size_t>(k)]), cc) +=
+            val[static_cast<std::size_t>(k)];
+      }
+    }
+
+    // Extend-add the children's update matrices, then free them.
+    for (idx c = child_head[static_cast<std::size_t>(s)]; c != kNone;
+         c = child_next[static_cast<std::size_t>(c)]) {
+      DenseMatrix& u = update[static_cast<std::size_t>(c)];
+      const idx nc = u.rows();
+      // Child rows = rows(c), all of which live in this front.
+      rel.clear();
+      rel.reserve(static_cast<std::size_t>(nc));
+      for (const idx* p = sf.rows_begin(c); p != sf.rows_end(c); ++p) {
+        rel.push_back(front_pos(*p));
+      }
+      for (idx j = 0; j < nc; ++j) {
+        const idx fj = rel[static_cast<std::size_t>(j)];
+        for (idx i = j; i < nc; ++i) {
+          front(rel[static_cast<std::size_t>(i)], fj) += u(i, j);
+        }
+      }
+      u.resize(0, 0);
+    }
+
+    partial_cholesky(front, w);
+
+    // Scatter the factored columns into the block storage: each chunk J of
+    // this supernode owns front columns [a0, b0) and the rows below them.
+    for (idx b = first_block[static_cast<std::size_t>(s)];
+         b < first_block[static_cast<std::size_t>(s) + 1]; ++b) {
+      const idx a0 = bs.part.first_col[b] - first;
+      const idx wb = bs.part.width(b);
+      DenseMatrix& diag = f.diag[static_cast<std::size_t>(b)];
+      diag.resize(wb, wb);
+      for (idx c = 0; c < wb; ++c) {
+        for (idx i = c; i < wb; ++i) diag(i, c) = front(a0 + i, a0 + c);
+      }
+      // Off-diagonal entries cover front rows [a0 + wb, nf) contiguously.
+      idx row_cursor = a0 + wb;
+      for (i64 e = bs.blkptr[b]; e < bs.blkptr[b + 1]; ++e) {
+        DenseMatrix& blk = f.offdiag[static_cast<std::size_t>(e)];
+        blk.resize(bs.blkcnt[e], wb);
+        for (idx c = 0; c < wb; ++c) {
+          for (idx i = 0; i < bs.blkcnt[e]; ++i) {
+            blk(i, c) = front(row_cursor + i, a0 + c);
+          }
+        }
+        row_cursor += bs.blkcnt[e];
+      }
+      SPC_CHECK(row_cursor == nf, "multifrontal: chunk rows do not tile the front");
+    }
+
+    // Keep the Schur complement for the parent.
+    if (r > 0) {
+      DenseMatrix& u = update[static_cast<std::size_t>(s)];
+      u.resize(r, r);
+      for (idx j = 0; j < r; ++j) {
+        for (idx i = j; i < r; ++i) u(i, j) = front(w + i, w + j);
+      }
+      SPC_CHECK(sf.sn_parent[static_cast<std::size_t>(s)] != kNone,
+                "multifrontal: non-root supernode with rows but no parent");
+    }
+  }
+  return f;
+}
+
+i64 multifrontal_peak_entries(const SymbolicFactor& sf) {
+  const idx num_sn = sf.num_supernodes();
+  // Simulate the stack: at supernode s, live storage = its front plus all
+  // pending children updates of not-yet-processed parents.
+  std::vector<i64> pending(static_cast<std::size_t>(num_sn), 0);
+  i64 live = 0;
+  i64 peak = 0;
+  for (idx s = 0; s < num_sn; ++s) {
+    const i64 w = sf.sn.width(s);
+    const i64 r = sf.rows_below(s);
+    const i64 nf = (w + r) * (w + r);
+    live += nf;
+    peak = std::max(peak, live);
+    // Children updates are consumed by this front.
+    live -= pending[static_cast<std::size_t>(s)];
+    // Front shrinks to its update matrix, held until the parent assembles.
+    live -= nf;
+    if (r > 0) {
+      live += r * r;
+      const idx p = sf.sn_parent[static_cast<std::size_t>(s)];
+      if (p != kNone) pending[static_cast<std::size_t>(p)] += r * r;
+    }
+  }
+  return peak;
+}
+
+}  // namespace spc

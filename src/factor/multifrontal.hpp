@@ -1,0 +1,30 @@
+// Supernodal multifrontal factorization — the third classic organization of
+// sparse Cholesky (alongside the left- and right-looking block methods),
+// which the paper's authors evaluated in their earlier comparison [13].
+//
+// Each supernode assembles a dense frontal matrix (its A columns plus the
+// children's update matrices, via extend-add on relative row indices),
+// partially factors its leading columns, and passes the trailing Schur
+// complement up the supernodal elimination tree. The factor columns are then
+// scattered into the same BlockFactor storage the other engines produce, so
+// all three methods are interchangeable and directly comparable
+// (bench/factor_methods).
+#pragma once
+
+#include "blocks/block_structure.hpp"
+#include "factor/numeric_factor.hpp"
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spc {
+
+// `bs` must have been built from `sf` (same supernode partition).
+BlockFactor block_factorize_multifrontal(const SymSparse& a, const BlockStructure& bs,
+                                         const SymbolicFactor& sf);
+
+// Peak number of double entries held simultaneously in frontal/update
+// storage during the multifrontal sweep (the method's working-set metric).
+i64 multifrontal_peak_entries(const SymbolicFactor& sf);
+
+}  // namespace spc

@@ -1,0 +1,218 @@
+#include "factor/numeric_factor.hpp"
+
+#include <algorithm>
+
+#include "linalg/kernels.hpp"
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+// Positions of each element of `sub` (ascending) within `super` (ascending,
+// superset of sub). Used to scatter update rows into destination rows.
+void relative_positions(const idx* sub_begin, const idx* sub_end,
+                        const idx* super_begin, const idx* super_end,
+                        std::vector<idx>& out) {
+  out.clear();
+  const idx* s = super_begin;
+  for (const idx* p = sub_begin; p != sub_end; ++p) {
+    while (s != super_end && *s < *p) ++s;
+    SPC_CHECK(s != super_end && *s == *p,
+              "relative_positions: row missing from destination (containment violated)");
+    out.push_back(static_cast<idx>(s - super_begin));
+  }
+}
+
+}  // namespace
+
+double BlockFactor::entry(idx r, idx c) const {
+  const BlockStructure& bs = *structure;
+  SPC_CHECK(r >= c, "BlockFactor::entry: upper triangle requested");
+  const idx j = bs.part.block_of_col[c];
+  const idx cj = c - bs.part.first_col[j];
+  if (bs.part.block_of_col[r] == j) {
+    return diag[static_cast<std::size_t>(j)](r - bs.part.first_col[j], cj);
+  }
+  const i64 e = bs.find_entry(j, bs.part.block_of_col[r]);
+  if (e == kNone) return 0.0;
+  const idx* rows = bs.entry_rows_begin(e);
+  const idx* end = bs.entry_rows_end(e);
+  const idx* it = std::lower_bound(rows, end, r);
+  if (it == end || *it != r) return 0.0;
+  return offdiag[static_cast<std::size_t>(e)](static_cast<idx>(it - rows), cj);
+}
+
+BlockFactor init_block_factor(const SymSparse& a, const BlockStructure& bs) {
+  SPC_CHECK(a.num_rows() == bs.part.num_cols(),
+            "init_block_factor: matrix/structure size mismatch");
+  const idx nb = bs.num_block_cols();
+  BlockFactor f;
+  f.structure = &bs;
+  f.diag.resize(static_cast<std::size_t>(nb));
+  f.offdiag.resize(static_cast<std::size_t>(bs.num_entries()));
+  for (idx j = 0; j < nb; ++j) {
+    f.diag[static_cast<std::size_t>(j)].resize(bs.part.width(j), bs.part.width(j));
+    for (i64 e = bs.blkptr[j]; e < bs.blkptr[j + 1]; ++e) {
+      f.offdiag[static_cast<std::size_t>(e)].resize(bs.blkcnt[e], bs.part.width(j));
+    }
+  }
+
+  // Scatter A into the blocks.
+  const auto& ptr = a.col_ptr();
+  const auto& rowv = a.row_idx();
+  const auto& val = a.values();
+  for (idx c = 0; c < a.num_rows(); ++c) {
+    const idx j = bs.part.block_of_col[c];
+    const idx cj = c - bs.part.first_col[j];
+    for (i64 k = ptr[static_cast<std::size_t>(c)]; k < ptr[static_cast<std::size_t>(c) + 1]; ++k) {
+      const idx r = rowv[static_cast<std::size_t>(k)];
+      const double v = val[static_cast<std::size_t>(k)];
+      if (bs.part.block_of_col[r] == j) {
+        f.diag[static_cast<std::size_t>(j)](r - bs.part.first_col[j], cj) = v;
+      } else {
+        const i64 e = bs.find_entry(j, bs.part.block_of_col[r]);
+        SPC_CHECK(e != kNone, "init_block_factor: A entry outside factor structure");
+        const idx* rows = bs.entry_rows_begin(e);
+        const idx* end = bs.entry_rows_end(e);
+        const idx* it = std::lower_bound(rows, end, r);
+        SPC_CHECK(it != end && *it == r, "init_block_factor: A row outside block rows");
+        f.offdiag[static_cast<std::size_t>(e)](static_cast<idx>(it - rows), cj) = v;
+      }
+    }
+  }
+  return f;
+}
+
+void apply_block_mod_to(const BlockStructure& bs, const TaskGraph& tg,
+                        const BlockMod& m, const DenseMatrix& src_i,
+                        const DenseMatrix& src_j, DenseMatrix& dest,
+                        DenseMatrix& update, std::vector<idx>& rel_rows) {
+  const idx nb = bs.num_block_cols();
+  const i64 ei = m.src_a - nb;
+  const i64 ej = m.src_b - nb;
+  update.resize(src_i.rows(), src_j.rows());
+  gemm_nt_minus(src_i, src_j, update);  // update = -L_IK L_JK^T
+  const idx* src_rows_i = bs.entry_rows_begin(ei);
+  const idx* src_rows_j = bs.entry_rows_begin(ej);
+  const idx j = tg.col_of_block[static_cast<std::size_t>(m.dest)];
+  const idx first_j = bs.part.first_col[j];
+  if (is_diag_block(bs, m.dest)) {
+    // Destination is the diagonal block L_JJ (lower triangle only).
+    for (idx cc = 0; cc < update.cols(); ++cc) {
+      const idx dest_c = src_rows_j[cc] - first_j;
+      for (idx rr = 0; rr < update.rows(); ++rr) {
+        const idx dest_r = src_rows_i[rr] - first_j;
+        if (dest_r >= dest_c) dest(dest_r, dest_c) += update(rr, cc);
+      }
+    }
+  } else {
+    const i64 ed = m.dest - nb;
+    relative_positions(src_rows_i, bs.entry_rows_end(ei), bs.entry_rows_begin(ed),
+                       bs.entry_rows_end(ed), rel_rows);
+    for (idx cc = 0; cc < update.cols(); ++cc) {
+      const idx dest_c = src_rows_j[cc] - first_j;
+      double* dcol = dest.col(dest_c);
+      const double* ucol = update.col(cc);
+      for (idx rr = 0; rr < update.rows(); ++rr) {
+        dcol[rel_rows[static_cast<std::size_t>(rr)]] += ucol[rr];
+      }
+    }
+  }
+}
+
+void apply_block_mod(const BlockStructure& bs, const TaskGraph& tg,
+                     const BlockMod& m, BlockFactor& f, DenseMatrix& update,
+                     std::vector<idx>& rel_rows) {
+  const idx nb = bs.num_block_cols();
+  const DenseMatrix& li = f.offdiag[static_cast<std::size_t>(m.src_a - nb)];
+  const DenseMatrix& lj = f.offdiag[static_cast<std::size_t>(m.src_b - nb)];
+  DenseMatrix& dest = is_diag_block(bs, m.dest)
+                          ? f.diag[static_cast<std::size_t>(m.dest)]
+                          : f.offdiag[static_cast<std::size_t>(m.dest - nb)];
+  apply_block_mod_to(bs, tg, m, li, lj, dest, update, rel_rows);
+}
+
+void complete_block(const BlockStructure& bs, block_id b, BlockFactor& f) {
+  if (is_diag_block(bs, b)) {
+    potrf_lower(f.diag[static_cast<std::size_t>(b)]);  // BFAC
+  } else {
+    const i64 e = b - bs.num_block_cols();
+    // Recover the owning column of entry e by binary search over blkptr.
+    idx lo = 0, hi = bs.num_block_cols();
+    while (lo + 1 < hi) {
+      const idx mid = (lo + hi) / 2;
+      if (bs.blkptr[mid] <= e) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    trsm_right_ltrans(f.diag[static_cast<std::size_t>(lo)],
+                      f.offdiag[static_cast<std::size_t>(e)]);  // BDIV
+  }
+}
+
+BlockFactor block_factorize_left(const SymSparse& a, const BlockStructure& bs,
+                                 const TaskGraph& tg) {
+  BlockFactor f = init_block_factor(a, bs);
+  const idx nb = bs.num_block_cols();
+
+  // Bucket mods by destination block column.
+  std::vector<i64> dptr(static_cast<std::size_t>(nb) + 1, 0);
+  for (const BlockMod& m : tg.mods) {
+    ++dptr[static_cast<std::size_t>(tg.col_of_block[static_cast<std::size_t>(m.dest)]) + 1];
+  }
+  for (idx j = 0; j < nb; ++j) dptr[static_cast<std::size_t>(j) + 1] += dptr[static_cast<std::size_t>(j)];
+  std::vector<i64> by_dest(tg.mods.size());
+  {
+    std::vector<i64> cursor(dptr.begin(), dptr.end() - 1);
+    for (std::size_t m = 0; m < tg.mods.size(); ++m) {
+      const idx j = tg.col_of_block[static_cast<std::size_t>(tg.mods[m].dest)];
+      by_dest[static_cast<std::size_t>(cursor[static_cast<std::size_t>(j)]++)] =
+          static_cast<i64>(m);
+    }
+  }
+
+  DenseMatrix update;
+  std::vector<idx> rel_rows;
+  for (idx j = 0; j < nb; ++j) {
+    // Pull all updates into column j (their sources live in columns < j and
+    // are already complete), then factor the column.
+    for (i64 k = dptr[static_cast<std::size_t>(j)]; k < dptr[static_cast<std::size_t>(j) + 1]; ++k) {
+      apply_block_mod(bs, tg, tg.mods[static_cast<std::size_t>(by_dest[static_cast<std::size_t>(k)])],
+                      f, update, rel_rows);
+    }
+    potrf_lower(f.diag[static_cast<std::size_t>(j)]);
+    for (i64 e = bs.blkptr[j]; e < bs.blkptr[j + 1]; ++e) {
+      trsm_right_ltrans(f.diag[static_cast<std::size_t>(j)],
+                        f.offdiag[static_cast<std::size_t>(e)]);
+    }
+  }
+  return f;
+}
+
+BlockFactor block_factorize(const SymSparse& a, const BlockStructure& bs) {
+  const TaskGraph tg = build_task_graph(bs);
+  BlockFactor f = init_block_factor(a, bs);
+  const idx nb = bs.num_block_cols();
+
+  // Right-looking sweep: factor column K, then push its updates.
+  DenseMatrix update;
+  std::vector<idx> rel_rows;
+  std::size_t cursor = 0;
+  for (idx k = 0; k < nb; ++k) {
+    potrf_lower(f.diag[static_cast<std::size_t>(k)]);  // BFAC(K,K)
+    for (i64 e = bs.blkptr[k]; e < bs.blkptr[k + 1]; ++e) {
+      trsm_right_ltrans(f.diag[static_cast<std::size_t>(k)],
+                        f.offdiag[static_cast<std::size_t>(e)]);  // BDIV(I,K)
+    }
+    while (cursor < tg.mods.size() && tg.mods[cursor].col_k == k) {
+      apply_block_mod(bs, tg, tg.mods[cursor], f, update, rel_rows);
+      ++cursor;
+    }
+  }
+  SPC_CHECK(cursor == tg.mods.size(), "block_factorize: mods not consumed");
+  return f;
+}
+
+}  // namespace spc

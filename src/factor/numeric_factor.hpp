@@ -1,0 +1,70 @@
+// Numeric block Cholesky factorization over the BlockStructure, using the
+// BFAC/BDIV/BMOD primitives of §2.1. The execution order here is sequential
+// right-looking (identical numeric result to any legal data-driven order);
+// parallel *timing* is the job of the simulator, which shares this task
+// structure.
+//
+// Storage: the diagonal block of column J is a width x width lower triangle
+// (stored dense); each off-diagonal block entry holds only its dense rows
+// (row-compressed), matching §2.2's supernodal block regularity.
+#pragma once
+
+#include <vector>
+
+#include "blocks/block_structure.hpp"
+#include "blocks/task_graph.hpp"
+#include "graph/graph.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+struct BlockFactor {
+  const BlockStructure* structure = nullptr;  // non-owning
+  std::vector<DenseMatrix> diag;     // per block column: w x w
+  std::vector<DenseMatrix> offdiag;  // per entry: cnt x w
+
+  // Entry (global row r, global col c) of the factor, 0 if structurally zero.
+  // For validation / small-matrix use only (does a per-call search).
+  double entry(idx r, idx c) const;
+};
+
+// Factors `a` (which must already be permuted to the ordering the structure
+// was built from). Throws spc::Error if a pivot fails (not SPD).
+// Right-looking: after completing block column K, all its updates are pushed
+// into later columns (the order the block fan-out method uses).
+BlockFactor block_factorize(const SymSparse& a, const BlockStructure& bs);
+
+// Left-looking variant: before factoring block column J, all updates into it
+// (from earlier columns) are pulled in. Numerically identical task set,
+// different schedule — the classic alternative the paper's authors compared
+// in [13]. Exposed for the factor_methods bench and as an API option.
+BlockFactor block_factorize_left(const SymSparse& a, const BlockStructure& bs,
+                                 const TaskGraph& tg);
+
+// --- Building blocks shared with the parallel executor ---------------------
+
+// Allocates all blocks and scatters A into them.
+BlockFactor init_block_factor(const SymSparse& a, const BlockStructure& bs);
+
+// Applies one BMOD(I,J,K) from the task graph: computes the outer-product
+// update of the two source blocks and scatters it into the destination
+// (diagonal or off-diagonal). `update`/`rel_rows` are caller scratch.
+void apply_block_mod(const BlockStructure& bs, const TaskGraph& tg,
+                     const BlockMod& m, BlockFactor& f, DenseMatrix& update,
+                     std::vector<idx>& rel_rows);
+
+// Same, but with explicit source/destination storage — used by the
+// distributed executor, whose data lives in per-processor stores rather
+// than one shared BlockFactor. `dest` must have the destination block's
+// shape (width x width for a diagonal destination).
+void apply_block_mod_to(const BlockStructure& bs, const TaskGraph& tg,
+                        const BlockMod& m, const DenseMatrix& src_i,
+                        const DenseMatrix& src_j, DenseMatrix& dest,
+                        DenseMatrix& update, std::vector<idx>& rel_rows);
+
+// Runs a block's completion operation: BFAC for diagonal blocks, BDIV for
+// off-diagonal ones (the diagonal block of its column must be factored).
+void complete_block(const BlockStructure& bs, block_id b, BlockFactor& f);
+
+}  // namespace spc

@@ -1,0 +1,211 @@
+#include "factor/parallel_factor.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+struct Task {
+  enum Kind { kComplete, kMod } kind;
+  i64 id;
+};
+
+class ParallelExecutor {
+ public:
+  ParallelExecutor(const SymSparse& a, const BlockStructure& bs, const TaskGraph& tg,
+                   int num_threads)
+      : bs_(bs), tg_(tg), factor_(init_block_factor(a, bs)), threads_(num_threads) {
+    const i64 nb = bs.num_block_cols();
+    const i64 num_blocks = tg.num_blocks();
+    deps_ = std::make_unique<std::atomic<i64>[]>(static_cast<std::size_t>(num_blocks));
+    for (block_id b = 0; b < num_blocks; ++b) {
+      deps_[static_cast<std::size_t>(b)].store(
+          tg.mods_into[static_cast<std::size_t>(b)] + (b >= nb ? 1 : 0),
+          std::memory_order_relaxed);
+    }
+    const i64 num_mods = static_cast<i64>(tg.mods.size());
+    pending_ = std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(num_mods));
+    for (i64 m = 0; m < num_mods; ++m) {
+      pending_[static_cast<std::size_t>(m)].store(
+          tg.mods[static_cast<std::size_t>(m)].src_a ==
+                  tg.mods[static_cast<std::size_t>(m)].src_b
+              ? 1
+              : 2,
+          std::memory_order_relaxed);
+    }
+    block_mutex_ = std::make_unique<std::mutex[]>(static_cast<std::size_t>(num_blocks));
+
+    // CSR of mods by source block.
+    src_ptr_.assign(static_cast<std::size_t>(num_blocks) + 1, 0);
+    for (const BlockMod& mod : tg.mods) {
+      ++src_ptr_[static_cast<std::size_t>(mod.src_a) + 1];
+      if (mod.src_b != mod.src_a) ++src_ptr_[static_cast<std::size_t>(mod.src_b) + 1];
+    }
+    for (block_id b = 0; b < num_blocks; ++b) {
+      src_ptr_[static_cast<std::size_t>(b) + 1] += src_ptr_[static_cast<std::size_t>(b)];
+    }
+    src_mods_.resize(static_cast<std::size_t>(src_ptr_[static_cast<std::size_t>(num_blocks)]));
+    std::vector<i64> cursor(src_ptr_.begin(), src_ptr_.end() - 1);
+    for (i64 m = 0; m < num_mods; ++m) {
+      const BlockMod& mod = tg.mods[static_cast<std::size_t>(m)];
+      src_mods_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(mod.src_a)]++)] = m;
+      if (mod.src_b != mod.src_a) {
+        src_mods_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(mod.src_b)]++)] = m;
+      }
+    }
+  }
+
+  BlockFactor run() {
+    // Seed with blocks that have no pending work.
+    for (block_id b = 0; b < tg_.num_blocks(); ++b) {
+      if (deps_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed) == 0) {
+        push(Task{Task::kComplete, b});
+      }
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads_));
+    for (int t = 0; t < threads_; ++t) {
+      workers.emplace_back([this] { worker(); });
+    }
+    for (std::thread& w : workers) w.join();
+    if (error_) std::rethrow_exception(error_);
+    SPC_CHECK(completed_.load() == tg_.num_blocks(),
+              "block_factorize_parallel: not all blocks completed");
+    return std::move(factor_);
+  }
+
+ private:
+  void push(Task t) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      queue_.push_back(t);
+    }
+    queue_cv_.notify_one();
+  }
+
+  bool pop(Task& out) {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_cv_.wait(lock, [this] { return !queue_.empty() || finished_ || error_; });
+    if ((finished_ && queue_.empty()) || error_) return false;
+    out = queue_.front();
+    queue_.pop_front();
+    return true;
+  }
+
+  void finish_all() {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      finished_ = true;
+    }
+    queue_cv_.notify_all();
+  }
+
+  void fail(std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (!error_) error_ = e;
+    }
+    queue_cv_.notify_all();
+  }
+
+  void worker() {
+    DenseMatrix update;
+    std::vector<idx> rel_rows;
+    Task task{};
+    while (pop(task)) {
+      try {
+        if (task.kind == Task::kComplete) {
+          run_completion(task.id);
+        } else {
+          run_mod(task.id, update, rel_rows);
+        }
+      } catch (...) {
+        fail(std::current_exception());
+        return;
+      }
+    }
+  }
+
+  void run_completion(block_id b) {
+    complete_block(bs_, b, factor_);
+    // Sources of later BMODs: release our writes via the pending decrements.
+    for (i64 k = src_ptr_[static_cast<std::size_t>(b)];
+         k < src_ptr_[static_cast<std::size_t>(b) + 1]; ++k) {
+      const i64 m = src_mods_[static_cast<std::size_t>(k)];
+      if (pending_[static_cast<std::size_t>(m)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        push(Task{Task::kMod, m});
+      }
+    }
+    // A factored diagonal block releases its column's BDIVs.
+    if (is_diag_block(bs_, b)) {
+      const idx col = static_cast<idx>(b);
+      for (i64 e = bs_.blkptr[col]; e < bs_.blkptr[col + 1]; ++e) {
+        dec_deps(bs_.num_block_cols() + e);
+      }
+    }
+    if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == tg_.num_blocks()) {
+      finish_all();
+    }
+  }
+
+  void run_mod(i64 m, DenseMatrix& update, std::vector<idx>& rel_rows) {
+    const BlockMod& mod = tg_.mods[static_cast<std::size_t>(m)];
+    {
+      std::lock_guard<std::mutex> lock(
+          block_mutex_[static_cast<std::size_t>(mod.dest)]);
+      apply_block_mod(bs_, tg_, mod, factor_, update, rel_rows);
+    }
+    dec_deps(mod.dest);
+  }
+
+  void dec_deps(block_id b) {
+    if (deps_[static_cast<std::size_t>(b)].fetch_sub(1, std::memory_order_acq_rel) ==
+        1) {
+      push(Task{Task::kComplete, b});
+    }
+  }
+
+  const BlockStructure& bs_;
+  const TaskGraph& tg_;
+  BlockFactor factor_;
+  int threads_;
+
+  std::unique_ptr<std::atomic<i64>[]> deps_;
+  std::unique_ptr<std::atomic<int>[]> pending_;
+  std::unique_ptr<std::mutex[]> block_mutex_;
+  std::vector<i64> src_ptr_;
+  std::vector<i64> src_mods_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool finished_ = false;
+  std::exception_ptr error_;
+  std::atomic<i64> completed_{0};
+};
+
+}  // namespace
+
+BlockFactor block_factorize_parallel(const SymSparse& a, const BlockStructure& bs,
+                                     const TaskGraph& tg,
+                                     const ParallelFactorOptions& opt) {
+  int threads = opt.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  ParallelExecutor exec(a, bs, tg, threads);
+  return exec.run();
+}
+
+}  // namespace spc

@@ -1,0 +1,31 @@
+// Shared-memory parallel block fan-out factorization.
+//
+// This executes the same BFAC/BDIV/BMOD task graph as the sequential
+// factorization and the Paragon simulator, but with real std::thread workers
+// and the data-driven readiness protocol of §2.3: a block operation becomes
+// ready when its sources are complete; updates into one destination block
+// serialize on that block's mutex; a block's completion op (BFAC or BDIV)
+// fires when its last modification lands (plus, for off-diagonal blocks, its
+// factored diagonal block).
+//
+// The numeric result is the exact same factor as block_factorize up to
+// floating-point summation order (updates may apply in any order).
+#pragma once
+
+#include "blocks/block_structure.hpp"
+#include "blocks/task_graph.hpp"
+#include "factor/numeric_factor.hpp"
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+struct ParallelFactorOptions {
+  int num_threads = 0;  // 0 = std::thread::hardware_concurrency()
+};
+
+BlockFactor block_factorize_parallel(const SymSparse& a, const BlockStructure& bs,
+                                     const TaskGraph& tg,
+                                     const ParallelFactorOptions& opt = {});
+
+}  // namespace spc

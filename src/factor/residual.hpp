@@ -1,0 +1,24 @@
+// Factorization accuracy checks used by tests and examples.
+#pragma once
+
+#include <vector>
+
+#include "factor/numeric_factor.hpp"
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+// ||A x - L (L^T x)||_inf / ||A x||_inf for a fixed pseudo-random x.
+// Cheap (O(nnz)) and works at any scale.
+double factor_residual_probe(const SymSparse& a, const BlockFactor& f,
+                             std::uint64_t seed = 42);
+
+// Exact ||A - L L^T||_F / ||A||_F via dense expansion; only for small n.
+double factor_residual_dense(const SymSparse& a, const BlockFactor& f);
+
+// ||A x - b||_inf / (||A||_inf-ish scale) for a solve result.
+double solve_residual(const SymSparse& a, const std::vector<double>& x,
+                      const std::vector<double>& b);
+
+}  // namespace spc

@@ -1,0 +1,145 @@
+#include "factor/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "factor/block_solve.hpp"
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53504346;  // "SPCF"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  SPC_CHECK(static_cast<bool>(in), "load_factorization: truncated stream");
+  return v;
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  write_pod<i64>(out, static_cast<i64>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& in) {
+  const i64 n = read_pod<i64>(in);
+  SPC_CHECK(n >= 0 && n < (1LL << 40), "load_factorization: corrupt vector length");
+  std::vector<T> v(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  SPC_CHECK(static_cast<bool>(in), "load_factorization: truncated stream");
+  return v;
+}
+
+void write_matrix(std::ostream& out, const DenseMatrix& m) {
+  write_pod<idx>(out, m.rows());
+  write_pod<idx>(out, m.cols());
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(static_cast<std::size_t>(m.rows()) *
+                                         m.cols() * sizeof(double)));
+}
+
+DenseMatrix read_matrix(std::istream& in) {
+  const idx rows = read_pod<idx>(in);
+  const idx cols = read_pod<idx>(in);
+  SPC_CHECK(rows >= 0 && cols >= 0, "load_factorization: corrupt matrix header");
+  DenseMatrix m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(static_cast<std::size_t>(rows) * cols *
+                                       sizeof(double)));
+  SPC_CHECK(static_cast<bool>(in), "load_factorization: truncated matrix data");
+  return m;
+}
+
+}  // namespace
+
+std::vector<double> SavedFactorization::solve(const std::vector<double>& b) const {
+  SPC_CHECK(static_cast<idx>(b.size()) == structure.part.num_cols(),
+            "SavedFactorization::solve: size mismatch");
+  std::vector<double> pb(b.size());
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    pb[k] = b[static_cast<std::size_t>(perm[k])];
+  }
+  const std::vector<double> px = block_solve(factor, pb);
+  std::vector<double> x(b.size());
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    x[static_cast<std::size_t>(perm[k])] = px[k];
+  }
+  return x;
+}
+
+void save_factorization(std::ostream& out, const std::vector<idx>& perm,
+                        const BlockStructure& bs, const BlockFactor& f) {
+  SPC_CHECK(f.structure == &bs, "save_factorization: factor/structure mismatch");
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_vec(out, perm);
+  write_vec(out, bs.part.first_col);
+  write_vec(out, bs.part.block_of_col);
+  write_vec(out, bs.part.sn_of_block);
+  write_vec(out, bs.rowptr);
+  write_vec(out, bs.rowidx);
+  write_vec(out, bs.blkptr);
+  write_vec(out, bs.blkrow);
+  write_vec(out, bs.blkoff);
+  write_vec(out, bs.blkcnt);
+  for (const DenseMatrix& m : f.diag) write_matrix(out, m);
+  for (const DenseMatrix& m : f.offdiag) write_matrix(out, m);
+  SPC_CHECK(static_cast<bool>(out), "save_factorization: write failed");
+}
+
+SavedFactorization load_factorization(std::istream& in) {
+  SPC_CHECK(read_pod<std::uint32_t>(in) == kMagic,
+            "load_factorization: not a factorization file");
+  SPC_CHECK(read_pod<std::uint32_t>(in) == kVersion,
+            "load_factorization: unsupported version");
+  SavedFactorization out;
+  out.perm = read_vec<idx>(in);
+  out.structure.part.first_col = read_vec<idx>(in);
+  out.structure.part.block_of_col = read_vec<idx>(in);
+  out.structure.part.sn_of_block = read_vec<idx>(in);
+  out.structure.rowptr = read_vec<i64>(in);
+  out.structure.rowidx = read_vec<idx>(in);
+  out.structure.blkptr = read_vec<i64>(in);
+  out.structure.blkrow = read_vec<idx>(in);
+  out.structure.blkoff = read_vec<i64>(in);
+  out.structure.blkcnt = read_vec<idx>(in);
+  out.structure.validate();
+  out.factor.structure = &out.structure;
+  const idx nb = out.structure.num_block_cols();
+  out.factor.diag.reserve(static_cast<std::size_t>(nb));
+  for (idx j = 0; j < nb; ++j) out.factor.diag.push_back(read_matrix(in));
+  const i64 entries = out.structure.num_entries();
+  out.factor.offdiag.reserve(static_cast<std::size_t>(entries));
+  for (i64 e = 0; e < entries; ++e) out.factor.offdiag.push_back(read_matrix(in));
+  return out;
+}
+
+void save_factorization_file(const std::string& path, const std::vector<idx>& perm,
+                             const BlockStructure& bs, const BlockFactor& f) {
+  std::ofstream out(path, std::ios::binary);
+  SPC_CHECK(out.good(), "save_factorization: cannot open " + path);
+  save_factorization(out, perm, bs, f);
+}
+
+SavedFactorization load_factorization_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SPC_CHECK(in.good(), "load_factorization: cannot open " + path);
+  return load_factorization(in);
+}
+
+}  // namespace spc

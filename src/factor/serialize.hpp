@@ -1,0 +1,60 @@
+// Binary serialization of a completed factorization: the permutation, the
+// block structure, and the factor values — everything needed to solve
+// A x = b later without re-running analysis or numeric factorization
+// (multiple-load-case workflows amortize one factorization across runs).
+//
+// Format: little-endian POD streams with a magic/version header. Not
+// intended as an interchange format; files are only guaranteed to load with
+// the same library version.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "blocks/block_structure.hpp"
+#include "factor/numeric_factor.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+// A self-contained, solvable factorization. `factor.structure` points at the
+// bundled `structure` member.
+struct SavedFactorization {
+  std::vector<idx> perm;  // new->old ordering of the original matrix
+  BlockStructure structure;
+  BlockFactor factor;
+
+  // factor.structure points at this object's `structure` member; moves must
+  // re-bind it (copies are disabled — the factor can be hundreds of MB).
+  SavedFactorization() = default;
+  SavedFactorization(const SavedFactorization&) = delete;
+  SavedFactorization& operator=(const SavedFactorization&) = delete;
+  SavedFactorization(SavedFactorization&& o) noexcept
+      : perm(std::move(o.perm)),
+        structure(std::move(o.structure)),
+        factor(std::move(o.factor)) {
+    factor.structure = &structure;
+  }
+  SavedFactorization& operator=(SavedFactorization&& o) noexcept {
+    perm = std::move(o.perm);
+    structure = std::move(o.structure);
+    factor = std::move(o.factor);
+    factor.structure = &structure;
+    return *this;
+  }
+
+  // Solves A x = b in the ORIGINAL ordering (same semantics as
+  // SparseCholesky::solve).
+  std::vector<double> solve(const std::vector<double>& b) const;
+};
+
+void save_factorization(std::ostream& out, const std::vector<idx>& perm,
+                        const BlockStructure& bs, const BlockFactor& f);
+SavedFactorization load_factorization(std::istream& in);
+
+void save_factorization_file(const std::string& path, const std::vector<idx>& perm,
+                             const BlockStructure& bs, const BlockFactor& f);
+SavedFactorization load_factorization_file(const std::string& path);
+
+}  // namespace spc

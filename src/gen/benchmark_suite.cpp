@@ -1,0 +1,144 @@
+#include "gen/benchmark_suite.hpp"
+
+#include <cstdlib>
+
+#include "gen/dense_gen.hpp"
+#include "gen/grid_gen.hpp"
+#include "gen/lp_gen.hpp"
+#include "gen/mesh_gen.hpp"
+#include "ordering/geometric_nd.hpp"
+#include "ordering/mmd.hpp"
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+BenchMatrix dense(const std::string& name, idx n) {
+  BenchMatrix m;
+  m.name = name;
+  m.matrix = make_dense_spd(n);
+  m.ordering = OrderingKind::kNatural;
+  return m;
+}
+
+BenchMatrix grid2d(const std::string& name, idx k) {
+  BenchMatrix m;
+  m.name = name;
+  m.matrix = make_grid2d(k, k);
+  m.ordering = OrderingKind::kGeometricNd2d;
+  m.grid_x = m.grid_y = k;
+  return m;
+}
+
+BenchMatrix cube(const std::string& name, idx k) {
+  BenchMatrix m;
+  m.name = name;
+  m.matrix = make_grid3d(k, k, k);
+  m.ordering = OrderingKind::kGeometricNd3d;
+  m.grid_x = m.grid_y = m.grid_z = k;
+  return m;
+}
+
+BenchMatrix fem(const std::string& name, idx nodes, idx dof, int dim,
+                double avg_degree, std::uint64_t seed) {
+  BenchMatrix m;
+  m.name = name;
+  MeshGenOptions opt;
+  opt.nodes = nodes;
+  opt.dof = dof;
+  opt.dim = dim;
+  opt.avg_node_degree = avg_degree;
+  opt.seed = seed;
+  m.matrix = make_fem_mesh(opt);
+  m.ordering = OrderingKind::kMmd;
+  return m;
+}
+
+BenchMatrix lp(const std::string& name, idx n, double overlap, idx hubs,
+               double hub_span) {
+  BenchMatrix m;
+  m.name = name;
+  LpGenOptions opt;
+  opt.n = n;
+  opt.mean_overlap = overlap;
+  opt.hubs = hubs;
+  opt.hub_span = hub_span;
+  m.matrix = make_lp_normal_equations(opt);
+  m.ordering = OrderingKind::kMmd;
+  return m;
+}
+
+}  // namespace
+
+std::vector<idx> order_bench_matrix(const BenchMatrix& m) {
+  switch (m.ordering) {
+    case OrderingKind::kNatural: {
+      std::vector<idx> p(static_cast<std::size_t>(m.matrix.num_rows()));
+      for (idx i = 0; i < m.matrix.num_rows(); ++i) p[static_cast<std::size_t>(i)] = i;
+      return p;
+    }
+    case OrderingKind::kGeometricNd2d:
+      return geometric_nd_2d(m.grid_x, m.grid_y);
+    case OrderingKind::kGeometricNd3d:
+      return geometric_nd_3d(m.grid_x, m.grid_y, m.grid_z);
+    case OrderingKind::kMmd:
+      return mmd_order(m.matrix.pattern());
+  }
+  SPC_CHECK(false, "order_bench_matrix: unknown ordering kind");
+}
+
+SuiteScale suite_scale_from_env() {
+  const char* full = std::getenv("SPC_FULL");
+  if (full != nullptr && full[0] == '1') return SuiteScale::kFull;
+  const char* small = std::getenv("SPC_SMALL");
+  if (small != nullptr && small[0] == '1') return SuiteScale::kSmall;
+  return SuiteScale::kMedium;
+}
+
+BenchMatrix make_bench_matrix(const std::string& name, SuiteScale scale) {
+  const int s = scale == SuiteScale::kFull ? 2 : (scale == SuiteScale::kMedium ? 1 : 0);
+  // Triples are {kSmall, kMedium, kFull} parameterizations; kFull matches the
+  // paper's dimensions (Table 1/6), kMedium is ~8-30x cheaper in factor ops.
+  auto pick = [s](idx small, idx medium, idx full) {
+    return s == 2 ? full : (s == 1 ? medium : small);
+  };
+  if (name == "DENSE1024") return dense(name, pick(96, 512, 1024));
+  if (name == "DENSE2048") return dense(name, pick(128, 768, 2048));
+  if (name == "DENSE4096") return dense(name, pick(160, 1024, 4096));
+  if (name == "GRID150") return grid2d(name, pick(16, 75, 150));
+  if (name == "GRID300") return grid2d(name, pick(24, 150, 300));
+  if (name == "CUBE30") return cube(name, pick(6, 15, 30));
+  if (name == "CUBE35") return cube(name, pick(7, 18, 35));
+  if (name == "CUBE40") return cube(name, pick(8, 20, 40));
+  // Harwell-Boeing stand-ins: node counts chosen so dof*nodes matches the
+  // paper's equation counts at full scale.
+  if (name == "BCSSTK15") return fem(name, pick(200, 650, 1316), 3, 3, 8.5, 15);
+  if (name == "BCSSTK29") return fem(name, pick(300, 1500, 4664), 3, 2, 16.0, 29);
+  if (name == "BCSSTK31") return fem(name, pick(400, 3500, 11863), 3, 2, 17.0, 31);
+  if (name == "BCSSTK33") return fem(name, pick(150, 1000, 2913), 3, 3, 11.0, 33);
+  if (name == "COPTER2") return fem(name, pick(500, 5500, 18492), 3, 2, 26.0, 2);
+  if (name == "10FLEET") {
+    return lp(name, pick(300, 3000, 11222), 60.0, pick(30, 280, 1050), 0.10);
+  }
+  SPC_CHECK(false, "make_bench_matrix: unknown matrix name " + name);
+}
+
+std::vector<BenchMatrix> standard_suite(SuiteScale scale) {
+  std::vector<BenchMatrix> out;
+  for (const char* name : {"DENSE1024", "DENSE2048", "GRID150", "GRID300", "CUBE30",
+                           "CUBE35", "BCSSTK15", "BCSSTK29", "BCSSTK31", "BCSSTK33"}) {
+    out.push_back(make_bench_matrix(name, scale));
+  }
+  return out;
+}
+
+std::vector<BenchMatrix> large_suite(SuiteScale scale) {
+  std::vector<BenchMatrix> out;
+  for (const char* name :
+       {"CUBE35", "CUBE40", "DENSE4096", "BCSSTK31", "COPTER2", "10FLEET"}) {
+    out.push_back(make_bench_matrix(name, scale));
+  }
+  return out;
+}
+
+}  // namespace spc

@@ -1,0 +1,57 @@
+// The paper's benchmark matrices (Tables 1 and 6), regenerated.
+//
+// DENSE*, GRID*, CUBE* are constructed exactly as in the paper. The
+// Harwell-Boeing and application matrices (BCSSTK15/29/31/33, COPTER2,
+// 10FLEET) are replaced by synthetic stand-ins (see DESIGN.md §2) tuned to
+// similar equation counts and factor densities.
+//
+// Each matrix carries the ordering the paper applies to it: nested
+// dissection for the regular grid problems, multiple minimum degree for the
+// irregular ones, natural order for dense.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+enum class OrderingKind {
+  kNatural,       // dense problems: any order is equivalent
+  kGeometricNd2d, // geometric nested dissection (grid dims recorded)
+  kGeometricNd3d,
+  kMmd,           // multiple minimum degree
+};
+
+struct BenchMatrix {
+  std::string name;
+  SymSparse matrix;
+  OrderingKind ordering = OrderingKind::kMmd;
+  idx grid_x = 0, grid_y = 0, grid_z = 0;  // for geometric ND
+};
+
+// Computes the ordering prescribed for this benchmark matrix.
+std::vector<idx> order_bench_matrix(const BenchMatrix& m);
+
+// Scale of the regenerated suite. kFull reproduces the paper's dimensions;
+// kMedium shrinks each problem (~8-30x fewer factor ops) so that the whole
+// bench suite runs in minutes on one core; kSmall is for unit tests.
+enum class SuiteScale { kSmall, kMedium, kFull };
+
+// Reads SPC_FULL=1 / SPC_SMALL=1 from the environment (default kMedium).
+SuiteScale suite_scale_from_env();
+
+// The ten matrices of Table 1.
+std::vector<BenchMatrix> standard_suite(SuiteScale scale);
+
+// The six matrices of Tables 6/7 (DENSE4096, CUBE40, COPTER2*, 10FLEET*,
+// plus CUBE35 and BCSSTK31* which the paper carries over).
+std::vector<BenchMatrix> large_suite(SuiteScale scale);
+
+// Individual named benchmark matrices (full paper-scale parameterization
+// unless scale shrinks them); throws for unknown names.
+BenchMatrix make_bench_matrix(const std::string& name, SuiteScale scale);
+
+}  // namespace spc

@@ -1,0 +1,25 @@
+#include "gen/dense_gen.hpp"
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace spc {
+
+SymSparse make_dense_spd(idx n, std::uint64_t seed) {
+  SPC_CHECK(n >= 1, "make_dense_spd: n must be >= 1");
+  Rng rng(seed);
+  std::vector<double> diag(static_cast<std::size_t>(n), static_cast<double>(n));
+  std::vector<std::pair<idx, idx>> pos;
+  std::vector<double> val;
+  pos.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  val.reserve(pos.capacity());
+  for (idx c = 0; c < n; ++c) {
+    for (idx r = c + 1; r < n; ++r) {
+      pos.emplace_back(r, c);
+      val.push_back(rng.uniform(-0.9, 0.9));
+    }
+  }
+  return SymSparse::from_entries(n, diag, pos, val);
+}
+
+}  // namespace spc

@@ -1,0 +1,13 @@
+// Dense SPD test matrix generator (paper problems DENSE1024/2048/4096).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+// Fully dense SPD matrix of order n: unit-ish random off-diagonal entries
+// with a diagonally dominant diagonal. Deterministic for a given seed.
+SymSparse make_dense_spd(idx n, std::uint64_t seed = 1);
+
+}  // namespace spc

@@ -1,0 +1,108 @@
+#include "gen/grid_gen.hpp"
+
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+SymSparse laplacian_from_edges(idx n, const std::vector<std::pair<idx, idx>>& edges) {
+  std::vector<double> diag(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> val(edges.size(), -1.0);
+  for (auto [u, v] : edges) {
+    diag[static_cast<std::size_t>(u)] += 1.0;
+    diag[static_cast<std::size_t>(v)] += 1.0;
+  }
+  return SymSparse::from_entries(n, diag, edges, val);
+}
+
+}  // namespace
+
+SymSparse make_grid2d(idx nx, idx ny) {
+  SPC_CHECK(nx >= 1 && ny >= 1, "make_grid2d: dimensions must be positive");
+  const i64 n64 = static_cast<i64>(nx) * ny;
+  SPC_CHECK(n64 <= 1 << 30, "make_grid2d: grid too large");
+  const idx n = static_cast<idx>(n64);
+  std::vector<std::pair<idx, idx>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  for (idx y = 0; y < ny; ++y) {
+    for (idx x = 0; x < nx; ++x) {
+      const idx v = x + nx * y;
+      if (x + 1 < nx) edges.emplace_back(v, v + 1);
+      if (y + 1 < ny) edges.emplace_back(v, v + nx);
+    }
+  }
+  return laplacian_from_edges(n, edges);
+}
+
+SymSparse make_grid2d_9pt(idx nx, idx ny) {
+  SPC_CHECK(nx >= 1 && ny >= 1, "make_grid2d_9pt: dimensions must be positive");
+  const i64 n64 = static_cast<i64>(nx) * ny;
+  SPC_CHECK(n64 <= 1 << 30, "make_grid2d_9pt: grid too large");
+  const idx n = static_cast<idx>(n64);
+  std::vector<std::pair<idx, idx>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 4);
+  for (idx y = 0; y < ny; ++y) {
+    for (idx x = 0; x < nx; ++x) {
+      const idx v = x + nx * y;
+      if (x + 1 < nx) edges.emplace_back(v, v + 1);
+      if (y + 1 < ny) {
+        edges.emplace_back(v, v + nx);
+        if (x + 1 < nx) edges.emplace_back(v, v + nx + 1);
+        if (x > 0) edges.emplace_back(v, v + nx - 1);
+      }
+    }
+  }
+  return laplacian_from_edges(n, edges);
+}
+
+SymSparse make_grid3d(idx nx, idx ny, idx nz) {
+  SPC_CHECK(nx >= 1 && ny >= 1 && nz >= 1, "make_grid3d: dimensions must be positive");
+  const i64 n64 = static_cast<i64>(nx) * ny * nz;
+  SPC_CHECK(n64 <= 1 << 30, "make_grid3d: grid too large");
+  const idx n = static_cast<idx>(n64);
+  std::vector<std::pair<idx, idx>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 3);
+  for (idx z = 0; z < nz; ++z) {
+    for (idx y = 0; y < ny; ++y) {
+      for (idx x = 0; x < nx; ++x) {
+        const idx v = x + nx * (y + ny * z);
+        if (x + 1 < nx) edges.emplace_back(v, v + 1);
+        if (y + 1 < ny) edges.emplace_back(v, v + nx);
+        if (z + 1 < nz) edges.emplace_back(v, v + nx * ny);
+      }
+    }
+  }
+  return laplacian_from_edges(n, edges);
+}
+
+SymSparse make_grid3d_27pt(idx nx, idx ny, idx nz) {
+  SPC_CHECK(nx >= 1 && ny >= 1 && nz >= 1,
+            "make_grid3d_27pt: dimensions must be positive");
+  const i64 n64 = static_cast<i64>(nx) * ny * nz;
+  SPC_CHECK(n64 <= 1 << 30, "make_grid3d_27pt: grid too large");
+  const idx n = static_cast<idx>(n64);
+  std::vector<std::pair<idx, idx>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 13);
+  auto id = [&](idx x, idx y, idx z) { return x + nx * (y + ny * z); };
+  for (idx z = 0; z < nz; ++z) {
+    for (idx y = 0; y < ny; ++y) {
+      for (idx x = 0; x < nx; ++x) {
+        const idx v = id(x, y, z);
+        // Each vertex links to the 13 lexicographically-later neighbors of
+        // its 3x3x3 neighborhood.
+        for (idx dz = 0; dz <= 1; ++dz) {
+          for (idx dy = dz == 0 ? 0 : -1; dy <= 1; ++dy) {
+            for (idx dx = (dz == 0 && dy == 0) ? 1 : -1; dx <= 1; ++dx) {
+              const idx x2 = x + dx, y2 = y + dy, z2 = z + dz;
+              if (x2 < 0 || x2 >= nx || y2 < 0 || y2 >= ny || z2 >= nz) continue;
+              edges.emplace_back(v, id(x2, y2, z2));
+            }
+          }
+        }
+      }
+    }
+  }
+  return laplacian_from_edges(n, edges);
+}
+
+}  // namespace spc

@@ -1,0 +1,23 @@
+// Regular grid Laplacian generators (paper problems GRID150/300, CUBE30/35/40).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+// 5-point Laplacian on an nx x ny grid; vertex (x, y) = x + nx*y.
+// diag = degree + 1 (strictly diagonally dominant, hence SPD), offdiag = -1.
+SymSparse make_grid2d(idx nx, idx ny);
+
+// 9-point stencil (adds the diagonal neighbors), the denser 2-D variant
+// arising from bilinear finite elements.
+SymSparse make_grid2d_9pt(idx nx, idx ny);
+
+// 7-point Laplacian on an nx x ny x nz grid; vertex (x,y,z) = x + nx*(y + ny*z).
+SymSparse make_grid3d(idx nx, idx ny, idx nz);
+
+// 27-point stencil (full 3x3x3 neighborhood), from trilinear elements.
+SymSparse make_grid3d_27pt(idx nx, idx ny, idx nz);
+
+}  // namespace spc

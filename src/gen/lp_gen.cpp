@@ -1,0 +1,80 @@
+#include "gen/lp_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace spc {
+
+SymSparse make_lp_normal_equations(const LpGenOptions& opt) {
+  SPC_CHECK(opt.n >= 2, "make_lp_normal_equations: n must be >= 2");
+  SPC_CHECK(opt.mean_overlap >= 1.0, "make_lp_normal_equations: mean_overlap >= 1");
+  Rng rng(opt.seed);
+  const idx n = opt.n;
+
+  // Interval part: row i is an interval [start_i, start_i + len_i) on a unit
+  // timeline; rows whose intervals overlap share a variable. With intervals
+  // of mean length L, a row overlaps ~2 L n others, so L = overlap / (2 n).
+  std::vector<double> start(static_cast<std::size_t>(n));
+  std::vector<double> finish(static_cast<std::size_t>(n));
+  const double mean_len = opt.mean_overlap / (2.0 * n);
+  for (idx i = 0; i < n; ++i) {
+    start[static_cast<std::size_t>(i)] = rng.uniform();
+    finish[static_cast<std::size_t>(i)] =
+        start[static_cast<std::size_t>(i)] + rng.uniform(0.2, 1.8) * mean_len;
+  }
+  // Relabel rows by start time (flight legs are numbered chronologically in
+  // real fleet LPs; this also keeps the connectivity chain below local).
+  std::sort(start.begin(), start.end());
+  // finish values stay paired with their (now sorted) starts only in
+  // distribution; regenerate lengths to keep the pairing coherent.
+  for (idx i = 0; i < n; ++i) {
+    finish[static_cast<std::size_t>(i)] =
+        start[static_cast<std::size_t>(i)] + rng.uniform(0.2, 1.8) * mean_len;
+  }
+  // Sweep in start order to find overlaps in O(n * overlap).
+  std::vector<std::pair<idx, idx>> edges;
+  std::vector<idx> active;  // intervals whose finish might still overlap
+  for (idx i = 0; i < n; ++i) {
+    const double s = start[static_cast<std::size_t>(i)];
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](idx j) {
+                                  return finish[static_cast<std::size_t>(j)] < s;
+                                }),
+                 active.end());
+    for (idx j : active) edges.emplace_back(i, j);
+    active.push_back(i);
+  }
+
+  // Hub part: global constraints touching a broad random subset of rows.
+  const idx hubs = opt.hubs > 0 ? opt.hubs : std::max<idx>(1, n / 200);
+  const idx span = std::max<idx>(2, static_cast<idx>(opt.hub_span * n));
+  for (idx h = 0; h < hubs; ++h) {
+    const idx hub = rng.uniform_int(0, n - 1);
+    for (idx k = 0; k < span; ++k) {
+      const idx other = rng.uniform_int(0, n - 1);
+      if (other != hub) edges.emplace_back(hub, other);
+    }
+  }
+  // Connectivity chain (normal equations of a feasible LP are connected).
+  for (idx i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+
+  // Values: AA^T is SPD by construction; we emulate with diagonally dominant
+  // random negative couplings (only the pattern matters for the experiments).
+  std::vector<double> val(edges.size());
+  std::vector<double> absrow(static_cast<std::size_t>(n), 0.0);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    val[e] = -rng.uniform(0.1, 1.0);
+    absrow[static_cast<std::size_t>(edges[e].first)] += std::abs(val[e]);
+    absrow[static_cast<std::size_t>(edges[e].second)] += std::abs(val[e]);
+  }
+  std::vector<double> diag(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) {
+    diag[static_cast<std::size_t>(i)] = absrow[static_cast<std::size_t>(i)] + 1.0;
+  }
+  return SymSparse::from_entries(n, diag, edges, val);
+}
+
+}  // namespace spc

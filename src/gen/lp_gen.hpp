@@ -1,0 +1,27 @@
+// Airline-fleet-assignment-style LP normal-equations pattern — stand-in for
+// the 10FLEET matrix (see DESIGN.md §2). Fleet assignment LPs have
+// flight-leg variables whose constraints overlap in time (interval-graph
+// couplings) plus a smaller number of global "plane count" constraints that
+// touch many legs (hub rows). The AA^T normal-equations pattern is therefore
+// an interval graph densified by hub cliques, which reproduces 10FLEET's
+// distinguishing trait: a factor far denser than a mesh problem of equal n.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+struct LpGenOptions {
+  idx n = 2000;              // constraint rows (equations)
+  double mean_overlap = 30;  // average interval-graph neighbors per row
+  idx hubs = 0;              // rows coupled to a broad random subset; 0 = n/200
+  double hub_span = 0.02;    // fraction of rows each hub touches
+  std::uint64_t seed = 11;
+};
+
+SymSparse make_lp_normal_equations(const LpGenOptions& opt);
+
+}  // namespace spc

@@ -1,0 +1,143 @@
+#include "gen/mesh_gen.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace spc {
+namespace {
+
+struct Point {
+  double x, y, z;
+};
+
+double dist2(const Point& a, const Point& b) {
+  const double dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+}  // namespace
+
+SymSparse make_fem_mesh(const MeshGenOptions& opt) {
+  SPC_CHECK(opt.nodes >= 1, "make_fem_mesh: nodes must be >= 1");
+  SPC_CHECK(opt.dof >= 1, "make_fem_mesh: dof must be >= 1");
+  SPC_CHECK(opt.dim == 2 || opt.dim == 3, "make_fem_mesh: dim must be 2 or 3");
+  SPC_CHECK(opt.avg_node_degree > 0, "make_fem_mesh: avg_node_degree must be > 0");
+
+  Rng rng(opt.seed);
+  const idx nn = opt.nodes;
+  std::vector<Point> pts(static_cast<std::size_t>(nn));
+  for (auto& p : pts) {
+    p.x = rng.uniform();
+    p.y = rng.uniform();
+    p.z = opt.dim == 3 ? rng.uniform() : 0.0;
+  }
+  // Relabel nodes in spatial (cell-lexicographic) order. Real FEM meshes are
+  // numbered coherently; without this, the connectivity chain below would
+  // join far-apart nodes and wreck the fill behaviour of the stand-in.
+  {
+    const double sort_cells = 64.0;
+    auto key = [&](const Point& p) {
+      const i64 cx = static_cast<i64>(p.x * sort_cells);
+      const i64 cy = static_cast<i64>(p.y * sort_cells);
+      const i64 cz = static_cast<i64>(p.z * sort_cells);
+      return cx + 64 * (cy + 64 * cz);
+    };
+    std::sort(pts.begin(), pts.end(),
+              [&](const Point& a, const Point& b) { return key(a) < key(b); });
+  }
+
+  // Radius so that the expected number of neighbors matches avg_node_degree:
+  // 2-D: pi r^2 n = deg  ->  r = sqrt(deg / (pi n))
+  // 3-D: 4/3 pi r^3 n = deg
+  double radius;
+  if (opt.dim == 2) {
+    radius = std::sqrt(opt.avg_node_degree / (M_PI * nn));
+  } else {
+    radius = std::cbrt(opt.avg_node_degree * 3.0 / (4.0 * M_PI * nn));
+  }
+
+  // Bucket grid for neighbor queries.
+  const idx cells = std::max<idx>(1, static_cast<idx>(1.0 / radius));
+  auto cell_of = [&](double coord) {
+    return std::min<idx>(cells - 1, static_cast<idx>(coord * cells));
+  };
+  const idx cz = opt.dim == 3 ? cells : 1;
+  std::vector<std::vector<idx>> bucket(
+      static_cast<std::size_t>(cells) * cells * cz);
+  auto bucket_id = [&](idx bx, idx by, idx bz) {
+    return static_cast<std::size_t>(bx) + static_cast<std::size_t>(cells) * (by + static_cast<std::size_t>(cells) * bz);
+  };
+  for (idx v = 0; v < nn; ++v) {
+    bucket[bucket_id(cell_of(pts[v].x), cell_of(pts[v].y),
+                     opt.dim == 3 ? cell_of(pts[v].z) : 0)]
+        .push_back(v);
+  }
+
+  // Node-level edges within radius.
+  std::vector<std::pair<idx, idx>> node_edges;
+  const double r2 = radius * radius;
+  for (idx v = 0; v < nn; ++v) {
+    const idx bx = cell_of(pts[v].x), by = cell_of(pts[v].y);
+    const idx bz = opt.dim == 3 ? cell_of(pts[v].z) : 0;
+    for (idx dz = -1; dz <= 1; ++dz) {
+      const idx z = bz + dz;
+      if (z < 0 || z >= cz) continue;
+      for (idx dy = -1; dy <= 1; ++dy) {
+        const idx y = by + dy;
+        if (y < 0 || y >= cells) continue;
+        for (idx dx = -1; dx <= 1; ++dx) {
+          const idx x = bx + dx;
+          if (x < 0 || x >= cells) continue;
+          for (idx u : bucket[bucket_id(x, y, z)]) {
+            if (u > v && dist2(pts[v], pts[u]) <= r2) node_edges.emplace_back(v, u);
+          }
+        }
+      }
+    }
+  }
+
+  // Guarantee connectivity: chain every node to its index successor. Real
+  // meshes are connected; a disconnected stand-in would distort the etree.
+  for (idx v = 0; v + 1 < nn; ++v) node_edges.emplace_back(v, v + 1);
+
+  // Expand to dof x dof couplings.
+  const i64 n64 = static_cast<i64>(nn) * opt.dof;
+  SPC_CHECK(n64 <= 1 << 30, "make_fem_mesh: too many equations");
+  const idx n = static_cast<idx>(n64);
+  std::vector<std::pair<idx, idx>> pos;
+  std::vector<double> val;
+  std::vector<double> absrow(static_cast<std::size_t>(n), 0.0);
+  auto add_entry = [&](idx r, idx c, double v) {
+    pos.emplace_back(r, c);
+    val.push_back(v);
+    absrow[static_cast<std::size_t>(r)] += std::abs(v);
+    absrow[static_cast<std::size_t>(c)] += std::abs(v);
+  };
+  // Node diagonal blocks (dense dof x dof below diagonal).
+  for (idx v = 0; v < nn; ++v) {
+    for (idx a = 0; a < opt.dof; ++a) {
+      for (idx b = a + 1; b < opt.dof; ++b) {
+        add_entry(v * opt.dof + b, v * opt.dof + a, rng.uniform(-0.5, 0.5));
+      }
+    }
+  }
+  // Coupling blocks between connected nodes.
+  for (auto [u, v] : node_edges) {
+    for (idx a = 0; a < opt.dof; ++a) {
+      for (idx b = 0; b < opt.dof; ++b) {
+        add_entry(std::max(u * opt.dof + a, v * opt.dof + b),
+                  std::min(u * opt.dof + a, v * opt.dof + b),
+                  rng.uniform(-0.5, 0.5));
+      }
+    }
+  }
+  std::vector<double> diag(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) diag[static_cast<std::size_t>(i)] = absrow[static_cast<std::size_t>(i)] + 1.0;
+  return SymSparse::from_entries(n, diag, pos, val);
+}
+
+}  // namespace spc

@@ -1,0 +1,30 @@
+// Irregular FEM-style matrix generator — stand-in for the Harwell-Boeing
+// structural matrices (BCSSTK15/29/31/33) and the COPTER2 rotor-blade mesh,
+// which are not available in this offline environment (see DESIGN.md §2).
+//
+// Construction: `nodes` points are placed uniformly at random in a 2-D or 3-D
+// domain; nodes within a connectivity radius (chosen to hit `avg_node_degree`)
+// are joined, mimicking element connectivity of an unstructured mesh. Each
+// node carries `dof` degrees of freedom; connected nodes contribute dense
+// dof x dof couplings, which is what gives structural matrices their
+// characteristic supernode distribution.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+struct MeshGenOptions {
+  idx nodes = 1000;
+  idx dof = 3;            // degrees of freedom per node (3 for structural)
+  int dim = 3;            // 2 = shell-like (surface), 3 = solid
+  double avg_node_degree = 12.0;
+  std::uint64_t seed = 7;
+};
+
+SymSparse make_fem_mesh(const MeshGenOptions& opt);
+
+}  // namespace spc

@@ -1,0 +1,191 @@
+#include "graph/harwell_boeing.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+// Reads exactly `n` fixed-width fields laid out `per_line` to a line.
+// Fortran numeric fields may contain embedded blanks and 'D' exponents.
+template <typename T, typename Parse>
+std::vector<T> read_fields(std::istream& in, i64 n, const FortranFormat& fmt,
+                           Parse parse) {
+  std::vector<T> out;
+  out.reserve(static_cast<std::size_t>(n));
+  std::string line;
+  while (static_cast<i64>(out.size()) < n) {
+    SPC_CHECK(static_cast<bool>(std::getline(in, line)),
+              "harwell-boeing: unexpected end of file in data section");
+    for (int f = 0; f < fmt.count && static_cast<i64>(out.size()) < n; ++f) {
+      const std::size_t pos = static_cast<std::size_t>(f) * fmt.width;
+      if (pos >= line.size()) break;
+      std::string field = line.substr(pos, static_cast<std::size_t>(fmt.width));
+      // Trim blanks; skip all-blank trailing fields.
+      const auto first = field.find_first_not_of(" \t\r");
+      if (first == std::string::npos) continue;
+      const auto last = field.find_last_not_of(" \t\r");
+      out.push_back(parse(field.substr(first, last - first + 1)));
+    }
+  }
+  return out;
+}
+
+i64 parse_int(const std::string& s) {
+  std::size_t used = 0;
+  const long long v = std::stoll(s, &used);
+  SPC_CHECK(used == s.size(), "harwell-boeing: bad integer field '" + s + "'");
+  return v;
+}
+
+double parse_real(std::string s) {
+  // Fortran 'D' and 'd' exponents.
+  for (char& c : s) {
+    if (c == 'D' || c == 'd') c = 'E';
+  }
+  std::size_t used = 0;
+  const double v = std::stod(s, &used);
+  SPC_CHECK(used == s.size(), "harwell-boeing: bad real field '" + s + "'");
+  return v;
+}
+
+std::string field(const std::string& line, std::size_t pos, std::size_t len) {
+  if (pos >= line.size()) return "";
+  return line.substr(pos, len);
+}
+
+i64 to_count(const std::string& s) {
+  std::istringstream is(s);
+  i64 v = 0;
+  is >> v;
+  return v;
+}
+
+}  // namespace
+
+FortranFormat parse_fortran_format(const std::string& spec) {
+  // Accepts forms like "(13I6)", "(3E26.16)", "(1P,3E25.16)", "(10I8)".
+  FortranFormat fmt;
+  std::string s;
+  for (char c : spec) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      s.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  SPC_CHECK(!s.empty() && s.front() == '(' && s.back() == ')',
+            "harwell-boeing: malformed format spec '" + spec + "'");
+  s = s.substr(1, s.size() - 2);
+  // Drop scale factors like "1P," and leading commas.
+  const auto comma = s.find(',');
+  if (comma != std::string::npos && s.find('P') != std::string::npos &&
+      s.find('P') < comma) {
+    s = s.substr(comma + 1);
+  }
+  std::size_t i = 0;
+  int count = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+    count = count * 10 + (s[i] - '0');
+    ++i;
+  }
+  SPC_CHECK(i < s.size(), "harwell-boeing: format spec missing kind: " + spec);
+  fmt.count = count == 0 ? 1 : count;
+  fmt.kind = s[i];
+  SPC_CHECK(fmt.kind == 'I' || fmt.kind == 'E' || fmt.kind == 'D' ||
+                fmt.kind == 'F' || fmt.kind == 'G',
+            "harwell-boeing: unsupported edit descriptor in " + spec);
+  ++i;
+  int width = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+    width = width * 10 + (s[i] - '0');
+    ++i;
+  }
+  SPC_CHECK(width > 0, "harwell-boeing: format spec missing width: " + spec);
+  fmt.width = width;
+  return fmt;
+}
+
+SymSparse read_harwell_boeing(std::istream& in, bool* boosted) {
+  std::string line1, line2, line3, line4;
+  SPC_CHECK(std::getline(in, line1) && std::getline(in, line2) &&
+                std::getline(in, line3) && std::getline(in, line4),
+            "harwell-boeing: truncated header");
+
+  // Line 2: TOTCRD PTRCRD INDCRD VALCRD RHSCRD (each I14).
+  const i64 rhs_lines = to_count(field(line2, 56, 14));
+  SPC_CHECK(rhs_lines == 0, "harwell-boeing: right-hand sides are not supported");
+
+  // Line 3: MXTYPE (A3), blanks, NROW NCOL NNZERO NELTVL (I14 each at 14).
+  std::string type = field(line3, 0, 3);
+  for (char& c : type) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  SPC_CHECK(type.size() == 3, "harwell-boeing: bad matrix type");
+  const bool pattern = type[0] == 'P';
+  SPC_CHECK(type[0] == 'R' || type[0] == 'P',
+            "harwell-boeing: only real or pattern matrices are supported");
+  SPC_CHECK(type[1] == 'S', "harwell-boeing: only symmetric matrices are supported");
+  SPC_CHECK(type[2] == 'A', "harwell-boeing: only assembled matrices are supported");
+  const i64 nrow = to_count(field(line3, 14, 14));
+  const i64 ncol = to_count(field(line3, 28, 14));
+  const i64 nnz = to_count(field(line3, 42, 14));
+  SPC_CHECK(nrow > 0 && nrow == ncol, "harwell-boeing: matrix must be square");
+
+  // Line 4: PTRFMT (A16) INDFMT (A16) VALFMT (A20) RHSFMT (A20).
+  const FortranFormat ptr_fmt = parse_fortran_format(field(line4, 0, 16));
+  const FortranFormat ind_fmt = parse_fortran_format(field(line4, 16, 16));
+  FortranFormat val_fmt{1, 20, 'E'};
+  if (!pattern) val_fmt = parse_fortran_format(field(line4, 32, 20));
+
+  const std::vector<i64> colptr =
+      read_fields<i64>(in, ncol + 1, ptr_fmt, parse_int);
+  const std::vector<i64> rowind = read_fields<i64>(in, nnz, ind_fmt, parse_int);
+  std::vector<double> values;
+  if (!pattern) values = read_fields<double>(in, nnz, val_fmt, parse_real);
+
+  SPC_CHECK(colptr.front() == 1 && colptr.back() == nnz + 1,
+            "harwell-boeing: inconsistent column pointers");
+
+  const idx n = static_cast<idx>(nrow);
+  std::vector<double> diag(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::pair<idx, idx>> pos;
+  std::vector<double> val;
+  std::vector<double> absrow(static_cast<std::size_t>(n), 0.0);
+  for (idx c = 0; c < n; ++c) {
+    for (i64 k = colptr[static_cast<std::size_t>(c)] - 1;
+         k < colptr[static_cast<std::size_t>(c) + 1] - 1; ++k) {
+      const i64 r1 = rowind[static_cast<std::size_t>(k)];
+      SPC_CHECK(r1 >= 1 && r1 <= nrow, "harwell-boeing: row index out of range");
+      const idx r = static_cast<idx>(r1 - 1);
+      const double v = pattern ? -1.0 : values[static_cast<std::size_t>(k)];
+      if (r == c) {
+        diag[static_cast<std::size_t>(r)] += pattern ? 0.0 : v;
+      } else {
+        pos.emplace_back(std::max(r, c), std::min(r, c));
+        val.push_back(v);
+        absrow[static_cast<std::size_t>(r)] += std::abs(v);
+        absrow[static_cast<std::size_t>(c)] += std::abs(v);
+      }
+    }
+  }
+  bool any_boost = false;
+  for (idx v2 = 0; v2 < n; ++v2) {
+    const double needed = absrow[static_cast<std::size_t>(v2)] + 1.0;
+    if (diag[static_cast<std::size_t>(v2)] < needed) {
+      if (!pattern) any_boost = true;
+      diag[static_cast<std::size_t>(v2)] = needed;
+    }
+  }
+  if (boosted != nullptr) *boosted = any_boost;
+  return SymSparse::from_entries(n, diag, pos, val);
+}
+
+SymSparse read_harwell_boeing_file(const std::string& path, bool* boosted) {
+  std::ifstream in(path);
+  SPC_CHECK(in.good(), "harwell-boeing: cannot open file " + path);
+  return read_harwell_boeing(in, boosted);
+}
+
+}  // namespace spc

@@ -1,0 +1,36 @@
+// Harwell-Boeing / Rutherford-Boeing exchange format reader (the native
+// distribution format of the paper's BCSSTK* matrices [4]).
+//
+// Supports the symmetric assembled types the benchmark set uses:
+//   RSA  real symmetric assembled
+//   PSA  pattern symmetric assembled
+// Column pointers / row indices / values are parsed from their Fortran
+// fixed-width format specifications (e.g. "(13I6)", "(3E26.16)"); the
+// variants in real HB files — optional repeat counts, I/E/D/F edit
+// descriptors, embedded exponents — are handled.
+//
+// As with the MatrixMarket reader, pattern files and files whose diagonal is
+// not strongly dominant get an SPD-izing diagonal boost (this library
+// factors SPD matrices only).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace spc {
+
+SymSparse read_harwell_boeing(std::istream& in, bool* boosted = nullptr);
+SymSparse read_harwell_boeing_file(const std::string& path, bool* boosted = nullptr);
+
+// Parsed form of a Fortran edit descriptor like "(13I6)" or "(1P,3E26.16)":
+// `count` fields per line, each `width` characters. Exposed for testing.
+struct FortranFormat {
+  int count = 0;
+  int width = 0;
+  char kind = 'I';  // I, E, D, F, G
+};
+FortranFormat parse_fortran_format(const std::string& spec);
+
+}  // namespace spc

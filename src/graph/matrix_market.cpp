@@ -1,0 +1,115 @@
+#include "graph/matrix_market.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+SymSparse read_matrix_market(std::istream& in, bool* boosted) {
+  std::string line;
+  SPC_CHECK(static_cast<bool>(std::getline(in, line)), "MatrixMarket: empty stream");
+  std::istringstream header(lower(line));
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  SPC_CHECK(banner == "%%matrixmarket", "MatrixMarket: missing banner");
+  SPC_CHECK(object == "matrix" && format == "coordinate",
+            "MatrixMarket: only coordinate matrices are supported");
+  SPC_CHECK(field == "real" || field == "pattern" || field == "integer",
+            "MatrixMarket: unsupported field type");
+  SPC_CHECK(symmetry == "symmetric",
+            "MatrixMarket: only symmetric matrices are supported");
+  const bool is_pattern = field == "pattern";
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long long rows = 0, cols = 0, nnz = 0;
+  size_line >> rows >> cols >> nnz;
+  SPC_CHECK(rows > 0 && rows == cols, "MatrixMarket: matrix must be square");
+
+  const idx n = static_cast<idx>(rows);
+  std::vector<double> diag(static_cast<std::size_t>(n), 0.0);
+  std::vector<bool> has_diag(static_cast<std::size_t>(n), false);
+  std::vector<std::pair<idx, idx>> pos;
+  std::vector<double> val;
+  std::vector<double> offdiag_abs_sum(static_cast<std::size_t>(n), 0.0);
+
+  for (long long k = 0; k < nnz; ++k) {
+    long long i = 0, j = 0;
+    double v = 1.0;
+    in >> i >> j;
+    if (!is_pattern) in >> v;
+    SPC_CHECK(static_cast<bool>(in), "MatrixMarket: truncated entry list");
+    SPC_CHECK(i >= 1 && i <= rows && j >= 1 && j <= cols,
+              "MatrixMarket: entry out of range");
+    const idx r = static_cast<idx>(i - 1);
+    const idx c = static_cast<idx>(j - 1);
+    if (r == c) {
+      diag[static_cast<std::size_t>(r)] += is_pattern ? 0.0 : v;
+      has_diag[static_cast<std::size_t>(r)] = true;
+    } else {
+      pos.emplace_back(r, c);
+      val.push_back(is_pattern ? -1.0 : v);
+      offdiag_abs_sum[static_cast<std::size_t>(r)] += std::abs(val.back());
+      offdiag_abs_sum[static_cast<std::size_t>(c)] += std::abs(val.back());
+    }
+  }
+
+  // Ensure SPD by diagonal dominance where needed.
+  bool any_boost = false;
+  for (idx v2 = 0; v2 < n; ++v2) {
+    const double needed = offdiag_abs_sum[static_cast<std::size_t>(v2)] + 1.0;
+    if (is_pattern || !has_diag[static_cast<std::size_t>(v2)] ||
+        diag[static_cast<std::size_t>(v2)] < needed) {
+      if (!is_pattern && diag[static_cast<std::size_t>(v2)] < needed) any_boost = true;
+      diag[static_cast<std::size_t>(v2)] =
+          std::max(diag[static_cast<std::size_t>(v2)], needed);
+    }
+  }
+  if (boosted != nullptr) *boosted = any_boost;
+  return SymSparse::from_entries(n, diag, pos, val);
+}
+
+SymSparse read_matrix_market_file(const std::string& path, bool* boosted) {
+  std::ifstream in(path);
+  SPC_CHECK(in.good(), "MatrixMarket: cannot open file " + path);
+  return read_matrix_market(in, boosted);
+}
+
+void write_matrix_market(std::ostream& out, const SymSparse& m) {
+  out << "%%MatrixMarket matrix coordinate real symmetric\n";
+  out << m.num_rows() << " " << m.num_rows() << " " << m.nnz_lower() << "\n";
+  const auto& ptr = m.col_ptr();
+  const auto& row = m.row_idx();
+  const auto& val = m.values();
+  for (idx c = 0; c < m.num_rows(); ++c) {
+    for (i64 k = ptr[static_cast<std::size_t>(c)]; k < ptr[static_cast<std::size_t>(c) + 1];
+         ++k) {
+      out << row[static_cast<std::size_t>(k)] + 1 << " " << c + 1 << " "
+          << val[static_cast<std::size_t>(k)] << "\n";
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const SymSparse& m) {
+  std::ofstream out(path);
+  SPC_CHECK(out.good(), "MatrixMarket: cannot open file for writing " + path);
+  write_matrix_market(out, m);
+}
+
+}  // namespace spc

@@ -1,0 +1,25 @@
+// Minimal Matrix Market (coordinate, real/pattern, symmetric) reader/writer,
+// so users can run the solver on Harwell-Boeing-era matrices converted to
+// MatrixMarket format (the paper's BCSSTK* set is distributed that way today).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace spc {
+
+// Reads a symmetric coordinate MatrixMarket stream. "pattern" files get
+// values from a diagonally-dominant SPD fill-in (diag = 1 + degree,
+// offdiag = -1). Real symmetric files keep their values, but the diagonal is
+// boosted to diagonal dominance if necessary so the result is SPD (this
+// library factors SPD matrices only; the boost is reported via *boosted).
+SymSparse read_matrix_market(std::istream& in, bool* boosted = nullptr);
+SymSparse read_matrix_market_file(const std::string& path, bool* boosted = nullptr);
+
+// Writes the lower triangle in symmetric coordinate format.
+void write_matrix_market(std::ostream& out, const SymSparse& m);
+void write_matrix_market_file(const std::string& path, const SymSparse& m);
+
+}  // namespace spc

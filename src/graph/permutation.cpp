@@ -1,0 +1,44 @@
+#include "graph/permutation.hpp"
+
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace spc {
+
+bool is_permutation(const std::vector<idx>& perm) {
+  const idx n = static_cast<idx>(perm.size());
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (idx v : perm) {
+    if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+std::vector<idx> inverse_permutation(const std::vector<idx>& perm) {
+  SPC_CHECK(is_permutation(perm), "inverse_permutation: not a permutation");
+  std::vector<idx> inv(perm.size());
+  for (idx k = 0; k < static_cast<idx>(perm.size()); ++k) {
+    inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(k)])] = k;
+  }
+  return inv;
+}
+
+std::vector<idx> identity_permutation(idx n) {
+  std::vector<idx> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), idx{0});
+  return p;
+}
+
+std::vector<idx> compose_permutations(const std::vector<idx>& first,
+                                      const std::vector<idx>& second) {
+  SPC_CHECK(first.size() == second.size(), "compose_permutations: size mismatch");
+  std::vector<idx> out(first.size());
+  for (std::size_t k = 0; k < first.size(); ++k) {
+    out[k] = first[static_cast<std::size_t>(second[k])];
+  }
+  return out;
+}
+
+}  // namespace spc

@@ -1,0 +1,24 @@
+// Permutation helpers. Convention (see graph.hpp): perm[new] = old.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace spc {
+
+// True iff perm is a permutation of {0, ..., perm.size()-1}.
+bool is_permutation(const std::vector<idx>& perm);
+
+// inv[perm[k]] = k. Throws if perm is not a valid permutation.
+std::vector<idx> inverse_permutation(const std::vector<idx>& perm);
+
+// Identity permutation of length n.
+std::vector<idx> identity_permutation(idx n);
+
+// Composition: result[k] = first[second[k]] — apply `second` after `first`
+// (both new->old maps; the result maps the final ordering to original ids).
+std::vector<idx> compose_permutations(const std::vector<idx>& first,
+                                      const std::vector<idx>& second);
+
+}  // namespace spc

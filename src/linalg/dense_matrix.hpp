@@ -1,0 +1,51 @@
+// Column-major dense matrix, the storage unit for factor blocks.
+//
+// Blocks of the sparse factor are stored "row-compressed": only the dense rows
+// of the block are kept (see blocks/block_structure.hpp), so a DenseMatrix here
+// holds rows() = number of dense rows, cols() = block width.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace spc {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(idx rows, idx cols);
+
+  idx rows() const { return rows_; }
+  idx cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(idx r, idx c) { return data_[static_cast<std::size_t>(c) * rows_ + r]; }
+  double operator()(idx r, idx c) const {
+    return data_[static_cast<std::size_t>(c) * rows_ + r];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  // Pointer to the start of column c.
+  double* col(idx c) { return data_.data() + static_cast<std::size_t>(c) * rows_; }
+  const double* col(idx c) const {
+    return data_.data() + static_cast<std::size_t>(c) * rows_;
+  }
+
+  void set_zero();
+  void resize(idx rows, idx cols);
+
+  // Frobenius norm.
+  double norm() const;
+
+  // this += alpha * other (same shape required).
+  void axpy(double alpha, const DenseMatrix& other);
+
+ private:
+  idx rows_ = 0;
+  idx cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace spc

@@ -1,0 +1,138 @@
+#include "linalg/kernels.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace spc {
+
+void potrf_lower(DenseMatrix& a) {
+  SPC_CHECK(a.rows() == a.cols(), "potrf_lower: matrix must be square");
+  const idx n = a.rows();
+  for (idx j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (idx k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    SPC_CHECK(d > 0.0, "potrf_lower: matrix is not positive definite");
+    d = std::sqrt(d);
+    a(j, j) = d;
+    const double inv_d = 1.0 / d;
+    for (idx i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (idx k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s * inv_d;
+    }
+    for (idx i = 0; i < j; ++i) a(i, j) = 0.0;
+  }
+}
+
+void trsm_right_ltrans(const DenseMatrix& l, DenseMatrix& b) {
+  SPC_CHECK(l.rows() == l.cols(), "trsm_right_ltrans: L must be square");
+  SPC_CHECK(b.cols() == l.rows(), "trsm_right_ltrans: dimension mismatch");
+  const idx m = b.rows();
+  const idx k = l.rows();
+  // Solve X * L^T = B column-by-column of X: X(:,j) = (B(:,j) - sum_{p<j}
+  // X(:,p) * L(j,p)) / L(j,j).
+  for (idx j = 0; j < k; ++j) {
+    double* bj = b.col(j);
+    for (idx p = 0; p < j; ++p) {
+      const double ljp = l(j, p);
+      if (ljp == 0.0) continue;
+      const double* bp = b.col(p);
+      for (idx i = 0; i < m; ++i) bj[i] -= bp[i] * ljp;
+    }
+    const double inv = 1.0 / l(j, j);
+    for (idx i = 0; i < m; ++i) bj[i] *= inv;
+  }
+}
+
+void gemm_nt_minus_naive(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {
+  SPC_CHECK(a.cols() == b.cols(), "gemm_nt_minus: inner dimension mismatch");
+  SPC_CHECK(c.rows() == a.rows() && c.cols() == b.rows(),
+            "gemm_nt_minus: output shape mismatch");
+  const idx m = a.rows();
+  const idx n = b.rows();
+  const idx k = a.cols();
+  // C(:,j) -= sum_p A(:,p) * B(j,p); column-major friendly loop order.
+  for (idx j = 0; j < n; ++j) {
+    double* cj = c.col(j);
+    for (idx p = 0; p < k; ++p) {
+      const double bjp = b(j, p);
+      if (bjp == 0.0) continue;
+      const double* ap = a.col(p);
+      for (idx i = 0; i < m; ++i) cj[i] -= ap[i] * bjp;
+    }
+  }
+}
+
+void gemm_nt_minus_blocked(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {
+  SPC_CHECK(a.cols() == b.cols(), "gemm_nt_minus: inner dimension mismatch");
+  SPC_CHECK(c.rows() == a.rows() && c.cols() == b.rows(),
+            "gemm_nt_minus: output shape mismatch");
+  const idx m = a.rows();
+  const idx n = b.rows();
+  const idx k = a.cols();
+  // Two C columns x four ranks per iteration: each A column read once feeds
+  // two accumulating C columns, and the rank-4 unroll amortizes the loads of
+  // C through registers.
+  idx j = 0;
+  for (; j + 1 < n; j += 2) {
+    double* c0 = c.col(j);
+    double* c1 = c.col(j + 1);
+    idx p = 0;
+    for (; p + 3 < k; p += 4) {
+      const double* a0 = a.col(p);
+      const double* a1 = a.col(p + 1);
+      const double* a2 = a.col(p + 2);
+      const double* a3 = a.col(p + 3);
+      const double b00 = b(j, p), b01 = b(j, p + 1), b02 = b(j, p + 2),
+                   b03 = b(j, p + 3);
+      const double b10 = b(j + 1, p), b11 = b(j + 1, p + 1), b12 = b(j + 1, p + 2),
+                   b13 = b(j + 1, p + 3);
+      for (idx i = 0; i < m; ++i) {
+        const double v0 = a0[i], v1 = a1[i], v2 = a2[i], v3 = a3[i];
+        c0[i] -= v0 * b00 + v1 * b01 + v2 * b02 + v3 * b03;
+        c1[i] -= v0 * b10 + v1 * b11 + v2 * b12 + v3 * b13;
+      }
+    }
+    for (; p < k; ++p) {
+      const double* ap = a.col(p);
+      const double b0 = b(j, p), b1 = b(j + 1, p);
+      for (idx i = 0; i < m; ++i) {
+        c0[i] -= ap[i] * b0;
+        c1[i] -= ap[i] * b1;
+      }
+    }
+  }
+  if (j < n) {
+    double* cj = c.col(j);
+    for (idx p = 0; p < k; ++p) {
+      const double bjp = b(j, p);
+      const double* ap = a.col(p);
+      for (idx i = 0; i < m; ++i) cj[i] -= ap[i] * bjp;
+    }
+  }
+}
+
+void gemm_nt_minus(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {
+  // The blocked kernel wins once there is enough work to amortize its setup.
+  if (a.cols() >= 4 && b.rows() >= 2 && a.rows() >= 8) {
+    gemm_nt_minus_blocked(a, b, c);
+  } else {
+    gemm_nt_minus_naive(a, b, c);
+  }
+}
+
+i64 flops_bfac(idx k) {
+  // k^3/3 + k^2/2 + k/6 == k(k+1)(2k+1)/6, exact in integer arithmetic
+  // (it is the sum of the first k squares).
+  const i64 kk = k;
+  return kk * (kk + 1) * (2 * kk + 1) / 6;
+}
+
+i64 flops_bdiv(idx m, idx k) { return static_cast<i64>(m) * k * k; }
+
+i64 flops_bmod(idx m, idx n, idx k) {
+  return 2 * static_cast<i64>(m) * n * k;
+}
+
+}  // namespace spc

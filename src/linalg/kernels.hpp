@@ -1,0 +1,46 @@
+// Dense kernels underlying the three block operations of the block fan-out
+// method (paper §2.1):
+//
+//   BFAC(K,K):    L_KK := Factor(L_KK)        -> potrf_lower
+//   BDIV(I,K):    L_IK := L_IK * L_KK^{-T}    -> trsm_right_ltrans
+//   BMOD(I,J,K):  L_IJ := L_IJ - L_IK L_JK^T  -> gemm_nt_minus
+//
+// All operate on column-major DenseMatrix storage. Written from scratch (no
+// BLAS is available offline); performance of these kernels is NOT used for
+// the paper's timing results — the simulator's calibrated cost model is (see
+// sim/cost_model.hpp) — but they produce the actual numeric factor for
+// correctness validation and for the solve path.
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+// In-place lower Cholesky factorization of the leading k x k block of A
+// (A must be square, symmetric content in the lower triangle). The strict
+// upper triangle is zeroed. Throws spc::Error if A is not positive definite.
+void potrf_lower(DenseMatrix& a);
+
+// B := B * L^{-T} where L is lower triangular (the diagonal block of the
+// factor). B is m x k, L is k x k. This is the BDIV triangular solve with a
+// matrix of right-hand sides.
+void trsm_right_ltrans(const DenseMatrix& l, DenseMatrix& b);
+
+// C := C - A * B^T with A m x k, B n x k, C m x n. This is the BMOD update.
+// Dispatches to a register-blocked kernel for large operands.
+void gemm_nt_minus(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c);
+
+// Reference (naive triple loop) and blocked (2-column x 4-rank register
+// tiling) variants, exposed for testing and the kernel microbenchmarks.
+void gemm_nt_minus_naive(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c);
+void gemm_nt_minus_blocked(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c);
+
+// Flop counts for the three ops, matching the conventions in DESIGN.md §5.
+// These feed both the work model used by the mapping heuristics and the
+// simulator cost model.
+i64 flops_bfac(idx k);
+i64 flops_bdiv(idx m, idx k);
+i64 flops_bmod(idx m, idx n, idx k);
+
+}  // namespace spc

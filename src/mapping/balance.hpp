@@ -1,0 +1,52 @@
+// The paper's load balance statistics (§3.2): row, column, diagonal, and
+// overall balance, each an upper bound on achievable parallel efficiency.
+//
+// Work attribution with domains enabled: a domain column's operations all
+// execute on its domain processor (source attribution); a root block's
+// operations execute on its 2-D owner. Updates flowing from a domain to a
+// remote root block are shipped as one aggregated update per (domain
+// processor, destination block); the destination owner pays the apply cost
+// (rows x cols adds + the fixed op cost). Row/column/diagonal balance are
+// computed over the 2-D-mapped root portion, which is what the remapping
+// heuristics control; overall balance includes domain work.
+#pragma once
+
+#include <vector>
+
+#include "blocks/block_structure.hpp"
+#include "blocks/domains.hpp"
+#include "blocks/task_graph.hpp"
+#include "mapping/block_map.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+// One root-portion block with the work its owner performs for it.
+struct BlockWorkItem {
+  idx row;   // block row I
+  idx col;   // block column J (== row for diagonal blocks)
+  i64 work;
+};
+
+struct RootWork {
+  std::vector<BlockWorkItem> blocks;  // root-portion blocks only
+  std::vector<i64> row_work;          // workI over root blocks, size N
+  std::vector<i64> col_work;          // workJ over root blocks, size N
+  std::vector<i64> domain_work;       // per processor, size P
+  i64 total = 0;                      // all work (root + domain)
+};
+
+// P is needed to resolve the per-processor domain loads.
+RootWork compute_root_work(const TaskGraph& tg, const BlockStructure& bs,
+                           const DomainDecomposition& dom, idx num_procs);
+
+struct BalanceStats {
+  double row = 1.0;      // paper's "row balance"
+  double col = 1.0;      // "column balance"
+  double diag = 1.0;     // "diagonal balance" over generalized diagonals
+  double overall = 1.0;  // worktotal / (P * workmax)
+};
+
+BalanceStats compute_balance(const RootWork& rw, const BlockMap& map);
+
+}  // namespace spc

@@ -1,0 +1,29 @@
+#include "mapping/block_map.hpp"
+
+#include "support/error.hpp"
+
+namespace spc {
+
+void BlockMap::validate() const {
+  SPC_CHECK(map_row.size() == map_col.size(), "BlockMap: row/col size mismatch");
+  for (idx r : map_row) {
+    SPC_CHECK(r >= 0 && r < grid.rows, "BlockMap: processor row out of range");
+  }
+  for (idx c : map_col) {
+    SPC_CHECK(c >= 0 && c < grid.cols, "BlockMap: processor column out of range");
+  }
+}
+
+BlockMap cyclic_map(const ProcessorGrid& grid, idx num_blocks) {
+  BlockMap m;
+  m.grid = grid;
+  m.map_row.resize(static_cast<std::size_t>(num_blocks));
+  m.map_col.resize(static_cast<std::size_t>(num_blocks));
+  for (idx b = 0; b < num_blocks; ++b) {
+    m.map_row[static_cast<std::size_t>(b)] = b % grid.rows;
+    m.map_col[static_cast<std::size_t>(b)] = b % grid.cols;
+  }
+  return m;
+}
+
+}  // namespace spc

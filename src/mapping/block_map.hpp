@@ -1,0 +1,44 @@
+// Cartesian-product block mappings (paper §2.4).
+//
+// A BlockMap holds the grid plus independent row and column mapping vectors;
+// ownership of L_IJ is P(map_row[I], map_col[J]). Domain-mapped block columns
+// (paper §2.3) override the 2-D map: all their blocks live on the domain's
+// processor — pass the DomainDecomposition alongside wherever ownership is
+// resolved.
+#pragma once
+
+#include <vector>
+
+#include "blocks/domains.hpp"
+#include "mapping/grid.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+struct BlockMap {
+  ProcessorGrid grid;
+  std::vector<idx> map_row;  // block row I -> processor row
+  std::vector<idx> map_col;  // block col J -> processor col
+
+  idx num_blocks() const { return static_cast<idx>(map_row.size()); }
+
+  // Owner of block (I, J) under the pure 2-D map (no domain override).
+  idx owner2d(idx i, idx j) const {
+    return grid.proc_at(map_row[i], map_col[j]);
+  }
+
+  // Owner including the domain override for block column j.
+  idx owner(idx i, idx j, const DomainDecomposition& dom) const {
+    const idx d = dom.domain_proc[j];
+    return d != kNone ? d : owner2d(i, j);
+  }
+
+  void validate() const;
+};
+
+// The traditional 2-D cyclic (torus-wrap) mapping: L_IJ at
+// P(I mod Pr, J mod Pc). This is a symmetric Cartesian mapping when
+// Pr == Pc, the configuration whose diagonal imbalance the paper analyzes.
+BlockMap cyclic_map(const ProcessorGrid& grid, idx num_blocks);
+
+}  // namespace spc

@@ -1,0 +1,22 @@
+#include "mapping/grid.hpp"
+
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace spc {
+
+ProcessorGrid make_grid(idx num_procs) {
+  SPC_CHECK(num_procs >= 1, "make_grid: need at least one processor");
+  idx best = 1;
+  for (idx r = 1; static_cast<i64>(r) * r <= num_procs; ++r) {
+    if (num_procs % r == 0) best = r;
+  }
+  return ProcessorGrid{best, num_procs / best};
+}
+
+bool relatively_prime_dims(const ProcessorGrid& grid) {
+  return std::gcd(grid.rows, grid.cols) == 1;
+}
+
+}  // namespace spc

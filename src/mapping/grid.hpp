@@ -1,0 +1,31 @@
+// Processor grid abstraction (paper §2.4): the P processors are viewed as a
+// Pr x Pc grid P(r, c); a Cartesian-product block mapping sends block row I
+// to processor row mapI(I) and block column J to processor column mapJ(J).
+#pragma once
+
+#include "support/types.hpp"
+
+namespace spc {
+
+struct ProcessorGrid {
+  idx rows = 1;
+  idx cols = 1;
+
+  idx size() const { return rows * cols; }
+  idx proc_at(idx r, idx c) const { return r * cols + c; }
+  idx row_of(idx p) const { return p / cols; }
+  idx col_of(idx p) const { return p % cols; }
+};
+
+// Squarest grid for P processors: Pr = the largest divisor of P with
+// Pr <= sqrt(P), Pc = P / Pr. For square P this gives sqrt(P) x sqrt(P),
+// the paper's choice; for P = 63 or 99 it yields the relatively-prime grids
+// of §4.2 (7x9 and 9x11).
+ProcessorGrid make_grid(idx num_procs);
+
+// True if the grid dimensions are relatively prime (gcd == 1), the property
+// that lets a plain cyclic mapping scatter block diagonals over the whole
+// machine (paper §4.2).
+bool relatively_prime_dims(const ProcessorGrid& grid);
+
+}  // namespace spc

@@ -1,0 +1,154 @@
+#include "mapping/heuristics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+#include "symbolic/etree.hpp"
+
+namespace spc {
+
+std::string heuristic_name(RemapHeuristic h) {
+  switch (h) {
+    case RemapHeuristic::kCyclic: return "CY";
+    case RemapHeuristic::kDecreasingWork: return "DW";
+    case RemapHeuristic::kIncreasingNumber: return "IN";
+    case RemapHeuristic::kDecreasingNumber: return "DN";
+    case RemapHeuristic::kIncreasingDepth: return "ID";
+  }
+  SPC_CHECK(false, "heuristic_name: unknown heuristic");
+}
+
+std::string heuristic_long_name(RemapHeuristic h) {
+  switch (h) {
+    case RemapHeuristic::kCyclic: return "Cyclic";
+    case RemapHeuristic::kDecreasingWork: return "Decr. Work";
+    case RemapHeuristic::kIncreasingNumber: return "Inc. Number";
+    case RemapHeuristic::kDecreasingNumber: return "Decr. Number";
+    case RemapHeuristic::kIncreasingDepth: return "Inc. Depth";
+  }
+  SPC_CHECK(false, "heuristic_long_name: unknown heuristic");
+}
+
+std::vector<idx> remap_dimension(RemapHeuristic h, idx pdim,
+                                 const std::vector<i64>& work,
+                                 const std::vector<idx>& depth) {
+  SPC_CHECK(pdim >= 1, "remap_dimension: pdim must be >= 1");
+  const idx n = static_cast<idx>(work.size());
+  std::vector<idx> map(static_cast<std::size_t>(n));
+  if (h == RemapHeuristic::kCyclic) {
+    for (idx i = 0; i < n; ++i) map[static_cast<std::size_t>(i)] = i % pdim;
+    return map;
+  }
+
+  // Order the indices per heuristic.
+  std::vector<idx> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), idx{0});
+  switch (h) {
+    case RemapHeuristic::kDecreasingWork:
+      std::stable_sort(order.begin(), order.end(), [&](idx a, idx b) {
+        return work[static_cast<std::size_t>(a)] > work[static_cast<std::size_t>(b)];
+      });
+      break;
+    case RemapHeuristic::kIncreasingNumber:
+      break;  // already 0..n-1
+    case RemapHeuristic::kDecreasingNumber:
+      std::reverse(order.begin(), order.end());
+      break;
+    case RemapHeuristic::kIncreasingDepth:
+      SPC_CHECK(static_cast<idx>(depth.size()) == n,
+                "remap_dimension: ID heuristic requires depths");
+      std::stable_sort(order.begin(), order.end(), [&](idx a, idx b) {
+        return depth[static_cast<std::size_t>(a)] < depth[static_cast<std::size_t>(b)];
+      });
+      break;
+    case RemapHeuristic::kCyclic:
+      break;  // unreachable
+  }
+
+  // Greedy number partitioning: next index to the least-loaded bin.
+  std::vector<i64> mapped(static_cast<std::size_t>(pdim), 0);
+  for (idx i : order) {
+    const idx bin = static_cast<idx>(
+        std::min_element(mapped.begin(), mapped.end()) - mapped.begin());
+    map[static_cast<std::size_t>(i)] = bin;
+    mapped[static_cast<std::size_t>(bin)] += work[static_cast<std::size_t>(i)];
+  }
+  return map;
+}
+
+BlockMap make_heuristic_map(const ProcessorGrid& grid, RemapHeuristic row_h,
+                            RemapHeuristic col_h, const RootWork& rw,
+                            const std::vector<idx>& depth) {
+  BlockMap m;
+  m.grid = grid;
+  m.map_row = remap_dimension(row_h, grid.rows, rw.row_work, depth);
+  m.map_col = remap_dimension(col_h, grid.cols, rw.col_work, depth);
+  return m;
+}
+
+std::vector<idx> finegrained_row_map(const ProcessorGrid& grid,
+                                     const std::vector<idx>& map_col,
+                                     const RootWork& rw) {
+  const idx n = static_cast<idx>(rw.row_work.size());
+  SPC_CHECK(static_cast<idx>(map_col.size()) == n,
+            "finegrained_row_map: size mismatch");
+
+  // Per block row: work by processor column (how the row's blocks land on
+  // the grid columns under the fixed column map).
+  std::vector<std::vector<i64>> row_by_pc(
+      static_cast<std::size_t>(n), std::vector<i64>(static_cast<std::size_t>(grid.cols), 0));
+  for (const BlockWorkItem& b : rw.blocks) {
+    row_by_pc[static_cast<std::size_t>(b.row)]
+             [static_cast<std::size_t>(map_col[static_cast<std::size_t>(b.col)])] +=
+        b.work;
+  }
+
+  // Decreasing-work order over block rows.
+  std::vector<idx> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), idx{0});
+  std::stable_sort(order.begin(), order.end(), [&](idx a, idx b) {
+    return rw.row_work[static_cast<std::size_t>(a)] >
+           rw.row_work[static_cast<std::size_t>(b)];
+  });
+
+  std::vector<std::vector<i64>> load(
+      static_cast<std::size_t>(grid.rows),
+      std::vector<i64>(static_cast<std::size_t>(grid.cols), 0));
+  std::vector<idx> map(static_cast<std::size_t>(n), 0);
+  for (idx i : order) {
+    // Pick the processor row minimizing the resulting max per-processor load.
+    idx best_r = 0;
+    i64 best_val = -1;
+    for (idx r = 0; r < grid.rows; ++r) {
+      i64 val = 0;
+      for (idx c = 0; c < grid.cols; ++c) {
+        val = std::max(val, load[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] +
+                                row_by_pc[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)]);
+      }
+      if (best_val < 0 || val < best_val) {
+        best_val = val;
+        best_r = r;
+      }
+    }
+    map[static_cast<std::size_t>(i)] = best_r;
+    for (idx c = 0; c < grid.cols; ++c) {
+      load[static_cast<std::size_t>(best_r)][static_cast<std::size_t>(c)] +=
+          row_by_pc[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)];
+    }
+  }
+  return map;
+}
+
+std::vector<idx> block_depths(const BlockStructure& bs,
+                              const std::vector<idx>& col_parent) {
+  const std::vector<idx> col_depth = etree_depth(col_parent);
+  std::vector<idx> out(static_cast<std::size_t>(bs.num_block_cols()));
+  for (idx b = 0; b < bs.num_block_cols(); ++b) {
+    out[static_cast<std::size_t>(b)] =
+        col_depth[static_cast<std::size_t>(bs.part.first_col[b])];
+  }
+  return out;
+}
+
+}  // namespace spc

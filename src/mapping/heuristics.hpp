@@ -1,0 +1,73 @@
+// The paper's block remapping heuristics (§4).
+//
+// Each heuristic orders the block rows (or columns) and then list-schedules
+// them onto processor rows (columns): the next block row goes to the
+// processor row with the least aggregate work so far — the classic greedy
+// number-partitioning algorithm. The four orderings are:
+//   DW  Decreasing Work
+//   IN  Increasing Number
+//   DN  Decreasing Number
+//   ID  Increasing Depth (in the supernodal elimination tree)
+// plus CY, the plain cyclic assignment (no remapping).
+//
+// §4.2's finer-grained variant keeps a fixed column mapping and assigns each
+// block row to the processor row that minimizes the resulting maximum
+// per-processor load (not just per-row-aggregate load).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapping/balance.hpp"
+#include "mapping/block_map.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+enum class RemapHeuristic {
+  kCyclic,
+  kDecreasingWork,
+  kIncreasingNumber,
+  kDecreasingNumber,
+  kIncreasingDepth,
+};
+
+inline constexpr RemapHeuristic kAllHeuristics[] = {
+    RemapHeuristic::kCyclic, RemapHeuristic::kDecreasingWork,
+    RemapHeuristic::kIncreasingNumber, RemapHeuristic::kDecreasingNumber,
+    RemapHeuristic::kIncreasingDepth};
+
+std::string heuristic_name(RemapHeuristic h);        // "CY", "DW", ...
+std::string heuristic_long_name(RemapHeuristic h);   // "Cyclic", "Decr. Work", ...
+
+// Maps N block indices onto `pdim` processor rows/columns. `work` is the
+// aggregate work per block index (the paper's workI or workJ restricted to
+// the root portion); `depth` is the supernodal etree depth per block index
+// (used by ID only; may be empty for other heuristics).
+std::vector<idx> remap_dimension(RemapHeuristic h, idx pdim,
+                                 const std::vector<i64>& work,
+                                 const std::vector<idx>& depth);
+
+// Convenience: builds the full Cartesian-product map with independent row
+// and column heuristics (the 5x5 grid of the paper's Tables 4 and 5).
+BlockMap make_heuristic_map(const ProcessorGrid& grid, RemapHeuristic row_h,
+                            RemapHeuristic col_h, const RootWork& rw,
+                            const std::vector<idx>& depth);
+
+// §4.2 finer-grained variant: column mapping fixed (typically cyclic),
+// rows assigned in decreasing-work order to the processor row minimizing the
+// resulting maximum per-processor load.
+std::vector<idx> finegrained_row_map(const ProcessorGrid& grid,
+                                     const std::vector<idx>& map_col,
+                                     const RootWork& rw);
+
+// Depth of each block (chunk) in the COLUMN elimination tree (depth of its
+// first column; roots have depth 0). Column- rather than supernode-level
+// depth matters: inside a wide supernode (e.g. a dense matrix's single
+// supernode) successive chunks sit successively deeper on the etree path,
+// which is what makes ID "a refinement of the decreasing number heuristic"
+// (paper §4).
+std::vector<idx> block_depths(const BlockStructure& bs,
+                              const std::vector<idx>& col_parent);
+
+}  // namespace spc

@@ -1,0 +1,154 @@
+#include "mapping/subcube.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+struct SubcubeBuilder {
+  const BlockStructure& bs;
+  const std::vector<idx>& sn_parent;
+  std::vector<std::vector<idx>> children;      // supernodal etree children
+  std::vector<std::vector<idx>> sn_blocks;     // block columns per supernode
+  std::vector<i64> sn_work;                    // work per supernode
+  std::vector<i64> subtree_work;
+  std::vector<idx> map_col;
+  std::vector<idx> cursor;  // round-robin cursor per processor-column range start
+
+  // Assigns supernode s and its descendants to processor columns [lo, hi).
+  void assign(idx s, idx lo, idx hi) {
+    // s's own block columns: round-robin over the range.
+    for (idx b : sn_blocks[static_cast<std::size_t>(s)]) {
+      map_col[static_cast<std::size_t>(b)] = lo + cursor[static_cast<std::size_t>(lo)] % (hi - lo);
+      ++cursor[static_cast<std::size_t>(lo)];
+    }
+    const auto& kids = children[static_cast<std::size_t>(s)];
+    if (kids.empty()) return;
+    if (hi - lo == 1) {
+      for (idx c : kids) assign(c, lo, hi);
+      return;
+    }
+    // Split [lo, hi) among children proportionally to subtree work,
+    // heaviest children first so they get the larger shares.
+    std::vector<idx> order(kids);
+    std::sort(order.begin(), order.end(), [&](idx a, idx b2) {
+      return subtree_work[static_cast<std::size_t>(a)] >
+             subtree_work[static_cast<std::size_t>(b2)];
+    });
+    i64 remaining_work = 0;
+    for (idx c : order) remaining_work += subtree_work[static_cast<std::size_t>(c)];
+    idx pos = lo;
+    idx remaining_cols = hi - lo;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const idx c = order[k];
+      idx span;
+      if (k + 1 == order.size()) {
+        span = remaining_cols;
+      } else {
+        const double frac = remaining_work > 0
+                                ? static_cast<double>(subtree_work[static_cast<std::size_t>(c)]) /
+                                      static_cast<double>(remaining_work)
+                                : 0.0;
+        span = std::min<idx>(remaining_cols,
+                             std::max<idx>(1, static_cast<idx>(frac * remaining_cols + 0.5)));
+        // Leave at least one column per remaining child when possible.
+        const idx kids_left = static_cast<idx>(order.size() - k - 1);
+        span = std::min<idx>(span, std::max<idx>(1, remaining_cols - kids_left));
+      }
+      assign(c, pos, pos + span);
+      remaining_work -= subtree_work[static_cast<std::size_t>(c)];
+      pos += span;
+      remaining_cols -= span;
+      if (remaining_cols == 0) {
+        // Any remaining children share the last column range.
+        for (std::size_t k2 = k + 1; k2 < order.size(); ++k2) {
+          assign(order[k2], hi - 1, hi);
+        }
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<idx> subcube_col_map(idx num_proc_cols, const BlockStructure& bs,
+                                 const std::vector<idx>& sn_parent,
+                                 const std::vector<i64>& col_work) {
+  SPC_CHECK(num_proc_cols >= 1, "subcube_col_map: need at least one column");
+  const idx num_sn = static_cast<idx>(sn_parent.size());
+  const idx nb = bs.num_block_cols();
+  SPC_CHECK(static_cast<idx>(col_work.size()) == nb, "subcube_col_map: work size");
+
+  SubcubeBuilder builder{bs, sn_parent, {}, {}, {}, {}, {}, {}};
+  builder.children.resize(static_cast<std::size_t>(num_sn));
+  builder.sn_blocks.resize(static_cast<std::size_t>(num_sn));
+  builder.sn_work.assign(static_cast<std::size_t>(num_sn), 0);
+  builder.map_col.assign(static_cast<std::size_t>(nb), 0);
+  builder.cursor.assign(static_cast<std::size_t>(num_proc_cols), 0);
+
+  for (idx b = 0; b < nb; ++b) {
+    const idx s = bs.part.sn_of_block[b];
+    builder.sn_blocks[static_cast<std::size_t>(s)].push_back(b);
+    builder.sn_work[static_cast<std::size_t>(s)] += col_work[static_cast<std::size_t>(b)];
+  }
+  // Children lists and bottom-up subtree sums (supernode ids are
+  // postordered, so increasing order accumulates children before parents).
+  builder.subtree_work = builder.sn_work;
+  std::vector<idx> roots;
+  for (idx s = 0; s < num_sn; ++s) {
+    const idx p = sn_parent[static_cast<std::size_t>(s)];
+    if (p == kNone) {
+      roots.push_back(s);
+    } else {
+      builder.children[static_cast<std::size_t>(p)].push_back(s);
+      builder.subtree_work[static_cast<std::size_t>(p)] +=
+          builder.subtree_work[static_cast<std::size_t>(s)];
+    }
+  }
+
+  // Treat the forest as a virtual root over all tree roots.
+  if (roots.size() == 1) {
+    builder.assign(roots[0], 0, num_proc_cols);
+  } else {
+    // Share the full range among roots via the same proportional split.
+    // Reuse assign() by processing each root over the full range when the
+    // forest is small, otherwise split proportionally.
+    i64 remaining_work = 0;
+    for (idx r : roots) remaining_work += builder.subtree_work[static_cast<std::size_t>(r)];
+    std::sort(roots.begin(), roots.end(), [&](idx a, idx b) {
+      return builder.subtree_work[static_cast<std::size_t>(a)] >
+             builder.subtree_work[static_cast<std::size_t>(b)];
+    });
+    idx pos = 0;
+    idx remaining_cols = num_proc_cols;
+    for (std::size_t k = 0; k < roots.size(); ++k) {
+      const idx r = roots[k];
+      idx span = remaining_cols;
+      if (k + 1 < roots.size()) {
+        const double frac =
+            remaining_work > 0
+                ? static_cast<double>(builder.subtree_work[static_cast<std::size_t>(r)]) /
+                      static_cast<double>(remaining_work)
+                : 0.0;
+        span = std::min<idx>(remaining_cols,
+                             std::max<idx>(1, static_cast<idx>(frac * remaining_cols + 0.5)));
+      }
+      builder.assign(r, pos, pos + span);
+      remaining_work -= builder.subtree_work[static_cast<std::size_t>(r)];
+      if (k + 1 < roots.size() && remaining_cols - span == 0) {
+        for (std::size_t k2 = k + 1; k2 < roots.size(); ++k2) {
+          builder.assign(roots[k2], pos + span - 1, pos + span);
+        }
+        break;
+      }
+      pos += span;
+      remaining_cols -= span;
+    }
+  }
+  return builder.map_col;
+}
+
+}  // namespace spc

@@ -1,0 +1,26 @@
+// Subtree-to-subcube column mapping (paper §5, after George/Heath/Liu/Ng).
+//
+// Processor *columns* of the grid are divided recursively among the subtrees
+// of the supernodal elimination tree, proportionally to subtree work; block
+// columns belonging to a subtree are mapped (cyclically) only onto that
+// subtree's processor-column range. The paper found this cuts communication
+// volume by up to ~30% but worsens load balance enough that overall
+// performance drops — our subcube_ablation bench reproduces that trade-off.
+#pragma once
+
+#include <vector>
+
+#include "blocks/block_structure.hpp"
+#include "support/types.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spc {
+
+// Returns a column mapping map_col[J] built by recursive proportional
+// assignment of processor-column ranges to subtrees. `col_work` is the
+// per-block-column work estimate (e.g. RootWork::col_work or source work).
+std::vector<idx> subcube_col_map(idx num_proc_cols, const BlockStructure& bs,
+                                 const std::vector<idx>& sn_parent,
+                                 const std::vector<i64>& col_work);
+
+}  // namespace spc

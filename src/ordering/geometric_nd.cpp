@@ -1,0 +1,98 @@
+#include "ordering/geometric_nd.hpp"
+
+#include <array>
+
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+// A box [lo, hi) per dimension in an ambient grid with strides.
+template <std::size_t Dims>
+struct Box {
+  std::array<idx, Dims> lo, hi;
+
+  idx extent(std::size_t d) const { return hi[d] - lo[d]; }
+  std::size_t longest_dim() const {
+    std::size_t best = 0;
+    for (std::size_t d = 1; d < Dims; ++d) {
+      if (extent(d) > extent(best)) best = d;
+    }
+    return best;
+  }
+  i64 size() const {
+    i64 s = 1;
+    for (std::size_t d = 0; d < Dims; ++d) s *= extent(d);
+    return s;
+  }
+};
+
+template <std::size_t Dims>
+void emit_natural(const Box<Dims>& box, const std::array<i64, Dims>& stride,
+                  std::vector<idx>& order) {
+  // Lexicographic over the box, dimension 0 fastest.
+  std::array<idx, Dims> it = box.lo;
+  while (true) {
+    i64 v = 0;
+    for (std::size_t d = 0; d < Dims; ++d) v += static_cast<i64>(it[d]) * stride[d];
+    order.push_back(static_cast<idx>(v));
+    std::size_t d = 0;
+    while (d < Dims) {
+      if (++it[d] < box.hi[d]) break;
+      it[d] = box.lo[d];
+      ++d;
+    }
+    if (d == Dims) return;
+  }
+}
+
+template <std::size_t Dims>
+void dissect(const Box<Dims>& box, const std::array<i64, Dims>& stride, idx cutoff,
+             std::vector<idx>& order) {
+  if (box.size() == 0) return;
+  const std::size_t cut = box.longest_dim();
+  if (box.extent(cut) <= cutoff) {
+    emit_natural(box, stride, order);
+    return;
+  }
+  const idx mid = box.lo[cut] + box.extent(cut) / 2;
+  Box<Dims> left = box, right = box, sep = box;
+  left.hi[cut] = mid;
+  right.lo[cut] = mid + 1;
+  sep.lo[cut] = mid;
+  sep.hi[cut] = mid + 1;
+  dissect(left, stride, cutoff, order);
+  dissect(right, stride, cutoff, order);
+  // The separator plane is itself a (Dims-1)-dimensional grid; dissecting it
+  // recursively (rather than natural order) keeps its internal fill low.
+  dissect(sep, stride, cutoff, order);
+}
+
+}  // namespace
+
+std::vector<idx> geometric_nd_2d(idx nx, idx ny, idx cutoff) {
+  SPC_CHECK(nx > 0 && ny > 0, "geometric_nd_2d: grid dimensions must be positive");
+  SPC_CHECK(cutoff >= 1, "geometric_nd_2d: cutoff must be >= 1");
+  std::vector<idx> order;
+  order.reserve(static_cast<std::size_t>(nx) * ny);
+  Box<2> box{{0, 0}, {nx, ny}};
+  dissect<2>(box, {1, nx}, cutoff, order);
+  SPC_CHECK(static_cast<i64>(order.size()) == static_cast<i64>(nx) * ny,
+            "geometric_nd_2d: internal error, wrong order length");
+  return order;
+}
+
+std::vector<idx> geometric_nd_3d(idx nx, idx ny, idx nz, idx cutoff) {
+  SPC_CHECK(nx > 0 && ny > 0 && nz > 0,
+            "geometric_nd_3d: grid dimensions must be positive");
+  SPC_CHECK(cutoff >= 1, "geometric_nd_3d: cutoff must be >= 1");
+  std::vector<idx> order;
+  order.reserve(static_cast<std::size_t>(nx) * ny * nz);
+  Box<3> box{{0, 0, 0}, {nx, ny, nz}};
+  dissect<3>(box, {1, nx, static_cast<i64>(nx) * ny}, cutoff, order);
+  SPC_CHECK(static_cast<i64>(order.size()) == static_cast<i64>(nx) * ny * nz,
+            "geometric_nd_3d: internal error, wrong order length");
+  return order;
+}
+
+}  // namespace spc

@@ -1,0 +1,23 @@
+// Geometric nested dissection for regular 2-D and 3-D grid graphs — the
+// asymptotically optimal ordering the paper applies to its GRID* and CUBE*
+// benchmark problems.
+//
+// The grid is recursively bisected by a separator hyperplane orthogonal to
+// its longest dimension; the two halves are ordered first, the separator
+// last. Below a small cutoff the subgrid is ordered naturally.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace spc {
+
+// Vertex (x, y) of a nx x ny grid has index x + nx * y.
+// Returns perm[k] = vertex eliminated k-th.
+std::vector<idx> geometric_nd_2d(idx nx, idx ny, idx cutoff = 4);
+
+// Vertex (x, y, z) of an nx x ny x nz grid has index x + nx * (y + ny * z).
+std::vector<idx> geometric_nd_3d(idx nx, idx ny, idx nz, idx cutoff = 3);
+
+}  // namespace spc

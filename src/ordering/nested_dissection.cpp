@@ -1,0 +1,170 @@
+#include "ordering/nested_dissection.hpp"
+
+#include <algorithm>
+
+#include "ordering/mmd.hpp"
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+class NdSolver {
+ public:
+  NdSolver(const Graph& g, const NdOptions& opt)
+      : g_(g),
+        opt_(opt),
+        in_set_(static_cast<std::size_t>(g.num_vertices()), 0),
+        level_(static_cast<std::size_t>(g.num_vertices()), kNone) {}
+
+  std::vector<idx> run() {
+    std::vector<idx> all(static_cast<std::size_t>(g_.num_vertices()));
+    for (idx v = 0; v < g_.num_vertices(); ++v) all[static_cast<std::size_t>(v)] = v;
+    order_.reserve(all.size());
+    recurse(all);
+    return order_;
+  }
+
+  void separate(const std::vector<idx>& vertices, std::vector<idx>& side_a,
+                std::vector<idx>& side_b, std::vector<idx>& sep) {
+    ++stamp_;
+    for (idx v : vertices) in_set_[v] = stamp_;
+
+    // BFS from a pseudo-peripheral vertex of the first connected component.
+    std::vector<idx> frontier = bfs_levels(vertices, vertices[0]);
+    const idx root = frontier.empty() ? vertices[0] : frontier.back();
+    frontier = bfs_levels(vertices, root);
+
+    if (frontier.size() < vertices.size()) {
+      // Disconnected: first component on one side, the rest on the other.
+      side_a = frontier;
+      side_b.clear();
+      for (idx v : vertices) {
+        if (level_[v] == kNone) side_b.push_back(v);
+      }
+      sep.clear();
+      return;
+    }
+
+    // Pick the level whose cumulative vertex count crosses the median.
+    idx max_level = 0;
+    for (idx v : frontier) max_level = std::max(max_level, level_[v]);
+    if (max_level < 2) {
+      // Graph too shallow to split by levels; fall back to an even cut of the
+      // BFS order with an empty separator handled by the caller via MMD.
+      side_a.assign(frontier.begin(), frontier.begin() + frontier.size() / 2);
+      side_b.assign(frontier.begin() + frontier.size() / 2, frontier.end());
+      sep.clear();
+      return;
+    }
+    std::vector<i64> level_count(static_cast<std::size_t>(max_level) + 1, 0);
+    for (idx v : frontier) ++level_count[level_[v]];
+    idx cut_level = 1;
+    i64 cum = level_count[0];
+    const i64 half = static_cast<i64>(frontier.size()) / 2;
+    for (idx l = 1; l < max_level; ++l) {
+      if (cum >= half) break;
+      cut_level = l;
+      cum += level_count[l];
+    }
+    // Keep the separator strictly interior so both sides are non-empty.
+    cut_level = std::max<idx>(1, std::min<idx>(cut_level, max_level - 1));
+
+    side_a.clear();
+    side_b.clear();
+    sep.clear();
+    for (idx v : frontier) {
+      if (level_[v] < cut_level) {
+        side_a.push_back(v);
+      } else if (level_[v] > cut_level) {
+        side_b.push_back(v);
+      } else {
+        sep.push_back(v);
+      }
+    }
+  }
+
+ private:
+  // BFS restricted to the current stamped set; fills level_ for reached
+  // vertices (kNone elsewhere) and returns vertices in BFS order.
+  std::vector<idx> bfs_levels(const std::vector<idx>& vertices, idx root) {
+    std::vector<idx> reach;
+    reach.push_back(root);
+    for (idx v : vertices) level_[v] = kNone;
+    level_[root] = 0;
+    for (std::size_t head = 0; head < reach.size(); ++head) {
+      const idx v = reach[head];
+      for (const idx* p = g_.adj_begin(v); p != g_.adj_end(v); ++p) {
+        const idx u = *p;
+        if (in_set_[u] == stamp_ && level_[u] == kNone) {
+          level_[u] = level_[v] + 1;
+          reach.push_back(u);
+        }
+      }
+    }
+    return reach;
+  }
+
+  void recurse(std::vector<idx> vertices) {
+    if (vertices.empty()) return;
+    if (static_cast<idx>(vertices.size()) <= opt_.leaf_size) {
+      order_leaf(vertices);
+      return;
+    }
+    std::vector<idx> a, b, sep;
+    separate(vertices, a, b, sep);
+    if (a.empty() || b.empty()) {
+      // Separator failed to split (e.g. clique-like subgraph): order locally.
+      order_leaf(vertices);
+      return;
+    }
+    recurse(std::move(a));
+    recurse(std::move(b));
+    for (idx v : sep) order_.push_back(v);
+  }
+
+  // Orders a leaf subgraph with MMD on the induced subgraph.
+  void order_leaf(const std::vector<idx>& vertices) {
+    ++stamp_;
+    for (std::size_t k = 0; k < vertices.size(); ++k) {
+      in_set_[vertices[k]] = stamp_;
+      local_id_[vertices[k]] = static_cast<idx>(k);
+    }
+    std::vector<std::pair<idx, idx>> edges;
+    for (std::size_t k = 0; k < vertices.size(); ++k) {
+      const idx v = vertices[k];
+      for (const idx* p = g_.adj_begin(v); p != g_.adj_end(v); ++p) {
+        if (in_set_[*p] == stamp_ && v < *p) {
+          edges.emplace_back(static_cast<idx>(k), local_id_[*p]);
+        }
+      }
+    }
+    const Graph sub = Graph::from_edges(static_cast<idx>(vertices.size()), edges);
+    for (idx local : mmd_order(sub)) order_.push_back(vertices[local]);
+  }
+
+  const Graph& g_;
+  NdOptions opt_;
+  std::vector<idx> in_set_;
+  idx stamp_ = 0;
+  std::vector<idx> level_;
+  std::vector<idx> local_id_ = std::vector<idx>(in_set_.size(), 0);
+  std::vector<idx> order_;
+};
+
+}  // namespace
+
+std::vector<idx> nested_dissection_order(const Graph& g, const NdOptions& opt) {
+  SPC_CHECK(opt.leaf_size >= 1, "nested_dissection: leaf_size must be >= 1");
+  if (g.num_vertices() == 0) return {};
+  return NdSolver(g, opt).run();
+}
+
+void bfs_vertex_separator(const Graph& g, const std::vector<idx>& vertices,
+                          std::vector<idx>& side_a, std::vector<idx>& side_b,
+                          std::vector<idx>& sep) {
+  SPC_CHECK(!vertices.empty(), "bfs_vertex_separator: empty vertex set");
+  NdSolver solver(g, NdOptions{});
+  solver.separate(vertices, side_a, side_b, sep);
+}
+
+}  // namespace spc

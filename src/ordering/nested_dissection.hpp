@@ -1,0 +1,32 @@
+// General-graph nested dissection with BFS (level-set) vertex separators.
+//
+// Used for irregular problems when a geometric description is unavailable,
+// and as a comparison ordering. Subgraphs below the cutoff are ordered with
+// minimum degree (matching standard ND practice of switching to a local
+// ordering at the leaves).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+struct NdOptions {
+  // Subgraphs of at most this many vertices are ordered with MMD.
+  idx leaf_size = 64;
+};
+
+// Returns perm[k] = vertex eliminated k-th.
+std::vector<idx> nested_dissection_order(const Graph& g, const NdOptions& opt = {});
+
+// Finds a vertex separator of the subgraph induced by `vertices` using a BFS
+// from a pseudo-peripheral vertex: the median BFS level is returned as the
+// separator; the remaining vertices split into the two sides. Exposed for
+// testing. `side_a`/`side_b`/`sep` are filled disjointly covering `vertices`.
+void bfs_vertex_separator(const Graph& g, const std::vector<idx>& vertices,
+                          std::vector<idx>& side_a, std::vector<idx>& side_b,
+                          std::vector<idx>& sep);
+
+}  // namespace spc

@@ -1,0 +1,93 @@
+#include "ordering/rcm.hpp"
+
+#include <algorithm>
+
+#include "graph/permutation.hpp"
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+// BFS from `root` over unvisited vertices; returns visit order and fills
+// levels. Neighbors are expanded in increasing-degree order (Cuthill-McKee).
+std::vector<idx> cm_component(const Graph& g, idx root, std::vector<bool>& visited) {
+  std::vector<idx> order{root};
+  visited[static_cast<std::size_t>(root)] = true;
+  std::vector<idx> nbrs;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const idx v = order[head];
+    nbrs.assign(g.adj_begin(v), g.adj_end(v));
+    std::sort(nbrs.begin(), nbrs.end(), [&](idx a, idx b) {
+      if (g.degree(a) != g.degree(b)) return g.degree(a) < g.degree(b);
+      return a < b;
+    });
+    for (idx u : nbrs) {
+      if (!visited[static_cast<std::size_t>(u)]) {
+        visited[static_cast<std::size_t>(u)] = true;
+        order.push_back(u);
+      }
+    }
+  }
+  return order;
+}
+
+// Pseudo-peripheral vertex: repeated BFS keeping the last vertex of the
+// deepest level structure.
+idx pseudo_peripheral(const Graph& g, idx start, const std::vector<bool>& visited) {
+  idx root = start;
+  idx best_depth = -1;
+  for (int iter = 0; iter < 3; ++iter) {
+    std::vector<idx> level(static_cast<std::size_t>(g.num_vertices()), kNone);
+    std::vector<idx> queue{root};
+    level[static_cast<std::size_t>(root)] = 0;
+    idx deepest = root;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const idx v = queue[head];
+      for (const idx* p = g.adj_begin(v); p != g.adj_end(v); ++p) {
+        if (!visited[static_cast<std::size_t>(*p)] &&
+            level[static_cast<std::size_t>(*p)] == kNone) {
+          level[static_cast<std::size_t>(*p)] = level[static_cast<std::size_t>(v)] + 1;
+          queue.push_back(*p);
+        }
+      }
+      deepest = v;
+    }
+    const idx depth = level[static_cast<std::size_t>(deepest)];
+    if (depth <= best_depth) break;
+    best_depth = depth;
+    root = deepest;
+  }
+  return root;
+}
+
+}  // namespace
+
+std::vector<idx> rcm_order(const Graph& g) {
+  const idx n = g.num_vertices();
+  std::vector<idx> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  for (idx v = 0; v < n; ++v) {
+    if (visited[static_cast<std::size_t>(v)]) continue;
+    const idx root = pseudo_peripheral(g, v, visited);
+    const std::vector<idx> comp = cm_component(g, root, visited);
+    order.insert(order.end(), comp.begin(), comp.end());
+  }
+  std::reverse(order.begin(), order.end());
+  SPC_CHECK(is_permutation(order), "rcm_order: internal error");
+  return order;
+}
+
+idx bandwidth_under(const Graph& g, const std::vector<idx>& perm) {
+  const std::vector<idx> pos = inverse_permutation(perm);
+  idx bw = 0;
+  for (idx v = 0; v < g.num_vertices(); ++v) {
+    for (const idx* p = g.adj_begin(v); p != g.adj_end(v); ++p) {
+      bw = std::max(bw, static_cast<idx>(std::abs(pos[static_cast<std::size_t>(v)] -
+                                                  pos[static_cast<std::size_t>(*p)])));
+    }
+  }
+  return bw;
+}
+
+}  // namespace spc

@@ -1,0 +1,23 @@
+// Reverse Cuthill-McKee ordering: the classic bandwidth/profile-reducing
+// ordering, included as a baseline for the ordering-quality comparison bench
+// (fill-reducing orderings like MMD/ND beat profile orderings decisively on
+// the paper's problem classes, which is why the paper uses them).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+// Returns perm[k] = vertex eliminated k-th. Each connected component is
+// ordered by BFS from a pseudo-peripheral vertex with neighbors visited in
+// increasing-degree order, then the whole order is reversed.
+std::vector<idx> rcm_order(const Graph& g);
+
+// Half-bandwidth of the matrix pattern under an ordering:
+// max over edges (u, v) of |pos(u) - pos(v)|. Used by tests/benches.
+idx bandwidth_under(const Graph& g, const std::vector<idx>& perm);
+
+}  // namespace spc

@@ -1,0 +1,24 @@
+// Communication-volume model of the traditional 1-D column fan-out method,
+// used to reproduce the paper's §1 scalability claim: 1-D communication
+// volume grows linearly in P while the 2-D block method grows as sqrt(P).
+//
+// In column fan-out, each completed block column is sent to every processor
+// owning a column it modifies (columns are mapped cyclically). We count the
+// exact volume for a given block structure; the 2-D volume comes from the
+// fan-out simulator's byte counts.
+#pragma once
+
+#include "blocks/block_structure.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+struct CommVolume {
+  i64 messages = 0;
+  i64 bytes = 0;
+};
+
+// 1-D cyclic column mapping over `num_procs` processors.
+CommVolume column_fanout_comm_volume(const BlockStructure& bs, idx num_procs);
+
+}  // namespace spc

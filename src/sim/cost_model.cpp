@@ -1,0 +1,48 @@
+#include "sim/cost_model.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace spc {
+
+double CostModel::rate_flops_per_s(idx min_dim) const {
+  SPC_CHECK(min_dim >= 1, "rate_flops_per_s: dimension must be positive");
+  const double r =
+      min_mflops + (peak_mflops - min_mflops) *
+                       (1.0 - std::exp(-static_cast<double>(min_dim) / rate_dim_scale));
+  return r * 1e6;
+}
+
+double CostModel::op_seconds(i64 flops, idx min_dim) const {
+  return (static_cast<double>(flops) + fixed_op_flops) / rate_flops_per_s(min_dim);
+}
+
+double CostModel::send_cpu_seconds(i64 bytes) const {
+  return send_overhead_s + static_cast<double>(bytes) * cpu_per_byte_s;
+}
+
+double CostModel::recv_cpu_seconds(i64 bytes) const {
+  return recv_overhead_s + static_cast<double>(bytes) * cpu_per_byte_s;
+}
+
+double CostModel::wire_seconds(i64 bytes) const {
+  return msg_latency_s + static_cast<double>(bytes) / bandwidth_bytes_per_s;
+}
+
+double CostModel::wire_seconds_routed(i64 bytes, idx from, idx to) const {
+  double t = wire_seconds(bytes);
+  if (mesh_cols > 0) {
+    const idx hops = std::abs(from / mesh_cols - to / mesh_cols) +
+                     std::abs(from % mesh_cols - to % mesh_cols);
+    t += static_cast<double>(hops) * per_hop_latency_s;
+  }
+  return t;
+}
+
+i64 block_bytes(idx rows, idx cols) {
+  return 8 * static_cast<i64>(rows) * cols + 4 * static_cast<i64>(rows) + 32;
+}
+
+}  // namespace spc

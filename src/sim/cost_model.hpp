@@ -1,0 +1,55 @@
+// Calibrated cost model of an Intel Paragon node (paper §3.1):
+//   * message latency 50 us, effective bandwidth ~40 MB/s for the message
+//     sizes the code uses;
+//   * Level-3 BLAS block kernels run at 20-40 Mflops depending on operand
+//     sizes — modeled as a saturating rate in the smallest operand dimension;
+//   * each block operation carries a fixed overhead equivalent to ~1000
+//     flops (the constant the paper bakes into its work model).
+#pragma once
+
+#include "support/types.hpp"
+
+namespace spc {
+
+struct CostModel {
+  double peak_mflops = 40.0;
+  double min_mflops = 20.0;
+  double rate_dim_scale = 24.0;   // rate(d) = min + (peak-min)*(1 - exp(-d/scale))
+  double fixed_op_flops = 1000.0;
+  double msg_latency_s = 50e-6;
+  double bandwidth_bytes_per_s = 40e6;
+  double send_overhead_s = 50e-6;  // sender CPU occupancy per message
+  double recv_overhead_s = 50e-6;  // receiver CPU occupancy per message
+  // Per-byte CPU cost on each end (OSF/1 copies messages through the kernel;
+  // ~80 MB/s memcpy on the i860). This is what puts software communication
+  // cost in the 5-20%-of-runtime range the paper measures.
+  double cpu_per_byte_s = 12.5e-9;
+
+  // CPU occupancy of sending / receiving one message of `bytes`.
+  double send_cpu_seconds(i64 bytes) const;
+  double recv_cpu_seconds(i64 bytes) const;
+
+  // Optional 2-D mesh topology (the Paragon is a 2-D mesh with wormhole
+  // dimension-ordered routing): when mesh_cols > 0, wire time adds
+  // per_hop_latency_s per Manhattan hop between the endpoints' mesh
+  // positions (node p at (p / mesh_cols, p % mesh_cols)). The per-hop cost
+  // on real wormhole-routed meshes is tens of nanoseconds, which is why the
+  // paper can treat the network as flat — bench/topology_ablation verifies
+  // that insensitivity.
+  idx mesh_cols = 0;
+  double per_hop_latency_s = 40e-9;
+  double wire_seconds_routed(i64 bytes, idx from, idx to) const;
+
+  // Effective flop rate for a block op whose smallest operand dimension is d.
+  double rate_flops_per_s(idx min_dim) const;
+  // Execution time of a block op.
+  double op_seconds(i64 flops, idx min_dim) const;
+  // Time on the wire (excluding the send/recv CPU overheads).
+  double wire_seconds(i64 bytes) const;
+};
+
+// Bytes of a dense m x n double-precision block plus a small header of row
+// indices (what the fan-out method actually ships).
+i64 block_bytes(idx rows, idx cols);
+
+}  // namespace spc

@@ -1,0 +1,70 @@
+#include "sim/critical_path.hpp"
+
+#include <algorithm>
+
+#include "sim/fanout_sim.hpp"
+#include "support/error.hpp"
+
+namespace spc {
+
+double CriticalPathResult::efficiency_bound(idx num_procs) const {
+  const double par_bound =
+      std::max(critical_path_s, seq_runtime_s / static_cast<double>(num_procs));
+  return seq_runtime_s / (static_cast<double>(num_procs) * par_bound);
+}
+
+double CriticalPathResult::mflops_bound(i64 sequential_flops, idx num_procs) const {
+  const double par_bound =
+      std::max(critical_path_s, seq_runtime_s / static_cast<double>(num_procs));
+  return static_cast<double>(sequential_flops) / par_bound / 1e6;
+}
+
+CriticalPathResult critical_path(const BlockStructure& bs, const TaskGraph& tg,
+                                 const CostModel& cm) {
+  const idx nb = bs.num_block_cols();
+  // acc[b]: completion time of the serialized update stream into block b so
+  // far; ready[b]: time block b itself is complete (after BFAC/BDIV).
+  std::vector<double> acc(static_cast<std::size_t>(tg.num_blocks()), 0.0);
+  std::vector<double> ready(static_cast<std::size_t>(tg.num_blocks()), 0.0);
+
+  // Mods are grouped by source column in ascending order; sweep columns,
+  // finishing each column's blocks before streaming its updates outward.
+  std::size_t mod_cursor = 0;
+  for (idx k = 0; k < nb; ++k) {
+    const idx w = bs.part.width(k);
+    // BFAC(K,K) after all updates into the diagonal block.
+    const double bfac_cost = cm.op_seconds(tg.completion_flops[static_cast<std::size_t>(k)], w);
+    ready[static_cast<std::size_t>(k)] = acc[static_cast<std::size_t>(k)] + bfac_cost;
+    // BDIV(I,K) after the block's updates and the factored diagonal.
+    for (i64 e = bs.blkptr[k]; e < bs.blkptr[k + 1]; ++e) {
+      const block_id b = nb + e;
+      const idx min_dim = std::min<idx>(w, bs.blkcnt[e]);
+      const double cost =
+          cm.op_seconds(tg.completion_flops[static_cast<std::size_t>(b)], min_dim);
+      ready[static_cast<std::size_t>(b)] =
+          std::max(acc[static_cast<std::size_t>(b)], ready[static_cast<std::size_t>(k)]) + cost;
+    }
+    // Stream this column's BMODs into their destinations (serialized per
+    // destination, in source order).
+    while (mod_cursor < tg.mods.size() && tg.mods[mod_cursor].col_k == k) {
+      const BlockMod& m = tg.mods[mod_cursor];
+      const idx min_dim =
+          std::min({w, tg.rows_of_block[static_cast<std::size_t>(m.src_a)],
+                    tg.rows_of_block[static_cast<std::size_t>(m.src_b)]});
+      const double cost = cm.op_seconds(m.flops, min_dim);
+      const double src_ready = std::max(ready[static_cast<std::size_t>(m.src_a)],
+                                        ready[static_cast<std::size_t>(m.src_b)]);
+      acc[static_cast<std::size_t>(m.dest)] =
+          std::max(acc[static_cast<std::size_t>(m.dest)], src_ready) + cost;
+      ++mod_cursor;
+    }
+  }
+  SPC_CHECK(mod_cursor == tg.mods.size(), "critical_path: mods not column-sorted");
+
+  CriticalPathResult out;
+  for (double t : ready) out.critical_path_s = std::max(out.critical_path_s, t);
+  out.seq_runtime_s = sequential_runtime(bs, tg, cm);
+  return out;
+}
+
+}  // namespace spc

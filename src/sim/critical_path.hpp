@@ -1,0 +1,32 @@
+// Critical-path analysis of the block factorization task DAG (paper §5,
+// after Rothberg's thesis [11]): the longest chain of dependent block
+// operations under the cost model, ignoring processor counts and
+// communication. Updates into one destination block serialize (its owner
+// applies them one at a time); independent blocks proceed concurrently.
+//
+// This gives the concurrency-limited lower bound on parallel runtime that
+// the paper uses to argue load balance — not parallelism — was the
+// bottleneck (e.g. ~50% headroom for BCSSTK15 on P=100).
+#pragma once
+
+#include "blocks/block_structure.hpp"
+#include "blocks/task_graph.hpp"
+#include "sim/cost_model.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+struct CriticalPathResult {
+  double critical_path_s = 0.0;  // longest dependent chain
+  double seq_runtime_s = 0.0;    // total work under the same cost model
+  // Efficiency upper bound from concurrency alone:
+  // t_seq / (P * max(t_cp, t_seq / P)).
+  double efficiency_bound(idx num_procs) const;
+  // Upper bound on achievable Mflops for a given op count and P.
+  double mflops_bound(i64 sequential_flops, idx num_procs) const;
+};
+
+CriticalPathResult critical_path(const BlockStructure& bs, const TaskGraph& tg,
+                                 const CostModel& cm = {});
+
+}  // namespace spc

@@ -1,0 +1,19 @@
+#include "sim/event_queue.hpp"
+
+#include "support/error.hpp"
+
+namespace spc {
+
+void EventQueue::push(double time, int kind, idx proc, i64 payload) {
+  SPC_CHECK(time >= 0.0, "EventQueue: negative time");
+  heap_.push(SimEvent{time, next_seq_++, kind, proc, payload});
+}
+
+SimEvent EventQueue::pop() {
+  SPC_CHECK(!heap_.empty(), "EventQueue: pop from empty queue");
+  SimEvent e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace spc

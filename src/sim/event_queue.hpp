@@ -1,0 +1,37 @@
+// Deterministic discrete-event queue: events at equal times are delivered in
+// insertion order (a strict total order, so simulations are reproducible).
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace spc {
+
+struct SimEvent {
+  double time = 0.0;
+  i64 seq = 0;       // tie-breaker, assigned by the queue
+  int kind = 0;      // interpreted by the simulation
+  idx proc = kNone;
+  i64 payload = 0;
+};
+
+class EventQueue {
+ public:
+  void push(double time, int kind, idx proc, i64 payload);
+  bool empty() const { return heap_.empty(); }
+  SimEvent pop();
+
+ private:
+  struct Later {
+    bool operator()(const SimEvent& a, const SimEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+  i64 next_seq_ = 0;
+};
+
+}  // namespace spc

@@ -1,0 +1,430 @@
+#include "sim/fanout_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "sim/event_queue.hpp"
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+enum OpKind : int { kOpComplete = 0, kOpMod = 1, kOpApply = 2, kOpSend = 3, kOpRecv = 4 };
+enum EventKind : int { kEvOpDone = 0, kEvArrival = 1 };
+
+struct Op {
+  OpKind kind;
+  i64 id;  // block id / mod id / agg id / message id
+};
+
+struct Aggregate {
+  block_id dest = 0;
+  idx from_proc = 0;
+  i64 remaining = 0;
+};
+
+struct Message {
+  bool is_aggregate = false;
+  i64 id = 0;  // block id or aggregate id
+  idx to = 0;
+  i64 bytes = 0;
+};
+
+// A ready operation in a processor's queue. Under data-driven scheduling
+// every key is 0 and seq preserves FIFO order; under priority scheduling the
+// key is the destination block column (earlier columns first).
+struct ReadyOp {
+  i64 key;
+  i64 seq;
+  Op op;
+  bool operator>(const ReadyOp& other) const {
+    if (key != other.key) return key > other.key;
+    return seq > other.seq;
+  }
+};
+
+using ReadyQueue =
+    std::priority_queue<ReadyOp, std::vector<ReadyOp>, std::greater<ReadyOp>>;
+
+struct Simulator {
+  const BlockStructure& bs;
+  const TaskGraph& tg;
+  const BlockMap& map;
+  const DomainDecomposition& dom;
+  const CostModel& cm;
+  SchedulingPolicy policy;
+  SimTrace* trace;
+
+  idx nb;
+  i64 num_blocks;
+  idx num_procs;
+
+  std::vector<idx> owner;         // per block
+  std::vector<i64> deps;          // pending apply events per block
+  std::vector<bool> complete;     // per block
+  std::vector<idx> mod_exec;      // executing proc per mod
+  std::vector<i64> mod_pending;   // distinct sources not yet available
+  std::vector<i64> mod_agg;       // aggregate id or kNone
+  std::vector<Aggregate> aggs;
+  // CSR: mods by source block.
+  std::vector<i64> src_ptr;
+  std::vector<i64> src_mods;
+
+  // Per-processor execution state.
+  std::vector<ReadyQueue> fifo;
+  i64 ready_seq = 0;
+  std::vector<bool> busy;
+  std::vector<ProcStats> stats;
+  std::vector<Message> messages;
+  EventQueue events;
+  double now = 0.0;
+  // Scratch for consumer dedup.
+  std::vector<i64> proc_stamp;
+  i64 stamp = 0;
+
+  Simulator(const BlockStructure& bs_in, const TaskGraph& tg_in,
+            const BlockMap& map_in, const DomainDecomposition& dom_in,
+            const CostModel& cm_in, SchedulingPolicy policy_in, SimTrace* trace_in)
+      : bs(bs_in), tg(tg_in), map(map_in), dom(dom_in), cm(cm_in),
+        policy(policy_in), trace(trace_in) {
+    nb = bs.num_block_cols();
+    num_blocks = tg.num_blocks();
+    num_procs = map.grid.size();
+    setup();
+  }
+
+  idx width_of(idx col) const { return bs.part.width(col); }
+
+  void setup() {
+    owner.resize(static_cast<std::size_t>(num_blocks));
+    for (block_id b = 0; b < num_blocks; ++b) {
+      owner[static_cast<std::size_t>(b)] =
+          map.owner(tg.row_of_block[static_cast<std::size_t>(b)],
+                    tg.col_of_block[static_cast<std::size_t>(b)], dom);
+    }
+
+    const i64 num_mods = static_cast<i64>(tg.mods.size());
+    mod_exec.resize(static_cast<std::size_t>(num_mods));
+    mod_pending.resize(static_cast<std::size_t>(num_mods));
+    mod_agg.assign(static_cast<std::size_t>(num_mods), kNone);
+    deps.assign(static_cast<std::size_t>(num_blocks), 0);
+    std::unordered_map<i64, i64> agg_index;  // (dest * P + proc) -> agg id
+
+    for (i64 m = 0; m < num_mods; ++m) {
+      const BlockMod& mod = tg.mods[static_cast<std::size_t>(m)];
+      const bool domain_src = dom.is_domain_col(mod.col_k);
+      const idx dest_owner = owner[static_cast<std::size_t>(mod.dest)];
+      const idx exec = domain_src ? dom.domain_proc[mod.col_k] : dest_owner;
+      mod_exec[static_cast<std::size_t>(m)] = exec;
+      mod_pending[static_cast<std::size_t>(m)] = mod.src_a == mod.src_b ? 1 : 2;
+      if (domain_src && exec != dest_owner) {
+        const i64 key = mod.dest * static_cast<i64>(num_procs) + exec;
+        auto [it, inserted] = agg_index.try_emplace(key, static_cast<i64>(aggs.size()));
+        if (inserted) {
+          aggs.push_back(Aggregate{mod.dest, exec, 0});
+          ++deps[static_cast<std::size_t>(mod.dest)];  // one apply per aggregate
+        }
+        mod_agg[static_cast<std::size_t>(m)] = it->second;
+        ++aggs[static_cast<std::size_t>(it->second)].remaining;
+      } else {
+        ++deps[static_cast<std::size_t>(mod.dest)];  // direct apply at owner
+      }
+    }
+    // Off-diagonal blocks additionally wait for their factored diagonal.
+    for (block_id b = nb; b < num_blocks; ++b) ++deps[static_cast<std::size_t>(b)];
+
+    // CSR of mods by source block.
+    src_ptr.assign(static_cast<std::size_t>(num_blocks) + 1, 0);
+    for (const BlockMod& mod : tg.mods) {
+      ++src_ptr[static_cast<std::size_t>(mod.src_a) + 1];
+      if (mod.src_b != mod.src_a) ++src_ptr[static_cast<std::size_t>(mod.src_b) + 1];
+    }
+    for (block_id b = 0; b < num_blocks; ++b) {
+      src_ptr[static_cast<std::size_t>(b) + 1] += src_ptr[static_cast<std::size_t>(b)];
+    }
+    src_mods.resize(static_cast<std::size_t>(src_ptr[static_cast<std::size_t>(num_blocks)]));
+    {
+      std::vector<i64> cursor(src_ptr.begin(), src_ptr.end() - 1);
+      for (i64 m = 0; m < num_mods; ++m) {
+        const BlockMod& mod = tg.mods[static_cast<std::size_t>(m)];
+        src_mods[static_cast<std::size_t>(cursor[static_cast<std::size_t>(mod.src_a)]++)] = m;
+        if (mod.src_b != mod.src_a) {
+          src_mods[static_cast<std::size_t>(cursor[static_cast<std::size_t>(mod.src_b)]++)] = m;
+        }
+      }
+    }
+
+    complete.assign(static_cast<std::size_t>(num_blocks), false);
+    fifo.resize(static_cast<std::size_t>(num_procs));
+    busy.assign(static_cast<std::size_t>(num_procs), false);
+    stats.assign(static_cast<std::size_t>(num_procs), ProcStats{});
+    proc_stamp.assign(static_cast<std::size_t>(num_procs), -1);
+  }
+
+  double op_cost(const Op& op) const {
+    switch (op.kind) {
+      case kOpComplete: {
+        const block_id b = op.id;
+        const idx col = tg.col_of_block[static_cast<std::size_t>(b)];
+        const idx w = width_of(col);
+        const idx min_dim = is_diag_block(bs, b)
+                                ? w
+                                : std::min<idx>(w, tg.rows_of_block[static_cast<std::size_t>(b)]);
+        return cm.op_seconds(tg.completion_flops[static_cast<std::size_t>(b)], min_dim);
+      }
+      case kOpMod: {
+        const BlockMod& m = tg.mods[static_cast<std::size_t>(op.id)];
+        const idx w = width_of(m.col_k);
+        const idx min_dim = std::min(
+            {w, tg.rows_of_block[static_cast<std::size_t>(m.src_a)],
+             tg.rows_of_block[static_cast<std::size_t>(m.src_b)]});
+        return cm.op_seconds(m.flops, min_dim);
+      }
+      case kOpApply: {
+        const Aggregate& a = aggs[static_cast<std::size_t>(op.id)];
+        const idx rows = tg.rows_of_block[static_cast<std::size_t>(a.dest)];
+        const idx cols = width_of(tg.col_of_block[static_cast<std::size_t>(a.dest)]);
+        return cm.op_seconds(static_cast<i64>(rows) * cols, std::min(rows, cols));
+      }
+      case kOpSend:
+        return cm.send_cpu_seconds(messages[static_cast<std::size_t>(op.id)].bytes);
+      case kOpRecv:
+        return cm.recv_cpu_seconds(messages[static_cast<std::size_t>(op.id)].bytes);
+    }
+    SPC_CHECK(false, "op_cost: unknown op kind");
+  }
+
+  bool is_comm_op(const Op& op) const {
+    return op.kind == kOpSend || op.kind == kOpRecv;
+  }
+
+  // Priority key: communication first, then ops gating the earliest block
+  // column (which heads the longest remaining dependence chains).
+  i64 priority_key(const Op& op) const {
+    if (policy == SchedulingPolicy::kDataDriven) return 0;
+    switch (op.kind) {
+      case kOpSend:
+      case kOpRecv:
+        return -1;
+      case kOpComplete:
+        return tg.col_of_block[static_cast<std::size_t>(op.id)];
+      case kOpMod:
+        return tg.col_of_block[static_cast<std::size_t>(
+            tg.mods[static_cast<std::size_t>(op.id)].dest)];
+      case kOpApply:
+        return tg.col_of_block[static_cast<std::size_t>(
+            aggs[static_cast<std::size_t>(op.id)].dest)];
+    }
+    return 0;
+  }
+
+  void enqueue(idx proc, Op op) {
+    fifo[static_cast<std::size_t>(proc)].push(ReadyOp{priority_key(op), ready_seq++, op});
+    if (!busy[static_cast<std::size_t>(proc)]) start_next(proc);
+  }
+
+  void start_next(idx proc) {
+    auto& q = fifo[static_cast<std::size_t>(proc)];
+    if (q.empty()) {
+      busy[static_cast<std::size_t>(proc)] = false;
+      return;
+    }
+    const Op op = q.top().op;
+    q.pop();
+    busy[static_cast<std::size_t>(proc)] = true;
+    const double cost = op_cost(op);
+    ProcStats& ps = stats[static_cast<std::size_t>(proc)];
+    if (is_comm_op(op)) {
+      ps.comm_s += cost;
+    } else {
+      ps.compute_s += cost;
+    }
+    switch (op.kind) {
+      case kOpComplete: ++ps.ops_completion; break;
+      case kOpMod: ++ps.ops_mod; break;
+      case kOpApply: ++ps.ops_apply; break;
+      case kOpRecv: ++ps.msgs_received; break;
+      case kOpSend: break;
+    }
+    if (trace != nullptr) {
+      trace->record(proc, now, now + cost,
+                    is_comm_op(op) ? TraceKind::kComm : TraceKind::kCompute);
+    }
+    events.push(now + cost, kEvOpDone, proc, encode_op(op));
+  }
+
+  static i64 encode_op(Op op) { return static_cast<i64>(op.kind) + op.id * 8; }
+  static Op decode_op(i64 v) { return Op{static_cast<OpKind>(v % 8), v / 8}; }
+
+  i64 block_message_bytes(block_id b) const {
+    return block_bytes(tg.rows_of_block[static_cast<std::size_t>(b)],
+                       width_of(tg.col_of_block[static_cast<std::size_t>(b)]));
+  }
+
+  void send_message(idx from, Message msg) {
+    const i64 id = static_cast<i64>(messages.size());
+    messages.push_back(msg);
+    stats[static_cast<std::size_t>(from)].msgs_sent += 1;
+    stats[static_cast<std::size_t>(from)].bytes_sent += msg.bytes;
+    enqueue(from, Op{kOpSend, id});
+  }
+
+  // A block became available at proc q (local completion or arrival).
+  void block_available(idx q, block_id b) {
+    for (i64 k = src_ptr[static_cast<std::size_t>(b)]; k < src_ptr[static_cast<std::size_t>(b) + 1]; ++k) {
+      const i64 m = src_mods[static_cast<std::size_t>(k)];
+      if (mod_exec[static_cast<std::size_t>(m)] != q) continue;
+      if (--mod_pending[static_cast<std::size_t>(m)] == 0) enqueue(q, Op{kOpMod, m});
+    }
+    if (is_diag_block(bs, b)) {
+      const idx col = static_cast<idx>(b);
+      for (i64 e = bs.blkptr[col]; e < bs.blkptr[col + 1]; ++e) {
+        const block_id ob = nb + e;
+        if (owner[static_cast<std::size_t>(ob)] != q) continue;
+        dec_deps(ob);
+      }
+    }
+  }
+
+  void dec_deps(block_id b) {
+    SPC_CHECK(deps[static_cast<std::size_t>(b)] > 0, "simulate_fanout: deps underflow");
+    if (--deps[static_cast<std::size_t>(b)] == 0) {
+      enqueue(owner[static_cast<std::size_t>(b)], Op{kOpComplete, b});
+    }
+  }
+
+  void on_block_complete(idx p, block_id b) {
+    complete[static_cast<std::size_t>(b)] = true;
+    block_available(p, b);
+
+    // Consumers: exec procs of mods sourced by b, plus (for diagonal blocks)
+    // owners of the column's off-diagonal blocks.
+    ++stamp;
+    proc_stamp[static_cast<std::size_t>(p)] = stamp;  // never send to self
+    const i64 bytes = block_message_bytes(b);
+    auto consider = [&](idx q) {
+      if (proc_stamp[static_cast<std::size_t>(q)] == stamp) return;
+      proc_stamp[static_cast<std::size_t>(q)] = stamp;
+      send_message(p, Message{false, b, q, bytes});
+    };
+    for (i64 k = src_ptr[static_cast<std::size_t>(b)]; k < src_ptr[static_cast<std::size_t>(b) + 1]; ++k) {
+      consider(mod_exec[static_cast<std::size_t>(src_mods[static_cast<std::size_t>(k)])]);
+    }
+    if (is_diag_block(bs, b)) {
+      const idx col = static_cast<idx>(b);
+      for (i64 e = bs.blkptr[col]; e < bs.blkptr[col + 1]; ++e) {
+        consider(owner[static_cast<std::size_t>(nb + e)]);
+      }
+    }
+  }
+
+  void on_mod_done(idx p, i64 m) {
+    const BlockMod& mod = tg.mods[static_cast<std::size_t>(m)];
+    const i64 agg = mod_agg[static_cast<std::size_t>(m)];
+    if (agg == kNone) {
+      dec_deps(mod.dest);
+    } else {
+      Aggregate& a = aggs[static_cast<std::size_t>(agg)];
+      if (--a.remaining == 0) {
+        const i64 bytes =
+            block_bytes(tg.rows_of_block[static_cast<std::size_t>(a.dest)],
+                        width_of(tg.col_of_block[static_cast<std::size_t>(a.dest)]));
+        send_message(p, Message{true, agg, owner[static_cast<std::size_t>(a.dest)], bytes});
+      }
+    }
+  }
+
+  void on_op_done(idx p, Op op) {
+    switch (op.kind) {
+      case kOpComplete:
+        on_block_complete(p, op.id);
+        break;
+      case kOpMod:
+        on_mod_done(p, op.id);
+        break;
+      case kOpApply:
+        dec_deps(aggs[static_cast<std::size_t>(op.id)].dest);
+        break;
+      case kOpSend: {
+        const Message& msg = messages[static_cast<std::size_t>(op.id)];
+        events.push(now + cm.wire_seconds_routed(msg.bytes, p, msg.to), kEvArrival,
+                    msg.to, op.id);
+        break;
+      }
+      case kOpRecv: {
+        const Message& msg = messages[static_cast<std::size_t>(op.id)];
+        if (msg.is_aggregate) {
+          enqueue(p, Op{kOpApply, msg.id});
+        } else {
+          block_available(p, msg.id);
+        }
+        break;
+      }
+    }
+  }
+
+  SimResult run() {
+    // Seed: blocks with no dependencies (diagonal blocks of columns that
+    // receive no modifications).
+    for (block_id b = 0; b < num_blocks; ++b) {
+      if (deps[static_cast<std::size_t>(b)] == 0) {
+        enqueue(owner[static_cast<std::size_t>(b)], Op{kOpComplete, b});
+      }
+    }
+    while (!events.empty()) {
+      const SimEvent ev = events.pop();
+      now = ev.time;
+      if (ev.kind == kEvOpDone) {
+        on_op_done(ev.proc, decode_op(ev.payload));
+        start_next(ev.proc);
+      } else {
+        enqueue(ev.proc, Op{kOpRecv, ev.payload});
+      }
+    }
+    for (block_id b = 0; b < num_blocks; ++b) {
+      SPC_CHECK(complete[static_cast<std::size_t>(b)],
+                "simulate_fanout: deadlock — block never completed");
+    }
+    SimResult result;
+    result.runtime_s = now;
+    result.num_procs = num_procs;
+    result.procs = stats;
+    return result;
+  }
+};
+
+}  // namespace
+
+double sequential_runtime(const BlockStructure& bs, const TaskGraph& tg,
+                          const CostModel& cm) {
+  double total = 0.0;
+  for (block_id b = 0; b < tg.num_blocks(); ++b) {
+    const idx col = tg.col_of_block[static_cast<std::size_t>(b)];
+    const idx w = bs.part.width(col);
+    const idx min_dim =
+        is_diag_block(bs, b)
+            ? w
+            : std::min<idx>(w, tg.rows_of_block[static_cast<std::size_t>(b)]);
+    total += cm.op_seconds(tg.completion_flops[static_cast<std::size_t>(b)], min_dim);
+  }
+  for (const BlockMod& m : tg.mods) {
+    const idx w = bs.part.width(m.col_k);
+    const idx min_dim = std::min({w, tg.rows_of_block[static_cast<std::size_t>(m.src_a)],
+                                  tg.rows_of_block[static_cast<std::size_t>(m.src_b)]});
+    total += cm.op_seconds(m.flops, min_dim);
+  }
+  return total;
+}
+
+SimResult simulate_fanout(const BlockStructure& bs, const TaskGraph& tg,
+                          const BlockMap& map, const DomainDecomposition& dom,
+                          const CostModel& cm, SchedulingPolicy policy,
+                          SimTrace* trace) {
+  Simulator sim(bs, tg, map, dom, cm, policy, trace);
+  SimResult result = sim.run();
+  result.seq_runtime_s = sequential_runtime(bs, tg, cm);
+  return result;
+}
+
+}  // namespace spc

@@ -1,0 +1,57 @@
+// Discrete-event simulation of the block fan-out method (paper §2.3) on a
+// Paragon-like message-passing machine.
+//
+// Protocol (mirroring the paper's data-driven SPMD description):
+//  * The owner of L_IJ performs all block operations whose destination is
+//    L_IJ. A completed block is sent to every processor that executes an
+//    operation consuming it (with a CP mapping: one grid row + one column).
+//  * Factored diagonal blocks are sent to the owners of their column's
+//    off-diagonal blocks (for BDIV).
+//  * Domain-mapped block columns (paper §2.3) execute all their source
+//    operations on the domain processor; updates to remote root blocks are
+//    shipped as ONE aggregated update per (domain processor, destination
+//    block), whose apply cost the destination owner pays.
+//  * Each processor is single-threaded: it executes ready operations and
+//    send/receive software overheads serially, in FIFO order of readiness —
+//    the "purely data-driven" scheduling the paper describes (§5).
+//
+// The sequential baseline (seq_runtime_s) runs the identical cost model on
+// one processor with no communication, matching the paper's efficiency
+// definition (they measured t_seq with the parallel code on one node).
+#pragma once
+
+#include "blocks/block_structure.hpp"
+#include "blocks/domains.hpp"
+#include "blocks/task_graph.hpp"
+#include "mapping/block_map.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+// How a processor picks its next ready operation.
+//  * kDataDriven — FIFO in readiness order: the paper's block fan-out code
+//    ("a processor acts on received blocks in the order in which they are
+//    received", §2.3).
+//  * kPriority — the dynamic scheduling the paper proposes as future work
+//    (§5): ready operations whose destination lies in an earlier block
+//    column run first, since early columns gate the longest dependence
+//    chains. Explored by bench/dynamic_scheduling.
+enum class SchedulingPolicy { kDataDriven, kPriority };
+
+// `trace`, when non-null, receives every processor busy interval (compute
+// and communication) for timeline analysis (sim/trace.hpp).
+SimResult simulate_fanout(const BlockStructure& bs, const TaskGraph& tg,
+                          const BlockMap& map, const DomainDecomposition& dom,
+                          const CostModel& cm = {},
+                          SchedulingPolicy policy = SchedulingPolicy::kDataDriven,
+                          SimTrace* trace = nullptr);
+
+// Sequential runtime under the cost model (no communication, no fixed
+// scheduling loss): the baseline for efficiency.
+double sequential_runtime(const BlockStructure& bs, const TaskGraph& tg,
+                          const CostModel& cm = {});
+
+}  // namespace spc

@@ -1,0 +1,50 @@
+#include "sim/machine.hpp"
+
+#include "support/error.hpp"
+
+namespace spc {
+
+i64 SimResult::total_msgs() const {
+  i64 t = 0;
+  for (const ProcStats& p : procs) t += p.msgs_sent;
+  return t;
+}
+
+i64 SimResult::total_bytes() const {
+  i64 t = 0;
+  for (const ProcStats& p : procs) t += p.bytes_sent;
+  return t;
+}
+
+double SimResult::total_compute_s() const {
+  double t = 0.0;
+  for (const ProcStats& p : procs) t += p.compute_s;
+  return t;
+}
+
+double SimResult::total_comm_s() const {
+  double t = 0.0;
+  for (const ProcStats& p : procs) t += p.comm_s;
+  return t;
+}
+
+double SimResult::total_idle_s() const {
+  return static_cast<double>(num_procs) * runtime_s - total_compute_s() - total_comm_s();
+}
+
+double SimResult::efficiency() const {
+  SPC_CHECK(runtime_s > 0.0 && num_procs > 0, "SimResult: invalid runtime");
+  return seq_runtime_s / (static_cast<double>(num_procs) * runtime_s);
+}
+
+double SimResult::mflops(i64 sequential_flops) const {
+  SPC_CHECK(runtime_s > 0.0, "SimResult: invalid runtime");
+  return static_cast<double>(sequential_flops) / runtime_s / 1e6;
+}
+
+double SimResult::comm_fraction() const {
+  const double denom = static_cast<double>(num_procs) * runtime_s;
+  return denom > 0.0 ? total_comm_s() / denom : 0.0;
+}
+
+}  // namespace spc

@@ -1,0 +1,46 @@
+// Per-processor accounting and aggregate statistics for the simulated
+// machine, mirroring the instrumentation the paper reports (§5): compute
+// time, communication (send/recv software) time, idle time, message counts
+// and volumes.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace spc {
+
+struct ProcStats {
+  double compute_s = 0.0;  // BFAC/BDIV/BMOD/aggregate-apply execution
+  double comm_s = 0.0;     // send + receive software overhead
+  i64 msgs_sent = 0;
+  i64 bytes_sent = 0;
+  // Operation counts, for conservation checks and instrumentation.
+  i64 ops_completion = 0;  // BFAC + BDIV
+  i64 ops_mod = 0;         // BMOD
+  i64 ops_apply = 0;       // aggregated-update applications
+  i64 msgs_received = 0;
+};
+
+struct SimResult {
+  double runtime_s = 0.0;      // parallel makespan
+  double seq_runtime_s = 0.0;  // same cost model on one processor, no comm
+  idx num_procs = 0;
+  std::vector<ProcStats> procs;
+
+  i64 total_msgs() const;
+  i64 total_bytes() const;
+  double total_compute_s() const;
+  double total_comm_s() const;
+  double total_idle_s() const;  // P * runtime - compute - comm
+
+  // Parallel efficiency t_seq / (P * t_par), the paper's §3.2 definition.
+  double efficiency() const;
+  // Achieved Mflops given the matrix's sequential operation count (the paper
+  // divides the best-known sequential op count by parallel runtime).
+  double mflops(i64 sequential_flops) const;
+  // Fraction of aggregate processor time spent in communication overhead.
+  double comm_fraction() const;
+};
+
+}  // namespace spc

@@ -1,0 +1,83 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace spc {
+
+void SimTrace::record(idx proc, double start, double end, TraceKind kind) {
+  SPC_CHECK(end >= start && start >= 0.0, "SimTrace: invalid interval");
+  intervals_.push_back(TraceInterval{proc, start, end, kind});
+}
+
+double SimTrace::busy_seconds(idx proc) const {
+  double total = 0.0;
+  for (const TraceInterval& iv : intervals_) {
+    if (iv.proc == proc) total += iv.end - iv.start;
+  }
+  return total;
+}
+
+std::vector<std::vector<double>> SimTrace::utilization(idx num_procs, double horizon,
+                                                       idx buckets) const {
+  SPC_CHECK(num_procs >= 1 && buckets >= 1 && horizon > 0.0,
+            "SimTrace::utilization: bad arguments");
+  std::vector<std::vector<double>> busy(
+      static_cast<std::size_t>(num_procs),
+      std::vector<double>(static_cast<std::size_t>(buckets), 0.0));
+  const double dt = horizon / buckets;
+  for (const TraceInterval& iv : intervals_) {
+    if (iv.proc < 0 || iv.proc >= num_procs) continue;
+    const idx b0 = std::min<idx>(buckets - 1, static_cast<idx>(iv.start / dt));
+    const idx b1 = std::min<idx>(buckets - 1, static_cast<idx>(iv.end / dt));
+    for (idx b = b0; b <= b1; ++b) {
+      const double lo = std::max(iv.start, b * dt);
+      const double hi = std::min(iv.end, (b + 1) * dt);
+      if (hi > lo) busy[static_cast<std::size_t>(iv.proc)][static_cast<std::size_t>(b)] += hi - lo;
+    }
+  }
+  for (auto& row : busy) {
+    for (double& v : row) v = std::min(1.0, v / dt);
+  }
+  return busy;
+}
+
+std::vector<double> SimTrace::machine_profile(idx num_procs, double horizon,
+                                              idx buckets) const {
+  const auto util = utilization(num_procs, horizon, buckets);
+  std::vector<double> profile(static_cast<std::size_t>(buckets), 0.0);
+  for (const auto& row : util) {
+    for (std::size_t b = 0; b < row.size(); ++b) profile[b] += row[b];
+  }
+  for (double& v : profile) v /= static_cast<double>(num_procs);
+  return profile;
+}
+
+void SimTrace::print_timeline(std::ostream& os, idx num_procs, double horizon,
+                              idx buckets, idx max_rows) const {
+  static const char kLevels[] = " .:-=+#%@";
+  const auto util = utilization(num_procs, horizon, buckets);
+  const idx rows = std::min(num_procs, max_rows);
+  os << "utilization timeline (" << num_procs << " procs, "
+     << horizon * 1e3 << " ms horizon; rows sampled):\n";
+  for (idx r = 0; r < rows; ++r) {
+    const idx proc = static_cast<idx>(static_cast<i64>(r) * num_procs / rows);
+    os << "P" << proc << (proc < 10 ? "   |" : (proc < 100 ? "  |" : " |"));
+    for (double v : util[static_cast<std::size_t>(proc)]) {
+      const int level = std::min(8, static_cast<int>(v * 8.999));
+      os << kLevels[level];
+    }
+    os << "|\n";
+  }
+  const std::vector<double> profile = machine_profile(num_procs, horizon, buckets);
+  os << "mean" << " |";
+  for (double v : profile) {
+    const int level = std::min(8, static_cast<int>(v * 8.999));
+    os << kLevels[level];
+  }
+  os << "|\n";
+}
+
+}  // namespace spc

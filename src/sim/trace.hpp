@@ -1,0 +1,52 @@
+// Execution tracing for the fan-out simulator: per-processor busy intervals
+// classified as compute vs communication, with an ASCII utilization timeline
+// — the instrumentation behind the paper's §5 observation that idle waiting,
+// not communication, dominates the non-compute time.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace spc {
+
+enum class TraceKind : char { kCompute = 'c', kComm = 'm' };
+
+struct TraceInterval {
+  idx proc;
+  double start;
+  double end;
+  TraceKind kind;
+};
+
+class SimTrace {
+ public:
+  void record(idx proc, double start, double end, TraceKind kind);
+
+  const std::vector<TraceInterval>& intervals() const { return intervals_; }
+
+  // Busy (compute + comm) seconds of one processor.
+  double busy_seconds(idx proc) const;
+
+  // Utilization (busy fraction) of each processor within [0, horizon],
+  // bucketed into `buckets` equal time slices: result[proc][bucket].
+  std::vector<std::vector<double>> utilization(idx num_procs, double horizon,
+                                               idx buckets) const;
+
+  // ASCII timeline: one row per processor (up to max_rows, sampled evenly),
+  // one column per bucket; characters ' .:-=#%@' by utilization level.
+  void print_timeline(std::ostream& os, idx num_procs, double horizon,
+                      idx buckets = 64, idx max_rows = 16) const;
+
+  // Machine-wide utilization per bucket (mean over processors) — the
+  // pipeline fill/drain profile.
+  std::vector<double> machine_profile(idx num_procs, double horizon,
+                                      idx buckets) const;
+
+ private:
+  std::vector<TraceInterval> intervals_;
+};
+
+}  // namespace spc

@@ -1,0 +1,9 @@
+#include "support/error.hpp"
+
+namespace spc {
+
+void throw_error(const char* file, int line, const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace spc

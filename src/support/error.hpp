@@ -1,0 +1,27 @@
+// Error handling: all precondition violations throw spc::Error so that tests
+// can assert on failure paths without aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spc {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Builds "file:line: msg" and throws spc::Error.
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+
+}  // namespace spc
+
+// Precondition / invariant check that stays enabled in release builds.
+// Usage: SPC_CHECK(n >= 0, "matrix dimension must be non-negative");
+#define SPC_CHECK(cond, msg)                          \
+  do {                                                \
+    if (!(cond)) {                                    \
+      ::spc::throw_error(__FILE__, __LINE__, (msg));  \
+    }                                                 \
+  } while (false)

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation for matrix generators and
+// property tests. xoshiro256** seeded via SplitMix64: reproducible across
+// platforms (unlike std::mt19937 + distributions, whose results are
+// implementation-defined for some distributions).
+#pragma once
+
+#include <cstdint>
+
+#include "support/types.hpp"
+
+namespace spc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound) via Lemire's rejection-free-ish multiply-shift.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  idx uniform_int(idx lo, idx hi);
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // True with probability p.
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace spc

@@ -1,0 +1,58 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace spc {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++count_;
+}
+
+double Accumulator::min() const {
+  SPC_CHECK(count_ > 0, "Accumulator::min on empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  SPC_CHECK(count_ > 0, "Accumulator::max on empty accumulator");
+  return max_;
+}
+
+double Accumulator::mean() const {
+  SPC_CHECK(count_ > 0, "Accumulator::mean on empty accumulator");
+  return sum_ / static_cast<double>(count_);
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geometric_mean(const std::vector<double>& xs) {
+  SPC_CHECK(!xs.empty(), "geometric_mean of empty vector");
+  double log_sum = 0.0;
+  for (double x : xs) {
+    SPC_CHECK(x > 0.0, "geometric_mean requires positive values");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double max_value(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+}  // namespace spc

@@ -1,0 +1,37 @@
+// Small statistics helpers used by balance metrics and bench harnesses.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace spc {
+
+// Online accumulator for min / max / mean / sum.
+class Accumulator {
+ public:
+  void add(double x);
+
+  i64 count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+ private:
+  i64 count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Arithmetic mean of a vector (0 for empty input).
+double mean(const std::vector<double>& xs);
+
+// Geometric mean of strictly positive values.
+double geometric_mean(const std::vector<double>& xs);
+
+// max element (0 for empty input).
+double max_value(const std::vector<double>& xs);
+
+}  // namespace spc

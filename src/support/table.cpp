@@ -1,0 +1,61 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace spc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SPC_CHECK(!headers_.empty(), "Table requires at least one column");
+}
+
+void Table::new_row() { rows_.emplace_back(); }
+
+void Table::add(const std::string& cell) {
+  SPC_CHECK(!rows_.empty(), "Table::add before new_row");
+  SPC_CHECK(rows_.back().size() < headers_.size(), "Table row has too many cells");
+  rows_.back().push_back(cell);
+}
+
+void Table::add(long long v) { add(std::to_string(v)); }
+
+void Table::add(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  add(std::string(buf));
+}
+
+void Table::add_percent(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+  add(std::string(buf));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << (c == 0 ? "" : "  ");
+      os << s;
+      for (std::size_t pad = s.size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < headers_.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace spc

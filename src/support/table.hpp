@@ -1,0 +1,36 @@
+// Column-aligned plain-text table printer, used by the bench harnesses to
+// regenerate the paper's tables in a readable form.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spc {
+
+class Table {
+ public:
+  // Column headers define the table width.
+  explicit Table(std::vector<std::string> headers);
+
+  // Starts a new row. Cells are appended with add().
+  void new_row();
+  void add(const std::string& cell);
+  void add(const char* cell) { add(std::string(cell)); }
+  void add(long long v);
+  void add(int v) { add(static_cast<long long>(v)); }
+  void add(std::size_t v) { add(static_cast<long long>(v)); }
+  // Fixed-point with `digits` decimals.
+  void add(double v, int digits = 2);
+  // Percentage "12%" (rounded).
+  void add_percent(double fraction);
+
+  // Renders the whole table with aligned columns.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spc

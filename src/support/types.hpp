@@ -1,0 +1,20 @@
+// Fundamental index and count types used throughout the library.
+//
+// Matrices in the benchmark suite reach n ~ 64,000 and NZ(L) ~ 21M, so 32-bit
+// indices suffice for vertex/column numbering, while all aggregate counters
+// (flop counts, communication volumes, work totals) are 64-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace spc {
+
+// Vertex / column / block index. -1 is used as a sentinel ("none").
+using idx = std::int32_t;
+
+// Aggregate counters: flops, bytes, work units.
+using i64 = std::int64_t;
+
+inline constexpr idx kNone = -1;
+
+}  // namespace spc

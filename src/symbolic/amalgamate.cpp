@@ -1,0 +1,112 @@
+#include "symbolic/amalgamate.hpp"
+
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+// Dense trapezoid entry count: width w, r rows below the diagonal block.
+i64 trapezoid(i64 w, i64 r) { return w * (w + 1) / 2 + w * r; }
+
+}  // namespace
+
+SupernodePartition amalgamate_supernodes(const SupernodePartition& sn,
+                                         const std::vector<idx>& parent,
+                                         const std::vector<i64>& counts,
+                                         const AmalgamationOptions& opt) {
+  const idx num_sn = sn.count();
+  const idx n = sn.num_cols();
+  SPC_CHECK(static_cast<idx>(parent.size()) == n && static_cast<idx>(counts.size()) == n,
+            "amalgamate_supernodes: size mismatch");
+
+  // Per current supernode (identified by the original id of the supernode
+  // containing its last column): boundaries and structure summary.
+  std::vector<idx> first(static_cast<std::size_t>(num_sn));
+  std::vector<idx> last(static_cast<std::size_t>(num_sn));
+  std::vector<i64> rows_below(static_cast<std::size_t>(num_sn));
+  std::vector<i64> exact(static_cast<std::size_t>(num_sn));
+  std::vector<bool> absorbed(static_cast<std::size_t>(num_sn), false);
+  // sn_by_last[c] = current supernode whose last column is c (kNone if c is
+  // not a boundary).
+  std::vector<idx> sn_by_last(static_cast<std::size_t>(n), kNone);
+
+  for (idx s = 0; s < num_sn; ++s) {
+    first[s] = sn.first_col[s];
+    last[s] = sn.first_col[s + 1] - 1;
+    const i64 w = sn.width(s);
+    rows_below[s] = counts[static_cast<std::size_t>(first[s])] - (w - 1);
+    SPC_CHECK(rows_below[s] >= 0, "amalgamate: inconsistent counts/supernodes");
+    exact[s] = 0;
+    for (idx c = first[s]; c <= last[s]; ++c) {
+      exact[s] += counts[static_cast<std::size_t>(c)] + 1;
+    }
+    sn_by_last[static_cast<std::size_t>(last[s])] = s;
+  }
+
+  for (idx p = 0; p < num_sn; ++p) {
+    if (absorbed[p]) continue;
+    while (first[p] > 0) {
+      const idx c = sn_by_last[static_cast<std::size_t>(first[p]) - 1];
+      if (c == kNone) break;
+      // c must be a child of p in the supernodal etree: the parent column of
+      // its last column must land inside p's current range.
+      const idx pcol = parent[static_cast<std::size_t>(last[c])];
+      if (pcol == kNone || pcol > last[p]) break;
+
+      const i64 wc = last[c] - first[c] + 1;
+      const i64 wp = last[p] - first[p] + 1;
+      const i64 w_merged = wc + wp;
+      if (w_merged > opt.max_width) break;
+
+      const i64 padded_merged = trapezoid(w_merged, rows_below[p]);
+      const i64 exact_merged = exact[c] + exact[p];
+      const i64 zeros = padded_merged - exact_merged;
+      SPC_CHECK(zeros >= 0, "amalgamate: negative padding");
+      const i64 added_zeros =
+          padded_merged - trapezoid(wc, rows_below[c]) - trapezoid(wp, rows_below[p]);
+
+      const bool small_rule = wc <= opt.always_merge_width &&
+                              added_zeros <= opt.max_small_zeros;
+      const bool fraction_rule =
+          static_cast<double>(zeros) <=
+          opt.max_zero_fraction * static_cast<double>(padded_merged);
+      if (!small_rule && !fraction_rule) break;
+
+      // Merge c into p.
+      sn_by_last[static_cast<std::size_t>(last[c])] = kNone;
+      absorbed[c] = true;
+      first[p] = first[c];
+      exact[p] = exact_merged;
+      // rows_below[p] unchanged: c's rows beyond p are contained in p's.
+    }
+  }
+
+  SupernodePartition out;
+  out.first_col.push_back(0);
+  for (idx s = 0; s < num_sn; ++s) {
+    if (!absorbed[s]) out.first_col.push_back(last[s] + 1);
+  }
+  out.finish();
+  return out;
+}
+
+i64 amalgamation_padding(const SupernodePartition& part,
+                         const std::vector<i64>& counts) {
+  i64 padding = 0;
+  for (idx s = 0; s < part.count(); ++s) {
+    const idx f = part.first_col[s];
+    const i64 w = part.width(s);
+    // The union row structure of a (possibly amalgamated) supernode equals
+    // the structure of its last column, whose count is therefore the padded
+    // rows-below value.
+    const i64 r = counts[static_cast<std::size_t>(part.first_col[s + 1]) - 1];
+    i64 exact = 0;
+    for (idx c = f; c < part.first_col[s + 1]; ++c) {
+      exact += counts[static_cast<std::size_t>(c)] + 1;
+    }
+    padding += trapezoid(w, r) - exact;
+  }
+  return padding;
+}
+
+}  // namespace spc

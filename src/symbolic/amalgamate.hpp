@@ -1,0 +1,46 @@
+// Relaxed supernode amalgamation (Ashcraft & Grimes 1989, the paper's [1]).
+//
+// Merges a supernode into its parent when the merge introduces few explicit
+// zeros, trading a slightly denser stored factor for larger, more efficient
+// blocks. The paper uses amalgamation in all experiments (§2.2).
+//
+// Only a child whose columns are immediately adjacent to its parent's first
+// column can be merged without re-permuting the matrix; on a postordered
+// etree that child always exists (the last-visited child), and chains of
+// such merges capture the bulk of the benefit.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+#include "symbolic/supernode.hpp"
+
+namespace spc {
+
+struct AmalgamationOptions {
+  // Merge while the explicit zeros introduced into the merged trapezoid stay
+  // below this fraction of its entries.
+  double max_zero_fraction = 0.125;
+  // Never grow a supernode beyond this many columns.
+  idx max_width = 256;
+  // Small supernodes are always merged into an adjacent parent if the result
+  // stays within max_small_zeros explicit zeros (Ashcraft-Grimes rule of
+  // thumb: tiny supernodes are never worth keeping separate).
+  idx always_merge_width = 4;
+  i64 max_small_zeros = 512;
+};
+
+// Returns a coarser contiguous partition. `counts` are off-diagonal column
+// counts of the factor; `parent` is the column etree (both postordered).
+SupernodePartition amalgamate_supernodes(const SupernodePartition& sn,
+                                         const std::vector<idx>& parent,
+                                         const std::vector<i64>& counts,
+                                         const AmalgamationOptions& opt = {});
+
+// Explicit zeros introduced by storing each supernode of `part` as a dense
+// trapezoid, relative to the exact factor counts. Used by tests and by the
+// amalgamation statistics in the benches.
+i64 amalgamation_padding(const SupernodePartition& part,
+                         const std::vector<i64>& counts);
+
+}  // namespace spc

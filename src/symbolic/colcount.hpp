@@ -1,0 +1,28 @@
+// Factor column counts via row-subtree traversal.
+//
+// For each row i, the columns j with L(i,j) != 0 form a subtree of the
+// elimination tree (the "row subtree") whose leaves are the nonzero columns
+// of row i of A. Walking each row subtree once touches every factor entry
+// exactly once, so the total cost is O(nnz(L)) — at most ~23M steps for the
+// paper's largest problems.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+// counts[j] = number of OFF-diagonal nonzeros in column j of L (the paper's
+// "NZ in L" is the sum of these). `parent` is the etree of `a`.
+std::vector<i64> factor_col_counts(const SymSparse& a, const std::vector<idx>& parent);
+
+// Total strictly-lower nonzeros of L.
+i64 factor_nnz(const std::vector<i64>& counts);
+
+// Sequential factorization operation count (DESIGN.md §5 convention):
+// sum_j (c_j^2 + 3 c_j + 1).
+i64 factor_flops(const std::vector<i64>& counts);
+
+}  // namespace spc

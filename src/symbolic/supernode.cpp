@@ -1,0 +1,54 @@
+#include "symbolic/supernode.hpp"
+
+#include "support/error.hpp"
+
+namespace spc {
+
+void SupernodePartition::finish() {
+  SPC_CHECK(!first_col.empty() && first_col.front() == 0,
+            "SupernodePartition: first_col must start at 0");
+  for (std::size_t s = 0; s + 1 < first_col.size(); ++s) {
+    SPC_CHECK(first_col[s] < first_col[s + 1],
+              "SupernodePartition: empty supernode");
+  }
+  sn_of_col.assign(static_cast<std::size_t>(first_col.back()), 0);
+  for (idx s = 0; s < count(); ++s) {
+    for (idx c = first_col[s]; c < first_col[s + 1]; ++c) {
+      sn_of_col[static_cast<std::size_t>(c)] = s;
+    }
+  }
+}
+
+SupernodePartition find_supernodes(const std::vector<idx>& parent,
+                                   const std::vector<i64>& counts) {
+  SPC_CHECK(parent.size() == counts.size(), "find_supernodes: size mismatch");
+  const idx n = static_cast<idx>(parent.size());
+  SupernodePartition sn;
+  sn.first_col.push_back(0);
+  for (idx j = 1; j < n; ++j) {
+    const bool extends = parent[static_cast<std::size_t>(j - 1)] == j &&
+                         counts[static_cast<std::size_t>(j - 1)] ==
+                             counts[static_cast<std::size_t>(j)] + 1;
+    if (!extends) sn.first_col.push_back(j);
+  }
+  if (n > 0) sn.first_col.push_back(n);
+  sn.finish();
+  return sn;
+}
+
+std::vector<idx> supernodal_etree(const SupernodePartition& sn,
+                                  const std::vector<idx>& parent) {
+  std::vector<idx> sparent(static_cast<std::size_t>(sn.count()), kNone);
+  for (idx s = 0; s < sn.count(); ++s) {
+    const idx last = sn.first_col[s + 1] - 1;
+    const idx p = parent[static_cast<std::size_t>(last)];
+    if (p != kNone) {
+      sparent[static_cast<std::size_t>(s)] = sn.sn_of_col[static_cast<std::size_t>(p)];
+      SPC_CHECK(sparent[static_cast<std::size_t>(s)] > s,
+                "supernodal_etree: parent supernode must follow child");
+    }
+  }
+  return sparent;
+}
+
+}  // namespace spc

@@ -1,0 +1,39 @@
+// Supernode detection (paper §2.2).
+//
+// A supernode is a maximal set of contiguous factor columns sharing an
+// identical off-diagonal nonzero structure, with a dense lower-triangular
+// diagonal block. On a postordered matrix, column j extends the supernode of
+// column j-1 iff parent(j-1) == j and count(j-1) == count(j) + 1 (equal
+// structure below the diagonal).
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace spc {
+
+// A contiguous partition of the n columns into supernodes.
+struct SupernodePartition {
+  std::vector<idx> first_col;  // size num_supernodes + 1; sn s = [first_col[s], first_col[s+1])
+  std::vector<idx> sn_of_col;  // size n
+
+  idx count() const { return static_cast<idx>(first_col.size()) - 1; }
+  idx width(idx s) const { return first_col[s + 1] - first_col[s]; }
+  idx num_cols() const { return first_col.empty() ? 0 : first_col.back(); }
+
+  // Rebuilds sn_of_col from first_col; validates contiguity.
+  void finish();
+};
+
+// Fundamental-style supernode detection from the (postordered) etree and
+// off-diagonal column counts.
+SupernodePartition find_supernodes(const std::vector<idx>& parent,
+                                   const std::vector<i64>& counts);
+
+// Supernodal elimination tree: parent supernode of s is the supernode
+// containing parent(last column of s); kNone for roots.
+std::vector<idx> supernodal_etree(const SupernodePartition& sn,
+                                  const std::vector<idx>& parent);
+
+}  // namespace spc

@@ -1,0 +1,80 @@
+#include "symbolic/symbolic_factor.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace spc {
+
+i64 SymbolicFactor::stored_entries(idx s) const {
+  const i64 w = sn.width(s);
+  return w * (w + 1) / 2 + w * rows_below(s);
+}
+
+i64 SymbolicFactor::total_stored_entries() const {
+  i64 total = 0;
+  for (idx s = 0; s < num_supernodes(); ++s) total += stored_entries(s);
+  return total;
+}
+
+SymbolicFactor symbolic_factorize(const SymSparse& a, const std::vector<idx>& parent,
+                                  const SupernodePartition& part) {
+  const idx n = a.num_rows();
+  SPC_CHECK(part.num_cols() == n, "symbolic_factorize: partition/matrix mismatch");
+  SymbolicFactor sf;
+  sf.sn = part;
+  sf.sn_parent = supernodal_etree(part, parent);
+  const idx num_sn = part.count();
+
+  // Children lists in the supernodal etree.
+  std::vector<idx> child_head(static_cast<std::size_t>(num_sn), kNone);
+  std::vector<idx> child_next(static_cast<std::size_t>(num_sn), kNone);
+  for (idx s = num_sn - 1; s >= 0; --s) {
+    const idx p = sf.sn_parent[static_cast<std::size_t>(s)];
+    if (p != kNone) {
+      child_next[static_cast<std::size_t>(s)] = child_head[static_cast<std::size_t>(p)];
+      child_head[static_cast<std::size_t>(p)] = s;
+    }
+  }
+
+  sf.rowptr.assign(static_cast<std::size_t>(num_sn) + 1, 0);
+  std::vector<std::vector<idx>> row_lists(static_cast<std::size_t>(num_sn));
+  std::vector<idx> mark(static_cast<std::size_t>(n), kNone);
+  const auto& ptr = a.col_ptr();
+  const auto& row = a.row_idx();
+
+  for (idx s = 0; s < num_sn; ++s) {
+    const idx last = part.first_col[s + 1] - 1;
+    std::vector<idx>& list = row_lists[static_cast<std::size_t>(s)];
+    auto add = [&](idx r) {
+      if (r > last && mark[static_cast<std::size_t>(r)] != s) {
+        mark[static_cast<std::size_t>(r)] = s;
+        list.push_back(r);
+      }
+    };
+    for (idx c = part.first_col[s]; c <= last; ++c) {
+      for (i64 e = ptr[static_cast<std::size_t>(c)] + 1; e < ptr[static_cast<std::size_t>(c) + 1]; ++e) {
+        add(row[static_cast<std::size_t>(e)]);
+      }
+    }
+    for (idx c = child_head[static_cast<std::size_t>(s)]; c != kNone;
+         c = child_next[static_cast<std::size_t>(c)]) {
+      for (idx r : row_lists[static_cast<std::size_t>(c)]) add(r);
+    }
+    std::sort(list.begin(), list.end());
+    sf.rowptr[static_cast<std::size_t>(s) + 1] =
+        sf.rowptr[static_cast<std::size_t>(s)] + static_cast<i64>(list.size());
+  }
+
+  sf.rows.resize(static_cast<std::size_t>(sf.rowptr[static_cast<std::size_t>(num_sn)]));
+  for (idx s = 0; s < num_sn; ++s) {
+    std::copy(row_lists[static_cast<std::size_t>(s)].begin(),
+              row_lists[static_cast<std::size_t>(s)].end(),
+              sf.rows.begin() + sf.rowptr[static_cast<std::size_t>(s)]);
+    // Free child lists eagerly once consumed? Children may be consumed by a
+    // later parent only; lists are needed until their parent is processed.
+  }
+  return sf;
+}
+
+}  // namespace spc

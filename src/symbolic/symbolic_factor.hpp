@@ -1,0 +1,37 @@
+// Supernodal symbolic factorization: for each supernode, the sorted list of
+// factor row indices strictly below its last column (the union structure of
+// its member columns; amalgamated supernodes store explicit zeros and are
+// treated as dense within this structure, as in the paper §2.2).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+#include "symbolic/supernode.hpp"
+
+namespace spc {
+
+struct SymbolicFactor {
+  SupernodePartition sn;
+  std::vector<idx> sn_parent;  // supernodal etree (kNone for roots)
+  std::vector<i64> rowptr;     // size sn.count()+1
+  std::vector<idx> rows;       // concatenated ascending row ids per supernode
+
+  idx num_supernodes() const { return sn.count(); }
+  const idx* rows_begin(idx s) const { return rows.data() + rowptr[s]; }
+  const idx* rows_end(idx s) const { return rows.data() + rowptr[s + 1]; }
+  i64 rows_below(idx s) const { return rowptr[s + 1] - rowptr[s]; }
+
+  // Entries stored for supernode s as a dense trapezoid (incl. diagonal).
+  i64 stored_entries(idx s) const;
+  i64 total_stored_entries() const;
+};
+
+// `a` must already carry the final ordering (fill-reducing + postorder);
+// `parent` is its column etree, `part` a supernode partition of its columns
+// (from find_supernodes, optionally amalgamated).
+SymbolicFactor symbolic_factorize(const SymSparse& a, const std::vector<idx>& parent,
+                                  const SupernodePartition& part);
+
+}  // namespace spc

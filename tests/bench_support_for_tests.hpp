@@ -1,0 +1,36 @@
+// Shared fixture for tests that sweep the paper's benchmark suite at small
+// scale (the bench/ directory has its own copy of this logic; tests keep a
+// separate one so test binaries do not link bench sources).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cholesky/sparse_cholesky.hpp"
+#include "gen/benchmark_suite.hpp"
+
+namespace spc::test_support {
+
+struct Prepared {
+  std::string name;
+  SymSparse a;
+  SparseCholesky chol;
+};
+
+inline std::vector<Prepared> prepare_suite(SuiteScale scale = SuiteScale::kSmall,
+                                           idx block_size = 16) {
+  std::vector<Prepared> out;
+  for (BenchMatrix& bm : standard_suite(scale)) {
+    SolverOptions opt;
+    opt.block_size = block_size;
+    opt.ordering = SolverOptions::Ordering::kNatural;
+    std::vector<idx> perm = order_bench_matrix(bm);
+    SparseCholesky chol =
+        SparseCholesky::analyze_ordered(bm.matrix, std::move(perm), opt);
+    out.push_back(Prepared{std::move(bm.name), std::move(bm.matrix), std::move(chol)});
+  }
+  return out;
+}
+
+}  // namespace spc::test_support

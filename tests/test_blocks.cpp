@@ -1,0 +1,247 @@
+// Unit tests for the block layer: partition, block structure, task graph,
+// work model, and domain decomposition.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "blocks/block_structure.hpp"
+#include "blocks/domains.hpp"
+#include "blocks/partition.hpp"
+#include "blocks/task_graph.hpp"
+#include "blocks/work_model.hpp"
+#include "gen/dense_gen.hpp"
+#include "gen/grid_gen.hpp"
+#include "gen/mesh_gen.hpp"
+#include "linalg/kernels.hpp"
+#include "ordering/mmd.hpp"
+#include "support/error.hpp"
+#include "symbolic/amalgamate.hpp"
+#include "symbolic/colcount.hpp"
+#include "symbolic/etree.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spc {
+namespace {
+
+struct Pipeline {
+  SymSparse a;
+  std::vector<idx> parent;
+  std::vector<i64> counts;
+  SymbolicFactor sf;
+  BlockStructure bs;
+  TaskGraph tg;
+};
+
+Pipeline run_pipeline(const SymSparse& a0, idx block_size, bool amalg = true,
+                      bool fill_reduce = false) {
+  Pipeline p;
+  SymSparse a1 = fill_reduce ? a0.permuted(mmd_order(a0.pattern())) : a0;
+  const std::vector<idx> post = etree_postorder(elimination_tree(a1));
+  p.a = a1.permuted(post);
+  p.parent = elimination_tree(p.a);
+  p.counts = factor_col_counts(p.a, p.parent);
+  SupernodePartition sn = find_supernodes(p.parent, p.counts);
+  if (amalg) sn = amalgamate_supernodes(sn, p.parent, p.counts);
+  p.sf = symbolic_factorize(p.a, p.parent, sn);
+  p.bs = build_block_structure(p.sf, block_size);
+  p.tg = build_task_graph(p.bs);
+  return p;
+}
+
+TEST(Partition, SplitsEvenly) {
+  SupernodePartition sn;
+  sn.first_col = {0, 70, 75};  // widths 70, 5
+  sn.finish();
+  const BlockPartition bp = make_block_partition(sn, 48);
+  EXPECT_EQ(bp.count(), 3);
+  EXPECT_EQ(bp.width(0), 35);  // 70 -> 35+35, not 48+22
+  EXPECT_EQ(bp.width(1), 35);
+  EXPECT_EQ(bp.width(2), 5);
+  EXPECT_EQ(bp.sn_of_block[0], 0);
+  EXPECT_EQ(bp.sn_of_block[2], 1);
+}
+
+TEST(Partition, BlockOfColConsistent) {
+  SupernodePartition sn;
+  sn.first_col = {0, 10, 30};
+  sn.finish();
+  const BlockPartition bp = make_block_partition(sn, 8);
+  for (idx c = 0; c < 30; ++c) {
+    const idx b = bp.block_of_col[c];
+    EXPECT_GE(c, bp.first_col[b]);
+    EXPECT_LT(c, bp.first_col[b + 1]);
+  }
+}
+
+TEST(Partition, NeverExceedsBlockSize) {
+  const Pipeline p = run_pipeline(make_grid2d(20, 20), 12);
+  for (idx b = 0; b < p.bs.part.count(); ++b) EXPECT_LE(p.bs.part.width(b), 12);
+}
+
+TEST(BlockStructure, ValidatesOnSuiteOfMatrices) {
+  run_pipeline(make_grid2d(15, 17), 8).bs.validate();
+  run_pipeline(make_grid3d(5, 6, 7), 16).bs.validate();
+  run_pipeline(make_dense_spd(60), 16).bs.validate();
+  run_pipeline(make_fem_mesh({100, 3, 2, 9.0, 5}), 24).bs.validate();
+}
+
+TEST(BlockStructure, DenseMatrixBlockCounts) {
+  // Dense 60x60 with B=16: one supernode split into 4 chunks of 15.
+  const Pipeline p = run_pipeline(make_dense_spd(60), 16);
+  EXPECT_EQ(p.bs.num_block_cols(), 4);
+  // Column J has blocks J+1..3 below it.
+  for (idx j = 0; j < 4; ++j) {
+    EXPECT_EQ(p.bs.blkptr[j + 1] - p.bs.blkptr[j], 3 - j);
+  }
+}
+
+TEST(BlockStructure, StoredEntriesMatchSymbolic) {
+  const Pipeline p = run_pipeline(make_grid2d(13, 11), 8);
+  EXPECT_EQ(p.bs.stored_entries(), p.sf.total_stored_entries());
+}
+
+TEST(BlockStructure, FindEntryAgreesWithEnumeration) {
+  const Pipeline p = run_pipeline(make_grid3d(4, 5, 6), 8);
+  for (idx j = 0; j < p.bs.num_block_cols(); ++j) {
+    for (i64 e = p.bs.blkptr[j]; e < p.bs.blkptr[j + 1]; ++e) {
+      EXPECT_EQ(p.bs.find_entry(j, p.bs.blkrow[e]), e);
+    }
+    EXPECT_EQ(p.bs.find_entry(j, p.bs.num_block_cols() + 5), kNone);
+  }
+}
+
+TEST(TaskGraph, DenseCountsMatchClosedForms) {
+  // Dense with N block columns: BMOD count = sum_K b_K (b_K+1)/2, b_K = N-1-K.
+  const Pipeline p = run_pipeline(make_dense_spd(64), 16);
+  const idx nb = p.bs.num_block_cols();
+  i64 expected = 0;
+  for (idx k = 0; k < nb; ++k) {
+    const i64 b = nb - 1 - k;
+    expected += b * (b + 1) / 2;
+  }
+  EXPECT_EQ(static_cast<i64>(p.tg.mods.size()), expected);
+  EXPECT_EQ(p.tg.total_ops(), expected + p.tg.num_blocks());
+}
+
+TEST(TaskGraph, TotalFlopsTrackSequentialCount) {
+  // Block flops exceed the scalar factorization count (explicit zeros from
+  // amalgamation + symmetric-update double counting is excluded by the
+  // m(m+1)w diagonal convention) but must stay within a modest factor.
+  const Pipeline p = run_pipeline(make_grid2d(20, 20), 8);
+  const i64 scalar = factor_flops(p.counts);
+  EXPECT_GT(p.tg.total_flops(), scalar / 2);
+  EXPECT_LT(p.tg.total_flops(), scalar * 4);
+}
+
+TEST(TaskGraph, ModsGroupedByColumnAscending) {
+  const Pipeline p = run_pipeline(make_grid2d(10, 14), 8);
+  for (std::size_t m = 1; m < p.tg.mods.size(); ++m) {
+    EXPECT_LE(p.tg.mods[m - 1].col_k, p.tg.mods[m].col_k);
+  }
+}
+
+TEST(TaskGraph, DestinationsExistAndAreAboveSource) {
+  const Pipeline p = run_pipeline(make_fem_mesh({80, 3, 3, 9.0, 7}), 16);
+  for (const BlockMod& m : p.tg.mods) {
+    const idx dest_col = p.tg.col_of_block[m.dest];
+    EXPECT_GT(dest_col, m.col_k);
+    EXPECT_EQ(p.tg.col_of_block[m.src_a], m.col_k);
+    EXPECT_EQ(p.tg.col_of_block[m.src_b], m.col_k);
+    EXPECT_GE(p.tg.row_of_block[m.src_a], p.tg.row_of_block[m.src_b]);
+    EXPECT_EQ(p.tg.row_of_block[m.dest], p.tg.row_of_block[m.src_a]);
+    EXPECT_EQ(dest_col, p.tg.row_of_block[m.src_b]);
+  }
+}
+
+TEST(TaskGraph, ModsIntoMatchesEnumeration) {
+  const Pipeline p = run_pipeline(make_grid3d(4, 4, 4), 8);
+  std::vector<i64> recount(static_cast<std::size_t>(p.tg.num_blocks()), 0);
+  for (const BlockMod& m : p.tg.mods) ++recount[static_cast<std::size_t>(m.dest)];
+  EXPECT_EQ(recount, p.tg.mods_into);
+}
+
+TEST(WorkModel, RowColumnTotalsConsistent) {
+  const Pipeline p = run_pipeline(make_grid2d(16, 16), 8);
+  const WorkModel wm = compute_work_model(p.tg, p.bs.num_block_cols());
+  i64 row_sum = std::accumulate(wm.work_row.begin(), wm.work_row.end(), i64{0});
+  i64 col_sum = std::accumulate(wm.work_col.begin(), wm.work_col.end(), i64{0});
+  // Diagonal blocks contribute to both a row and a column; totals match.
+  EXPECT_EQ(row_sum, wm.total);
+  EXPECT_EQ(col_sum, wm.total);
+  i64 block_sum = std::accumulate(wm.work.begin(), wm.work.end(), i64{0});
+  EXPECT_EQ(block_sum, wm.total);
+}
+
+TEST(WorkModel, FixedCostDominatesForTinyBlocks) {
+  // With B=2 most ops are tiny: the 1000-op fixed term must dominate flops.
+  const Pipeline p = run_pipeline(make_grid2d(10, 10), 2);
+  const WorkModel wm = compute_work_model(p.tg, p.bs.num_block_cols());
+  const i64 fixed_total = p.tg.total_ops() * kFixedOpCost;
+  EXPECT_GT(fixed_total * 2, wm.total);
+}
+
+TEST(WorkModel, WorkIncreasesWithRowIndexForDense) {
+  // The paper's row-imbalance argument: workI grows ~quadratically in I.
+  const Pipeline p = run_pipeline(make_dense_spd(96), 16);
+  const WorkModel wm = compute_work_model(p.tg, p.bs.num_block_cols());
+  const idx nb = p.bs.num_block_cols();
+  EXPECT_GT(wm.work_row[nb - 1], wm.work_row[nb / 2]);
+  EXPECT_GT(wm.work_row[nb / 2], wm.work_row[0]);
+}
+
+TEST(Domains, DisjointSubtreesCoverBottom) {
+  // MMD ordering gives a bushy elimination tree (natural grid order is a
+  // degenerate path with no tree parallelism).
+  const Pipeline p = run_pipeline(make_grid2d(24, 24), 8, true, true);
+  const DomainDecomposition dom = find_domains(p.sf, p.bs, p.tg, 4);
+  EXPECT_GT(dom.num_domains, 0);
+  // Domain columns must be closed under descendants: if a supernode is in a
+  // domain, all its etree children are in the SAME domain.
+  std::vector<idx> sn_proc(static_cast<std::size_t>(p.sf.num_supernodes()), kNone);
+  for (idx b = 0; b < p.bs.num_block_cols(); ++b) {
+    sn_proc[static_cast<std::size_t>(p.bs.part.sn_of_block[b])] = dom.domain_proc[b];
+  }
+  for (idx s = 0; s < p.sf.num_supernodes(); ++s) {
+    const idx par = p.sf.sn_parent[static_cast<std::size_t>(s)];
+    if (par != kNone && sn_proc[static_cast<std::size_t>(par)] != kNone) {
+      EXPECT_EQ(sn_proc[static_cast<std::size_t>(s)],
+                sn_proc[static_cast<std::size_t>(par)]);
+    }
+  }
+}
+
+TEST(Domains, LoadSpreadAcrossProcessors) {
+  const Pipeline p = run_pipeline(make_grid2d(30, 30), 8, true, true);
+  const idx P = 8;
+  const DomainDecomposition dom = find_domains(p.sf, p.bs, p.tg, P);
+  const std::vector<i64> srcwork = source_work_per_column(p.tg, p.bs.num_block_cols());
+  std::vector<i64> load(static_cast<std::size_t>(P), 0);
+  i64 domain_total = 0;
+  for (idx b = 0; b < p.bs.num_block_cols(); ++b) {
+    if (dom.domain_proc[b] != kNone) {
+      load[static_cast<std::size_t>(dom.domain_proc[b])] += srcwork[b];
+      domain_total += srcwork[b];
+    }
+  }
+  EXPECT_GT(domain_total, 0);
+  const i64 maxload = *std::max_element(load.begin(), load.end());
+  // LPT on subtrees below the threshold: max within 2.5x of average.
+  EXPECT_LT(maxload, domain_total / P * 5 / 2 + 1);
+}
+
+TEST(Domains, NoDomainsIsAllRoot) {
+  const DomainDecomposition dom = no_domains(17);
+  EXPECT_EQ(dom.num_domains, 0);
+  for (idx j = 0; j < 17; ++j) EXPECT_FALSE(dom.is_domain_col(j));
+}
+
+TEST(Domains, SourceWorkConservation) {
+  const Pipeline p = run_pipeline(make_grid3d(5, 5, 5), 8);
+  const std::vector<i64> srcwork = source_work_per_column(p.tg, p.bs.num_block_cols());
+  const i64 total = std::accumulate(srcwork.begin(), srcwork.end(), i64{0});
+  const WorkModel wm = compute_work_model(p.tg, p.bs.num_block_cols());
+  EXPECT_EQ(total, wm.total);  // same ops, different attribution
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,166 @@
+// Facade-level tests: SparseCholesky analysis products, parallel planning,
+// and cross-module consistency (integration tests).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "cholesky/sparse_cholesky.hpp"
+#include "factor/residual.hpp"
+#include "gen/benchmark_suite.hpp"
+#include "gen/grid_gen.hpp"
+#include "gen/mesh_gen.hpp"
+#include "graph/permutation.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "symbolic/colcount.hpp"
+#include "symbolic/etree.hpp"
+
+namespace spc {
+namespace {
+
+TEST(Facade, OrderingIsValidPermutation) {
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(10, 12));
+  EXPECT_TRUE(is_permutation(chol.ordering()));
+  EXPECT_EQ(chol.num_rows(), 120);
+}
+
+TEST(Facade, PermutedMatrixConsistentWithOrdering) {
+  const SymSparse a = make_fem_mesh({40, 2, 2, 8.0, 2});
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  // a.permuted(ordering) must equal the stored permuted matrix.
+  const SymSparse manual = a.permuted(chol.ordering());
+  EXPECT_EQ(manual.col_ptr(), chol.permuted_matrix().col_ptr());
+  EXPECT_EQ(manual.row_idx(), chol.permuted_matrix().row_idx());
+}
+
+TEST(Facade, FactorStatsMatchDirectComputation) {
+  const SymSparse a = make_grid2d(14, 14);
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  const std::vector<i64> counts =
+      factor_col_counts(chol.permuted_matrix(), chol.etree_parent());
+  EXPECT_EQ(chol.factor_nnz_exact(), factor_nnz(counts));
+  EXPECT_EQ(chol.factor_flops_exact(), factor_flops(counts));
+}
+
+TEST(Facade, FactorizedFlag) {
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(5, 5));
+  EXPECT_FALSE(chol.factorized());
+  EXPECT_THROW(chol.factor(), Error);
+  chol.factorize();
+  EXPECT_TRUE(chol.factorized());
+}
+
+TEST(Facade, SolveInOriginalOrder) {
+  // The facade must hide the internal permutation completely: solve with a
+  // b whose entries identify their index.
+  const SymSparse a = make_grid2d(6, 7);
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  chol.factorize();
+  std::vector<double> x_true(static_cast<std::size_t>(a.num_rows()));
+  for (std::size_t i = 0; i < x_true.size(); ++i) x_true[i] = static_cast<double>(i);
+  const std::vector<double> b = a.multiply(x_true);
+  const std::vector<double> x = chol.solve(b);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_true[i], 1e-7);
+}
+
+TEST(Facade, BlockSizeOptionRespected) {
+  SolverOptions opt;
+  opt.block_size = 5;
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(12, 12), opt);
+  for (idx b = 0; b < chol.structure().num_block_cols(); ++b) {
+    EXPECT_LE(chol.structure().part.width(b), 5);
+  }
+}
+
+TEST(Facade, AnalyzeOrderedRejectsBadPermutation) {
+  EXPECT_THROW(
+      SparseCholesky::analyze_ordered(make_grid2d(4, 4), std::vector<idx>{0, 1}),
+      Error);
+}
+
+TEST(Plan, BalanceStatsPopulated) {
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(20, 20));
+  const ParallelPlan plan = chol.plan_parallel(
+      16, RemapHeuristic::kDecreasingWork, RemapHeuristic::kIncreasingDepth);
+  EXPECT_GT(plan.balance.overall, 0.0);
+  EXPECT_LE(plan.balance.overall, 1.0);
+  plan.map.validate();
+  EXPECT_EQ(plan.map.num_blocks(), chol.structure().num_block_cols());
+}
+
+TEST(Plan, DomainsToggle) {
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(24, 24));
+  const ParallelPlan with = chol.plan_parallel(
+      8, RemapHeuristic::kCyclic, RemapHeuristic::kCyclic, true);
+  const ParallelPlan without = chol.plan_parallel(
+      8, RemapHeuristic::kCyclic, RemapHeuristic::kCyclic, false);
+  EXPECT_GT(with.domains.num_domains, 0);
+  EXPECT_EQ(without.domains.num_domains, 0);
+  // Domain work appears only in the domain plan.
+  const i64 dom_work = std::accumulate(with.root_work.domain_work.begin(),
+                                       with.root_work.domain_work.end(), i64{0});
+  EXPECT_GT(dom_work, 0);
+}
+
+TEST(Plan, TotalWorkInvariantAcrossMappings) {
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(18, 18));
+  const ParallelPlan a = chol.plan_parallel(
+      4, RemapHeuristic::kCyclic, RemapHeuristic::kCyclic, false);
+  const ParallelPlan b = chol.plan_parallel(
+      4, RemapHeuristic::kDecreasingWork, RemapHeuristic::kIncreasingDepth, false);
+  EXPECT_EQ(a.root_work.total, b.root_work.total);
+}
+
+TEST(Integration, BalanceBoundsSimulatedEfficiency) {
+  // The paper's central inequality: efficiency <= overall balance (modulo
+  // communication/scheduling, which only lower efficiency further). Verified
+  // without domains where the bound's attribution is exact.
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(28, 28));
+  for (RemapHeuristic h : {RemapHeuristic::kCyclic, RemapHeuristic::kDecreasingWork}) {
+    const ParallelPlan plan =
+        chol.plan_parallel(16, h, RemapHeuristic::kCyclic, /*use_domains=*/false);
+    const SimResult r = chol.simulate(plan);
+    EXPECT_LE(r.efficiency(), plan.balance.overall * 1.15 + 0.02)
+        << heuristic_name(h);
+  }
+}
+
+TEST(Integration, HeuristicRemappingImprovesMeanSimulatedPerformance) {
+  // End-to-end version of the paper's Table 5 claim: remapping improves
+  // MEAN performance across the suite (individual small matrices are noisy).
+  double ratio_sum = 0.0;
+  double balance_gain_sum = 0.0;
+  int count = 0;
+  for (const BenchMatrix& bm : standard_suite(SuiteScale::kSmall)) {
+    SolverOptions opt;
+    opt.ordering = SolverOptions::Ordering::kNatural;
+    SparseCholesky chol =
+        SparseCholesky::analyze_ordered(bm.matrix, order_bench_matrix(bm), opt);
+    const ParallelPlan cy = chol.plan_parallel(
+        16, RemapHeuristic::kCyclic, RemapHeuristic::kCyclic);
+    const ParallelPlan id = chol.plan_parallel(
+        16, RemapHeuristic::kIncreasingDepth, RemapHeuristic::kCyclic);
+    ratio_sum += chol.simulate(cy).runtime_s / chol.simulate(id).runtime_s;
+    balance_gain_sum += id.balance.overall - cy.balance.overall;
+    ++count;
+  }
+  EXPECT_GT(ratio_sum / count, 1.0) << "mean speedup of ID over cyclic";
+  EXPECT_GT(balance_gain_sum / count, 0.05) << "mean overall-balance gain";
+}
+
+TEST(Integration, NumericFactorUnaffectedByMappingAnalysis) {
+  // plan_parallel/simulate are const and must not touch numeric state.
+  const SymSparse a = make_grid2d(10, 10);
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  chol.factorize();
+  const double before = factor_residual_probe(chol.permuted_matrix(), chol.factor());
+  const ParallelPlan plan =
+      chol.plan_parallel(4, RemapHeuristic::kCyclic, RemapHeuristic::kCyclic);
+  (void)chol.simulate(plan);
+  const double after = factor_residual_probe(chol.permuted_matrix(), chol.factor());
+  EXPECT_EQ(before, after);
+}
+
+}  // namespace
+}  // namespace spc

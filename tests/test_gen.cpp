@@ -1,0 +1,201 @@
+// Unit tests for the matrix generators and the benchmark suite registry.
+#include <gtest/gtest.h>
+
+#include "gen/benchmark_suite.hpp"
+#include "gen/dense_gen.hpp"
+#include "gen/grid_gen.hpp"
+#include "gen/lp_gen.hpp"
+#include "gen/mesh_gen.hpp"
+#include "graph/permutation.hpp"
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+TEST(DenseGen, FullLowerTriangle) {
+  const SymSparse a = make_dense_spd(10);
+  a.validate();
+  EXPECT_EQ(a.nnz_lower(), 55);  // 10*11/2
+}
+
+TEST(DenseGen, Deterministic) {
+  const SymSparse a = make_dense_spd(8, 77);
+  const SymSparse b = make_dense_spd(8, 77);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(Grid2d, StructureAndDominance) {
+  const SymSparse a = make_grid2d(4, 3);
+  a.validate();
+  EXPECT_EQ(a.num_rows(), 12);
+  // Edges: 3*3 horizontal + 4*2 vertical = 17; lower nnz = n + edges.
+  EXPECT_EQ(a.nnz_lower(), 12 + 17);
+  // Interior vertex degree 4 -> diagonal 5.
+  const std::vector<double> y = a.multiply(std::vector<double>(12, 1.0));
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 1.0);  // Laplacian+I times ones = ones
+}
+
+TEST(Grid3d, VertexAndEdgeCounts) {
+  const SymSparse a = make_grid3d(3, 4, 5);
+  a.validate();
+  EXPECT_EQ(a.num_rows(), 60);
+  const i64 edges = 2LL * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4;
+  EXPECT_EQ(a.nnz_lower(), 60 + edges);
+}
+
+TEST(Grid2d9pt, EdgeCountMatchesStencil) {
+  // Interior vertex has 8 neighbors; total edges for nx x ny:
+  // horiz (nx-1)ny + vert nx(ny-1) + 2 diagonals (nx-1)(ny-1).
+  const idx nx = 5, ny = 4;
+  const SymSparse a = make_grid2d_9pt(nx, ny);
+  a.validate();
+  const i64 edges = static_cast<i64>(nx - 1) * ny + static_cast<i64>(nx) * (ny - 1) +
+                    2LL * (nx - 1) * (ny - 1);
+  EXPECT_EQ(a.nnz_lower(), nx * ny + edges);
+}
+
+TEST(Grid3d27pt, InteriorDegreeIs26) {
+  const SymSparse a = make_grid3d_27pt(3, 3, 3);
+  a.validate();
+  const Graph g = a.pattern();
+  EXPECT_EQ(g.degree(13), 26);  // the center vertex
+  EXPECT_EQ(g.degree(0), 7);    // a corner
+}
+
+TEST(GridStencils, DenserThanBaseVariants) {
+  EXPECT_GT(make_grid2d_9pt(10, 10).nnz_lower(), make_grid2d(10, 10).nnz_lower());
+  EXPECT_GT(make_grid3d_27pt(4, 4, 4).nnz_lower(),
+            make_grid3d(4, 4, 4).nnz_lower());
+}
+
+TEST(Grid, DegenerateDimensions) {
+  EXPECT_EQ(make_grid2d(1, 7).num_rows(), 7);
+  EXPECT_EQ(make_grid3d(1, 1, 9).num_rows(), 9);
+  EXPECT_THROW(make_grid2d(0, 3), Error);
+}
+
+TEST(MeshGen, ProducesConnectedSpd) {
+  MeshGenOptions opt;
+  opt.nodes = 200;
+  opt.dof = 3;
+  opt.dim = 3;
+  opt.avg_node_degree = 10.0;
+  const SymSparse a = make_fem_mesh(opt);
+  a.validate();
+  EXPECT_EQ(a.num_rows(), 600);
+  // Connectivity chain guarantees a single connected component: the etree
+  // has exactly one root. Check via pattern BFS instead (cheaper to state):
+  const Graph g = a.pattern();
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_vertices()), false);
+  std::vector<idx> stack{0};
+  seen[0] = true;
+  idx count = 0;
+  while (!stack.empty()) {
+    const idx v = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const idx* p = g.adj_begin(v); p != g.adj_end(v); ++p) {
+      if (!seen[*p]) {
+        seen[*p] = true;
+        stack.push_back(*p);
+      }
+    }
+  }
+  EXPECT_EQ(count, g.num_vertices());
+}
+
+TEST(MeshGen, DofBlocksAreDense) {
+  MeshGenOptions opt;
+  opt.nodes = 50;
+  opt.dof = 4;
+  opt.dim = 2;
+  const SymSparse a = make_fem_mesh(opt);
+  // Column of the first dof of any node must couple to the node's other dofs.
+  const auto& ptr = a.col_ptr();
+  const auto& row = a.row_idx();
+  bool found_intra = false;
+  for (i64 k = ptr[0]; k < ptr[1]; ++k) {
+    if (row[k] >= 1 && row[k] < 4) found_intra = true;
+  }
+  EXPECT_TRUE(found_intra);
+}
+
+TEST(MeshGen, DegreeScalesDensity) {
+  MeshGenOptions lo, hi;
+  lo.nodes = hi.nodes = 400;
+  lo.dim = hi.dim = 2;
+  lo.dof = hi.dof = 1;
+  lo.avg_node_degree = 4.0;
+  hi.avg_node_degree = 16.0;
+  EXPECT_LT(make_fem_mesh(lo).nnz_lower() * 2, make_fem_mesh(hi).nnz_lower());
+}
+
+TEST(MeshGen, RejectsBadOptions) {
+  MeshGenOptions opt;
+  opt.dim = 4;
+  EXPECT_THROW(make_fem_mesh(opt), Error);
+}
+
+TEST(LpGen, ProducesSpdWithHubs) {
+  LpGenOptions opt;
+  opt.n = 500;
+  opt.mean_overlap = 10.0;
+  opt.hubs = 5;
+  opt.hub_span = 0.05;
+  const SymSparse a = make_lp_normal_equations(opt);
+  a.validate();
+  EXPECT_EQ(a.num_rows(), 500);
+  EXPECT_GT(a.nnz_lower(), 500 + 500 * 4);  // at least the overlap density
+}
+
+TEST(LpGen, OverlapScalesDensity) {
+  LpGenOptions lo, hi;
+  lo.n = hi.n = 800;
+  lo.hubs = hi.hubs = 1;
+  lo.hub_span = hi.hub_span = 0.002;
+  lo.mean_overlap = 5.0;
+  hi.mean_overlap = 25.0;
+  EXPECT_LT(make_lp_normal_equations(lo).nnz_lower() * 2,
+            make_lp_normal_equations(hi).nnz_lower());
+}
+
+TEST(Suite, StandardSuiteHasTenMatrices) {
+  const auto suite = standard_suite(SuiteScale::kSmall);
+  EXPECT_EQ(suite.size(), 10u);
+  for (const BenchMatrix& m : suite) {
+    m.matrix.validate();
+    EXPECT_FALSE(m.name.empty());
+  }
+}
+
+TEST(Suite, LargeSuiteHasSixMatrices) {
+  EXPECT_EQ(large_suite(SuiteScale::kSmall).size(), 6u);
+}
+
+TEST(Suite, OrderingsAreValidPermutations) {
+  for (const BenchMatrix& m : standard_suite(SuiteScale::kSmall)) {
+    EXPECT_TRUE(is_permutation(order_bench_matrix(m))) << m.name;
+  }
+}
+
+TEST(Suite, ScalesAreMonotone) {
+  const BenchMatrix s = make_bench_matrix("CUBE30", SuiteScale::kSmall);
+  const BenchMatrix m = make_bench_matrix("CUBE30", SuiteScale::kMedium);
+  EXPECT_LT(s.matrix.num_rows(), m.matrix.num_rows());
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(make_bench_matrix("NOPE", SuiteScale::kSmall), Error);
+}
+
+TEST(Suite, DenseUsesNaturalOrdering) {
+  EXPECT_EQ(make_bench_matrix("DENSE1024", SuiteScale::kSmall).ordering,
+            OrderingKind::kNatural);
+  EXPECT_EQ(make_bench_matrix("CUBE40", SuiteScale::kSmall).ordering,
+            OrderingKind::kGeometricNd3d);
+  EXPECT_EQ(make_bench_matrix("10FLEET", SuiteScale::kSmall).ordering,
+            OrderingKind::kMmd);
+}
+
+}  // namespace
+}  // namespace spc

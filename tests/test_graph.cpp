@@ -1,0 +1,194 @@
+// Unit tests for graph structures, permutations, and Matrix Market I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph.hpp"
+#include "graph/matrix_market.hpp"
+#include "graph/permutation.hpp"
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+TEST(Graph, FromEdgesSymmetrizesAndDedupes) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 0}, {1, 2}, {2, 2}, {1, 2}});
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 2);  // (0,1), (1,2); self loop dropped
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(3), 0);
+  g.validate();
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 5}}), Error);
+}
+
+TEST(Graph, PermutedPreservesStructure) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const std::vector<idx> perm = {3, 2, 1, 0};  // reverse
+  const Graph h = g.permuted(perm);
+  h.validate();
+  EXPECT_EQ(h.num_edges(), 3);
+  // Old path 0-1-2-3 becomes new path 3-2-1-0.
+  EXPECT_EQ(h.degree(0), 1);
+  EXPECT_EQ(h.degree(1), 2);
+}
+
+TEST(Graph, ConnectedComponents) {
+  const Graph g = Graph::from_edges(7, {{0, 1}, {1, 2}, {3, 4}});
+  idx count = 0;
+  const std::vector<idx> comp = connected_components(g, &count);
+  EXPECT_EQ(count, 4);  // {0,1,2}, {3,4}, {5}, {6}
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[6]);
+}
+
+TEST(Graph, ConnectedComponentsSingleComponent) {
+  std::vector<std::pair<idx, idx>> edges;
+  for (idx i = 0; i + 1 < 30; ++i) edges.emplace_back(i, i + 1);
+  idx count = 0;
+  connected_components(Graph::from_edges(30, edges), &count);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Permutation, InverseRoundTrips) {
+  const std::vector<idx> p = {2, 0, 3, 1};
+  const std::vector<idx> inv = inverse_permutation(p);
+  for (idx k = 0; k < 4; ++k) EXPECT_EQ(inv[p[k]], k);
+}
+
+TEST(Permutation, DetectsInvalid) {
+  EXPECT_FALSE(is_permutation({0, 0, 1}));
+  EXPECT_FALSE(is_permutation({0, 3}));
+  EXPECT_TRUE(is_permutation({1, 0, 2}));
+  EXPECT_THROW(inverse_permutation({1, 1}), Error);
+}
+
+TEST(Permutation, ComposeAppliesSecondAfterFirst) {
+  const std::vector<idx> first = {2, 0, 1};
+  const std::vector<idx> second = {1, 2, 0};
+  const std::vector<idx> c = compose_permutations(first, second);
+  // c[k] = first[second[k]]
+  EXPECT_EQ(c, (std::vector<idx>{0, 1, 2}));
+}
+
+TEST(Permutation, IdentityIsIdentity) {
+  EXPECT_EQ(identity_permutation(3), (std::vector<idx>{0, 1, 2}));
+}
+
+SymSparse tiny_spd() {
+  // 3x3: diag [4,5,6], offdiag (1,0)=-1, (2,1)=-2
+  return SymSparse::from_entries(3, {4.0, 5.0, 6.0}, {{1, 0}, {2, 1}}, {-1.0, -2.0});
+}
+
+TEST(SymSparse, CanonicalForm) {
+  const SymSparse m = tiny_spd();
+  m.validate();
+  EXPECT_EQ(m.num_rows(), 3);
+  EXPECT_EQ(m.nnz_lower(), 5);
+  EXPECT_EQ(m.row_idx()[0], 0);  // diagonal first in column 0
+}
+
+TEST(SymSparse, DuplicatesSummed) {
+  const SymSparse m = SymSparse::from_entries(2, {3.0, 3.0}, {{1, 0}, {0, 1}}, {-1.0, -0.5});
+  EXPECT_EQ(m.nnz_lower(), 3);
+  EXPECT_DOUBLE_EQ(m.values()[1], -1.5);
+}
+
+TEST(SymSparse, MultiplyUsesBothTriangles) {
+  const SymSparse m = tiny_spd();
+  const std::vector<double> y = m.multiply({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);   // 4 - 1
+  EXPECT_DOUBLE_EQ(y[1], 2.0);   // -1 + 5 - 2
+  EXPECT_DOUBLE_EQ(y[2], 4.0);   // -2 + 6
+}
+
+TEST(SymSparse, PermutedPreservesQuadraticForm) {
+  const SymSparse m = tiny_spd();
+  const std::vector<idx> perm = {2, 0, 1};
+  const SymSparse p = m.permuted(perm);
+  p.validate();
+  // x^T A x invariant under symmetric permutation (permute x accordingly).
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> px(3);
+  for (idx k = 0; k < 3; ++k) px[k] = x[static_cast<std::size_t>(perm[k])];
+  const std::vector<double> ax = m.multiply(x);
+  const std::vector<double> pax = p.multiply(px);
+  double qa = 0.0, qb = 0.0;
+  for (idx k = 0; k < 3; ++k) {
+    qa += x[k] * ax[k];
+    qb += px[k] * pax[k];
+  }
+  EXPECT_NEAR(qa, qb, 1e-12);
+}
+
+TEST(SymSparse, PatternDropsDiagonal) {
+  const Graph g = tiny_spd().pattern();
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(SymSparse, RejectsDiagonalInOffdiagList) {
+  EXPECT_THROW(SymSparse::from_entries(2, {1.0, 1.0}, {{1, 1}}, {2.0}), Error);
+}
+
+TEST(MatrixMarket, RoundTrip) {
+  const SymSparse m = tiny_spd();
+  std::ostringstream os;
+  write_matrix_market(os, m);
+  std::istringstream is(os.str());
+  const SymSparse back = read_matrix_market(is);
+  back.validate();
+  EXPECT_EQ(back.num_rows(), 3);
+  EXPECT_EQ(back.nnz_lower(), 5);
+  EXPECT_DOUBLE_EQ(back.values()[0], 4.0);
+}
+
+TEST(MatrixMarket, PatternFileGetsSpdValues) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "% comment\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 2\n");
+  const SymSparse m = read_matrix_market(is);
+  m.validate();  // validates positive diagonal, i.e. SPD-ready
+  EXPECT_EQ(m.num_rows(), 3);
+  EXPECT_EQ(m.nnz_lower(), 5);
+}
+
+TEST(MatrixMarket, BoostsWeakDiagonal) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 3\n"
+      "1 1 0.1\n"
+      "2 2 0.1\n"
+      "2 1 -5.0\n");
+  bool boosted = false;
+  const SymSparse m = read_matrix_market(is, &boosted);
+  EXPECT_TRUE(boosted);
+  m.validate();
+  EXPECT_GE(m.values()[0], 5.0);
+}
+
+TEST(MatrixMarket, RejectsGeneralSymmetry) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(is), Error);
+}
+
+TEST(MatrixMarket, RejectsTruncated) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(is), Error);
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,203 @@
+// Unit tests for the dense kernels (BFAC/BDIV/BMOD primitives).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/kernels.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace spc {
+namespace {
+
+DenseMatrix random_spd(idx n, Rng& rng) {
+  // A = B B^T + n I is SPD.
+  DenseMatrix b(n, n);
+  for (idx c = 0; c < n; ++c) {
+    for (idx r = 0; r < n; ++r) b(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  DenseMatrix a(n, n);
+  for (idx r = 0; r < n; ++r) {
+    for (idx c = 0; c < n; ++c) {
+      double s = r == c ? static_cast<double>(n) : 0.0;
+      for (idx k = 0; k < n; ++k) s += b(r, k) * b(c, k);
+      a(r, c) = s;
+    }
+  }
+  return a;
+}
+
+TEST(DenseMatrix, ResizeZeroes) {
+  DenseMatrix m(2, 3);
+  m(1, 2) = 5.0;
+  m.resize(3, 2);
+  for (idx c = 0; c < 2; ++c) {
+    for (idx r = 0; r < 3; ++r) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(DenseMatrix, NormAndAxpy) {
+  DenseMatrix a(2, 2), b(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  b(0, 0) = 1.0;
+  a.axpy(2.0, b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 5.0);
+}
+
+TEST(DenseMatrix, AxpyShapeMismatchThrows) {
+  DenseMatrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a.axpy(1.0, b), Error);
+}
+
+TEST(Potrf, FactorsIdentity) {
+  DenseMatrix a(4, 4);
+  for (idx i = 0; i < 4; ++i) a(i, i) = 1.0;
+  potrf_lower(a);
+  for (idx i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(a(i, i), 1.0);
+}
+
+TEST(Potrf, Known2x2) {
+  // [[4, 2], [2, 5]] = [[2,0],[1,2]] [[2,1],[0,2]]
+  DenseMatrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(1, 0) = 2.0;
+  a(0, 1) = 2.0;
+  a(1, 1) = 5.0;
+  potrf_lower(a);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 0.0);  // upper triangle zeroed
+}
+
+TEST(Potrf, ReconstructsRandomSpd) {
+  Rng rng(5);
+  for (idx n : {1, 3, 8, 17, 33}) {
+    DenseMatrix a = random_spd(n, rng);
+    DenseMatrix l = a;
+    potrf_lower(l);
+    for (idx r = 0; r < n; ++r) {
+      for (idx c = 0; c <= r; ++c) {
+        double s = 0.0;
+        for (idx k = 0; k <= c; ++k) s += l(r, k) * l(c, k);
+        EXPECT_NEAR(s, a(r, c), 1e-9 * n) << "n=" << n << " r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(Potrf, RejectsIndefinite) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = 1.0;  // 1 - 9 < 0
+  EXPECT_THROW(potrf_lower(a), Error);
+}
+
+TEST(Potrf, RejectsNonSquare) {
+  DenseMatrix a(2, 3);
+  EXPECT_THROW(potrf_lower(a), Error);
+}
+
+TEST(Trsm, SolvesAgainstFactor) {
+  Rng rng(6);
+  const idx k = 9, m = 5;
+  DenseMatrix l = random_spd(k, rng);
+  potrf_lower(l);
+  // X true, B = X * L^T; trsm should recover X.
+  DenseMatrix x(m, k);
+  for (idx c = 0; c < k; ++c) {
+    for (idx r = 0; r < m; ++r) x(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  DenseMatrix b(m, k);
+  for (idx r = 0; r < m; ++r) {
+    for (idx c = 0; c < k; ++c) {
+      double s = 0.0;
+      for (idx p = 0; p <= c; ++p) s += x(r, p) * l(c, p);
+      b(r, c) = s;
+    }
+  }
+  trsm_right_ltrans(l, b);
+  for (idx r = 0; r < m; ++r) {
+    for (idx c = 0; c < k; ++c) EXPECT_NEAR(b(r, c), x(r, c), 1e-9);
+  }
+}
+
+TEST(Trsm, DimensionMismatchThrows) {
+  DenseMatrix l(3, 3), b(2, 4);
+  EXPECT_THROW(trsm_right_ltrans(l, b), Error);
+}
+
+TEST(GemmNt, MatchesReference) {
+  Rng rng(8);
+  const idx m = 4, n = 6, k = 3;
+  DenseMatrix a(m, k), b(n, k), c(m, n), ref(m, n);
+  for (idx p = 0; p < k; ++p) {
+    for (idx r = 0; r < m; ++r) a(r, p) = rng.uniform(-1.0, 1.0);
+    for (idx r = 0; r < n; ++r) b(r, p) = rng.uniform(-1.0, 1.0);
+  }
+  for (idx r = 0; r < m; ++r) {
+    for (idx cc = 0; cc < n; ++cc) {
+      c(r, cc) = ref(r, cc) = rng.uniform(-1.0, 1.0);
+      for (idx p = 0; p < k; ++p) ref(r, cc) -= a(r, p) * b(cc, p);
+    }
+  }
+  gemm_nt_minus(a, b, c);
+  for (idx r = 0; r < m; ++r) {
+    for (idx cc = 0; cc < n; ++cc) EXPECT_NEAR(c(r, cc), ref(r, cc), 1e-12);
+  }
+}
+
+TEST(GemmNt, BlockedMatchesNaiveAcrossShapes) {
+  Rng rng(99);
+  for (idx m : {1, 3, 8, 17, 33}) {
+    for (idx n : {1, 2, 5, 12}) {
+      for (idx k : {1, 4, 7, 16}) {
+        DenseMatrix a(m, k), b(n, k), c0(m, n);
+        for (idx p = 0; p < k; ++p) {
+          for (idx r = 0; r < m; ++r) a(r, p) = rng.uniform(-1.0, 1.0);
+          for (idx r = 0; r < n; ++r) b(r, p) = rng.uniform(-1.0, 1.0);
+        }
+        for (idx r = 0; r < m; ++r) {
+          for (idx cc = 0; cc < n; ++cc) c0(r, cc) = rng.uniform(-1.0, 1.0);
+        }
+        DenseMatrix c1 = c0;
+        gemm_nt_minus_naive(a, b, c0);
+        gemm_nt_minus_blocked(a, b, c1);
+        for (idx r = 0; r < m; ++r) {
+          for (idx cc = 0; cc < n; ++cc) {
+            EXPECT_NEAR(c0(r, cc), c1(r, cc), 1e-13)
+                << "m=" << m << " n=" << n << " k=" << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmNt, ShapeMismatchThrows) {
+  DenseMatrix a(2, 3), b(4, 2), c(2, 4);
+  EXPECT_THROW(gemm_nt_minus(a, b, c), Error);
+}
+
+TEST(FlopCounts, MatchClosedForms) {
+  // BFAC on k=1 is a single sqrt.
+  EXPECT_EQ(flops_bfac(1), 1);
+  // k(k+1)(2k+1)/6: 2*3*5/6 = 5.
+  EXPECT_EQ(flops_bfac(2), 5);
+  EXPECT_EQ(flops_bfac(48), 48LL * 49 * 97 / 6);
+  EXPECT_EQ(flops_bdiv(10, 48), 10LL * 48 * 48);
+  EXPECT_EQ(flops_bmod(3, 4, 5), 2LL * 3 * 4 * 5);
+}
+
+TEST(FlopCounts, MonotoneInDimensions) {
+  EXPECT_LT(flops_bfac(10), flops_bfac(11));
+  EXPECT_LT(flops_bdiv(10, 8), flops_bdiv(11, 8));
+  EXPECT_LT(flops_bmod(2, 3, 4), flops_bmod(2, 3, 5));
+}
+
+}  // namespace
+}  // namespace spc

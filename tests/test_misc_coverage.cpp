@@ -1,0 +1,131 @@
+// Cross-cutting coverage: routed wire times, SimResult accounting, pipeline
+// behaviour on disconnected systems with domains, and I/O round-trips of
+// generated suite matrices.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cholesky/sparse_cholesky.hpp"
+#include "factor/residual.hpp"
+#include "gen/benchmark_suite.hpp"
+#include "gen/grid_gen.hpp"
+#include "graph/matrix_market.hpp"
+#include "sim/cost_model.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace spc {
+namespace {
+
+TEST(CostModelRouted, FlatWhenMeshDisabled) {
+  CostModel cm;
+  cm.mesh_cols = 0;
+  EXPECT_DOUBLE_EQ(cm.wire_seconds_routed(1000, 0, 63), cm.wire_seconds(1000));
+}
+
+TEST(CostModelRouted, ManhattanHops) {
+  CostModel cm;
+  cm.mesh_cols = 8;
+  cm.per_hop_latency_s = 1e-6;
+  // proc 0 = (0,0), proc 63 = (7,7): 14 hops.
+  EXPECT_NEAR(cm.wire_seconds_routed(0, 0, 63) - cm.wire_seconds(0), 14e-6, 1e-12);
+  // Same node: zero hops.
+  EXPECT_DOUBLE_EQ(cm.wire_seconds_routed(0, 5, 5), cm.wire_seconds(0));
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(cm.wire_seconds_routed(100, 3, 42),
+                   cm.wire_seconds_routed(100, 42, 3));
+}
+
+TEST(SimResultAccounting, SyntheticArithmetic) {
+  SimResult r;
+  r.runtime_s = 2.0;
+  r.seq_runtime_s = 12.0;
+  r.num_procs = 4;
+  r.procs.resize(4);
+  r.procs[0].compute_s = 1.0;
+  r.procs[0].comm_s = 0.5;
+  r.procs[1].compute_s = 2.0;
+  r.procs[2].msgs_sent = 3;
+  r.procs[2].bytes_sent = 1000;
+  EXPECT_DOUBLE_EQ(r.total_compute_s(), 3.0);
+  EXPECT_DOUBLE_EQ(r.total_comm_s(), 0.5);
+  EXPECT_DOUBLE_EQ(r.total_idle_s(), 8.0 - 3.5);
+  EXPECT_EQ(r.total_msgs(), 3);
+  EXPECT_EQ(r.total_bytes(), 1000);
+  EXPECT_DOUBLE_EQ(r.efficiency(), 12.0 / 8.0 > 1 ? 1.5 : 1.5);  // = 1.5
+  EXPECT_DOUBLE_EQ(r.mflops(8'000'000), 4.0);
+  EXPECT_NEAR(r.comm_fraction(), 0.5 / 8.0, 1e-12);
+}
+
+TEST(Pipeline, DisconnectedSystemWithDomainsAndSim) {
+  // Forest etree + domains + simulation must all hold together.
+  std::vector<std::pair<idx, idx>> edges;
+  std::vector<double> val;
+  // Three disjoint 4x4 grids.
+  const SymSparse g = make_grid2d(4, 4);
+  std::vector<double> diag;
+  for (int blockm = 0; blockm < 3; ++blockm) {
+    const idx base = blockm * 16;
+    const auto& ptr = g.col_ptr();
+    const auto& row = g.row_idx();
+    const auto& v = g.values();
+    for (idx c = 0; c < 16; ++c) {
+      diag.push_back(v[static_cast<std::size_t>(ptr[c])]);
+      for (i64 k = ptr[c] + 1; k < ptr[c + 1]; ++k) {
+        edges.emplace_back(base + row[static_cast<std::size_t>(k)], base + c);
+        val.push_back(v[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+  const SymSparse a = SymSparse::from_entries(48, diag, edges, val);
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  chol.factorize();
+  Rng rng(4);
+  std::vector<double> b(48);
+  for (double& x : b) x = rng.uniform(-1.0, 1.0);
+  EXPECT_LT(solve_residual(a, chol.solve(b), b), 1e-12);
+  const ParallelPlan plan = chol.plan_parallel(
+      4, RemapHeuristic::kDecreasingWork, RemapHeuristic::kIncreasingDepth, true);
+  const SimResult r = chol.simulate(plan);
+  EXPECT_GT(r.efficiency(), 0.0);
+}
+
+TEST(SuiteIo, MatrixMarketRoundTripPreservesSolve) {
+  const BenchMatrix bm = make_bench_matrix("BCSSTK29", SuiteScale::kSmall);
+  std::stringstream ss;
+  write_matrix_market(ss, bm.matrix);
+  const SymSparse back = read_matrix_market(ss);
+  EXPECT_EQ(back.num_rows(), bm.matrix.num_rows());
+  EXPECT_EQ(back.nnz_lower(), bm.matrix.nnz_lower());
+  // Values round-trip through decimal text within printing precision;
+  // the reconstructed system must still factor and solve.
+  SparseCholesky chol = SparseCholesky::analyze(back);
+  chol.factorize();
+  std::vector<double> b(static_cast<std::size_t>(back.num_rows()), 1.0);
+  EXPECT_LT(solve_residual(back, chol.solve(b), b), 1e-9);
+}
+
+TEST(Balance, RectangularGridDiagonalsUsePrRows) {
+  // compute_balance's generalized diagonals are defined modulo Pr even on
+  // rectangular grids (the paper's formula); just exercise the path.
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(12, 12));
+  const ParallelPlan plan = chol.plan_parallel(
+      6, RemapHeuristic::kCyclic, RemapHeuristic::kCyclic, false);  // 2x3 grid
+  EXPECT_GT(plan.balance.diag, 0.0);
+  EXPECT_LE(plan.balance.diag, 1.0);
+}
+
+TEST(Facade, AmalgamationOptionsRespected) {
+  SolverOptions opt;
+  opt.amalgamation.max_zero_fraction = 0.0;
+  opt.amalgamation.always_merge_width = 0;
+  opt.amalgamation.max_small_zeros = 0;
+  SparseCholesky strict = SparseCholesky::analyze(make_grid2d(12, 12), opt);
+  SparseCholesky dflt = SparseCholesky::analyze(make_grid2d(12, 12));
+  // Zero-tolerance amalgamation may still merge padding-free chains, but
+  // must never produce FEWER supernodes than the default settings.
+  EXPECT_GE(strict.symbolic().num_supernodes(), dflt.symbolic().num_supernodes());
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,141 @@
+// Broad pipeline property sweep: every generator family (including the
+// denser 9-pt/27-pt stencils), every ordering option, and extreme cost-model
+// settings must flow through analyze -> factorize -> solve -> plan ->
+// simulate without violating the core invariants.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "cholesky/sparse_cholesky.hpp"
+#include "factor/residual.hpp"
+#include "gen/grid_gen.hpp"
+#include "gen/lp_gen.hpp"
+#include "gen/mesh_gen.hpp"
+#include "ordering/mmd.hpp"
+#include "support/rng.hpp"
+
+namespace spc {
+namespace {
+
+enum class Gen { kGrid5, kGrid9, kCube7, kCube27, kFem, kLp };
+
+SymSparse make(Gen g) {
+  switch (g) {
+    case Gen::kGrid5: return make_grid2d(13, 11);
+    case Gen::kGrid9: return make_grid2d_9pt(11, 12);
+    case Gen::kCube7: return make_grid3d(5, 4, 5);
+    case Gen::kCube27: return make_grid3d_27pt(4, 4, 4);
+    case Gen::kFem: return make_fem_mesh({60, 2, 3, 8.0, 17});
+    case Gen::kLp: {
+      LpGenOptions o;
+      o.n = 180;
+      o.mean_overlap = 10.0;
+      return make_lp_normal_equations(o);
+    }
+  }
+  return make_grid2d(4, 4);
+}
+
+class PipelineSweep
+    : public ::testing::TestWithParam<std::tuple<Gen, SolverOptions::Ordering>> {};
+
+TEST_P(PipelineSweep, EndToEndInvariants) {
+  const auto [gen, ordering] = GetParam();
+  const SymSparse a = make(gen);
+  SolverOptions opt;
+  opt.ordering = ordering;
+  opt.block_size = 12;
+  SparseCholesky chol = SparseCholesky::analyze(a, opt);
+  chol.structure().validate();
+  chol.factorize();
+  Rng rng(77);
+  std::vector<double> b(static_cast<std::size_t>(a.num_rows()));
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  EXPECT_LT(solve_residual(a, chol.solve(b), b), 1e-9);
+
+  const ParallelPlan plan = chol.plan_parallel(
+      8, RemapHeuristic::kIncreasingDepth, RemapHeuristic::kCyclic);
+  const SimResult r = chol.simulate(plan);
+  EXPECT_GT(r.efficiency(), 0.0);
+  EXPECT_LE(r.efficiency(), 1.0 + 1e-9);
+  EXPECT_GE(r.runtime_s, r.seq_runtime_s / 8 - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, PipelineSweep,
+    ::testing::Combine(::testing::Values(Gen::kGrid5, Gen::kGrid9, Gen::kCube7,
+                                         Gen::kCube27, Gen::kFem, Gen::kLp),
+                       ::testing::Values(SolverOptions::Ordering::kMmd,
+                                         SolverOptions::Ordering::kAmd,
+                                         SolverOptions::Ordering::kNd)),
+    [](const ::testing::TestParamInfo<std::tuple<Gen, SolverOptions::Ordering>>& info) {
+      const Gen g = std::get<0>(info.param);
+      const char* gn = g == Gen::kGrid5   ? "grid5"
+                       : g == Gen::kGrid9 ? "grid9"
+                       : g == Gen::kCube7 ? "cube7"
+                       : g == Gen::kCube27 ? "cube27"
+                       : g == Gen::kFem   ? "fem"
+                                          : "lp";
+      const SolverOptions::Ordering o = std::get<1>(info.param);
+      const char* on = o == SolverOptions::Ordering::kMmd   ? "mmd"
+                       : o == SolverOptions::Ordering::kAmd ? "amd"
+                                                            : "nd";
+      return std::string(gn) + "_" + on;
+    });
+
+TEST(ExtremeCostModels, ZeroCommOverheadRaisesEfficiency) {
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(18, 18));
+  const ParallelPlan plan = chol.plan_parallel(
+      9, RemapHeuristic::kIncreasingDepth, RemapHeuristic::kCyclic);
+  CostModel free_comm;
+  free_comm.msg_latency_s = 0.0;
+  free_comm.send_overhead_s = 0.0;
+  free_comm.recv_overhead_s = 0.0;
+  free_comm.cpu_per_byte_s = 0.0;
+  free_comm.bandwidth_bytes_per_s = 1e15;
+  const SimResult base = chol.simulate(plan);
+  const SimResult free_r = chol.simulate(plan, free_comm);
+  EXPECT_LE(free_r.runtime_s, base.runtime_s + 1e-12);
+  EXPECT_DOUBLE_EQ(free_r.total_comm_s(), 0.0);
+}
+
+TEST(ExtremeCostModels, SlowNetworkLowersEfficiency) {
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(18, 18));
+  const ParallelPlan plan = chol.plan_parallel(
+      9, RemapHeuristic::kIncreasingDepth, RemapHeuristic::kCyclic);
+  CostModel slow;
+  slow.bandwidth_bytes_per_s = 1e5;  // 400x slower than the Paragon
+  slow.msg_latency_s = 5e-3;
+  const SimResult base = chol.simulate(plan);
+  const SimResult slow_r = chol.simulate(plan, slow);
+  EXPECT_GT(slow_r.runtime_s, base.runtime_s);
+}
+
+TEST(ExtremeCostModels, UniformRateMakesWorkModelExact) {
+  // With a flat rate and no fixed cost, simulated sequential time equals
+  // total flops / rate exactly.
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(10, 10));
+  CostModel flat;
+  flat.min_mflops = flat.peak_mflops = 25.0;
+  flat.fixed_op_flops = 0.0;
+  const ParallelPlan plan = chol.plan_parallel(
+      1, RemapHeuristic::kCyclic, RemapHeuristic::kCyclic, false);
+  const SimResult r = chol.simulate(plan, flat);
+  EXPECT_NEAR(r.seq_runtime_s,
+              static_cast<double>(chol.task_graph().total_flops()) / 25e6,
+              1e-9 * r.seq_runtime_s + 1e-12);
+}
+
+TEST(MmdOptionsSweep, DeltaRelaxationStaysValid) {
+  const SymSparse a = make_grid2d(15, 15);
+  for (idx delta : {0, 1, 2, 4}) {
+    MmdOptions opt;
+    opt.delta = delta;
+    const std::vector<idx> p = mmd_order(a.pattern(), opt);
+    EXPECT_EQ(static_cast<idx>(p.size()), a.num_rows()) << "delta=" << delta;
+  }
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,118 @@
+// Serialization round-trip tests and condition-number estimation tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "cholesky/sparse_cholesky.hpp"
+#include "factor/condest.hpp"
+#include "factor/residual.hpp"
+#include "factor/serialize.hpp"
+#include "gen/dense_gen.hpp"
+#include "gen/grid_gen.hpp"
+#include "gen/mesh_gen.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace spc {
+namespace {
+
+TEST(Serialize, RoundTripSolvesIdentically) {
+  const SymSparse a = make_fem_mesh({60, 3, 2, 9.0, 321});
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  chol.factorize();
+
+  std::stringstream stream;
+  save_factorization(stream, chol.ordering(), chol.structure(), chol.factor());
+  SavedFactorization loaded = load_factorization(stream);
+
+  Rng rng(2);
+  std::vector<double> b(static_cast<std::size_t>(a.num_rows()));
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const std::vector<double> x_orig = chol.solve(b);
+  const std::vector<double> x_loaded = loaded.solve(b);
+  ASSERT_EQ(x_orig.size(), x_loaded.size());
+  for (std::size_t i = 0; i < x_orig.size(); ++i) {
+    EXPECT_DOUBLE_EQ(x_orig[i], x_loaded[i]);
+  }
+}
+
+TEST(Serialize, MovePreservesSelfBinding) {
+  const SymSparse a = make_grid2d(8, 8);
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  chol.factorize();
+  std::stringstream stream;
+  save_factorization(stream, chol.ordering(), chol.structure(), chol.factor());
+  SavedFactorization first = load_factorization(stream);
+  SavedFactorization second = std::move(first);
+  EXPECT_EQ(second.factor.structure, &second.structure);
+  const std::vector<double> x = second.solve(std::vector<double>(64, 1.0));
+  EXPECT_EQ(x.size(), 64u);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream stream;
+  stream << "this is not a factorization";
+  EXPECT_THROW(load_factorization(stream), Error);
+}
+
+TEST(Serialize, RejectsTruncated) {
+  const SymSparse a = make_grid2d(6, 6);
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  chol.factorize();
+  std::stringstream stream;
+  save_factorization(stream, chol.ordering(), chol.structure(), chol.factor());
+  const std::string full = stream.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_factorization(cut), Error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const SymSparse a = make_grid2d(7, 5);
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  chol.factorize();
+  const std::string path = "/tmp/spc_test_factor.bin";
+  save_factorization_file(path, chol.ordering(), chol.structure(), chol.factor());
+  const SavedFactorization loaded = load_factorization_file(path);
+  EXPECT_EQ(loaded.structure.num_block_cols(), chol.structure().num_block_cols());
+}
+
+TEST(CondEst, IdentityHasConditionOne) {
+  // A = diag(4): lambda_max = 4, ||A^{-1}|| = 1/4, cond = 1.
+  std::vector<double> diag(20, 4.0);
+  const SymSparse a = SymSparse::from_entries(20, diag, {}, {});
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  chol.factorize();
+  EXPECT_NEAR(estimate_norm2(chol.permuted_matrix()), 4.0, 1e-6);
+  EXPECT_NEAR(estimate_inv_norm2(chol.permuted_matrix(), chol.factor()), 0.25, 1e-6);
+  EXPECT_NEAR(estimate_condition(chol.permuted_matrix(), chol.factor()), 1.0, 1e-5);
+}
+
+TEST(CondEst, DiagonalMatrixExactExtremes) {
+  // diag(1, 2, ..., 10): cond = 10.
+  std::vector<double> diag(10);
+  for (int i = 0; i < 10; ++i) diag[i] = i + 1.0;
+  const SymSparse a = SymSparse::from_entries(10, diag, {}, {});
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  chol.factorize();
+  EXPECT_NEAR(estimate_condition(chol.permuted_matrix(), chol.factor(), 200), 10.0,
+              0.2);
+}
+
+TEST(CondEst, GridLaplacianReasonableRange) {
+  const SymSparse a = make_grid2d(12, 12);
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  chol.factorize();
+  const double cond = estimate_condition(chol.permuted_matrix(), chol.factor(), 60);
+  // diag = degree+1 Laplacian: eigenvalues in (1, ~9); condition modest.
+  EXPECT_GT(cond, 1.0);
+  EXPECT_LT(cond, 50.0);
+}
+
+TEST(CondEst, RejectsBadIters) {
+  const SymSparse a = make_grid2d(4, 4);
+  EXPECT_THROW(estimate_norm2(a, 0), Error);
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,161 @@
+// Deeper fan-out protocol invariants, checked across a parameterized sweep
+// of matrices, processor counts, mappings, and domain settings:
+//   * conservation: every block op executes exactly once, somewhere;
+//   * every message sent is received;
+//   * rectangular and relatively-prime grids work;
+//   * arbitrary (randomized) Cartesian-product maps never deadlock.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "cholesky/sparse_cholesky.hpp"
+#include "gen/grid_gen.hpp"
+#include "gen/lp_gen.hpp"
+#include "gen/mesh_gen.hpp"
+#include "sim/fanout_sim.hpp"
+#include "support/rng.hpp"
+
+namespace spc {
+namespace {
+
+struct Totals {
+  i64 completion = 0, mod = 0, apply = 0, sent = 0, received = 0;
+};
+
+Totals totals_of(const SimResult& r) {
+  Totals t;
+  for (const ProcStats& p : r.procs) {
+    t.completion += p.ops_completion;
+    t.mod += p.ops_mod;
+    t.apply += p.ops_apply;
+    t.sent += p.msgs_sent;
+    t.received += p.msgs_received;
+  }
+  return t;
+}
+
+enum class Problem { kGrid, kFem, kLp };
+
+SymSparse make_problem(Problem p) {
+  switch (p) {
+    case Problem::kGrid: return make_grid2d(18, 18);
+    case Problem::kFem: return make_fem_mesh({90, 3, 3, 9.0, 13});
+    case Problem::kLp: {
+      LpGenOptions o;
+      o.n = 260;
+      o.mean_overlap = 14.0;
+      return make_lp_normal_equations(o);
+    }
+  }
+  return make_grid2d(4, 4);
+}
+
+class ProtocolSweep
+    : public ::testing::TestWithParam<std::tuple<Problem, idx, bool>> {};
+
+TEST_P(ProtocolSweep, ConservationAndDelivery) {
+  const auto [problem, procs, domains] = GetParam();
+  SolverOptions opt;
+  opt.block_size = 12;
+  SparseCholesky chol = SparseCholesky::analyze(make_problem(problem), opt);
+  const ParallelPlan plan = chol.plan_parallel(
+      procs, RemapHeuristic::kIncreasingDepth, RemapHeuristic::kDecreasingNumber,
+      domains);
+  const SimResult r = chol.simulate(plan);
+  const Totals t = totals_of(r);
+
+  // Every block completes exactly once (BFAC or BDIV).
+  EXPECT_EQ(t.completion, chol.task_graph().num_blocks());
+  // Every BMOD executes exactly once somewhere.
+  EXPECT_EQ(t.mod, static_cast<i64>(chol.task_graph().mods.size()));
+  // Every sent message is received.
+  EXPECT_EQ(t.sent, t.received);
+  // Aggregates only exist with domains enabled.
+  if (!domains) {
+    EXPECT_EQ(t.apply, 0);
+  }
+  // Sanity on the clock.
+  EXPECT_GT(r.runtime_s, 0.0);
+  EXPECT_LE(r.efficiency(), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProtocolSweep,
+    ::testing::Combine(::testing::Values(Problem::kGrid, Problem::kFem, Problem::kLp),
+                       ::testing::Values<idx>(1, 3, 6, 12, 63),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<Problem, idx, bool>>& info) {
+      const Problem pr = std::get<0>(info.param);
+      const char* name =
+          pr == Problem::kGrid ? "grid" : (pr == Problem::kFem ? "fem" : "lp");
+      return std::string(name) + "_P" + std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_dom" : "_nodom");
+    });
+
+TEST(ProtocolRandomMaps, ArbitraryCpMapsNeverDeadlock) {
+  SolverOptions opt;
+  opt.block_size = 10;
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(14, 14), opt);
+  const idx nb = chol.structure().num_block_cols();
+  Rng rng(2718);
+  for (int trial = 0; trial < 8; ++trial) {
+    BlockMap map;
+    map.grid = ProcessorGrid{rng.uniform_int(1, 5), rng.uniform_int(1, 5)};
+    map.map_row.resize(static_cast<std::size_t>(nb));
+    map.map_col.resize(static_cast<std::size_t>(nb));
+    for (idx b = 0; b < nb; ++b) {
+      map.map_row[static_cast<std::size_t>(b)] = rng.uniform_int(0, map.grid.rows - 1);
+      map.map_col[static_cast<std::size_t>(b)] = rng.uniform_int(0, map.grid.cols - 1);
+    }
+    const ParallelPlan plan = chol.plan_from_map(std::move(map), trial % 2 == 0);
+    const SimResult r = chol.simulate(plan);
+    const Totals t = totals_of(r);
+    EXPECT_EQ(t.completion, chol.task_graph().num_blocks()) << "trial " << trial;
+    EXPECT_EQ(t.sent, t.received) << "trial " << trial;
+  }
+}
+
+TEST(ProtocolRectangularGrids, WorkOnNonSquare) {
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(16, 16));
+  for (idx procs : {2, 6, 12}) {  // grids 1x2, 2x3, 3x4
+    const ParallelPlan plan = chol.plan_parallel(
+        procs, RemapHeuristic::kDecreasingWork, RemapHeuristic::kIncreasingNumber);
+    EXPECT_NE(plan.map.grid.rows, plan.map.grid.cols);
+    const SimResult r = chol.simulate(plan);
+    EXPECT_EQ(totals_of(r).completion, chol.task_graph().num_blocks());
+  }
+}
+
+TEST(ProtocolMessages, NoSelfMessagesOnSingleProc) {
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(10, 10));
+  const ParallelPlan plan = chol.plan_parallel(
+      1, RemapHeuristic::kCyclic, RemapHeuristic::kCyclic, true);
+  const SimResult r = chol.simulate(plan);
+  EXPECT_EQ(r.total_msgs(), 0);
+  EXPECT_EQ(totals_of(r).apply, 0);  // all aggregates are local -> none made
+}
+
+TEST(ProtocolDomains, ApplyCountMatchesAggregates) {
+  // Each (domain proc, remote destination) pair produces exactly one apply.
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(26, 26));
+  const ParallelPlan plan = chol.plan_parallel(
+      9, RemapHeuristic::kIncreasingDepth, RemapHeuristic::kCyclic, true);
+  const SimResult r = chol.simulate(plan);
+  const Totals t = totals_of(r);
+  // Recompute the expected number of aggregates from the task graph.
+  const TaskGraph& tg = chol.task_graph();
+  std::set<std::pair<i64, idx>> agg;
+  for (const BlockMod& m : tg.mods) {
+    if (!plan.domains.is_domain_col(m.col_k)) continue;
+    const idx d = plan.domains.domain_proc[m.col_k];
+    const idx dest_owner =
+        plan.map.owner(tg.row_of_block[static_cast<std::size_t>(m.dest)],
+                       tg.col_of_block[static_cast<std::size_t>(m.dest)], plan.domains);
+    if (dest_owner != d) agg.insert({m.dest, d});
+  }
+  EXPECT_EQ(t.apply, static_cast<i64>(agg.size()));
+}
+
+}  // namespace
+}  // namespace spc

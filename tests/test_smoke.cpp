@@ -1,0 +1,33 @@
+// End-to-end smoke test: the full pipeline on a small grid problem.
+#include <gtest/gtest.h>
+
+#include "cholesky/sparse_cholesky.hpp"
+#include "factor/residual.hpp"
+#include "gen/grid_gen.hpp"
+#include "support/rng.hpp"
+
+namespace spc {
+namespace {
+
+TEST(Smoke, FactorSolveSimulate) {
+  const SymSparse a = make_grid2d(12, 12);
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  chol.factorize();
+
+  Rng rng(3);
+  std::vector<double> b(static_cast<std::size_t>(a.num_rows()));
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const std::vector<double> x = chol.solve(b);
+  EXPECT_LT(solve_residual(a, x, b), 1e-10);
+
+  const ParallelPlan plan = chol.plan_parallel(
+      16, RemapHeuristic::kIncreasingDepth, RemapHeuristic::kCyclic);
+  EXPECT_GT(plan.balance.overall, 0.0);
+  const SimResult r = chol.simulate(plan);
+  EXPECT_GT(r.runtime_s, 0.0);
+  EXPECT_GT(r.efficiency(), 0.0);
+  EXPECT_LE(r.efficiency(), 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace spc

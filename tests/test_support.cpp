@@ -1,0 +1,148 @@
+// Unit tests for the support module: error handling, RNG, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace spc {
+namespace {
+
+TEST(Error, CheckThrowsWithLocation) {
+  try {
+    SPC_CHECK(false, "boom");
+    FAIL() << "SPC_CHECK(false) must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_support.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(SPC_CHECK(1 + 1 == 2, "math works"));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(3.0, 5.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(9);
+  std::vector<int> hits(6, 0);
+  for (int i = 0; i < 6000; ++i) ++hits[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+  for (int h : hits) EXPECT_GT(h, 700);  // ~1000 expected each
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  Rng rng(11);
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Stats, AccumulatorBasics) {
+  Accumulator acc;
+  acc.add(3.0);
+  acc.add(-1.0);
+  acc.add(2.0);
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_DOUBLE_EQ(acc.sum(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+  EXPECT_NEAR(acc.mean(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, AccumulatorEmptyThrows) {
+  Accumulator acc;
+  EXPECT_THROW(acc.min(), Error);
+  EXPECT_THROW(acc.max(), Error);
+  EXPECT_THROW(acc.mean(), Error);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Stats, GeometricMean) {
+  EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({5.0}), 5.0, 1e-12);
+  EXPECT_THROW(geometric_mean({1.0, -2.0}), Error);
+  EXPECT_THROW(geometric_mean({}), Error);
+}
+
+TEST(Stats, MaxValue) {
+  EXPECT_DOUBLE_EQ(max_value({1.0, 9.0, 3.0}), 9.0);
+  EXPECT_DOUBLE_EQ(max_value({}), 0.0);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"A", "LongHeader"});
+  t.new_row();
+  t.add("x");
+  t.add(42);
+  t.new_row();
+  t.add("yy");
+  t.add(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("LongHeader"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+}
+
+TEST(Table, PercentFormatting) {
+  Table t({"p"});
+  t.new_row();
+  t.add_percent(0.236);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("24%"), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.new_row();
+  t.add("one");
+  EXPECT_THROW(t.add("two"), Error);
+}
+
+TEST(Table, AddBeforeRowThrows) {
+  Table t({"c"});
+  EXPECT_THROW(t.add("x"), Error);
+}
+
+}  // namespace
+}  // namespace spc

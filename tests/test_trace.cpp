@@ -1,0 +1,93 @@
+// SimTrace unit tests plus trace/statistics consistency with the simulator.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cholesky/sparse_cholesky.hpp"
+#include "gen/grid_gen.hpp"
+#include "sim/trace.hpp"
+#include "support/error.hpp"
+
+namespace spc {
+namespace {
+
+TEST(SimTrace, BusySeconds) {
+  SimTrace t;
+  t.record(0, 0.0, 1.0, TraceKind::kCompute);
+  t.record(0, 2.0, 2.5, TraceKind::kComm);
+  t.record(1, 0.0, 0.25, TraceKind::kCompute);
+  EXPECT_DOUBLE_EQ(t.busy_seconds(0), 1.5);
+  EXPECT_DOUBLE_EQ(t.busy_seconds(1), 0.25);
+  EXPECT_DOUBLE_EQ(t.busy_seconds(2), 0.0);
+}
+
+TEST(SimTrace, RejectsInvalidInterval) {
+  SimTrace t;
+  EXPECT_THROW(t.record(0, 2.0, 1.0, TraceKind::kCompute), Error);
+  EXPECT_THROW(t.record(0, -1.0, 1.0, TraceKind::kCompute), Error);
+}
+
+TEST(SimTrace, UtilizationBuckets) {
+  SimTrace t;
+  // Proc 0 busy for the first half of a 2-second horizon.
+  t.record(0, 0.0, 1.0, TraceKind::kCompute);
+  const auto util = t.utilization(2, 2.0, 4);
+  ASSERT_EQ(util.size(), 2u);
+  ASSERT_EQ(util[0].size(), 4u);
+  EXPECT_NEAR(util[0][0], 1.0, 1e-12);
+  EXPECT_NEAR(util[0][1], 1.0, 1e-12);
+  EXPECT_NEAR(util[0][2], 0.0, 1e-12);
+  EXPECT_NEAR(util[0][3], 0.0, 1e-12);
+  for (double v : util[1]) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(SimTrace, IntervalSpanningBuckets) {
+  SimTrace t;
+  t.record(0, 0.5, 1.5, TraceKind::kComm);
+  const auto util = t.utilization(1, 2.0, 4);  // buckets of 0.5s
+  EXPECT_NEAR(util[0][0], 0.0, 1e-12);
+  EXPECT_NEAR(util[0][1], 1.0, 1e-12);
+  EXPECT_NEAR(util[0][2], 1.0, 1e-12);
+  EXPECT_NEAR(util[0][3], 0.0, 1e-12);
+}
+
+TEST(SimTrace, MachineProfileAverages) {
+  SimTrace t;
+  t.record(0, 0.0, 1.0, TraceKind::kCompute);  // proc 1 idle throughout
+  const auto profile = t.machine_profile(2, 1.0, 2);
+  EXPECT_NEAR(profile[0], 0.5, 1e-12);
+  EXPECT_NEAR(profile[1], 0.5, 1e-12);
+}
+
+TEST(SimTrace, PrintTimelineRenders) {
+  SimTrace t;
+  t.record(0, 0.0, 0.5, TraceKind::kCompute);
+  std::ostringstream os;
+  t.print_timeline(os, 4, 1.0, 8, 4);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("P0"), std::string::npos);
+  EXPECT_NE(s.find("mean"), std::string::npos);
+}
+
+TEST(SimTrace, ConsistentWithSimulatorStats) {
+  SparseCholesky chol = SparseCholesky::analyze(make_grid2d(16, 16));
+  const ParallelPlan plan = chol.plan_parallel(
+      6, RemapHeuristic::kIncreasingDepth, RemapHeuristic::kCyclic);
+  SimTrace trace;
+  const SimResult r =
+      chol.simulate(plan, CostModel{}, SchedulingPolicy::kDataDriven, &trace);
+  // Per-processor traced busy time must equal the accounted compute + comm.
+  for (idx p = 0; p < r.num_procs; ++p) {
+    EXPECT_NEAR(trace.busy_seconds(p),
+                r.procs[static_cast<std::size_t>(p)].compute_s +
+                    r.procs[static_cast<std::size_t>(p)].comm_s,
+                1e-9);
+  }
+  // No interval may end after the makespan.
+  for (const TraceInterval& iv : trace.intervals()) {
+    EXPECT_LE(iv.end, r.runtime_s + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace spc

@@ -1,0 +1,287 @@
+// spc — command-line front end for the sparsechol library.
+//
+//   spc stats    <matrix> [--ordering mmd|amd|nd|natural] [--block B]
+//   spc solve    <matrix> [--ordering ...] [--refine]
+//   spc simulate <matrix> [--procs P] [--rows CY|DW|IN|DN|ID] [--cols ...]
+//                [--no-domains] [--priority] [--timeline]
+//   spc engines  <matrix> [--threads N]
+//   spc suite    [--scale small|medium|full]
+//
+// <matrix> is a MatrixMarket (.mtx) or Harwell-Boeing (.rsa/.rb/.psa) file,
+// or the name of a generated benchmark matrix (e.g. CUBE30, BCSSTK31).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <chrono>
+
+#include "cholesky/sparse_cholesky.hpp"
+#include "factor/multifrontal.hpp"
+#include "factor/parallel_factor.hpp"
+#include "factor/residual.hpp"
+#include "gen/benchmark_suite.hpp"
+#include "graph/harwell_boeing.hpp"
+#include "graph/matrix_market.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace spc;
+
+struct Args {
+  std::string command;
+  std::string matrix;
+  std::map<std::string, std::string> options;
+  bool has(const std::string& k) const { return options.count(k) > 0; }
+  std::string get(const std::string& k, const std::string& dflt) const {
+    auto it = options.find(k);
+    return it == options.end() ? dflt : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  SPC_CHECK(argc >= 2, "usage: spc <stats|solve|simulate|suite> ...");
+  a.command = argv[1];
+  int i = 2;
+  if (i < argc && argv[i][0] != '-') a.matrix = argv[i++];
+  for (; i < argc; ++i) {
+    const std::string raw = argv[i];
+    SPC_CHECK(raw.rfind("--", 0) == 0, "unexpected argument: " + raw);
+    const std::string key = raw.substr(2);
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      a.options.emplace(key, argv[++i]);
+    } else {
+      a.options.emplace(key, "1");
+    }
+  }
+  return a;
+}
+
+bool ends_with(const std::string& s, const std::string& suf) {
+  return s.size() >= suf.size() && s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+// Loads a file or generates a named benchmark matrix (with its paper
+// ordering when generated).
+struct Loaded {
+  std::string name;
+  SymSparse a;
+  bool has_paper_ordering = false;
+  std::vector<idx> paper_ordering;
+};
+
+Loaded load_matrix(const Args& args) {
+  SPC_CHECK(!args.matrix.empty(), "spc " + args.command + ": missing matrix argument");
+  Loaded out;
+  out.name = args.matrix;
+  if (ends_with(args.matrix, ".mtx")) {
+    out.a = read_matrix_market_file(args.matrix);
+  } else if (ends_with(args.matrix, ".rsa") || ends_with(args.matrix, ".rb") ||
+             ends_with(args.matrix, ".psa")) {
+    out.a = read_harwell_boeing_file(args.matrix);
+  } else {
+    const SuiteScale scale =
+        args.get("scale", "env") == "env"
+            ? suite_scale_from_env()
+            : (args.get("scale", "") == "full"
+                   ? SuiteScale::kFull
+                   : (args.get("scale", "") == "small" ? SuiteScale::kSmall
+                                                       : SuiteScale::kMedium));
+    BenchMatrix bm = make_bench_matrix(args.matrix, scale);
+    out.paper_ordering = order_bench_matrix(bm);
+    out.has_paper_ordering = true;
+    out.a = std::move(bm.matrix);
+  }
+  return out;
+}
+
+SparseCholesky analyze_from_args(const Args& args, const Loaded& m) {
+  SolverOptions opt;
+  opt.block_size = static_cast<idx>(std::stoi(args.get("block", "48")));
+  const std::string ord = args.get("ordering", m.has_paper_ordering ? "paper" : "mmd");
+  if (ord == "paper" && m.has_paper_ordering) {
+    SolverOptions o2 = opt;
+    o2.ordering = SolverOptions::Ordering::kNatural;
+    return SparseCholesky::analyze_ordered(m.a, m.paper_ordering, o2);
+  }
+  if (ord == "mmd") {
+    opt.ordering = SolverOptions::Ordering::kMmd;
+  } else if (ord == "amd") {
+    opt.ordering = SolverOptions::Ordering::kAmd;
+  } else if (ord == "nd") {
+    opt.ordering = SolverOptions::Ordering::kNd;
+  } else if (ord == "natural") {
+    opt.ordering = SolverOptions::Ordering::kNatural;
+  } else {
+    SPC_CHECK(false, "unknown ordering: " + ord);
+  }
+  return SparseCholesky::analyze(m.a, opt);
+}
+
+RemapHeuristic heuristic_from(const std::string& s) {
+  if (s == "CY" || s == "cy") return RemapHeuristic::kCyclic;
+  if (s == "DW" || s == "dw") return RemapHeuristic::kDecreasingWork;
+  if (s == "IN" || s == "in") return RemapHeuristic::kIncreasingNumber;
+  if (s == "DN" || s == "dn") return RemapHeuristic::kDecreasingNumber;
+  if (s == "ID" || s == "id") return RemapHeuristic::kIncreasingDepth;
+  SPC_CHECK(false, "unknown heuristic: " + s + " (use CY|DW|IN|DN|ID)");
+}
+
+int cmd_stats(const Args& args) {
+  const Loaded m = load_matrix(args);
+  const SparseCholesky chol = analyze_from_args(args, m);
+  std::printf("%s: %d equations, %lld nonzeros (lower)\n", m.name.c_str(),
+              m.a.num_rows(), static_cast<long long>(m.a.nnz_lower()));
+  std::printf("factor:      %lld nonzeros, %.1f Mops\n",
+              static_cast<long long>(chol.factor_nnz_exact()),
+              static_cast<double>(chol.factor_flops_exact()) / 1e6);
+  std::printf("supernodes:  %d (stored entries incl. amalgamation padding: %lld)\n",
+              chol.symbolic().num_supernodes(),
+              static_cast<long long>(chol.symbolic().total_stored_entries()));
+  std::printf("blocks:      %d block columns, %lld off-diagonal blocks, "
+              "%lld block ops\n",
+              chol.structure().num_block_cols(),
+              static_cast<long long>(chol.structure().num_entries()),
+              static_cast<long long>(chol.task_graph().total_ops()));
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  const Loaded m = load_matrix(args);
+  SparseCholesky chol = analyze_from_args(args, m);
+  chol.factorize();
+  Rng rng(12345);
+  std::vector<double> b(static_cast<std::size_t>(m.a.num_rows()));
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const std::vector<double> x =
+      args.has("refine") ? chol.solve_refined(b) : chol.solve(b);
+  std::printf("%s: solved %d equations, residual %.2e%s\n", m.name.c_str(),
+              m.a.num_rows(), solve_residual(m.a, x, b),
+              args.has("refine") ? " (with refinement)" : "");
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const Loaded m = load_matrix(args);
+  const SparseCholesky chol = analyze_from_args(args, m);
+  const idx procs = static_cast<idx>(std::stoi(args.get("procs", "64")));
+  const RemapHeuristic row_h = heuristic_from(args.get("rows", "ID"));
+  const RemapHeuristic col_h = heuristic_from(args.get("cols", "CY"));
+  const bool domains = !args.has("no-domains");
+  const SchedulingPolicy policy = args.has("priority")
+                                      ? SchedulingPolicy::kPriority
+                                      : SchedulingPolicy::kDataDriven;
+  const ParallelPlan plan = chol.plan_parallel(procs, row_h, col_h, domains);
+  SimTrace trace;
+  const SimResult r = chol.simulate(plan, CostModel{}, policy,
+                                    args.has("timeline") ? &trace : nullptr);
+  std::printf("%s on P=%d (%dx%d), rows=%s cols=%s domains=%s scheduling=%s\n",
+              m.name.c_str(), procs, plan.map.grid.rows, plan.map.grid.cols,
+              heuristic_name(row_h).c_str(), heuristic_name(col_h).c_str(),
+              domains ? "on" : "off",
+              policy == SchedulingPolicy::kPriority ? "priority" : "data-driven");
+  std::printf("balance: row %.2f col %.2f diag %.2f overall %.2f\n",
+              plan.balance.row, plan.balance.col, plan.balance.diag,
+              plan.balance.overall);
+  const double denom = static_cast<double>(procs) * r.runtime_s;
+  std::printf("simulated: %.4f s, %.0f Mflops, efficiency %.2f\n", r.runtime_s,
+              r.mflops(chol.factor_flops_exact()), r.efficiency());
+  std::printf("breakdown: compute %.0f%%, comm %.0f%%, idle %.0f%%; %lld msgs, %.1f MB\n",
+              100.0 * r.total_compute_s() / denom, 100.0 * r.total_comm_s() / denom,
+              100.0 * r.total_idle_s() / denom,
+              static_cast<long long>(r.total_msgs()),
+              static_cast<double>(r.total_bytes()) / 1e6);
+  if (args.has("timeline")) {
+    trace.print_timeline(std::cout, procs, r.runtime_s);
+  }
+  return 0;
+}
+
+int cmd_engines(const Args& args) {
+  const Loaded m = load_matrix(args);
+  const SparseCholesky chol = analyze_from_args(args, m);
+  const int threads = std::stoi(args.get("threads", "4"));
+  std::printf("%s: comparing numeric engines (%d equations, %.1f Mops)\n",
+              m.name.c_str(), m.a.num_rows(),
+              static_cast<double>(chol.factor_flops_exact()) / 1e6);
+  auto timed = [&](const char* name, auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const BlockFactor f = fn();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    std::printf("  %-22s %8.3f s   residual %.1e\n", name, secs,
+                factor_residual_probe(chol.permuted_matrix(), f));
+  };
+  timed("right-looking", [&] {
+    return block_factorize(chol.permuted_matrix(), chol.structure());
+  });
+  timed("left-looking", [&] {
+    return block_factorize_left(chol.permuted_matrix(), chol.structure(),
+                                chol.task_graph());
+  });
+  timed("multifrontal", [&] {
+    return block_factorize_multifrontal(chol.permuted_matrix(), chol.structure(),
+                                        chol.symbolic());
+  });
+  char label[64];
+  std::snprintf(label, sizeof(label), "parallel (%d threads)", threads);
+  timed(label, [&] {
+    return block_factorize_parallel(chol.permuted_matrix(), chol.structure(),
+                                    chol.task_graph(),
+                                    ParallelFactorOptions{threads});
+  });
+  std::printf("  multifrontal peak working set: %.1f MB\n",
+              static_cast<double>(multifrontal_peak_entries(chol.symbolic())) * 8 /
+                  1e6);
+  return 0;
+}
+
+int cmd_suite(const Args& args) {
+  const std::string s = args.get("scale", "medium");
+  const SuiteScale scale = s == "full" ? SuiteScale::kFull
+                                       : (s == "small" ? SuiteScale::kSmall
+                                                       : SuiteScale::kMedium);
+  Table t({"Name", "Equations", "nnz(A) lower", "Ordering"});
+  auto add = [&](const BenchMatrix& bm) {
+    t.new_row();
+    t.add(bm.name);
+    t.add(static_cast<long long>(bm.matrix.num_rows()));
+    t.add(static_cast<long long>(bm.matrix.nnz_lower()));
+    switch (bm.ordering) {
+      case OrderingKind::kNatural: t.add("natural"); break;
+      case OrderingKind::kGeometricNd2d: t.add("geometric ND (2-D)"); break;
+      case OrderingKind::kGeometricNd3d: t.add("geometric ND (3-D)"); break;
+      case OrderingKind::kMmd: t.add("MMD"); break;
+    }
+  };
+  for (const BenchMatrix& bm : standard_suite(scale)) add(bm);
+  for (const char* name : {"DENSE4096", "CUBE40", "COPTER2", "10FLEET"}) {
+    add(make_bench_matrix(name, scale));
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "stats") return cmd_stats(args);
+    if (args.command == "solve") return cmd_solve(args);
+    if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "engines") return cmd_engines(args);
+    if (args.command == "suite") return cmd_suite(args);
+    std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
+    return 2;
+  } catch (const spc::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
