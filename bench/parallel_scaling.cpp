@@ -1,0 +1,200 @@
+// Shared-memory parallel factorization scaling: seed executor vs the
+// work-stealing executor across thread counts, on a regular 3-D grid problem
+// and an irregular LP normal-equations problem (the two families of the
+// paper's test suite), at block sizes B = 48 and 64.
+//
+// "seed"  = kGlobalQueue scheduler (single mutex+condvar FIFO, whole BMOD
+//           under the destination lock) + the seed GEMM dispatch
+//           (register-blocked kernel, scalar potrf/trsm inside it).
+// "new"   = kWorkStealing scheduler (per-worker deques, critical-path
+//           priorities, two-phase BMOD) + the packed/tiled kernels.
+//
+// Writes BENCH_parallel.json to the repo root (override with
+// --json-out=PATH). SPC_SMALL=1 shrinks the problems for a sanity pass.
+//
+// Note on this host: the container is typically pinned to one core, so the
+// thread sweep measures scheduling + locking overhead and kernel speed, not
+// true parallel speedup; on a multi-core host the same binary shows scaling.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cholesky/sparse_cholesky.hpp"
+#include "factor/parallel_factor.hpp"
+#include "factor/residual.hpp"
+#include "gen/grid_gen.hpp"
+#include "gen/lp_gen.hpp"
+#include "linalg/kernels.hpp"
+
+#ifndef SPC_REPO_ROOT
+#define SPC_REPO_ROOT "."
+#endif
+
+namespace {
+
+using namespace spc;
+
+template <typename F>
+double median_seconds(F&& fn, int reps) {
+  std::vector<double> t(reps);
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    t[r] = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+               .count();
+  }
+  std::sort(t.begin(), t.end());
+  return t[reps / 2];
+}
+
+struct Run {
+  int threads;
+  double seed_s;
+  double new_s;
+};
+
+struct MatrixResult {
+  std::string name;
+  idx n;
+  idx block_size;
+  i64 flops;
+  double serial_s;  // sequential block_factorize, new kernels
+  std::vector<Run> runs;
+};
+
+MatrixResult bench_matrix(const std::string& name, const SymSparse& a,
+                          idx block_size, int reps) {
+  SolverOptions sopt;
+  sopt.block_size = block_size;
+  SparseCholesky chol = SparseCholesky::analyze(a, sopt);
+  const SymSparse& ap = chol.permuted_matrix();
+  const BlockStructure& bs = chol.structure();
+  const TaskGraph& tg = chol.task_graph();
+
+  MatrixResult res;
+  res.name = name;
+  res.n = a.num_rows();
+  res.block_size = block_size;
+  res.flops = chol.factor_flops_exact();
+
+  BlockFactor f;
+  res.serial_s = median_seconds([&] { f = block_factorize(ap, bs); }, reps);
+  const double residual = factor_residual_probe(ap, f);
+
+  std::printf("%-10s B=%-3lld n=%-7lld flops=%.3g  serial %.3fs  residual %.1e\n",
+              name.c_str(), static_cast<long long>(block_size),
+              static_cast<long long>(res.n), static_cast<double>(res.flops),
+              res.serial_s, residual);
+
+  for (int threads : {1, 2, 4, 8}) {
+    Run run;
+    run.threads = threads;
+
+    ParallelFactorOptions seed_opt{threads};
+    seed_opt.scheduler = ParallelFactorOptions::Scheduler::kGlobalQueue;
+    set_gemm_dispatch(GemmDispatch::kSeedBlocked);
+    run.seed_s = median_seconds(
+        [&] { f = block_factorize_parallel(ap, bs, tg, seed_opt); }, reps);
+
+    ParallelFactorOptions new_opt{threads};
+    new_opt.scheduler = ParallelFactorOptions::Scheduler::kWorkStealing;
+    set_gemm_dispatch(GemmDispatch::kAuto);
+    run.new_s = median_seconds(
+        [&] { f = block_factorize_parallel(ap, bs, tg, new_opt); }, reps);
+
+    std::printf("  threads=%d  seed %.3fs  new %.3fs  speedup %.2fx\n",
+                threads, run.seed_s, run.new_s, run.seed_s / run.new_s);
+    res.runs.push_back(run);
+  }
+  return res;
+}
+
+void write_json(const std::string& path,
+                const std::vector<MatrixResult>& results) {
+  std::FILE* jf = std::fopen(path.c_str(), "w");
+  if (!jf) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(jf, "{\n  \"bench\": \"parallel_scaling\",\n");
+  std::fprintf(jf,
+               "  \"seed_impl\": \"kGlobalQueue scheduler + seed "
+               "register-blocked kernels\",\n");
+  std::fprintf(jf,
+               "  \"new_impl\": \"kWorkStealing scheduler + packed/tiled "
+               "kernels + two-phase BMOD\",\n");
+  std::fprintf(jf, "  \"matrices\": [\n");
+  double log_sum = 0;
+  int log_count = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const MatrixResult& m = results[i];
+    std::fprintf(jf,
+                 "    {\"name\": \"%s\", \"n\": %lld, \"block_size\": %lld, "
+                 "\"factor_flops\": %lld, \"serial_s\": %.4f,\n     \"runs\": [\n",
+                 m.name.c_str(), static_cast<long long>(m.n),
+                 static_cast<long long>(m.block_size),
+                 static_cast<long long>(m.flops), m.serial_s);
+    double speedup_8t = 0;
+    for (std::size_t r = 0; r < m.runs.size(); ++r) {
+      const Run& run = m.runs[r];
+      std::fprintf(jf,
+                   "       {\"threads\": %d, \"seed_s\": %.4f, \"new_s\": "
+                   "%.4f, \"speedup\": %.3f}%s\n",
+                   run.threads, run.seed_s, run.new_s, run.seed_s / run.new_s,
+                   r + 1 < m.runs.size() ? "," : "");
+      if (run.threads == 8) speedup_8t = run.seed_s / run.new_s;
+    }
+    std::fprintf(jf, "     ],\n     \"speedup_8t_new_over_seed\": %.3f}%s\n",
+                 speedup_8t, i + 1 < results.size() ? "," : "");
+    if (speedup_8t > 0) {
+      log_sum += std::log(speedup_8t);
+      ++log_count;
+    }
+  }
+  const double geomean = log_count ? std::exp(log_sum / log_count) : 0.0;
+  std::fprintf(jf, "  ],\n  \"speedup_8t_geomean\": %.3f\n}\n", geomean);
+  std::fclose(jf);
+  std::printf("wrote %s (8-thread geomean speedup %.2fx)\n", path.c_str(),
+              geomean);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = std::string(SPC_REPO_ROOT) + "/BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) json_path = argv[i] + 11;
+  }
+  const bool small = std::getenv("SPC_SMALL") != nullptr;
+  const int reps = small ? 1 : 3;
+  const idx cube = small ? 12 : 30;
+  LpGenOptions lp;
+  lp.n = small ? 1500 : 10000;
+  lp.mean_overlap = small ? 60 : 200;
+  lp.hubs = small ? 20 : 80;
+  lp.hub_span = 0.05;
+
+  std::printf("Parallel factorization scaling (threads 1/2/4/8)\n%s\n",
+              small ? "scale: SMALL (sanity)" : "scale: default");
+
+  const SymSparse cube_m = make_grid3d(cube, cube, cube);
+  const SymSparse lp_m = make_lp_normal_equations(lp);
+  const std::string cube_name =
+      "CUBE" + std::to_string(cube) + "x" + std::to_string(cube) + "x" +
+      std::to_string(cube);
+  const std::string lp_name = "LP" + std::to_string(lp.n);
+
+  std::vector<MatrixResult> results;
+  for (idx b : {idx{48}, idx{64}}) {
+    results.push_back(bench_matrix(cube_name, cube_m, b, reps));
+    results.push_back(bench_matrix(lp_name, lp_m, b, reps));
+  }
+
+  write_json(json_path, results);
+  return 0;
+}

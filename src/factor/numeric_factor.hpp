@@ -63,6 +63,18 @@ void apply_block_mod_to(const BlockStructure& bs, const TaskGraph& tg,
                         const DenseMatrix& src_j, DenseMatrix& dest,
                         DenseMatrix& update, std::vector<idx>& rel_rows);
 
+// Two-phase BMOD, the contention-avoiding split the shared-memory executor
+// uses: `compute_block_mod` runs the GEMM into caller scratch and resolves
+// the destination row positions (no access to the destination block, so it
+// needs no lock); `scatter_block_mod` adds the finished update into the
+// destination and is the only part that must hold the destination's lock.
+void compute_block_mod(const BlockStructure& bs, const BlockMod& m,
+                       const DenseMatrix& src_i, const DenseMatrix& src_j,
+                       DenseMatrix& update, std::vector<idx>& rel_rows);
+void scatter_block_mod(const BlockStructure& bs, const TaskGraph& tg,
+                       const BlockMod& m, const DenseMatrix& update,
+                       const std::vector<idx>& rel_rows, DenseMatrix& dest);
+
 // Runs a block's completion operation: BFAC for diagonal blocks, BDIV for
 // off-diagonal ones (the diagonal block of its column must be factored).
 void complete_block(const BlockStructure& bs, block_id b, BlockFactor& f);

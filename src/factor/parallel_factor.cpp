@@ -1,29 +1,31 @@
 #include "factor/parallel_factor.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <thread>
 #include <vector>
 
+#include "factor/scheduler.hpp"
 #include "support/error.hpp"
+#include "support/work_queue.hpp"
 
 namespace spc {
 namespace {
 
-struct Task {
-  enum Kind { kComplete, kMod } kind;
-  i64 id;
-};
-
-class ParallelExecutor {
+// Shared dependency bookkeeping for both executor backends: readiness
+// counters per block, pending-source counters per mod, per-destination
+// locks, and the mods-by-source CSR used to fire BMODs when their sources
+// complete.
+class ExecutorState {
  public:
-  ParallelExecutor(const SymSparse& a, const BlockStructure& bs, const TaskGraph& tg,
-                   int num_threads)
-      : bs_(bs), tg_(tg), factor_(init_block_factor(a, bs)), threads_(num_threads) {
+  ExecutorState(const SymSparse& a, const BlockStructure& bs, const TaskGraph& tg)
+      : bs_(bs), tg_(tg), factor_(init_block_factor(a, bs)) {
     const i64 nb = bs.num_block_cols();
     const i64 num_blocks = tg.num_blocks();
     deps_ = std::make_unique<std::atomic<i64>[]>(static_cast<std::size_t>(num_blocks));
@@ -64,6 +66,206 @@ class ParallelExecutor {
     }
   }
 
+ protected:
+  const BlockStructure& bs_;
+  const TaskGraph& tg_;
+  BlockFactor factor_;
+
+  std::unique_ptr<std::atomic<i64>[]> deps_;
+  std::unique_ptr<std::atomic<int>[]> pending_;
+  std::unique_ptr<std::mutex[]> block_mutex_;
+  std::vector<i64> src_ptr_;
+  std::vector<i64> src_mods_;
+};
+
+// ---------------------------------------------------------------------------
+// Work-stealing executor (default backend).
+//
+// Task ids: [0, num_blocks) are completions (BFAC/BDIV of block b);
+// num_blocks + m is BMOD m. Priorities are the critical-path heights from
+// factor/scheduler.hpp, so stealing always pulls the most critical ready
+// task and the dependency spine is never starved behind bulk updates.
+// ---------------------------------------------------------------------------
+class WorkStealingExecutor : private ExecutorState {
+ public:
+  WorkStealingExecutor(const SymSparse& a, const BlockStructure& bs,
+                       const TaskGraph& tg, int num_threads)
+      : ExecutorState(a, bs, tg),
+        threads_(num_threads),
+        prio_(compute_task_priorities(bs, tg)),
+        queues_(num_threads) {
+    for (const BlockMod& m : tg_.mods) {
+      max_update_elems_ = std::max(
+          max_update_elems_,
+          static_cast<i64>(tg_.rows_of_block[static_cast<std::size_t>(m.src_a)]) *
+              tg_.rows_of_block[static_cast<std::size_t>(m.src_b)]);
+    }
+  }
+
+  BlockFactor run() {
+    seed_initial_tasks();
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads_));
+    for (int t = 0; t < threads_; ++t) {
+      workers.emplace_back([this, t] { worker(t); });
+    }
+    for (std::thread& w : workers) w.join();
+    if (error_) std::rethrow_exception(error_);
+    SPC_CHECK(completed_.load() == tg_.num_blocks(),
+              "block_factorize_parallel: not all blocks completed");
+    return std::move(factor_);
+  }
+
+ private:
+  // Per-worker scratch; sized once so steady-state BMODs allocate nothing.
+  struct Scratch {
+    DenseMatrix update;
+    std::vector<idx> rel_rows;
+  };
+
+  i64 task_priority(i64 task) const {
+    return task < tg_.num_blocks()
+               ? prio_.completion[static_cast<std::size_t>(task)]
+               : prio_.mod[static_cast<std::size_t>(task - tg_.num_blocks())];
+  }
+
+  void seed_initial_tasks() {
+    std::vector<i64> ready;
+    for (block_id b = 0; b < tg_.num_blocks(); ++b) {
+      if (deps_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed) == 0) {
+        ready.push_back(b);
+      }
+    }
+    // Deal in ascending priority so every deque ends with its most critical
+    // task on top (workers pop LIFO).
+    std::sort(ready.begin(), ready.end(), [this](i64 x, i64 y) {
+      return task_priority(x) < task_priority(y);
+    });
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      queues_.push(static_cast<int>(i) % threads_,
+                   WorkItem{ready[i], task_priority(ready[i])});
+    }
+  }
+
+  void worker(int id) {
+    Scratch s;
+    // High-water scratch reservation: the largest update any mod produces,
+    // so steady-state BMODs never allocate (capped at 32 MiB for safety).
+    s.update.reserve(
+        static_cast<idx>(std::min<i64>(max_update_elems_, i64{1} << 22)), 1);
+    WorkItem item;
+    while (queues_.acquire(id, item)) {
+      try {
+        if (item.id < tg_.num_blocks()) {
+          run_completion(id, item.id);
+        } else {
+          run_mod(id, item.id - tg_.num_blocks(), s);
+        }
+      } catch (...) {
+        fail(std::current_exception());
+        return;
+      }
+    }
+  }
+
+  void run_completion(int id, block_id b) {
+    complete_block(bs_, b, factor_);
+    // Fire the BMODs this block sources. Collect the newly ready ones and
+    // push in ascending priority: the most critical lands on top of our
+    // deque and is executed next (thieves grab by priority regardless).
+    ready_buf_local(id).clear();
+    for (i64 k = src_ptr_[static_cast<std::size_t>(b)];
+         k < src_ptr_[static_cast<std::size_t>(b) + 1]; ++k) {
+      const i64 m = src_mods_[static_cast<std::size_t>(k)];
+      if (pending_[static_cast<std::size_t>(m)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        ready_buf_local(id).push_back(tg_.num_blocks() + m);
+      }
+    }
+    // A factored diagonal block releases its column's BDIVs.
+    if (is_diag_block(bs_, b)) {
+      const idx col = static_cast<idx>(b);
+      for (i64 e = bs_.blkptr[col]; e < bs_.blkptr[col + 1]; ++e) {
+        const block_id bd = bs_.num_block_cols() + e;
+        if (deps_[static_cast<std::size_t>(bd)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          ready_buf_local(id).push_back(bd);
+        }
+      }
+    }
+    push_ready(id);
+    if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == tg_.num_blocks()) {
+      queues_.shutdown();
+    }
+  }
+
+  void run_mod(int id, i64 m, Scratch& s) {
+    const BlockMod& mod = tg_.mods[static_cast<std::size_t>(m)];
+    const idx nb = bs_.num_block_cols();
+    const DenseMatrix& li = factor_.offdiag[static_cast<std::size_t>(mod.src_a - nb)];
+    const DenseMatrix& lj = factor_.offdiag[static_cast<std::size_t>(mod.src_b - nb)];
+    // Two-phase BMOD: the GEMM runs into this worker's scratch with no lock
+    // held; only the scatter serializes on the destination block.
+    compute_block_mod(bs_, mod, li, lj, s.update, s.rel_rows);
+    DenseMatrix& dest = is_diag_block(bs_, mod.dest)
+                            ? factor_.diag[static_cast<std::size_t>(mod.dest)]
+                            : factor_.offdiag[static_cast<std::size_t>(mod.dest - nb)];
+    {
+      std::lock_guard<std::mutex> lock(
+          block_mutex_[static_cast<std::size_t>(mod.dest)]);
+      scatter_block_mod(bs_, tg_, mod, s.update, s.rel_rows, dest);
+    }
+    if (deps_[static_cast<std::size_t>(mod.dest)].fetch_sub(
+            1, std::memory_order_acq_rel) == 1) {
+      ready_buf_local(id).clear();
+      ready_buf_local(id).push_back(mod.dest);
+      push_ready(id);
+    }
+  }
+
+  std::vector<i64>& ready_buf_local(int id) {
+    return ready_bufs_[static_cast<std::size_t>(id)];
+  }
+
+  void push_ready(int id) {
+    std::vector<i64>& buf = ready_buf_local(id);
+    if (buf.empty()) return;
+    std::sort(buf.begin(), buf.end(), [this](i64 x, i64 y) {
+      return task_priority(x) < task_priority(y);
+    });
+    for (i64 task : buf) queues_.push(id, WorkItem{task, task_priority(task)});
+    buf.clear();
+  }
+
+  void fail(std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!error_) error_ = e;
+    }
+    queues_.shutdown();
+  }
+
+  int threads_;
+  TaskPriorities prio_;
+  WorkStealingQueues queues_;
+  i64 max_update_elems_ = 0;
+  std::vector<std::vector<i64>> ready_bufs_{static_cast<std::size_t>(threads_)};
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+  std::atomic<i64> completed_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Seed executor: one global mutex+condvar FIFO, whole BMOD (GEMM + scatter)
+// under the destination lock. Kept verbatim as the baseline the benchmarks
+// compare the work-stealing backend against.
+// ---------------------------------------------------------------------------
+class GlobalQueueExecutor : private ExecutorState {
+ public:
+  GlobalQueueExecutor(const SymSparse& a, const BlockStructure& bs,
+                      const TaskGraph& tg, int num_threads)
+      : ExecutorState(a, bs, tg), threads_(num_threads) {}
+
   BlockFactor run() {
     // Seed with blocks that have no pending work.
     for (block_id b = 0; b < tg_.num_blocks(); ++b) {
@@ -84,6 +286,11 @@ class ParallelExecutor {
   }
 
  private:
+  struct Task {
+    enum Kind { kComplete, kMod } kind;
+    i64 id;
+  };
+
   void push(Task t) {
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -175,17 +382,7 @@ class ParallelExecutor {
     }
   }
 
-  const BlockStructure& bs_;
-  const TaskGraph& tg_;
-  BlockFactor factor_;
   int threads_;
-
-  std::unique_ptr<std::atomic<i64>[]> deps_;
-  std::unique_ptr<std::atomic<int>[]> pending_;
-  std::unique_ptr<std::mutex[]> block_mutex_;
-  std::vector<i64> src_ptr_;
-  std::vector<i64> src_mods_;
-
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<Task> queue_;
@@ -204,7 +401,11 @@ BlockFactor block_factorize_parallel(const SymSparse& a, const BlockStructure& b
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
   }
-  ParallelExecutor exec(a, bs, tg, threads);
+  if (opt.scheduler == ParallelFactorOptions::Scheduler::kGlobalQueue) {
+    GlobalQueueExecutor exec(a, bs, tg, threads);
+    return exec.run();
+  }
+  WorkStealingExecutor exec(a, bs, tg, threads);
   return exec.run();
 }
 

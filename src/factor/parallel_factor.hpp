@@ -8,6 +8,18 @@
 // fires when its last modification lands (plus, for off-diagonal blocks, its
 // factored diagonal block).
 //
+// Two scheduler backends are provided:
+//
+//   kWorkStealing (default) — per-worker deques with priority-aware work
+//     stealing (support/work_queue.hpp), ready tasks ordered by the
+//     critical-path heights of factor/scheduler.hpp, and the two-phase BMOD
+//     (GEMM into per-worker scratch outside the destination lock, scatter
+//     under it). See docs/PARALLEL_EXECUTOR.md.
+//
+//   kGlobalQueue — the seed executor: one global mutex+condvar FIFO and
+//     whole BMODs under the destination lock. Kept as the benchmark baseline
+//     and as a bisection aid.
+//
 // The numeric result is the exact same factor as block_factorize up to
 // floating-point summation order (updates may apply in any order).
 #pragma once
@@ -22,6 +34,12 @@ namespace spc {
 
 struct ParallelFactorOptions {
   int num_threads = 0;  // 0 = std::thread::hardware_concurrency()
+
+  enum class Scheduler {
+    kWorkStealing,  // per-worker deques + critical-path priority stealing
+    kGlobalQueue,   // seed implementation: single global FIFO
+  };
+  Scheduler scheduler = Scheduler::kWorkStealing;
 };
 
 BlockFactor block_factorize_parallel(const SymSparse& a, const BlockStructure& bs,

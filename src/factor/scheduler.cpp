@@ -1,0 +1,67 @@
+#include "factor/scheduler.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace spc {
+
+TaskPriorities compute_task_priorities(const BlockStructure& bs,
+                                       const TaskGraph& tg) {
+  const idx nb = bs.num_block_cols();
+  const i64 num_blocks = tg.num_blocks();
+  const std::size_t num_mods = tg.mods.size();
+
+  TaskPriorities out;
+  out.completion.assign(static_cast<std::size_t>(num_blocks), 0);
+  out.mod.assign(num_mods, 0);
+
+  // Mod index range [col_begin[k], col_begin[k+1]) per source column (mods
+  // are grouped by ascending col_k).
+  std::vector<i64> col_begin(static_cast<std::size_t>(nb) + 1, 0);
+  for (std::size_t m = 0; m < num_mods; ++m) {
+    SPC_CHECK(m == 0 || tg.mods[m - 1].col_k <= tg.mods[m].col_k,
+              "compute_task_priorities: mods not sorted by source column");
+    ++col_begin[static_cast<std::size_t>(tg.mods[m].col_k) + 1];
+  }
+  for (idx k = 0; k < nb; ++k) {
+    col_begin[static_cast<std::size_t>(k) + 1] += col_begin[static_cast<std::size_t>(k)];
+  }
+
+  // Longest chain hanging off each *source block* via the mods it feeds.
+  // A block only sources mods of its own column, so one flat array works
+  // across the reverse sweep without per-column resets.
+  std::vector<i64> src_max(static_cast<std::size_t>(num_blocks), 0);
+
+  for (idx j = nb - 1; j >= 0; --j) {
+    // Mods sourced in column j: destinations live in later columns, whose
+    // completion heights are already final.
+    for (i64 m = col_begin[static_cast<std::size_t>(j)];
+         m < col_begin[static_cast<std::size_t>(j) + 1]; ++m) {
+      const BlockMod& mod = tg.mods[static_cast<std::size_t>(m)];
+      const i64 h = mod.flops + out.completion[static_cast<std::size_t>(mod.dest)];
+      out.mod[static_cast<std::size_t>(m)] = h;
+      i64& ma = src_max[static_cast<std::size_t>(mod.src_a)];
+      ma = std::max(ma, h);
+      i64& mb = src_max[static_cast<std::size_t>(mod.src_b)];
+      mb = std::max(mb, h);
+    }
+    // BDIV completions of column j feed the mods they source.
+    i64 col_max = 0;
+    for (i64 e = bs.blkptr[j]; e < bs.blkptr[j + 1]; ++e) {
+      const block_id b = nb + e;
+      const i64 h = tg.completion_flops[static_cast<std::size_t>(b)] +
+                    src_max[static_cast<std::size_t>(b)];
+      out.completion[static_cast<std::size_t>(b)] = h;
+      col_max = std::max(col_max, h);
+    }
+    // BFAC of the diagonal block gates every BDIV in the column.
+    out.completion[static_cast<std::size_t>(j)] =
+        tg.completion_flops[static_cast<std::size_t>(j)] + col_max;
+  }
+
+  for (i64 h : out.completion) out.critical_path_flops = std::max(out.critical_path_flops, h);
+  return out;
+}
+
+}  // namespace spc

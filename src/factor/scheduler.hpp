@@ -1,0 +1,37 @@
+// Critical-path priorities for the shared-memory executor's task DAG.
+//
+// Every task of the block fan-out factorization — a block completion
+// (BFAC/BDIV) or a BMOD — gets the flop-weighted height of the longest
+// dependent chain hanging off it (its "criticality"). Scheduling ready
+// tasks by descending height keeps the elimination-tree spine moving: the
+// paper's §6 identifies critical-path headroom as the limit once load
+// balance is fixed, and a depth-first executor that starves the spine hits
+// exactly that wall. The same heights double as the steal priority in
+// support/work_queue.hpp.
+#pragma once
+
+#include <vector>
+
+#include "blocks/block_structure.hpp"
+#include "blocks/task_graph.hpp"
+#include "support/types.hpp"
+
+namespace spc {
+
+struct TaskPriorities {
+  // Height (in flops, inclusive of the task's own cost) of the longest
+  // dependent chain starting at each task.
+  std::vector<i64> completion;  // indexed by block id
+  std::vector<i64> mod;         // indexed by position in tg.mods
+
+  i64 critical_path_flops = 0;  // max over all tasks
+};
+
+// Single reverse sweep over block columns (mods are grouped by ascending
+// source column): a mod's height is its cost plus the height of its
+// destination's completion; an off-diagonal completion feeds the mods it
+// sources; a diagonal completion feeds its column's BDIVs.
+TaskPriorities compute_task_priorities(const BlockStructure& bs,
+                                       const TaskGraph& tg);
+
+}  // namespace spc

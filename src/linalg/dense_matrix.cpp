@@ -16,6 +16,18 @@ void DenseMatrix::resize(idx rows, idx cols) {
   data_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0);
 }
 
+void DenseMatrix::resize_for_overwrite(idx rows, idx cols) {
+  SPC_CHECK(rows >= 0 && cols >= 0, "DenseMatrix dimensions must be non-negative");
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+}
+
+void DenseMatrix::reserve(idx rows, idx cols) {
+  SPC_CHECK(rows >= 0 && cols >= 0, "DenseMatrix dimensions must be non-negative");
+  data_.reserve(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+}
+
 void DenseMatrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
 
 double DenseMatrix::norm() const {

@@ -36,6 +36,17 @@ class DenseMatrix {
   void set_zero();
   void resize(idx rows, idx cols);
 
+  // Like resize() but without the zero-fill: the logical contents are
+  // unspecified afterwards. For scratch the caller fully overwrites (e.g.
+  // via gemm_nt_neg_raw). Within reserved capacity this touches no memory.
+  void resize_for_overwrite(idx rows, idx cols);
+
+  // Pre-allocates backing storage for `rows * cols` elements without changing
+  // the logical shape. resize() never shrinks capacity, so a buffer reserved
+  // to its high-water size is allocation-free from then on (the parallel
+  // executor uses this for per-worker scratch).
+  void reserve(idx rows, idx cols);
+
   // Frobenius norm.
   double norm() const;
 

@@ -1,28 +1,523 @@
 #include "linalg/kernels.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <vector>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define SPC_X86_MICROKERNELS 1
+#endif
 
 #include "support/error.hpp"
 
 namespace spc {
+namespace {
+
+std::atomic<GemmDispatch> g_dispatch{GemmDispatch::kAuto};
+
+// ---------------------------------------------------------------------------
+// Packed GEMM core: C := C - A * B^T on column-major, lda/ldb/ldc-strided
+// storage. Panels of A and B are packed into contiguous micro-tiles so the
+// register micro-kernel streams them with unit stride regardless of the
+// caller's leading dimensions.
+//
+// Tile sizes: the A panel (kMC x kKC doubles = 96 KiB max) lives in L2, the
+// active B strip (kKC x kNR) and A strip (kKC x kMR) in L1; the kMR x kNR
+// accumulator block stays in registers across the whole k-loop.
+// ---------------------------------------------------------------------------
+constexpr idx kMC = 96;
+constexpr idx kKC = 128;
+constexpr idx kNC = 512;
+
+// Pack a rows x kc panel (top-left at `src`) into R-row strips, zero-padding
+// the last strip to a full R rows. Packing A uses R = MR; packing B with the
+// same routine effectively packs B^T in NR-row strips.
+template <int R>
+void pack_panel(const double* src, idx ld, idx rows, idx kc, double* dst) {
+  for (idx i = 0; i < rows; i += R) {
+    const idx r_count = std::min<idx>(R, rows - i);
+    for (idx p = 0; p < kc; ++p) {
+      const double* col = src + static_cast<std::size_t>(p) * ld + i;
+      idx r = 0;
+      for (; r < r_count; ++r) dst[r] = col[r];
+      for (; r < R; ++r) dst[r] = 0.0;
+      dst += R;
+    }
+  }
+}
+
+// Portable 4x4 micro-kernel: acc = sum_p a_strip(:,p) * b_strip(:,p)^T, then
+// C(0:mr, 0:nr) -= acc (accumulate) or C = -acc (overwrite, for callers whose
+// C is uninitialized scratch). The accumulator array is sized for the
+// compiler to keep it in vector registers (8 xmm under baseline SSE2).
+void micro_kernel_4x4(idx kc, const double* ap, const double* bp, double* c,
+                      idx ldc, idx mr, idx nr, bool accumulate) {
+  double acc[16] = {};
+  for (idx p = 0; p < kc; ++p) {
+    const double a0 = ap[0], a1 = ap[1], a2 = ap[2], a3 = ap[3];
+    const double b0 = bp[0], b1 = bp[1], b2 = bp[2], b3 = bp[3];
+    acc[0] += a0 * b0;
+    acc[1] += a1 * b0;
+    acc[2] += a2 * b0;
+    acc[3] += a3 * b0;
+    acc[4] += a0 * b1;
+    acc[5] += a1 * b1;
+    acc[6] += a2 * b1;
+    acc[7] += a3 * b1;
+    acc[8] += a0 * b2;
+    acc[9] += a1 * b2;
+    acc[10] += a2 * b2;
+    acc[11] += a3 * b2;
+    acc[12] += a0 * b3;
+    acc[13] += a1 * b3;
+    acc[14] += a2 * b3;
+    acc[15] += a3 * b3;
+    ap += 4;
+    bp += 4;
+  }
+  if (accumulate && mr == 4 && nr == 4) {
+    for (idx jr = 0; jr < 4; ++jr) {
+      double* cj = c + static_cast<std::size_t>(jr) * ldc;
+      const double* aj = acc + jr * 4;
+      cj[0] -= aj[0];
+      cj[1] -= aj[1];
+      cj[2] -= aj[2];
+      cj[3] -= aj[3];
+    }
+  } else if (accumulate) {
+    for (idx jr = 0; jr < nr; ++jr) {
+      double* cj = c + static_cast<std::size_t>(jr) * ldc;
+      for (idx ir = 0; ir < mr; ++ir) cj[ir] -= acc[jr * 4 + ir];
+    }
+  } else {
+    for (idx jr = 0; jr < nr; ++jr) {
+      double* cj = c + static_cast<std::size_t>(jr) * ldc;
+      for (idx ir = 0; ir < mr; ++ir) cj[ir] = -acc[jr * 4 + ir];
+    }
+  }
+}
+
+#if SPC_X86_MICROKERNELS
+// AVX2+FMA 8x4 micro-kernel, compiled with a target attribute and selected
+// at runtime (the library itself is built for baseline x86-64). Eight ymm
+// accumulators stay live across the whole k-loop; each iteration is two
+// aligned loads of the packed A strip, four broadcasts from the packed B
+// strip, and eight FMAs.
+__attribute__((target("avx2,fma"))) void micro_kernel_8x4_avx2(
+    idx kc, const double* ap, const double* bp, double* c, idx ldc, idx mr,
+    idx nr, bool accumulate) {
+  __m256d c00 = _mm256_setzero_pd(), c10 = _mm256_setzero_pd();
+  __m256d c01 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+  __m256d c02 = _mm256_setzero_pd(), c12 = _mm256_setzero_pd();
+  __m256d c03 = _mm256_setzero_pd(), c13 = _mm256_setzero_pd();
+  for (idx p = 0; p < kc; ++p) {
+    const __m256d a0 = _mm256_loadu_pd(ap);
+    const __m256d a1 = _mm256_loadu_pd(ap + 4);
+    const __m256d b0 = _mm256_broadcast_sd(bp);
+    c00 = _mm256_fmadd_pd(a0, b0, c00);
+    c10 = _mm256_fmadd_pd(a1, b0, c10);
+    const __m256d b1 = _mm256_broadcast_sd(bp + 1);
+    c01 = _mm256_fmadd_pd(a0, b1, c01);
+    c11 = _mm256_fmadd_pd(a1, b1, c11);
+    const __m256d b2 = _mm256_broadcast_sd(bp + 2);
+    c02 = _mm256_fmadd_pd(a0, b2, c02);
+    c12 = _mm256_fmadd_pd(a1, b2, c12);
+    const __m256d b3 = _mm256_broadcast_sd(bp + 3);
+    c03 = _mm256_fmadd_pd(a0, b3, c03);
+    c13 = _mm256_fmadd_pd(a1, b3, c13);
+    ap += 8;
+    bp += 4;
+  }
+  if (mr == 8 && nr == 4) {
+    const __m256d z = _mm256_setzero_pd();
+    double* cj = c;
+    if (accumulate) {
+      _mm256_storeu_pd(cj, _mm256_sub_pd(_mm256_loadu_pd(cj), c00));
+      _mm256_storeu_pd(cj + 4, _mm256_sub_pd(_mm256_loadu_pd(cj + 4), c10));
+      cj += ldc;
+      _mm256_storeu_pd(cj, _mm256_sub_pd(_mm256_loadu_pd(cj), c01));
+      _mm256_storeu_pd(cj + 4, _mm256_sub_pd(_mm256_loadu_pd(cj + 4), c11));
+      cj += ldc;
+      _mm256_storeu_pd(cj, _mm256_sub_pd(_mm256_loadu_pd(cj), c02));
+      _mm256_storeu_pd(cj + 4, _mm256_sub_pd(_mm256_loadu_pd(cj + 4), c12));
+      cj += ldc;
+      _mm256_storeu_pd(cj, _mm256_sub_pd(_mm256_loadu_pd(cj), c03));
+      _mm256_storeu_pd(cj + 4, _mm256_sub_pd(_mm256_loadu_pd(cj + 4), c13));
+    } else {
+      _mm256_storeu_pd(cj, _mm256_sub_pd(z, c00));
+      _mm256_storeu_pd(cj + 4, _mm256_sub_pd(z, c10));
+      cj += ldc;
+      _mm256_storeu_pd(cj, _mm256_sub_pd(z, c01));
+      _mm256_storeu_pd(cj + 4, _mm256_sub_pd(z, c11));
+      cj += ldc;
+      _mm256_storeu_pd(cj, _mm256_sub_pd(z, c02));
+      _mm256_storeu_pd(cj + 4, _mm256_sub_pd(z, c12));
+      cj += ldc;
+      _mm256_storeu_pd(cj, _mm256_sub_pd(z, c03));
+      _mm256_storeu_pd(cj + 4, _mm256_sub_pd(z, c13));
+    }
+  } else {
+    double acc[32];
+    _mm256_storeu_pd(acc + 0, c00);
+    _mm256_storeu_pd(acc + 4, c10);
+    _mm256_storeu_pd(acc + 8, c01);
+    _mm256_storeu_pd(acc + 12, c11);
+    _mm256_storeu_pd(acc + 16, c02);
+    _mm256_storeu_pd(acc + 20, c12);
+    _mm256_storeu_pd(acc + 24, c03);
+    _mm256_storeu_pd(acc + 28, c13);
+    if (accumulate) {
+      for (idx jr = 0; jr < nr; ++jr) {
+        double* cj = c + static_cast<std::size_t>(jr) * ldc;
+        for (idx ir = 0; ir < mr; ++ir) cj[ir] -= acc[jr * 8 + ir];
+      }
+    } else {
+      for (idx jr = 0; jr < nr; ++jr) {
+        double* cj = c + static_cast<std::size_t>(jr) * ldc;
+        for (idx ir = 0; ir < mr; ++ir) cj[ir] = -acc[jr * 8 + ir];
+      }
+    }
+  }
+}
+#endif  // SPC_X86_MICROKERNELS
+
+// Micro-kernel configuration, fixed at first use: tile shape plus function
+// pointers for packing and the register kernel.
+struct MicroConfig {
+  idx mr;
+  idx nr;
+  void (*pack_a)(const double*, idx, idx, idx, double*);
+  void (*pack_b)(const double*, idx, idx, idx, double*);
+  void (*kernel)(idx, const double*, const double*, double*, idx, idx, idx,
+                 bool);
+};
+
+const MicroConfig& micro_config() {
+  static const MicroConfig cfg = [] {
+#if SPC_X86_MICROKERNELS
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return MicroConfig{8, 4, pack_panel<8>, pack_panel<4>, micro_kernel_8x4_avx2};
+    }
+#endif
+    return MicroConfig{4, 4, pack_panel<4>, pack_panel<4>, micro_kernel_4x4};
+  }();
+  return cfg;
+}
+
+// Scratch for the packed panels. thread_local so parallel workers never
+// contend and steady-state factorization does no allocation (the vectors
+// keep their high-water capacity).
+struct PackBuffers {
+  std::vector<double> a;
+  std::vector<double> b;
+};
+PackBuffers& pack_buffers() {
+  thread_local PackBuffers bufs;
+  return bufs;
+}
+
+// When `overwrite` is set, C need not be initialized: the first k-panel
+// writes C = -(A_panel B_panel^T) instead of accumulating, and later panels
+// accumulate as usual. This saves a full zero-fill pass plus the first
+// panel's C read when the caller's C is scratch (the two-phase BMOD path).
+void gemm_packed_raw(idx m, idx n, idx k, const double* a, idx lda,
+                     const double* b, idx ldb, double* c, idx ldc,
+                     bool overwrite = false) {
+  const MicroConfig& cfg = micro_config();
+  PackBuffers& bufs = pack_buffers();
+  const idx mc_max = std::min<idx>(kMC, m);
+  const idx nc_max = std::min<idx>(kNC, n);
+  const idx kc_max = std::min<idx>(kKC, k);
+  const idx a_strips = (mc_max + cfg.mr - 1) / cfg.mr;
+  const idx b_strips = (nc_max + cfg.nr - 1) / cfg.nr;
+  bufs.a.resize(static_cast<std::size_t>(a_strips) * cfg.mr * kc_max);
+  bufs.b.resize(static_cast<std::size_t>(b_strips) * cfg.nr * kc_max);
+
+  for (idx jc = 0; jc < n; jc += kNC) {
+    const idx nc = std::min<idx>(kNC, n - jc);
+    for (idx pc = 0; pc < k; pc += kKC) {
+      const idx kc = std::min<idx>(kKC, k - pc);
+      const bool accumulate = !overwrite || pc > 0;
+      cfg.pack_b(b + static_cast<std::size_t>(pc) * ldb + jc, ldb, nc, kc,
+                 bufs.b.data());
+      for (idx ic = 0; ic < m; ic += kMC) {
+        const idx mc = std::min<idx>(kMC, m - ic);
+        cfg.pack_a(a + static_cast<std::size_t>(pc) * lda + ic, lda, mc, kc,
+                   bufs.a.data());
+        for (idx jr = 0; jr < nc; jr += cfg.nr) {
+          const idx nr = std::min<idx>(cfg.nr, nc - jr);
+          const double* bp =
+              bufs.b.data() + static_cast<std::size_t>(jr / cfg.nr) * cfg.nr * kc;
+          for (idx ir = 0; ir < mc; ir += cfg.mr) {
+            const idx mr = std::min<idx>(cfg.mr, mc - ir);
+            const double* ap =
+                bufs.a.data() + static_cast<std::size_t>(ir / cfg.mr) * cfg.mr * kc;
+            cfg.kernel(kc, ap, bp,
+                       c + static_cast<std::size_t>(jc + jr) * ldc + ic + ir,
+                       ldc, mr, nr, accumulate);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Register-blocked strided kernel (two C columns x four ranks), used for
+// shapes too small to amortize packing. Also handles the single-column tail
+// with a rank-4 unroll so tall-skinny updates read C only ~k/4 times.
+// The body is an always_inline helper so it can be compiled twice: once for
+// the baseline ISA (gemm_blocked_raw, also the seed-baseline kernel) and
+// once under an AVX2+FMA target attribute, where the compiler auto-vectorizes
+// the unit-stride i-loops with ymm FMAs (selected at runtime, see
+// gemm_small_raw below).
+__attribute__((always_inline)) inline void gemm_blocked_body(
+    idx m, idx n, idx k, const double* a, idx lda, const double* b, idx ldb,
+    double* c, idx ldc) {
+  idx j = 0;
+  for (; j + 1 < n; j += 2) {
+    double* c0 = c + static_cast<std::size_t>(j) * ldc;
+    double* c1 = c + static_cast<std::size_t>(j + 1) * ldc;
+    idx p = 0;
+    for (; p + 3 < k; p += 4) {
+      const double* a0 = a + static_cast<std::size_t>(p) * lda;
+      const double* a1 = a0 + lda;
+      const double* a2 = a1 + lda;
+      const double* a3 = a2 + lda;
+      const double* bj = b + j;
+      const double b00 = bj[static_cast<std::size_t>(p) * ldb],
+                   b01 = bj[static_cast<std::size_t>(p + 1) * ldb],
+                   b02 = bj[static_cast<std::size_t>(p + 2) * ldb],
+                   b03 = bj[static_cast<std::size_t>(p + 3) * ldb];
+      const double b10 = bj[static_cast<std::size_t>(p) * ldb + 1],
+                   b11 = bj[static_cast<std::size_t>(p + 1) * ldb + 1],
+                   b12 = bj[static_cast<std::size_t>(p + 2) * ldb + 1],
+                   b13 = bj[static_cast<std::size_t>(p + 3) * ldb + 1];
+      for (idx i = 0; i < m; ++i) {
+        const double v0 = a0[i], v1 = a1[i], v2 = a2[i], v3 = a3[i];
+        c0[i] -= v0 * b00 + v1 * b01 + v2 * b02 + v3 * b03;
+        c1[i] -= v0 * b10 + v1 * b11 + v2 * b12 + v3 * b13;
+      }
+    }
+    for (; p < k; ++p) {
+      const double* ap = a + static_cast<std::size_t>(p) * lda;
+      const double b0 = b[static_cast<std::size_t>(p) * ldb + j];
+      const double b1 = b[static_cast<std::size_t>(p) * ldb + j + 1];
+      for (idx i = 0; i < m; ++i) {
+        c0[i] -= ap[i] * b0;
+        c1[i] -= ap[i] * b1;
+      }
+    }
+  }
+  if (j < n) {
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    idx p = 0;
+    for (; p + 3 < k; p += 4) {
+      const double* a0 = a + static_cast<std::size_t>(p) * lda;
+      const double* a1 = a0 + lda;
+      const double* a2 = a1 + lda;
+      const double* a3 = a2 + lda;
+      const double b0 = b[static_cast<std::size_t>(p) * ldb + j],
+                   b1 = b[static_cast<std::size_t>(p + 1) * ldb + j],
+                   b2 = b[static_cast<std::size_t>(p + 2) * ldb + j],
+                   b3 = b[static_cast<std::size_t>(p + 3) * ldb + j];
+      for (idx i = 0; i < m; ++i) {
+        cj[i] -= a0[i] * b0 + a1[i] * b1 + a2[i] * b2 + a3[i] * b3;
+      }
+    }
+    for (; p < k; ++p) {
+      const double* ap = a + static_cast<std::size_t>(p) * lda;
+      const double bjp = b[static_cast<std::size_t>(p) * ldb + j];
+      for (idx i = 0; i < m; ++i) cj[i] -= ap[i] * bjp;
+    }
+  }
+}
+
+void gemm_blocked_raw(idx m, idx n, idx k, const double* a, idx lda,
+                      const double* b, idx ldb, double* c, idx ldc) {
+  gemm_blocked_body(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+#if SPC_X86_MICROKERNELS
+__attribute__((target("avx2,fma"))) void gemm_blocked_avx2(
+    idx m, idx n, idx k, const double* a, idx lda, const double* b, idx ldb,
+    double* c, idx ldc) {
+  gemm_blocked_body(m, n, k, a, lda, b, ldb, c, ldc);
+}
+#endif
+
+// Small-shape GEMM with the best ISA the host supports. The packed path
+// covers big operands; this covers the fragmented row segments of irregular
+// problems (m < 8 or few columns), where packing cannot be amortized but
+// wider vectors still pay.
+using GemmRawFn = void (*)(idx, idx, idx, const double*, idx, const double*,
+                           idx, double*, idx);
+GemmRawFn pick_gemm_small() {
+#if SPC_X86_MICROKERNELS
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return gemm_blocked_avx2;
+  }
+#endif
+  return gemm_blocked_raw;
+}
+void gemm_small_raw(idx m, idx n, idx k, const double* a, idx lda,
+                    const double* b, idx ldb, double* c, idx ldc) {
+  static const GemmRawFn fn = pick_gemm_small();
+  fn(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+// True when the packed path's pack/write-back overhead is amortized. Tuned
+// against gemm_blocked_raw on this machine (see bench/kernel_bench.cpp):
+// packed wins from surprisingly small operands on (8x8x8 is already 1.7x),
+// including tall-skinny updates down to n = 4 (one micro-tile wide, 1.4x at
+// 200x4x48). It loses only on single/double-column updates, where the
+// blocked kernel's rank-4 single-column path is the right tool, and on
+// small-k updates without enough C area to amortize packing.
+bool packed_profitable(idx m, idx n, idx k) {
+  if (n < 4 || m < 8) return false;
+  return k >= 8 || static_cast<i64>(m) * n >= 8192;
+}
+
+void check_gemm_shapes(const DenseMatrix& a, const DenseMatrix& b,
+                       const DenseMatrix& c) {
+  SPC_CHECK(a.cols() == b.cols(), "gemm_nt_minus: inner dimension mismatch");
+  SPC_CHECK(c.rows() == a.rows() && c.cols() == b.rows(),
+            "gemm_nt_minus: output shape mismatch");
+}
+
+// ---------------------------------------------------------------------------
+// Scalar panel kernels on raw strided storage (shared by the unblocked entry
+// points and the blocked panel algorithms). They read/write only the lower
+// triangle; upper-triangle zeroing is the entry points' job.
+// ---------------------------------------------------------------------------
+void potrf_raw(idx n, double* a, idx lda) {
+  for (idx j = 0; j < n; ++j) {
+    double* aj = a + static_cast<std::size_t>(j) * lda;
+    double d = aj[j];
+    for (idx p = 0; p < j; ++p) {
+      const double v = a[static_cast<std::size_t>(p) * lda + j];
+      d -= v * v;
+    }
+    SPC_CHECK(d > 0.0, "potrf_lower: matrix is not positive definite");
+    d = std::sqrt(d);
+    aj[j] = d;
+    const double inv_d = 1.0 / d;
+    for (idx i = j + 1; i < n; ++i) {
+      double s = aj[i];
+      for (idx p = 0; p < j; ++p) {
+        const double* col = a + static_cast<std::size_t>(p) * lda;
+        s -= col[i] * col[j];
+      }
+      aj[i] = s * inv_d;
+    }
+  }
+}
+
+// Like the blocked GEMM above, the triangular solve body is compiled twice:
+// baseline (trsm_rlt_raw, which the seed-baseline unblocked entry point
+// uses) and under an AVX2+FMA target, runtime-selected via trsm_rlt_fast.
+// The axpy-style i-loops are unit stride, so the wide clone vectorizes.
+__attribute__((always_inline)) inline void trsm_rlt_body(idx m, idx k,
+                                                         const double* l,
+                                                         idx ldl, double* b,
+                                                         idx ldb) {
+  for (idx j = 0; j < k; ++j) {
+    double* bj = b + static_cast<std::size_t>(j) * ldb;
+    for (idx p = 0; p < j; ++p) {
+      const double ljp = l[static_cast<std::size_t>(p) * ldl + j];
+      if (ljp == 0.0) continue;
+      const double* bp = b + static_cast<std::size_t>(p) * ldb;
+      for (idx i = 0; i < m; ++i) bj[i] -= bp[i] * ljp;
+    }
+    const double inv = 1.0 / l[static_cast<std::size_t>(j) * ldl + j];
+    for (idx i = 0; i < m; ++i) bj[i] *= inv;
+  }
+}
+
+void trsm_rlt_raw(idx m, idx k, const double* l, idx ldl, double* b, idx ldb) {
+  trsm_rlt_body(m, k, l, ldl, b, ldb);
+}
+
+#if SPC_X86_MICROKERNELS
+__attribute__((target("avx2,fma"))) void trsm_rlt_avx2(idx m, idx k,
+                                                       const double* l, idx ldl,
+                                                       double* b, idx ldb) {
+  trsm_rlt_body(m, k, l, ldl, b, ldb);
+}
+#endif
+
+using TrsmRawFn = void (*)(idx, idx, const double*, idx, double*, idx);
+TrsmRawFn pick_trsm() {
+#if SPC_X86_MICROKERNELS
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return trsm_rlt_avx2;
+  }
+#endif
+  return trsm_rlt_raw;
+}
+void trsm_rlt_fast(idx m, idx k, const double* l, idx ldl, double* b, idx ldb) {
+  static const TrsmRawFn fn = pick_trsm();
+  fn(m, k, l, ldl, b, ldb);
+}
+
+// Panel width for the blocked potrf/trsm: big enough that the trailing
+// GEMM dominates, small enough that the scalar panel stays in L1.
+constexpr idx kPanel = 32;
+
+}  // namespace
+
+void set_gemm_dispatch(GemmDispatch mode) {
+  g_dispatch.store(mode, std::memory_order_relaxed);
+}
+
+GemmDispatch gemm_dispatch() { return g_dispatch.load(std::memory_order_relaxed); }
+
+void potrf_lower_unblocked(DenseMatrix& a) {
+  SPC_CHECK(a.rows() == a.cols(), "potrf_lower: matrix must be square");
+  const idx n = a.rows();
+  potrf_raw(n, a.data(), n);
+  for (idx j = 1; j < n; ++j) {
+    double* aj = a.col(j);
+    for (idx i = 0; i < j; ++i) aj[i] = 0.0;
+  }
+}
 
 void potrf_lower(DenseMatrix& a) {
   SPC_CHECK(a.rows() == a.cols(), "potrf_lower: matrix must be square");
   const idx n = a.rows();
-  for (idx j = 0; j < n; ++j) {
-    double d = a(j, j);
-    for (idx k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
-    SPC_CHECK(d > 0.0, "potrf_lower: matrix is not positive definite");
-    d = std::sqrt(d);
-    a(j, j) = d;
-    const double inv_d = 1.0 / d;
-    for (idx i = j + 1; i < n; ++i) {
-      double s = a(i, j);
-      for (idx k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
-      a(i, j) = s * inv_d;
-    }
-    for (idx i = 0; i < j; ++i) a(i, j) = 0.0;
+  if (n <= kPanel) {
+    potrf_lower_unblocked(a);
+    return;
   }
+  double* data = a.data();
+  for (idx j = 0; j < n; j += kPanel) {
+    const idx nb = std::min<idx>(kPanel, n - j);
+    double* diag = data + static_cast<std::size_t>(j) * n + j;
+    potrf_raw(nb, diag, n);
+    const idx below = n - j - nb;
+    if (below == 0) continue;
+    trsm_rlt_fast(below, nb, diag, n, diag + nb, n);
+    // Trailing update A22 -= L21 * L21^T, one block column at a time so only
+    // the lower trapezoid is touched per step (the strict upper triangle may
+    // accumulate garbage inside a block column; it is zeroed below).
+    const double* l21 = diag + nb;  // (n-j-nb) x nb at rows j+nb..
+    for (idx c = j + nb; c < n; c += kPanel) {
+      const idx w = std::min<idx>(kPanel, n - c);
+      gemm_nt_minus_raw(n - c, w, nb, l21 + (c - j - nb), n, l21 + (c - j - nb),
+                        n, data + static_cast<std::size_t>(c) * n + c, n);
+    }
+  }
+  for (idx j = 1; j < n; ++j) {
+    double* aj = a.col(j);
+    for (idx i = 0; i < j; ++i) aj[i] = 0.0;
+  }
+}
+
+void trsm_right_ltrans_unblocked(const DenseMatrix& l, DenseMatrix& b) {
+  SPC_CHECK(l.rows() == l.cols(), "trsm_right_ltrans: L must be square");
+  SPC_CHECK(b.cols() == l.rows(), "trsm_right_ltrans: dimension mismatch");
+  trsm_rlt_raw(b.rows(), l.rows(), l.data(), l.rows(), b.data(), b.rows());
 }
 
 void trsm_right_ltrans(const DenseMatrix& l, DenseMatrix& b) {
@@ -30,25 +525,25 @@ void trsm_right_ltrans(const DenseMatrix& l, DenseMatrix& b) {
   SPC_CHECK(b.cols() == l.rows(), "trsm_right_ltrans: dimension mismatch");
   const idx m = b.rows();
   const idx k = l.rows();
-  // Solve X * L^T = B column-by-column of X: X(:,j) = (B(:,j) - sum_{p<j}
-  // X(:,p) * L(j,p)) / L(j,j).
-  for (idx j = 0; j < k; ++j) {
-    double* bj = b.col(j);
-    for (idx p = 0; p < j; ++p) {
-      const double ljp = l(j, p);
-      if (ljp == 0.0) continue;
-      const double* bp = b.col(p);
-      for (idx i = 0; i < m; ++i) bj[i] -= bp[i] * ljp;
+  if (k <= kPanel || m < 4) {
+    trsm_rlt_fast(m, k, l.data(), k, b.data(), m);
+    return;
+  }
+  // Left-looking over column panels of B: the bulk of the solve becomes
+  // B(:, jb..) -= B(:, 0..jb) * L(jb.., 0..jb)^T through the GEMM core.
+  constexpr idx kTrsmPanel = 16;
+  for (idx jb = 0; jb < k; jb += kTrsmPanel) {
+    const idx nb = std::min<idx>(kTrsmPanel, k - jb);
+    if (jb > 0) {
+      gemm_nt_minus_raw(m, nb, jb, b.data(), m, l.data() + jb, k, b.col(jb), m);
     }
-    const double inv = 1.0 / l(j, j);
-    for (idx i = 0; i < m; ++i) bj[i] *= inv;
+    trsm_rlt_fast(m, nb, l.data() + static_cast<std::size_t>(jb) * k + jb, k,
+                  b.col(jb), m);
   }
 }
 
 void gemm_nt_minus_naive(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {
-  SPC_CHECK(a.cols() == b.cols(), "gemm_nt_minus: inner dimension mismatch");
-  SPC_CHECK(c.rows() == a.rows() && c.cols() == b.rows(),
-            "gemm_nt_minus: output shape mismatch");
+  check_gemm_shapes(a, b, c);
   const idx m = a.rows();
   const idx n = b.rows();
   const idx k = a.cols();
@@ -65,61 +560,61 @@ void gemm_nt_minus_naive(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix
 }
 
 void gemm_nt_minus_blocked(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {
-  SPC_CHECK(a.cols() == b.cols(), "gemm_nt_minus: inner dimension mismatch");
-  SPC_CHECK(c.rows() == a.rows() && c.cols() == b.rows(),
-            "gemm_nt_minus: output shape mismatch");
-  const idx m = a.rows();
-  const idx n = b.rows();
-  const idx k = a.cols();
-  // Two C columns x four ranks per iteration: each A column read once feeds
-  // two accumulating C columns, and the rank-4 unroll amortizes the loads of
-  // C through registers.
-  idx j = 0;
-  for (; j + 1 < n; j += 2) {
-    double* c0 = c.col(j);
-    double* c1 = c.col(j + 1);
-    idx p = 0;
-    for (; p + 3 < k; p += 4) {
-      const double* a0 = a.col(p);
-      const double* a1 = a.col(p + 1);
-      const double* a2 = a.col(p + 2);
-      const double* a3 = a.col(p + 3);
-      const double b00 = b(j, p), b01 = b(j, p + 1), b02 = b(j, p + 2),
-                   b03 = b(j, p + 3);
-      const double b10 = b(j + 1, p), b11 = b(j + 1, p + 1), b12 = b(j + 1, p + 2),
-                   b13 = b(j + 1, p + 3);
-      for (idx i = 0; i < m; ++i) {
-        const double v0 = a0[i], v1 = a1[i], v2 = a2[i], v3 = a3[i];
-        c0[i] -= v0 * b00 + v1 * b01 + v2 * b02 + v3 * b03;
-        c1[i] -= v0 * b10 + v1 * b11 + v2 * b12 + v3 * b13;
-      }
-    }
-    for (; p < k; ++p) {
-      const double* ap = a.col(p);
-      const double b0 = b(j, p), b1 = b(j + 1, p);
-      for (idx i = 0; i < m; ++i) {
-        c0[i] -= ap[i] * b0;
-        c1[i] -= ap[i] * b1;
-      }
-    }
-  }
-  if (j < n) {
-    double* cj = c.col(j);
-    for (idx p = 0; p < k; ++p) {
-      const double bjp = b(j, p);
-      const double* ap = a.col(p);
-      for (idx i = 0; i < m; ++i) cj[i] -= ap[i] * bjp;
-    }
+  check_gemm_shapes(a, b, c);
+  gemm_blocked_raw(a.rows(), b.rows(), a.cols(), a.data(), a.rows(), b.data(),
+                   b.rows(), c.data(), c.rows());
+}
+
+void gemm_nt_minus_packed(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {
+  check_gemm_shapes(a, b, c);
+  if (a.rows() == 0 || b.rows() == 0 || a.cols() == 0) return;
+  gemm_packed_raw(a.rows(), b.rows(), a.cols(), a.data(), a.rows(), b.data(),
+                  b.rows(), c.data(), c.rows());
+}
+
+void gemm_nt_minus_raw(idx m, idx n, idx k, const double* a, idx lda,
+                       const double* b, idx ldb, double* c, idx ldc) {
+  if (m == 0 || n == 0 || k == 0) return;
+  if (packed_profitable(m, n, k)) {
+    gemm_packed_raw(m, n, k, a, lda, b, ldb, c, ldc);
+  } else {
+    gemm_small_raw(m, n, k, a, lda, b, ldb, c, ldc);
   }
 }
 
-void gemm_nt_minus(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {
-  // The blocked kernel wins once there is enough work to amortize its setup.
-  if (a.cols() >= 4 && b.rows() >= 2 && a.rows() >= 8) {
-    gemm_nt_minus_blocked(a, b, c);
-  } else {
-    gemm_nt_minus_naive(a, b, c);
+void gemm_nt_neg_raw(idx m, idx n, idx k, const double* a, idx lda,
+                     const double* b, idx ldb, double* c, idx ldc) {
+  if (m == 0 || n == 0) return;
+  if (k > 0 && packed_profitable(m, n, k)) {
+    gemm_packed_raw(m, n, k, a, lda, b, ldb, c, ldc, /*overwrite=*/true);
+    return;
   }
+  // Small shapes: zero C, then run the strided accumulate kernel. The
+  // zero-fill is cheap relative to the kernel at these sizes.
+  for (idx j = 0; j < n; ++j) {
+    std::fill(c + static_cast<std::size_t>(j) * ldc,
+              c + static_cast<std::size_t>(j) * ldc + m, 0.0);
+  }
+  if (k > 0) gemm_small_raw(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_nt_minus(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {
+  check_gemm_shapes(a, b, c);
+  const idx m = a.rows();
+  const idx n = b.rows();
+  const idx k = a.cols();
+  if (m == 0 || n == 0 || k == 0) return;
+  if (gemm_dispatch() == GemmDispatch::kSeedBlocked) {
+    // Seed dispatch, kept for benchmark baselines: register-blocked kernel
+    // for big-enough operands, naive loop otherwise.
+    if (k >= 4 && n >= 2 && m >= 8) {
+      gemm_nt_minus_blocked(a, b, c);
+    } else {
+      gemm_nt_minus_naive(a, b, c);
+    }
+    return;
+  }
+  gemm_nt_minus_raw(m, n, k, a.data(), m, b.data(), n, c.data(), m);
 }
 
 i64 flops_bfac(idx k) {

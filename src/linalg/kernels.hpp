@@ -6,10 +6,11 @@
 //   BMOD(I,J,K):  L_IJ := L_IJ - L_IK L_JK^T  -> gemm_nt_minus
 //
 // All operate on column-major DenseMatrix storage. Written from scratch (no
-// BLAS is available offline); performance of these kernels is NOT used for
-// the paper's timing results — the simulator's calibrated cost model is (see
-// sim/cost_model.hpp) — but they produce the actual numeric factor for
-// correctness validation and for the solve path.
+// BLAS is available offline). The BMOD kernel is a packed, cache-tiled GEMM
+// with a register micro-kernel; BFAC and BDIV are blocked panel algorithms
+// expressed through the same level-3 core, so B=48..96 blocks run near
+// machine speed. The `_unblocked` scalar variants are kept as the reference
+// implementations (and as the seed kernels the benchmarks compare against).
 #pragma once
 
 #include "linalg/dense_matrix.hpp"
@@ -17,24 +18,55 @@
 
 namespace spc {
 
-// In-place lower Cholesky factorization of the leading k x k block of A
-// (A must be square, symmetric content in the lower triangle). The strict
-// upper triangle is zeroed. Throws spc::Error if A is not positive definite.
+// In-place lower Cholesky factorization of A (A must be square, symmetric
+// content in the lower triangle). The strict upper triangle is zeroed.
+// Throws spc::Error if A is not positive definite. Blocked: panels are
+// factored with the scalar kernel and the trailing submatrix is updated
+// through the packed GEMM core.
 void potrf_lower(DenseMatrix& a);
 
+// Scalar (unblocked) reference version of potrf_lower.
+void potrf_lower_unblocked(DenseMatrix& a);
+
 // B := B * L^{-T} where L is lower triangular (the diagonal block of the
-// factor). B is m x k, L is k x k. This is the BDIV triangular solve with a
-// matrix of right-hand sides.
+// factor). B is m x k, L is k x k. Blocked: left-looking over column panels
+// of B, with the bulk of the work done by the packed GEMM core.
 void trsm_right_ltrans(const DenseMatrix& l, DenseMatrix& b);
 
+// Scalar (unblocked) reference version of trsm_right_ltrans.
+void trsm_right_ltrans_unblocked(const DenseMatrix& l, DenseMatrix& b);
+
 // C := C - A * B^T with A m x k, B n x k, C m x n. This is the BMOD update.
-// Dispatches to a register-blocked kernel for large operands.
+// Dispatches between the naive, register-blocked, and packed/tiled kernels
+// on operand shape.
 void gemm_nt_minus(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c);
 
-// Reference (naive triple loop) and blocked (2-column x 4-rank register
-// tiling) variants, exposed for testing and the kernel microbenchmarks.
+// Reference (naive triple loop), register-blocked (2-column x 4-rank, the
+// seed kernel), and packed/tiled (4x4 micro-kernel over packed panels)
+// variants, exposed for testing and the kernel microbenchmarks.
 void gemm_nt_minus_naive(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c);
 void gemm_nt_minus_blocked(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c);
+void gemm_nt_minus_packed(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c);
+
+// Strided core: C := C - A * B^T on raw column-major storage with leading
+// dimensions. A is m x k (lda), B is n x k (ldb), C is m x n (ldc). The
+// blocked potrf/trsm panels run their trailing updates through this.
+void gemm_nt_minus_raw(idx m, idx n, idx k, const double* a, idx lda,
+                       const double* b, idx ldb, double* c, idx ldc);
+
+// C := -(A * B^T), overwriting C (which need not be initialized). Saves the
+// zero-fill pass plus the first k-panel's C read versus resize-to-zero +
+// gemm_nt_minus_raw when C is scratch — the two-phase BMOD computes its
+// per-worker update block through this.
+void gemm_nt_neg_raw(idx m, idx n, idx k, const double* a, idx lda,
+                     const double* b, idx ldb, double* c, idx ldc);
+
+// Kernel dispatch override used by benchmarks to record seed-vs-new numbers:
+// kSeedBlocked reproduces the seed dispatch (register-blocked kernel only,
+// never packed). Not meant for concurrent flipping while GEMMs are running.
+enum class GemmDispatch { kAuto, kSeedBlocked };
+void set_gemm_dispatch(GemmDispatch mode);
+GemmDispatch gemm_dispatch();
 
 // Flop counts for the three ops, matching the conventions in DESIGN.md §5.
 // These feed both the work model used by the mapping heuristics and the

@@ -1,0 +1,83 @@
+#include "support/work_queue.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace spc {
+
+WorkStealingQueues::WorkStealingQueues(int num_workers)
+    : deques_(static_cast<std::size_t>(num_workers)) {
+  SPC_CHECK(num_workers >= 1, "WorkStealingQueues: need at least one worker");
+}
+
+void WorkStealingQueues::push(int worker, WorkItem item) {
+  // queued_ is incremented BEFORE the item becomes visible: a worker that
+  // fails its scan but then sees queued_ > 0 retries instead of sleeping,
+  // so the counter may only over-promise, never under-promise.
+  queued_.fetch_add(1);
+  {
+    Deque& d = deques_[static_cast<std::size_t>(worker)];
+    std::lock_guard<std::mutex> lock(d.m);
+    d.items.push_back(item);
+  }
+  if (sleepers_.load() > 0) {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.notify_one();
+  }
+}
+
+bool WorkStealingQueues::try_pop_local(int worker, WorkItem& out) {
+  Deque& d = deques_[static_cast<std::size_t>(worker)];
+  std::lock_guard<std::mutex> lock(d.m);
+  if (d.items.empty()) return false;
+  out = d.items.back();
+  d.items.pop_back();
+  queued_.fetch_sub(1);
+  return true;
+}
+
+bool WorkStealingQueues::try_steal(int thief, WorkItem& out) {
+  const int n = num_workers();
+  for (int off = 1; off < n; ++off) {
+    Deque& d = deques_[static_cast<std::size_t>((thief + off) % n)];
+    std::lock_guard<std::mutex> lock(d.m);
+    if (d.items.empty()) continue;
+    // Steal the most critical task; among equal priorities take the oldest
+    // (lowest index), which is also the victim's coldest cache-wise.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < d.items.size(); ++i) {
+      if (d.items[i].priority > d.items[best].priority) best = i;
+    }
+    out = d.items[best];
+    d.items.erase(d.items.begin() + static_cast<std::ptrdiff_t>(best));
+    queued_.fetch_sub(1);
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool WorkStealingQueues::acquire(int worker, WorkItem& out) {
+  for (;;) {
+    if (done_.load()) return false;
+    if (try_pop_local(worker, out)) return true;
+    if (try_steal(worker, out)) return true;
+    // Register as a sleeper BEFORE re-checking queued_: a pusher increments
+    // queued_ before reading sleepers_, so either it sees us (and notifies
+    // under the sleep mutex) or our queued_ re-check in the wait predicate
+    // sees its increment. Both orders avoid the lost wakeup.
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleepers_.fetch_add(1);
+    sleep_cv_.wait(lock, [this] { return queued_.load() > 0 || done_.load(); });
+    sleepers_.fetch_sub(1);
+  }
+}
+
+void WorkStealingQueues::shutdown() {
+  done_.store(true);
+  std::lock_guard<std::mutex> lock(sleep_mutex_);
+  sleep_cv_.notify_all();
+}
+
+}  // namespace spc

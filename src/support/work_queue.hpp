@@ -1,0 +1,73 @@
+// Work-stealing task queues for the shared-memory parallel executor.
+//
+// Each worker owns a deque: new tasks are pushed and popped at the top
+// (LIFO, so a worker keeps chasing the data it just produced), while idle
+// workers steal from other deques by *priority* — a thief scans the victim's
+// deque and removes the most critical task (ties broken toward the bottom,
+// i.e. FIFO among equals). Priorities are critical-path heights of the task
+// DAG (see factor/scheduler.hpp), so the dependency spine is never starved
+// behind bulk work.
+//
+// Deques are guarded by small per-deque mutexes: the local fast path takes
+// one uncontended lock, and thieves never touch a global structure. Idle
+// workers park on a condition variable; the wake protocol (seq_cst counter
+// of queued tasks + registered-sleeper count, notify under the sleep mutex)
+// is lost-wakeup-free — see docs/PARALLEL_EXECUTOR.md for the argument.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace spc {
+
+struct WorkItem {
+  i64 id = 0;        // caller-defined task id
+  i64 priority = 0;  // higher = more critical
+};
+
+class WorkStealingQueues {
+ public:
+  explicit WorkStealingQueues(int num_workers);
+
+  int num_workers() const { return static_cast<int>(deques_.size()); }
+
+  // Pushes onto `worker`'s deque (LIFO end) and wakes a sleeper if any.
+  // Any thread may push to any deque (the executor seeds all deques before
+  // the workers start, and workers push to their own).
+  void push(int worker, WorkItem item);
+
+  // Blocking acquire for `worker`: own deque first (LIFO), then steal the
+  // highest-priority task from another deque, else sleep until work arrives.
+  // Returns false once shutdown() has been called.
+  bool acquire(int worker, WorkItem& out);
+
+  // Wakes every sleeper and makes all subsequent/blocked acquire() calls
+  // return false. Pending tasks are discarded.
+  void shutdown();
+
+  // Number of stolen tasks (approximate, for stats/tests).
+  i64 steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct alignas(64) Deque {
+    std::mutex m;
+    std::vector<WorkItem> items;
+  };
+
+  bool try_pop_local(int worker, WorkItem& out);
+  bool try_steal(int thief, WorkItem& out);
+
+  std::vector<Deque> deques_;
+  std::atomic<i64> queued_{0};    // tasks currently in some deque
+  std::atomic<int> sleepers_{0};  // workers parked (or committing to park)
+  std::atomic<bool> done_{false};
+  std::atomic<i64> steals_{0};
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+};
+
+}  // namespace spc

@@ -178,6 +178,114 @@ TEST(GemmNt, BlockedMatchesNaiveAcrossShapes) {
   }
 }
 
+// Exhaustive cross-check of every GEMM variant against the naive reference,
+// over shapes spanning the micro-kernel edge cases: below/at/above the 8x4
+// register tile, and straddling the packed-path profitability threshold
+// (m,n,k around 48 hit the packed kernel with full tiles plus remainders).
+TEST(GemmNt, AllVariantsMatchNaiveExhaustive) {
+  Rng rng(1234);
+  const idx sizes[] = {1, 2, 3, 4, 5, 7, 8, 47, 48, 49};
+  for (idx m : sizes) {
+    for (idx n : sizes) {
+      for (idx k : sizes) {
+        DenseMatrix a(m, k), b(n, k), c0(m, n);
+        for (idx p = 0; p < k; ++p) {
+          for (idx r = 0; r < m; ++r) a(r, p) = rng.uniform(-1.0, 1.0);
+          for (idx r = 0; r < n; ++r) b(r, p) = rng.uniform(-1.0, 1.0);
+        }
+        for (idx r = 0; r < m; ++r) {
+          for (idx cc = 0; cc < n; ++cc) c0(r, cc) = rng.uniform(-1.0, 1.0);
+        }
+        DenseMatrix c_packed = c0, c_dispatch = c0, c_neg(m, n);
+        // Poison the overwrite destination: gemm_nt_neg_raw must not read C.
+        for (idx r = 0; r < m; ++r) {
+          for (idx cc = 0; cc < n; ++cc) c_neg(r, cc) = 1e30;
+        }
+        gemm_nt_minus_naive(a, b, c0);
+        gemm_nt_minus_packed(a, b, c_packed);
+        gemm_nt_minus(a, b, c_dispatch);
+        gemm_nt_neg_raw(m, n, k, a.data(), m, b.data(), n, c_neg.data(), m);
+        const double tol = 1e-12 * static_cast<double>(k);
+        for (idx r = 0; r < m; ++r) {
+          for (idx cc = 0; cc < n; ++cc) {
+            const double ref = c0(r, cc);
+            EXPECT_NEAR(c_packed(r, cc), ref, tol)
+                << "packed m=" << m << " n=" << n << " k=" << k;
+            EXPECT_NEAR(c_dispatch(r, cc), ref, tol)
+                << "dispatch m=" << m << " n=" << n << " k=" << k;
+            // c_neg holds -(A B^T) with no initial C contribution.
+            double pure = 0.0;
+            for (idx p = 0; p < k; ++p) pure -= a(r, p) * b(cc, p);
+            EXPECT_NEAR(c_neg(r, cc), pure, tol)
+                << "neg m=" << m << " n=" << n << " k=" << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Blocked potrf must agree with the scalar reference across sizes straddling
+// the panel width (kPanel = 32) and the micro-kernel tile edges.
+TEST(Potrf, BlockedMatchesUnblockedAcrossSizes) {
+  Rng rng(77);
+  for (idx n : {1, 2, 3, 5, 8, 31, 32, 33, 47, 48, 49, 64, 96, 130}) {
+    DenseMatrix a = random_spd(n, rng);
+    DenseMatrix l_ref = a, l_blk = a;
+    potrf_lower_unblocked(l_ref);
+    potrf_lower(l_blk);
+    const double tol = 1e-12 * static_cast<double>(n);
+    for (idx c = 0; c < n; ++c) {
+      for (idx r = 0; r < n; ++r) {
+        EXPECT_NEAR(l_blk(r, c), l_ref(r, c), tol)
+            << "n=" << n << " r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+// Blocked trsm must agree with the scalar reference across panel-straddling
+// k and both tall and short right-hand sides.
+TEST(Trsm, BlockedMatchesUnblockedAcrossSizes) {
+  Rng rng(78);
+  for (idx k : {1, 2, 3, 5, 8, 31, 32, 33, 47, 48, 49, 64, 96, 130}) {
+    for (idx m : {1, 3, 8, 50, 130}) {
+      DenseMatrix l = random_spd(k, rng);
+      potrf_lower_unblocked(l);
+      DenseMatrix b(m, k);
+      for (idx c = 0; c < k; ++c) {
+        for (idx r = 0; r < m; ++r) b(r, c) = rng.uniform(-1.0, 1.0);
+      }
+      DenseMatrix b_ref = b, b_blk = b;
+      trsm_right_ltrans_unblocked(l, b_ref);
+      trsm_right_ltrans(l, b_blk);
+      const double tol = 1e-12 * static_cast<double>(k);
+      for (idx c = 0; c < k; ++c) {
+        for (idx r = 0; r < m; ++r) {
+          EXPECT_NEAR(b_blk(r, c), b_ref(r, c), tol)
+              << "k=" << k << " m=" << m << " r=" << r << " c=" << c;
+        }
+      }
+    }
+  }
+}
+
+// resize_for_overwrite keeps the shape contract of resize without the
+// zero-fill guarantee; within reserved capacity it must not reallocate.
+TEST(DenseMatrix, ResizeForOverwriteKeepsShape) {
+  DenseMatrix m;
+  m.reserve(8, 8);
+  const double* base = m.data();
+  m.resize_for_overwrite(8, 8);
+  EXPECT_EQ(m.rows(), 8);
+  EXPECT_EQ(m.cols(), 8);
+  EXPECT_EQ(m.data(), base);
+  m.resize_for_overwrite(4, 6);
+  EXPECT_EQ(m.rows(), 4);
+  EXPECT_EQ(m.cols(), 6);
+  EXPECT_EQ(m.data(), base);
+}
+
 TEST(GemmNt, ShapeMismatchThrows) {
   DenseMatrix a(2, 3), b(4, 2), c(2, 4);
   EXPECT_THROW(gemm_nt_minus(a, b, c), Error);
