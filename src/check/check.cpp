@@ -1,0 +1,48 @@
+#include "check/check.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace spc::check {
+
+void Report::error(std::string rule, std::string detail) {
+  findings_.push_back({std::move(rule), std::move(detail), Severity::kError});
+  ++errors_;
+}
+
+void Report::warn(std::string rule, std::string detail) {
+  findings_.push_back({std::move(rule), std::move(detail), Severity::kWarning});
+}
+
+void Report::merge(Report other) {
+  errors_ += other.errors_;
+  for (Finding& f : other.findings_) findings_.push_back(std::move(f));
+}
+
+bool Report::has(std::string_view rule) const {
+  for (const Finding& f : findings_) {
+    if (f.rule == rule) return true;
+  }
+  return false;
+}
+
+void Report::print(std::ostream& os) const {
+  for (const Finding& f : findings_) {
+    os << (f.severity == Severity::kError ? "error " : "warning ") << f.rule
+       << ": " << f.detail << "\n";
+  }
+}
+
+void Report::require_ok(const std::string& phase) const {
+  if (ok()) return;
+  std::ostringstream os;
+  os << "invariant check failed in phase '" << phase << "' (" << errors_
+     << " error" << (errors_ == 1 ? "" : "s") << "):\n";
+  print(os);
+  SPC_CHECK(false, os.str());
+}
+
+}  // namespace spc::check

@@ -1,0 +1,164 @@
+// Validators for the input structures: SymSparse canonical column form and
+// Graph adjacency well-formedness.
+#include <algorithm>
+#include <sstream>
+
+#include "check/check.hpp"
+
+namespace spc::check {
+namespace {
+
+std::string at(const char* what, i64 index) {
+  std::ostringstream os;
+  os << what << " " << index;
+  return os.str();
+}
+
+// Shared CSR shape stage: ptr has n+1 monotone entries starting at 0 and
+// ending at the index array's size. Returns false when follow-on stages
+// cannot index safely.
+bool check_ptr_shape(const char* prefix, idx n, const std::vector<i64>& ptr,
+                     i64 index_size, Report& r) {
+  if (n < 0) {
+    r.error(std::string(prefix) + ".ptr", "negative dimension");
+    return false;
+  }
+  if (static_cast<i64>(ptr.size()) != static_cast<i64>(n) + 1) {
+    std::ostringstream os;
+    os << "ptr has " << ptr.size() << " entries, want " << n + 1;
+    r.error(std::string(prefix) + ".ptr", os.str());
+    return false;
+  }
+  if (n == 0) return true;
+  if (ptr[0] != 0) {
+    r.error(std::string(prefix) + ".ptr", "ptr[0] != 0");
+    return false;
+  }
+  for (idx j = 0; j < n; ++j) {
+    if (ptr[static_cast<std::size_t>(j) + 1] < ptr[static_cast<std::size_t>(j)]) {
+      r.error(std::string(prefix) + ".ptr",
+              at("ptr decreases at column", j));
+      return false;
+    }
+  }
+  if (ptr[static_cast<std::size_t>(n)] != index_size) {
+    std::ostringstream os;
+    os << "ptr ends at " << ptr[static_cast<std::size_t>(n)]
+       << " but index array has " << index_size << " entries";
+    r.error(std::string(prefix) + ".ptr", os.str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Report check_matrix_csr(idx n, const std::vector<i64>& ptr,
+                        const std::vector<idx>& row,
+                        const std::vector<double>& val) {
+  Report r;
+  if (val.size() != row.size()) {
+    std::ostringstream os;
+    os << val.size() << " values for " << row.size() << " row indices";
+    r.error("matrix.val-size", os.str());
+    return r;
+  }
+  if (!check_ptr_shape("matrix", n, ptr, static_cast<i64>(row.size()), r)) {
+    return r;
+  }
+  for (idx j = 0; j < n; ++j) {
+    const i64 begin = ptr[static_cast<std::size_t>(j)];
+    const i64 end = ptr[static_cast<std::size_t>(j) + 1];
+    if (begin == end) {
+      r.error("matrix.diag-first", at("no diagonal entry in column", j));
+      continue;
+    }
+    if (row[static_cast<std::size_t>(begin)] != j) {
+      std::ostringstream os;
+      os << "column " << j << " starts with row " << row[static_cast<std::size_t>(begin)]
+         << ", want the diagonal";
+      r.error("matrix.diag-first", os.str());
+      continue;
+    }
+    if (!(val[static_cast<std::size_t>(begin)] > 0.0)) {
+      std::ostringstream os;
+      os << "diagonal of column " << j << " is " << val[static_cast<std::size_t>(begin)];
+      r.error("matrix.diag-positive", os.str());
+    }
+    for (i64 p = begin + 1; p < end; ++p) {
+      const idx i = row[static_cast<std::size_t>(p)];
+      if (i < 0 || i >= n) {
+        std::ostringstream os;
+        os << "row " << i << " out of range in column " << j;
+        r.error("matrix.row-range", os.str());
+        break;
+      }
+      if (i <= row[static_cast<std::size_t>(p - 1)]) {
+        std::ostringstream os;
+        os << "rows not strictly increasing in column " << j << " (row " << i
+           << " after " << row[static_cast<std::size_t>(p - 1)] << ")";
+        r.error("matrix.row-order", os.str());
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+Report check_matrix(const SymSparse& a) {
+  return check_matrix_csr(a.num_rows(), a.col_ptr(), a.row_idx(), a.values());
+}
+
+Report check_graph_csr(idx n, const std::vector<i64>& ptr,
+                       const std::vector<idx>& adj) {
+  Report r;
+  if (!check_ptr_shape("graph", n, ptr, static_cast<i64>(adj.size()), r)) {
+    return r;
+  }
+  for (idx v = 0; v < n; ++v) {
+    const i64 begin = ptr[static_cast<std::size_t>(v)];
+    const i64 end = ptr[static_cast<std::size_t>(v) + 1];
+    for (i64 p = begin; p < end; ++p) {
+      const idx u = adj[static_cast<std::size_t>(p)];
+      if (u < 0 || u >= n) {
+        std::ostringstream os;
+        os << "neighbor " << u << " of vertex " << v << " out of range";
+        r.error("graph.adj-range", os.str());
+        return r;
+      }
+      if (u == v) {
+        r.error("graph.self-loop", at("self loop at vertex", v));
+      }
+      if (p > begin && u <= adj[static_cast<std::size_t>(p - 1)]) {
+        std::ostringstream os;
+        os << "adjacency of vertex " << v << " not strictly increasing at "
+           << u;
+        r.error("graph.adj-order", os.str());
+        return r;
+      }
+    }
+  }
+  // Symmetry: every arc (v, u) needs the reverse arc (u, v). Sortedness was
+  // verified above, so binary search is safe.
+  for (idx v = 0; v < n; ++v) {
+    for (i64 p = ptr[static_cast<std::size_t>(v)];
+         p < ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+      const idx u = adj[static_cast<std::size_t>(p)];
+      const idx* b = adj.data() + ptr[static_cast<std::size_t>(u)];
+      const idx* e = adj.data() + ptr[static_cast<std::size_t>(u) + 1];
+      if (!std::binary_search(b, e, v)) {
+        std::ostringstream os;
+        os << "edge (" << v << ", " << u << ") has no reverse arc";
+        r.error("graph.symmetry", os.str());
+        return r;
+      }
+    }
+  }
+  return r;
+}
+
+Report check_graph(const Graph& g) {
+  return check_graph_csr(g.num_vertices(), g.ptr(), g.adj());
+}
+
+}  // namespace spc::check

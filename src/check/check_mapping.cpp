@@ -1,0 +1,157 @@
+// Validators for the Cartesian-product mapping layer: mapI/mapJ shape and
+// range, domain assignments, and a from-scratch recomputation of the
+// paper's work model and balance statistics.
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "blocks/work_model.hpp"
+#include "check/check.hpp"
+
+namespace spc::check {
+namespace {
+
+// Balance statistics are ratios of work sums; exact equality is expected
+// when both sides are computed from the same integer work model, but allow
+// a tiny relative slack for the floating-point divisions.
+bool close(double a, double b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= 1e-9 * scale;
+}
+
+}  // namespace
+
+Report check_mapping(const BlockMap& map) {
+  Report r;
+  if (map.grid.rows < 1 || map.grid.cols < 1) {
+    std::ostringstream os;
+    os << "grid is " << map.grid.rows << " x " << map.grid.cols;
+    r.error("mapping.grid", os.str());
+    return r;
+  }
+  if (map.map_row.size() != map.map_col.size()) {
+    std::ostringstream os;
+    os << map.map_row.size() << " row entries vs " << map.map_col.size()
+       << " column entries";
+    r.error("mapping.size", os.str());
+    return r;
+  }
+  const idx nb = map.num_blocks();
+  std::vector<bool> row_used(static_cast<std::size_t>(map.grid.rows), false);
+  std::vector<bool> col_used(static_cast<std::size_t>(map.grid.cols), false);
+  for (idx b = 0; b < nb; ++b) {
+    const idx pr = map.map_row[static_cast<std::size_t>(b)];
+    const idx pc = map.map_col[static_cast<std::size_t>(b)];
+    if (pr < 0 || pr >= map.grid.rows) {
+      std::ostringstream os;
+      os << "mapI[" << b << "] = " << pr << " outside the " << map.grid.rows
+         << " processor rows";
+      r.error("mapping.row-range", os.str());
+      return r;
+    }
+    if (pc < 0 || pc >= map.grid.cols) {
+      std::ostringstream os;
+      os << "mapJ[" << b << "] = " << pc << " outside the " << map.grid.cols
+         << " processor columns";
+      r.error("mapping.col-range", os.str());
+      return r;
+    }
+    row_used[static_cast<std::size_t>(pr)] = true;
+    col_used[static_cast<std::size_t>(pc)] = true;
+  }
+  // The paper's remaps are onto the grid whenever there are enough blocks;
+  // an unused processor row/column wastes a whole machine slice.
+  if (nb >= map.grid.rows) {
+    for (idx p = 0; p < map.grid.rows; ++p) {
+      if (!row_used[static_cast<std::size_t>(p)]) {
+        std::ostringstream os;
+        os << "processor row " << p << " receives no block row";
+        r.warn("mapping.row-onto", os.str());
+      }
+    }
+  }
+  if (nb >= map.grid.cols) {
+    for (idx p = 0; p < map.grid.cols; ++p) {
+      if (!col_used[static_cast<std::size_t>(p)]) {
+        std::ostringstream os;
+        os << "processor column " << p << " receives no block column";
+        r.warn("mapping.col-onto", os.str());
+      }
+    }
+  }
+  return r;
+}
+
+Report check_domains(const DomainDecomposition& dom, idx num_procs,
+                     idx num_block_cols) {
+  Report r;
+  if (static_cast<i64>(dom.domain_proc.size()) !=
+      static_cast<i64>(num_block_cols)) {
+    std::ostringstream os;
+    os << "domain_proc has " << dom.domain_proc.size() << " entries, want "
+       << num_block_cols;
+    r.error("domains.size", os.str());
+    return r;
+  }
+  for (idx j = 0; j < num_block_cols; ++j) {
+    const idx p = dom.domain_proc[static_cast<std::size_t>(j)];
+    if (p != kNone && (p < 0 || p >= num_procs)) {
+      std::ostringstream os;
+      os << "domain_proc[" << j << "] = " << p << " outside the " << num_procs
+         << " processors";
+      r.error("domains.range", os.str());
+      return r;
+    }
+  }
+  return r;
+}
+
+Report check_plan(const BlockStructure& bs, const TaskGraph& tg,
+                  const DomainDecomposition& dom, const BlockMap& map,
+                  const BalanceStats& reported) {
+  Report r = check_mapping(map);
+  r.merge(check_domains(dom, map.grid.size(), bs.num_block_cols()));
+  if (!r.ok()) return r;
+  if (map.num_blocks() != bs.num_block_cols()) {
+    std::ostringstream os;
+    os << "mapping covers " << map.num_blocks() << " blocks, structure has "
+       << bs.num_block_cols();
+    r.error("mapping.size", os.str());
+    return r;
+  }
+
+  // The work model must account for every flop plus the fixed per-op cost.
+  const WorkModel wm = compute_work_model(tg, bs.num_block_cols());
+  const i64 expect_total =
+      tg.total_flops() + kFixedOpCost * tg.total_ops();
+  if (wm.total != expect_total) {
+    std::ostringstream os;
+    os << "work model totals " << wm.total << ", want flops + 1000*ops = "
+       << expect_total;
+    r.error("workmodel.total", os.str());
+    return r;
+  }
+
+  // Recompute the balance statistics from scratch and compare.
+  const RootWork rw = compute_root_work(tg, bs, dom, map.grid.size());
+  const BalanceStats fresh = compute_balance(rw, map);
+  const struct {
+    const char* name;
+    double got;
+    double want;
+  } stats[] = {{"row", reported.row, fresh.row},
+               {"col", reported.col, fresh.col},
+               {"diag", reported.diag, fresh.diag},
+               {"overall", reported.overall, fresh.overall}};
+  for (const auto& s : stats) {
+    if (!close(s.got, s.want)) {
+      std::ostringstream os;
+      os << s.name << " balance reported as " << s.got
+         << " but recomputation gives " << s.want;
+      r.error("balance.mismatch", os.str());
+    }
+  }
+  return r;
+}
+
+}  // namespace spc::check

@@ -1,0 +1,255 @@
+// Validators for the task graph and the scheduler's dependency protocol.
+//
+// check_task_graph re-derives every per-block and per-mod field from the
+// block structure; check_schedule executes the dependency DAG symbolically
+// with the exact counter protocol the shared-memory executors use, so a
+// corruption that would deadlock or double-run a real factorization is
+// reported as a finding instead.
+#include <sstream>
+#include <vector>
+
+#include "check/check.hpp"
+#include "linalg/kernels.hpp"
+
+namespace spc::check {
+
+Report check_task_graph(const BlockStructure& bs, const TaskGraph& tg) {
+  Report r;
+  const idx nb = bs.num_block_cols();
+  const i64 num_blocks = static_cast<i64>(nb) + bs.num_entries();
+  if (tg.num_blocks() != num_blocks ||
+      static_cast<i64>(tg.mods_into.size()) != num_blocks ||
+      static_cast<i64>(tg.col_of_block.size()) != num_blocks ||
+      static_cast<i64>(tg.row_of_block.size()) != num_blocks ||
+      static_cast<i64>(tg.rows_of_block.size()) != num_blocks) {
+    std::ostringstream os;
+    os << "per-block arrays not sized to " << num_blocks << " blocks";
+    r.error("taskgraph.size", os.str());
+    return r;
+  }
+
+  // Per-block fields against the structure.
+  for (idx j = 0; j < nb; ++j) {
+    if (tg.col_of_block[static_cast<std::size_t>(j)] != j ||
+        tg.row_of_block[static_cast<std::size_t>(j)] != j ||
+        tg.rows_of_block[static_cast<std::size_t>(j)] != bs.part.width(j) ||
+        tg.completion_flops[static_cast<std::size_t>(j)] !=
+            flops_bfac(bs.part.width(j))) {
+      std::ostringstream os;
+      os << "diagonal block " << j << " has inconsistent fields";
+      r.error("taskgraph.block-fields", os.str());
+      return r;
+    }
+  }
+  for (idx k = 0; k < nb; ++k) {
+    for (i64 e = bs.blkptr[static_cast<std::size_t>(k)];
+         e < bs.blkptr[static_cast<std::size_t>(k) + 1]; ++e) {
+      const block_id b = nb + e;
+      if (tg.col_of_block[static_cast<std::size_t>(b)] != k ||
+          tg.row_of_block[static_cast<std::size_t>(b)] != bs.blkrow[static_cast<std::size_t>(e)] ||
+          tg.rows_of_block[static_cast<std::size_t>(b)] != bs.blkcnt[static_cast<std::size_t>(e)] ||
+          tg.completion_flops[static_cast<std::size_t>(b)] !=
+              flops_bdiv(bs.blkcnt[static_cast<std::size_t>(e)], bs.part.width(k))) {
+        std::ostringstream os;
+        os << "entry block " << b << " has inconsistent fields";
+        r.error("taskgraph.block-fields", os.str());
+        return r;
+      }
+    }
+  }
+
+  // Mods: grouped by source column, sources in the source column, the
+  // destination at (row(src_a), row(src_b)) in a later column, exact flops.
+  std::vector<i64> mods_into(static_cast<std::size_t>(num_blocks), 0);
+  for (std::size_t m = 0; m < tg.mods.size(); ++m) {
+    const BlockMod& mod = tg.mods[m];
+    if (m > 0 && tg.mods[m - 1].col_k > mod.col_k) {
+      std::ostringstream os;
+      os << "mod " << m << " not grouped by ascending source column";
+      r.error("taskgraph.mod-order", os.str());
+      return r;
+    }
+    if (mod.src_a < nb || mod.src_a >= num_blocks || mod.src_b < nb ||
+        mod.src_b >= num_blocks ||
+        tg.col_of_block[static_cast<std::size_t>(mod.src_a)] != mod.col_k ||
+        tg.col_of_block[static_cast<std::size_t>(mod.src_b)] != mod.col_k) {
+      std::ostringstream os;
+      os << "mod " << m << " sources are not off-diagonal blocks of column "
+         << mod.col_k;
+      r.error("taskgraph.mod-src", os.str());
+      return r;
+    }
+    const idx row_i = tg.row_of_block[static_cast<std::size_t>(mod.src_a)];
+    const idx row_j = tg.row_of_block[static_cast<std::size_t>(mod.src_b)];
+    if (row_i < row_j) {
+      std::ostringstream os;
+      os << "mod " << m << " has src_a above src_b (I < J)";
+      r.error("taskgraph.mod-src", os.str());
+      return r;
+    }
+    if (mod.dest < 0 || mod.dest >= num_blocks ||
+        tg.row_of_block[static_cast<std::size_t>(mod.dest)] != row_i ||
+        tg.col_of_block[static_cast<std::size_t>(mod.dest)] != row_j ||
+        tg.col_of_block[static_cast<std::size_t>(mod.dest)] <= mod.col_k) {
+      std::ostringstream os;
+      os << "mod " << m << " destination is not block (" << row_i << ", "
+         << row_j << ") in a later column";
+      r.error("taskgraph.mod-dest", os.str());
+      return r;
+    }
+    const idx w = bs.part.width(mod.col_k);
+    const idx m_rows = tg.rows_of_block[static_cast<std::size_t>(mod.src_a)];
+    const idx n_cols = tg.rows_of_block[static_cast<std::size_t>(mod.src_b)];
+    const i64 expect = mod.src_a == mod.src_b
+                           ? static_cast<i64>(m_rows) * (m_rows + 1) * w
+                           : flops_bmod(m_rows, n_cols, w);
+    if (mod.flops != expect) {
+      std::ostringstream os;
+      os << "mod " << m << " counts " << mod.flops << " flops, want " << expect;
+      r.error("taskgraph.flops", os.str());
+      return r;
+    }
+    ++mods_into[static_cast<std::size_t>(mod.dest)];
+  }
+  for (block_id b = 0; b < num_blocks; ++b) {
+    if (tg.mods_into[static_cast<std::size_t>(b)] != mods_into[static_cast<std::size_t>(b)]) {
+      std::ostringstream os;
+      os << "mods_into[" << b << "] = " << tg.mods_into[static_cast<std::size_t>(b)]
+         << " but " << mods_into[static_cast<std::size_t>(b)] << " mods target it";
+      r.error("taskgraph.mods-into", os.str());
+      return r;
+    }
+  }
+  return r;
+}
+
+Report check_schedule(const BlockStructure& bs, const TaskGraph& tg) {
+  Report r;
+  const idx nb = bs.num_block_cols();
+  const i64 num_blocks = tg.num_blocks();
+  if (num_blocks != static_cast<i64>(nb) + bs.num_entries() ||
+      static_cast<i64>(tg.mods_into.size()) != num_blocks) {
+    r.error("schedule.size", "task graph not sized to the block structure");
+    return r;
+  }
+
+  // The executors' dependency state: a completion waits for its incoming
+  // mods (plus its diagonal for off-diagonal blocks); a mod waits for its
+  // one or two distinct sources.
+  std::vector<i64> deps(static_cast<std::size_t>(num_blocks));
+  for (block_id b = 0; b < num_blocks; ++b) {
+    deps[static_cast<std::size_t>(b)] =
+        tg.mods_into[static_cast<std::size_t>(b)] + (b >= nb ? 1 : 0);
+  }
+  std::vector<int> pending(tg.mods.size());
+  for (std::size_t m = 0; m < tg.mods.size(); ++m) {
+    pending[m] = tg.mods[m].src_a == tg.mods[m].src_b ? 1 : 2;
+  }
+
+  // CSR of mods by source block (mirrors the executors') and of mods by
+  // source column for iteration order independence.
+  std::vector<i64> src_ptr(static_cast<std::size_t>(num_blocks) + 1, 0);
+  for (const BlockMod& mod : tg.mods) {
+    if (mod.src_a < 0 || mod.src_a >= num_blocks || mod.src_b < 0 ||
+        mod.src_b >= num_blocks || mod.dest < 0 || mod.dest >= num_blocks) {
+      r.error("schedule.size", "mod references a block id out of range");
+      return r;
+    }
+    ++src_ptr[static_cast<std::size_t>(mod.src_a) + 1];
+    if (mod.src_b != mod.src_a) ++src_ptr[static_cast<std::size_t>(mod.src_b) + 1];
+  }
+  for (block_id b = 0; b < num_blocks; ++b) {
+    src_ptr[static_cast<std::size_t>(b) + 1] += src_ptr[static_cast<std::size_t>(b)];
+  }
+  std::vector<i64> src_mods(static_cast<std::size_t>(src_ptr.back()));
+  {
+    std::vector<i64> cursor(src_ptr.begin(), src_ptr.end() - 1);
+    for (std::size_t m = 0; m < tg.mods.size(); ++m) {
+      const BlockMod& mod = tg.mods[m];
+      src_mods[static_cast<std::size_t>(cursor[static_cast<std::size_t>(mod.src_a)]++)] =
+          static_cast<i64>(m);
+      if (mod.src_b != mod.src_a) {
+        src_mods[static_cast<std::size_t>(cursor[static_cast<std::size_t>(mod.src_b)]++)] =
+            static_cast<i64>(m);
+      }
+    }
+  }
+
+  // Kahn propagation with exactly-once accounting.
+  std::vector<int> scheduled(static_cast<std::size_t>(num_blocks), 0);
+  std::vector<int> fired(tg.mods.size(), 0);
+  std::vector<block_id> ready;
+  for (block_id b = 0; b < num_blocks; ++b) {
+    if (deps[static_cast<std::size_t>(b)] == 0) ready.push_back(b);
+  }
+  i64 completed = 0;
+  while (!ready.empty()) {
+    const block_id b = ready.back();
+    ready.pop_back();
+    if (++scheduled[static_cast<std::size_t>(b)] > 1) {
+      std::ostringstream os;
+      os << "block " << b << " scheduled " << scheduled[static_cast<std::size_t>(b)]
+         << " times (dependency counts undercount its incoming mods)";
+      r.error("schedule.double-schedule", os.str());
+      return r;
+    }
+    ++completed;
+    for (i64 k = src_ptr[static_cast<std::size_t>(b)];
+         k < src_ptr[static_cast<std::size_t>(b) + 1]; ++k) {
+      const i64 m = src_mods[static_cast<std::size_t>(k)];
+      if (--pending[static_cast<std::size_t>(m)] == 0) {
+        if (++fired[static_cast<std::size_t>(m)] > 1) {
+          std::ostringstream os;
+          os << "mod " << m << " fired more than once";
+          r.error("schedule.double-schedule", os.str());
+          return r;
+        }
+        const block_id dest = tg.mods[static_cast<std::size_t>(m)].dest;
+        const i64 left = --deps[static_cast<std::size_t>(dest)];
+        if (left < 0) {
+          std::ostringstream os;
+          os << "block " << dest
+             << " received more mods than its dependency count "
+             << "(double-scheduled block)";
+          r.error("schedule.double-schedule", os.str());
+          return r;
+        }
+        if (left == 0) ready.push_back(dest);
+      }
+    }
+    if (b < nb) {
+      for (i64 e = bs.blkptr[static_cast<std::size_t>(b)];
+           e < bs.blkptr[static_cast<std::size_t>(b) + 1]; ++e) {
+        const block_id bd = nb + e;
+        const i64 left = --deps[static_cast<std::size_t>(bd)];
+        if (left < 0) {
+          std::ostringstream os;
+          os << "off-diagonal block " << bd
+             << " released more times than its dependency count";
+          r.error("schedule.double-schedule", os.str());
+          return r;
+        }
+        if (left == 0) ready.push_back(bd);
+      }
+    }
+  }
+  if (completed != num_blocks) {
+    std::ostringstream os;
+    os << completed << " of " << num_blocks
+       << " blocks completed; the rest are stuck behind a cycle or "
+       << "overcounted dependencies";
+    r.error("schedule.stuck", os.str());
+    return r;
+  }
+  for (std::size_t m = 0; m < tg.mods.size(); ++m) {
+    if (fired[m] != 1) {
+      std::ostringstream os;
+      os << "mod " << m << " fired " << fired[m] << " times, want exactly once";
+      r.error("schedule.stuck", os.str());
+      return r;
+    }
+  }
+  return r;
+}
+
+}  // namespace spc::check

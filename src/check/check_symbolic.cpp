@@ -1,0 +1,453 @@
+// Validators for the symbolic phase: elimination tree, postorder, column
+// counts, supernode partition, supernodal symbolic structure, and the block
+// structure derived from it.
+#include <algorithm>
+#include <sstream>
+
+#include "check/check.hpp"
+#include "symbolic/colcount.hpp"
+#include "symbolic/etree.hpp"
+#include "symbolic/supernode.hpp"
+
+namespace spc::check {
+
+Report check_parent_array(idx n, const std::vector<idx>& parent) {
+  Report r;
+  if (static_cast<i64>(parent.size()) != static_cast<i64>(n)) {
+    std::ostringstream os;
+    os << "parent array has " << parent.size() << " entries, want " << n;
+    r.error("etree.size", os.str());
+    return r;
+  }
+  for (idx j = 0; j < n; ++j) {
+    const idx p = parent[static_cast<std::size_t>(j)];
+    if (p == kNone) continue;
+    if (p < 0 || p >= n) {
+      std::ostringstream os;
+      os << "parent[" << j << "] = " << p << " out of range";
+      r.error("etree.parent-range", os.str());
+    } else if (p <= j) {
+      // A parent at or below its child breaks the elimination order and is
+      // exactly how cycles arise in a parent array.
+      std::ostringstream os;
+      os << "parent[" << j << "] = " << p
+         << " does not point above its child (cycle or misordered tree)";
+      r.error("etree.parent-order", os.str());
+    }
+  }
+  return r;
+}
+
+Report check_etree(const SymSparse& a, const std::vector<idx>& parent) {
+  Report r = check_parent_array(a.num_rows(), parent);
+  if (!r.ok()) return r;
+  const std::vector<idx> recomputed = elimination_tree(a);
+  for (idx j = 0; j < a.num_rows(); ++j) {
+    if (parent[static_cast<std::size_t>(j)] != recomputed[static_cast<std::size_t>(j)]) {
+      std::ostringstream os;
+      os << "parent[" << j << "] = " << parent[static_cast<std::size_t>(j)]
+         << " but the elimination tree of A has "
+         << recomputed[static_cast<std::size_t>(j)];
+      r.error("etree.mismatch", os.str());
+      return r;
+    }
+  }
+  return r;
+}
+
+Report check_postorder(const std::vector<idx>& parent,
+                       const std::vector<idx>& post) {
+  const idx n = static_cast<idx>(parent.size());
+  Report r = check_parent_array(n, parent);
+  if (!r.ok()) return r;
+  if (static_cast<i64>(post.size()) != static_cast<i64>(n)) {
+    std::ostringstream os;
+    os << "postorder has " << post.size() << " entries, want " << n;
+    r.error("postorder.perm", os.str());
+    return r;
+  }
+  std::vector<idx> pos(static_cast<std::size_t>(n), kNone);
+  for (idx k = 0; k < n; ++k) {
+    const idx v = post[static_cast<std::size_t>(k)];
+    if (v < 0 || v >= n || pos[static_cast<std::size_t>(v)] != kNone) {
+      std::ostringstream os;
+      os << "post[" << k << "] = " << v << " is not a fresh vertex";
+      r.error("postorder.perm", os.str());
+      return r;
+    }
+    pos[static_cast<std::size_t>(v)] = k;
+  }
+  for (idx v = 0; v < n; ++v) {
+    const idx p = parent[static_cast<std::size_t>(v)];
+    if (p != kNone && pos[static_cast<std::size_t>(v)] >= pos[static_cast<std::size_t>(p)]) {
+      std::ostringstream os;
+      os << "vertex " << v << " visited after its parent " << p;
+      r.error("postorder.child-first", os.str());
+      return r;
+    }
+  }
+  // Contiguity: with children-first established, a vertex's subtree must
+  // occupy the size[v] consecutive positions ending at pos[v]. Fold each
+  // subtree's minimum position into its parent in visit order (children are
+  // final before their parent is reached).
+  const std::vector<i64> size = etree_subtree_sizes(parent);
+  std::vector<idx> min_pos(pos.begin(), pos.end());
+  for (idx k = 0; k < n; ++k) {
+    const idx v = post[static_cast<std::size_t>(k)];
+    if (pos[static_cast<std::size_t>(v)] - min_pos[static_cast<std::size_t>(v)] + 1 !=
+        size[static_cast<std::size_t>(v)]) {
+      std::ostringstream os;
+      os << "subtree of vertex " << v << " (size " << size[static_cast<std::size_t>(v)]
+         << ") is not contiguous in the postorder";
+      r.error("postorder.contiguity", os.str());
+      return r;
+    }
+    const idx p = parent[static_cast<std::size_t>(v)];
+    if (p != kNone) {
+      min_pos[static_cast<std::size_t>(p)] = std::min(
+          min_pos[static_cast<std::size_t>(p)], min_pos[static_cast<std::size_t>(v)]);
+    }
+  }
+  return r;
+}
+
+Report check_colcounts(const SymSparse& a, const std::vector<idx>& parent,
+                       const std::vector<i64>& counts) {
+  const idx n = a.num_rows();
+  Report r = check_parent_array(n, parent);
+  if (!r.ok()) return r;
+  if (static_cast<i64>(counts.size()) != static_cast<i64>(n)) {
+    std::ostringstream os;
+    os << "counts has " << counts.size() << " entries, want " << n;
+    r.error("colcount.size", os.str());
+    return r;
+  }
+  for (idx j = 0; j < n; ++j) {
+    const i64 c = counts[static_cast<std::size_t>(j)];
+    if (c < 0 || c > static_cast<i64>(n) - 1 - j) {
+      std::ostringstream os;
+      os << "counts[" << j << "] = " << c << " outside [0, " << n - 1 - j << "]";
+      r.error("colcount.range", os.str());
+      return r;
+    }
+    // L's column structure nests: struct(j) \ {j} subset of struct(parent).
+    const idx p = parent[static_cast<std::size_t>(j)];
+    if (p != kNone && counts[static_cast<std::size_t>(p)] < c - 1) {
+      std::ostringstream os;
+      os << "counts[" << p << "] = " << counts[static_cast<std::size_t>(p)]
+         << " < counts[" << j << "] - 1 = " << c - 1
+         << " violates column nesting";
+      r.error("colcount.nesting", os.str());
+      return r;
+    }
+  }
+  const std::vector<i64> recomputed = factor_col_counts(a, parent);
+  for (idx j = 0; j < n; ++j) {
+    if (counts[static_cast<std::size_t>(j)] != recomputed[static_cast<std::size_t>(j)]) {
+      std::ostringstream os;
+      os << "counts[" << j << "] = " << counts[static_cast<std::size_t>(j)]
+         << " but recomputation gives " << recomputed[static_cast<std::size_t>(j)];
+      r.error("colcount.mismatch", os.str());
+      return r;
+    }
+  }
+  return r;
+}
+
+Report check_supernodes(const SupernodePartition& sn, idx n) {
+  Report r;
+  if (sn.first_col.empty() || sn.first_col.front() != 0 ||
+      sn.first_col.back() != n) {
+    std::ostringstream os;
+    os << "first_col must run from 0 to " << n;
+    if (!sn.first_col.empty()) {
+      os << ", got [" << sn.first_col.front() << ", " << sn.first_col.back()
+         << "]";
+    }
+    r.error("supernode.shape", os.str());
+    return r;
+  }
+  for (idx s = 0; s < sn.count(); ++s) {
+    if (sn.first_col[static_cast<std::size_t>(s) + 1] <=
+        sn.first_col[static_cast<std::size_t>(s)]) {
+      std::ostringstream os;
+      os << "supernode " << s << " starts at " << sn.first_col[static_cast<std::size_t>(s)]
+         << " and ends at " << sn.first_col[static_cast<std::size_t>(s) + 1]
+         << " (empty or overlapping the next supernode)";
+      r.error("supernode.overlap", os.str());
+      return r;
+    }
+  }
+  if (static_cast<i64>(sn.sn_of_col.size()) != static_cast<i64>(n)) {
+    std::ostringstream os;
+    os << "sn_of_col has " << sn.sn_of_col.size() << " entries, want " << n;
+    r.error("supernode.map", os.str());
+    return r;
+  }
+  for (idx s = 0; s < sn.count(); ++s) {
+    for (idx c = sn.first_col[static_cast<std::size_t>(s)];
+         c < sn.first_col[static_cast<std::size_t>(s) + 1]; ++c) {
+      if (sn.sn_of_col[static_cast<std::size_t>(c)] != s) {
+        std::ostringstream os;
+        os << "sn_of_col[" << c << "] = " << sn.sn_of_col[static_cast<std::size_t>(c)]
+           << ", want " << s;
+        r.error("supernode.map", os.str());
+        return r;
+      }
+    }
+  }
+  return r;
+}
+
+Report check_symbolic(const SymSparse& a, const std::vector<idx>& parent,
+                      const SymbolicFactor& sf) {
+  const idx n = a.num_rows();
+  Report r = check_supernodes(sf.sn, n);
+  r.merge(check_parent_array(n, parent));
+  if (!r.ok()) return r;
+
+  const idx ns = sf.num_supernodes();
+  if (static_cast<i64>(sf.rowptr.size()) != static_cast<i64>(ns) + 1 ||
+      (ns > 0 && sf.rowptr.front() != 0) ||
+      (ns > 0 && sf.rowptr.back() != static_cast<i64>(sf.rows.size()))) {
+    r.error("symbolic.rowptr", "rowptr does not tile the rows array");
+    return r;
+  }
+  for (idx s = 0; s < ns; ++s) {
+    if (sf.rowptr[static_cast<std::size_t>(s) + 1] < sf.rowptr[static_cast<std::size_t>(s)]) {
+      std::ostringstream os;
+      os << "rowptr decreases at supernode " << s;
+      r.error("symbolic.rowptr", os.str());
+      return r;
+    }
+    const idx last_col = sf.sn.first_col[static_cast<std::size_t>(s) + 1] - 1;
+    for (i64 p = sf.rowptr[static_cast<std::size_t>(s)];
+         p < sf.rowptr[static_cast<std::size_t>(s) + 1]; ++p) {
+      const idx row = sf.rows[static_cast<std::size_t>(p)];
+      if (row <= last_col || row >= n) {
+        std::ostringstream os;
+        os << "row " << row << " of supernode " << s
+           << " outside (" << last_col << ", " << n << ")";
+        r.error("symbolic.row-range", os.str());
+        return r;
+      }
+      if (p > sf.rowptr[static_cast<std::size_t>(s)] &&
+          row <= sf.rows[static_cast<std::size_t>(p - 1)]) {
+        std::ostringstream os;
+        os << "rows of supernode " << s << " not strictly increasing at " << row;
+        r.error("symbolic.row-order", os.str());
+        return r;
+      }
+    }
+  }
+
+  const std::vector<idx> sn_parent = supernodal_etree(sf.sn, parent);
+  if (sf.sn_parent != sn_parent) {
+    r.error("symbolic.parent",
+            "sn_parent differs from the supernodal etree recomputed from the "
+            "column etree");
+    return r;
+  }
+
+  // Containment: every off-diagonal entry of A lies inside the supernodal
+  // structure of its column (same supernode, or in the supernode's rows).
+  for (idx j = 0; j < n; ++j) {
+    const idx s = sf.sn.sn_of_col[static_cast<std::size_t>(j)];
+    const idx sn_end = sf.sn.first_col[static_cast<std::size_t>(s) + 1];
+    for (i64 p = a.col_ptr()[static_cast<std::size_t>(j)] + 1;
+         p < a.col_ptr()[static_cast<std::size_t>(j) + 1]; ++p) {
+      const idx i = a.row_idx()[static_cast<std::size_t>(p)];
+      if (i < sn_end) continue;  // inside the dense diagonal block
+      if (!std::binary_search(sf.rows_begin(s), sf.rows_end(s), i)) {
+        std::ostringstream os;
+        os << "A(" << i << ", " << j << ") not covered by the symbolic "
+           << "structure of supernode " << s;
+        r.error("symbolic.containment", os.str());
+        return r;
+      }
+    }
+  }
+  return r;
+}
+
+Report check_block_structure(const SymbolicFactor& sf, const BlockStructure& bs) {
+  Report r;
+  const idx n = sf.sn.num_cols();
+  const BlockPartition& part = bs.part;
+
+  if (part.first_col.empty() || part.first_col.front() != 0 ||
+      part.first_col.back() != n) {
+    r.error("blocks.partition", "block partition does not cover the columns");
+    return r;
+  }
+  const idx nb = part.count();
+  for (idx b = 0; b < nb; ++b) {
+    if (part.first_col[static_cast<std::size_t>(b) + 1] <=
+        part.first_col[static_cast<std::size_t>(b)]) {
+      std::ostringstream os;
+      os << "block " << b << " is empty or overlaps its neighbor";
+      r.error("blocks.partition", os.str());
+      return r;
+    }
+  }
+  if (static_cast<i64>(part.block_of_col.size()) != static_cast<i64>(n) ||
+      static_cast<i64>(part.sn_of_block.size()) != static_cast<i64>(nb)) {
+    r.error("blocks.partition", "block_of_col / sn_of_block size mismatch");
+    return r;
+  }
+  for (idx b = 0; b < nb; ++b) {
+    const idx s = part.sn_of_block[static_cast<std::size_t>(b)];
+    if (s < 0 || s >= sf.num_supernodes()) {
+      std::ostringstream os;
+      os << "block " << b << " claims supernode " << s << " out of range";
+      r.error("blocks.supernode-align", os.str());
+      return r;
+    }
+    if (part.first_col[static_cast<std::size_t>(b)] <
+            sf.sn.first_col[static_cast<std::size_t>(s)] ||
+        part.first_col[static_cast<std::size_t>(b) + 1] >
+            sf.sn.first_col[static_cast<std::size_t>(s) + 1]) {
+      std::ostringstream os;
+      os << "block " << b << " crosses the boundary of supernode " << s;
+      r.error("blocks.supernode-align", os.str());
+      return r;
+    }
+    for (idx c = part.first_col[static_cast<std::size_t>(b)];
+         c < part.first_col[static_cast<std::size_t>(b) + 1]; ++c) {
+      if (part.block_of_col[static_cast<std::size_t>(c)] != b) {
+        std::ostringstream os;
+        os << "block_of_col[" << c << "] = "
+           << part.block_of_col[static_cast<std::size_t>(c)] << ", want " << b;
+        r.error("blocks.partition", os.str());
+        return r;
+      }
+    }
+  }
+
+  if (static_cast<i64>(bs.rowptr.size()) != static_cast<i64>(nb) + 1 ||
+      bs.rowptr.front() != 0 ||
+      bs.rowptr.back() != static_cast<i64>(bs.rowidx.size())) {
+    r.error("blocks.rowptr", "rowptr does not tile rowidx");
+    return r;
+  }
+  if (static_cast<i64>(bs.blkptr.size()) != static_cast<i64>(nb) + 1 ||
+      bs.blkptr.front() != 0 ||
+      bs.blkptr.back() != static_cast<i64>(bs.blkrow.size()) ||
+      bs.blkoff.size() != bs.blkrow.size() || bs.blkcnt.size() != bs.blkrow.size()) {
+    r.error("blocks.blkptr", "blkptr does not tile the entry arrays");
+    return r;
+  }
+
+  for (idx j = 0; j < nb; ++j) {
+    if (bs.rowptr[static_cast<std::size_t>(j) + 1] < bs.rowptr[static_cast<std::size_t>(j)] ||
+        bs.blkptr[static_cast<std::size_t>(j) + 1] < bs.blkptr[static_cast<std::size_t>(j)]) {
+      std::ostringstream os;
+      os << "rowptr/blkptr decreases at block column " << j;
+      r.error("blocks.rowptr", os.str());
+      return r;
+    }
+    // The block entries must tile the column's row ids exactly, ascending by
+    // block row, each row inside its block row's column range.
+    i64 expect_off = bs.rowptr[static_cast<std::size_t>(j)];
+    for (i64 e = bs.blkptr[static_cast<std::size_t>(j)];
+         e < bs.blkptr[static_cast<std::size_t>(j) + 1]; ++e) {
+      const idx bi = bs.blkrow[static_cast<std::size_t>(e)];
+      if (bi <= j || bi >= nb) {
+        std::ostringstream os;
+        os << "entry " << e << " of block column " << j << " has block row "
+           << bi << " outside (" << j << ", " << nb << ")";
+        r.error("blocks.blkrow-order", os.str());
+        return r;
+      }
+      if (e > bs.blkptr[static_cast<std::size_t>(j)] &&
+          bi <= bs.blkrow[static_cast<std::size_t>(e - 1)]) {
+        std::ostringstream os;
+        os << "block rows of column " << j << " not strictly increasing at "
+           << bi;
+        r.error("blocks.blkrow-order", os.str());
+        return r;
+      }
+      if (bs.blkoff[static_cast<std::size_t>(e)] != expect_off ||
+          bs.blkcnt[static_cast<std::size_t>(e)] <= 0) {
+        std::ostringstream os;
+        os << "entry " << e << " of block column " << j
+           << " does not tile the column's rows";
+        r.error("blocks.offsets", os.str());
+        return r;
+      }
+      expect_off += bs.blkcnt[static_cast<std::size_t>(e)];
+      if (expect_off > bs.rowptr[static_cast<std::size_t>(j) + 1]) {
+        std::ostringstream os;
+        os << "entries of block column " << j << " overrun its rows";
+        r.error("blocks.offsets", os.str());
+        return r;
+      }
+      for (i64 p = bs.blkoff[static_cast<std::size_t>(e)]; p < expect_off; ++p) {
+        const idx row = bs.rowidx[static_cast<std::size_t>(p)];
+        if (row < part.first_col[static_cast<std::size_t>(bi)] ||
+            row >= part.first_col[static_cast<std::size_t>(bi) + 1]) {
+          std::ostringstream os;
+          os << "row " << row << " of entry " << e
+             << " lies outside block row " << bi;
+          r.error("blocks.row-block", os.str());
+          return r;
+        }
+        if (p > bs.rowptr[static_cast<std::size_t>(j)] &&
+            row <= bs.rowidx[static_cast<std::size_t>(p - 1)]) {
+          std::ostringstream os;
+          os << "rows of block column " << j << " not strictly increasing at "
+             << row;
+          r.error("blocks.row-order", os.str());
+          return r;
+        }
+      }
+    }
+    if (expect_off != bs.rowptr[static_cast<std::size_t>(j) + 1]) {
+      std::ostringstream os;
+      os << "entries of block column " << j << " do not cover its rows";
+      r.error("blocks.offsets", os.str());
+      return r;
+    }
+  }
+
+  // Cross-layer: block column J inside supernode S must list exactly the
+  // later columns of S followed by S's row structure.
+  for (idx j = 0; j < nb; ++j) {
+    const idx s = part.sn_of_block[static_cast<std::size_t>(j)];
+    const idx block_end = part.first_col[static_cast<std::size_t>(j) + 1];
+    const idx sn_end = sf.sn.first_col[static_cast<std::size_t>(s) + 1];
+    const i64 expect =
+        static_cast<i64>(sn_end - block_end) + sf.rows_below(s);
+    if (bs.rowptr[static_cast<std::size_t>(j) + 1] -
+            bs.rowptr[static_cast<std::size_t>(j)] !=
+        expect) {
+      std::ostringstream os;
+      os << "block column " << j << " stores "
+         << bs.rowptr[static_cast<std::size_t>(j) + 1] -
+                bs.rowptr[static_cast<std::size_t>(j)]
+         << " rows, want " << expect << " from supernode " << s;
+      r.error("blocks.structure", os.str());
+      return r;
+    }
+    i64 p = bs.rowptr[static_cast<std::size_t>(j)];
+    for (idx c = block_end; c < sn_end; ++c, ++p) {
+      if (bs.rowidx[static_cast<std::size_t>(p)] != c) {
+        std::ostringstream os;
+        os << "block column " << j << " misses supernode column " << c;
+        r.error("blocks.structure", os.str());
+        return r;
+      }
+    }
+    for (const idx* row = sf.rows_begin(s); row != sf.rows_end(s); ++row, ++p) {
+      if (bs.rowidx[static_cast<std::size_t>(p)] != *row) {
+        std::ostringstream os;
+        os << "block column " << j << " misses structure row " << *row;
+        r.error("blocks.structure", os.str());
+        return r;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace spc::check

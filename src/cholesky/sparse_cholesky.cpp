@@ -1,5 +1,7 @@
 #include "cholesky/sparse_cholesky.hpp"
 
+#include <cstdlib>
+
 #include "factor/block_solve.hpp"
 #include "factor/parallel_factor.hpp"
 #include "graph/permutation.hpp"
@@ -11,6 +13,19 @@
 #include "symbolic/etree.hpp"
 
 namespace spc {
+namespace {
+
+// SPC_CHECK_INVARIANTS=1 turns on the debug validators at every pipeline
+// phase boundary. Read once: the flag is meant for whole-process debug runs.
+bool invariants_enabled() {
+  static const bool on = [] {
+    const char* v = std::getenv("SPC_CHECK_INVARIANTS");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return on;
+}
+
+}  // namespace
 
 SparseCholesky SparseCholesky::analyze(const SymSparse& a, const SolverOptions& opt) {
   std::vector<idx> perm;
@@ -60,7 +75,29 @@ SparseCholesky SparseCholesky::analyze_ordered(const SymSparse& a,
   chol.sf_ = symbolic_factorize(chol.a_perm_, chol.parent_, sn);
   chol.bs_ = build_block_structure(chol.sf_, opt.block_size);
   chol.tg_ = build_task_graph(chol.bs_);
+  if (invariants_enabled()) chol.check_analysis().require_ok("analyze");
   return chol;
+}
+
+check::Report SparseCholesky::check_analysis() const {
+  const idx n = a_perm_.num_rows();
+  check::Report r = check::check_matrix(a_perm_);
+  r.merge(check::check_etree(a_perm_, parent_));
+  // The stored matrix is postordered, so the identity must be a valid
+  // postorder of its elimination tree.
+  r.merge(check::check_postorder(parent_, identity_permutation(n)));
+  r.merge(check::check_colcounts(a_perm_, parent_,
+                                 factor_col_counts(a_perm_, parent_)));
+  r.merge(check::check_supernodes(sf_.sn, n));
+  r.merge(check::check_symbolic(a_perm_, parent_, sf_));
+  r.merge(check::check_block_structure(sf_, bs_));
+  r.merge(check::check_task_graph(bs_, tg_));
+  r.merge(check::check_schedule(bs_, tg_));
+  return r;
+}
+
+check::Report SparseCholesky::check_plan(const ParallelPlan& plan) const {
+  return check::check_plan(bs_, tg_, plan.domains, plan.map, plan.balance);
 }
 
 void SparseCholesky::factorize() { factor_ = block_factorize(a_perm_, bs_); }
@@ -124,6 +161,7 @@ ParallelPlan SparseCholesky::plan_parallel(idx num_procs, RemapHeuristic row_h,
   const std::vector<idx> depth = block_depths(bs_, parent_);
   plan.map = make_heuristic_map(grid, row_h, col_h, plan.root_work, depth);
   plan.balance = compute_balance(plan.root_work, plan.map);
+  if (invariants_enabled()) check_plan(plan).require_ok("plan");
   return plan;
 }
 
@@ -135,6 +173,7 @@ ParallelPlan SparseCholesky::plan_from_map(BlockMap map, bool use_domains) const
   plan.root_work = compute_root_work(tg_, bs_, plan.domains, num_procs);
   plan.map = std::move(map);
   plan.balance = compute_balance(plan.root_work, plan.map);
+  if (invariants_enabled()) check_plan(plan).require_ok("plan");
   return plan;
 }
 

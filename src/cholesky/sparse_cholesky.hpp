@@ -19,6 +19,7 @@
 #include "blocks/block_structure.hpp"
 #include "blocks/domains.hpp"
 #include "blocks/task_graph.hpp"
+#include "check/check.hpp"
 #include "factor/numeric_factor.hpp"
 #include "graph/graph.hpp"
 #include "mapping/balance.hpp"
@@ -111,6 +112,19 @@ class SparseCholesky {
   SimResult simulate(const ParallelPlan& plan, const CostModel& cm = {},
                      SchedulingPolicy policy = SchedulingPolicy::kDataDriven,
                      SimTrace* trace = nullptr) const;
+
+  // --- Invariant validation (src/check/) -----------------------------------
+  // Runs every analyze-phase validator: matrix canonical form, elimination
+  // tree, postorder, column counts, supernode partition, symbolic factor,
+  // block structure, task graph, and a symbolic execution of the schedule.
+  // With SPC_CHECK_INVARIANTS=1 in the environment, analyze() and
+  // analyze_ordered() run this automatically and throw on any error.
+  check::Report check_analysis() const;
+  // Validates a plan's mapping and domains, and recomputes the work model
+  // and balance statistics from scratch against the reported values. Runs
+  // automatically in plan_parallel()/plan_from_map() under
+  // SPC_CHECK_INVARIANTS=1.
+  check::Report check_plan(const ParallelPlan& plan) const;
 
  private:
   SparseCholesky() = default;

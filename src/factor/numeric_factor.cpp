@@ -337,4 +337,9 @@ BlockFactor block_factorize(const SymSparse& a, const BlockStructure& bs) {
   return f;
 }
 
+BlockLocks::BlockLocks(i64 num_blocks)
+    : locks_(std::make_unique<Mutex[]>(static_cast<std::size_t>(num_blocks))) {
+  SPC_CHECK(num_blocks >= 0, "BlockLocks: negative block count");
+}
+
 }  // namespace spc

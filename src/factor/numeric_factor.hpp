@@ -9,12 +9,14 @@
 // (row-compressed), matching §2.2's supernodal block regularity.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "blocks/block_structure.hpp"
 #include "blocks/task_graph.hpp"
 #include "graph/graph.hpp"
 #include "linalg/dense_matrix.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/types.hpp"
 
 namespace spc {
@@ -78,5 +80,20 @@ void scatter_block_mod(const BlockStructure& bs, const TaskGraph& tg,
 // Runs a block's completion operation: BFAC for diagonal blocks, BDIV for
 // off-diagonal ones (the diagonal block of its column must be factored).
 void complete_block(const BlockStructure& bs, block_id b, BlockFactor& f);
+
+// Per-destination-block mutexes: the shared-memory executors serialize
+// scatters into the same destination block on these. One annotated
+// spc::Mutex per block id, so scatter call sites take
+//   LockGuard lock(locks.for_block(mod.dest));
+// and the clang thread-safety build checks the guard is actually scoped
+// around the scatter.
+class BlockLocks {
+ public:
+  explicit BlockLocks(i64 num_blocks);
+  Mutex& for_block(block_id b) { return locks_[static_cast<std::size_t>(b)]; }
+
+ private:
+  std::unique_ptr<Mutex[]> locks_;
+};
 
 }  // namespace spc

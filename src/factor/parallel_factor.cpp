@@ -2,17 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <numeric>
 #include <thread>
 #include <vector>
 
 #include "factor/scheduler.hpp"
 #include "support/error.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/work_queue.hpp"
 
 namespace spc {
@@ -25,7 +24,10 @@ namespace {
 class ExecutorState {
  public:
   ExecutorState(const SymSparse& a, const BlockStructure& bs, const TaskGraph& tg)
-      : bs_(bs), tg_(tg), factor_(init_block_factor(a, bs)) {
+      : bs_(bs),
+        tg_(tg),
+        factor_(init_block_factor(a, bs)),
+        block_locks_(tg.num_blocks()) {
     const i64 nb = bs.num_block_cols();
     const i64 num_blocks = tg.num_blocks();
     deps_ = std::make_unique<std::atomic<i64>[]>(static_cast<std::size_t>(num_blocks));
@@ -44,8 +46,6 @@ class ExecutorState {
               : 2,
           std::memory_order_relaxed);
     }
-    block_mutex_ = std::make_unique<std::mutex[]>(static_cast<std::size_t>(num_blocks));
-
     // CSR of mods by source block.
     src_ptr_.assign(static_cast<std::size_t>(num_blocks) + 1, 0);
     for (const BlockMod& mod : tg.mods) {
@@ -73,7 +73,7 @@ class ExecutorState {
 
   std::unique_ptr<std::atomic<i64>[]> deps_;
   std::unique_ptr<std::atomic<int>[]> pending_;
-  std::unique_ptr<std::mutex[]> block_mutex_;
+  BlockLocks block_locks_;
   std::vector<i64> src_ptr_;
   std::vector<i64> src_mods_;
 };
@@ -110,7 +110,7 @@ class WorkStealingExecutor : private ExecutorState {
       workers.emplace_back([this, t] { worker(t); });
     }
     for (std::thread& w : workers) w.join();
-    if (error_) std::rethrow_exception(error_);
+    rethrow_if_failed();
     SPC_CHECK(completed_.load() == tg_.num_blocks(),
               "block_factorize_parallel: not all blocks completed");
     return std::move(factor_);
@@ -211,8 +211,7 @@ class WorkStealingExecutor : private ExecutorState {
                             ? factor_.diag[static_cast<std::size_t>(mod.dest)]
                             : factor_.offdiag[static_cast<std::size_t>(mod.dest - nb)];
     {
-      std::lock_guard<std::mutex> lock(
-          block_mutex_[static_cast<std::size_t>(mod.dest)]);
+      LockGuard lock(block_locks_.for_block(mod.dest));
       scatter_block_mod(bs_, tg_, mod, s.update, s.rel_rows, dest);
     }
     if (deps_[static_cast<std::size_t>(mod.dest)].fetch_sub(
@@ -239,10 +238,21 @@ class WorkStealingExecutor : private ExecutorState {
 
   void fail(std::exception_ptr e) {
     {
-      std::lock_guard<std::mutex> lock(error_mutex_);
+      LockGuard lock(error_mutex_);
       if (!error_) error_ = e;
     }
     queues_.shutdown();
+  }
+
+  // Called after the workers joined; the lock still satisfies the static
+  // guard and costs one uncontended acquire.
+  void rethrow_if_failed() {
+    std::exception_ptr e;
+    {
+      LockGuard lock(error_mutex_);
+      e = error_;
+    }
+    if (e) std::rethrow_exception(e);
   }
 
   int threads_;
@@ -250,8 +260,8 @@ class WorkStealingExecutor : private ExecutorState {
   WorkStealingQueues queues_;
   i64 max_update_elems_ = 0;
   std::vector<std::vector<i64>> ready_bufs_{static_cast<std::size_t>(threads_)};
-  std::mutex error_mutex_;
-  std::exception_ptr error_;
+  Mutex error_mutex_;
+  std::exception_ptr error_ SPC_GUARDED_BY(error_mutex_);
   std::atomic<i64> completed_{0};
 };
 
@@ -279,7 +289,7 @@ class GlobalQueueExecutor : private ExecutorState {
       workers.emplace_back([this] { worker(); });
     }
     for (std::thread& w : workers) w.join();
-    if (error_) std::rethrow_exception(error_);
+    rethrow_if_failed();
     SPC_CHECK(completed_.load() == tg_.num_blocks(),
               "block_factorize_parallel: not all blocks completed");
     return std::move(factor_);
@@ -293,15 +303,15 @@ class GlobalQueueExecutor : private ExecutorState {
 
   void push(Task t) {
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      LockGuard lock(queue_mutex_);
       queue_.push_back(t);
     }
     queue_cv_.notify_one();
   }
 
   bool pop(Task& out) {
-    std::unique_lock<std::mutex> lock(queue_mutex_);
-    queue_cv_.wait(lock, [this] { return !queue_.empty() || finished_ || error_; });
+    LockGuard lock(queue_mutex_);
+    while (queue_.empty() && !finished_ && !error_) queue_cv_.wait(queue_mutex_);
     if ((finished_ && queue_.empty()) || error_) return false;
     out = queue_.front();
     queue_.pop_front();
@@ -310,7 +320,7 @@ class GlobalQueueExecutor : private ExecutorState {
 
   void finish_all() {
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      LockGuard lock(queue_mutex_);
       finished_ = true;
     }
     queue_cv_.notify_all();
@@ -318,10 +328,19 @@ class GlobalQueueExecutor : private ExecutorState {
 
   void fail(std::exception_ptr e) {
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      LockGuard lock(queue_mutex_);
       if (!error_) error_ = e;
     }
     queue_cv_.notify_all();
+  }
+
+  void rethrow_if_failed() {
+    std::exception_ptr e;
+    {
+      LockGuard lock(queue_mutex_);
+      e = error_;
+    }
+    if (e) std::rethrow_exception(e);
   }
 
   void worker() {
@@ -368,8 +387,7 @@ class GlobalQueueExecutor : private ExecutorState {
   void run_mod(i64 m, DenseMatrix& update, std::vector<idx>& rel_rows) {
     const BlockMod& mod = tg_.mods[static_cast<std::size_t>(m)];
     {
-      std::lock_guard<std::mutex> lock(
-          block_mutex_[static_cast<std::size_t>(mod.dest)]);
+      LockGuard lock(block_locks_.for_block(mod.dest));
       apply_block_mod(bs_, tg_, mod, factor_, update, rel_rows);
     }
     dec_deps(mod.dest);
@@ -383,11 +401,11 @@ class GlobalQueueExecutor : private ExecutorState {
   }
 
   int threads_;
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Task> queue_;
-  bool finished_ = false;
-  std::exception_ptr error_;
+  Mutex queue_mutex_;
+  CondVar queue_cv_;
+  std::deque<Task> queue_ SPC_GUARDED_BY(queue_mutex_);
+  bool finished_ SPC_GUARDED_BY(queue_mutex_) = false;
+  std::exception_ptr error_ SPC_GUARDED_BY(queue_mutex_);
   std::atomic<i64> completed_{0};
 };
 

@@ -6,6 +6,19 @@
 
 namespace spc {
 
+std::vector<i64> mods_column_ranges(idx num_block_cols, const TaskGraph& tg) {
+  std::vector<i64> col_begin(static_cast<std::size_t>(num_block_cols) + 1, 0);
+  for (std::size_t m = 0; m < tg.mods.size(); ++m) {
+    SPC_CHECK(m == 0 || tg.mods[m - 1].col_k <= tg.mods[m].col_k,
+              "mods_column_ranges: mods not sorted by source column");
+    ++col_begin[static_cast<std::size_t>(tg.mods[m].col_k) + 1];
+  }
+  for (idx k = 0; k < num_block_cols; ++k) {
+    col_begin[static_cast<std::size_t>(k) + 1] += col_begin[static_cast<std::size_t>(k)];
+  }
+  return col_begin;
+}
+
 TaskPriorities compute_task_priorities(const BlockStructure& bs,
                                        const TaskGraph& tg) {
   const idx nb = bs.num_block_cols();
@@ -16,17 +29,8 @@ TaskPriorities compute_task_priorities(const BlockStructure& bs,
   out.completion.assign(static_cast<std::size_t>(num_blocks), 0);
   out.mod.assign(num_mods, 0);
 
-  // Mod index range [col_begin[k], col_begin[k+1]) per source column (mods
-  // are grouped by ascending col_k).
-  std::vector<i64> col_begin(static_cast<std::size_t>(nb) + 1, 0);
-  for (std::size_t m = 0; m < num_mods; ++m) {
-    SPC_CHECK(m == 0 || tg.mods[m - 1].col_k <= tg.mods[m].col_k,
-              "compute_task_priorities: mods not sorted by source column");
-    ++col_begin[static_cast<std::size_t>(tg.mods[m].col_k) + 1];
-  }
-  for (idx k = 0; k < nb; ++k) {
-    col_begin[static_cast<std::size_t>(k) + 1] += col_begin[static_cast<std::size_t>(k)];
-  }
+  // Mod index range [col_begin[k], col_begin[k+1]) per source column.
+  const std::vector<i64> col_begin = mods_column_ranges(nb, tg);
 
   // Longest chain hanging off each *source block* via the mods it feeds.
   // A block only sources mods of its own column, so one flat array works

@@ -34,4 +34,10 @@ struct TaskPriorities {
 TaskPriorities compute_task_priorities(const BlockStructure& bs,
                                        const TaskGraph& tg);
 
+// CSR over source columns: mods sourced in block column k occupy the index
+// range [result[k], result[k+1]) of tg.mods. Throws if the mods are not
+// grouped by ascending source column — the ordering every consumer of the
+// task graph (priorities, executors, the check/ validators) relies on.
+std::vector<i64> mods_column_ranges(idx num_block_cols, const TaskGraph& tg);
+
 }  // namespace spc

@@ -18,18 +18,18 @@ void WorkStealingQueues::push(int worker, WorkItem item) {
   queued_.fetch_add(1);
   {
     Deque& d = deques_[static_cast<std::size_t>(worker)];
-    std::lock_guard<std::mutex> lock(d.m);
+    LockGuard lock(d.m);
     d.items.push_back(item);
   }
   if (sleepers_.load() > 0) {
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    LockGuard lock(sleep_mutex_);
     sleep_cv_.notify_one();
   }
 }
 
 bool WorkStealingQueues::try_pop_local(int worker, WorkItem& out) {
   Deque& d = deques_[static_cast<std::size_t>(worker)];
-  std::lock_guard<std::mutex> lock(d.m);
+  LockGuard lock(d.m);
   if (d.items.empty()) return false;
   out = d.items.back();
   d.items.pop_back();
@@ -41,7 +41,7 @@ bool WorkStealingQueues::try_steal(int thief, WorkItem& out) {
   const int n = num_workers();
   for (int off = 1; off < n; ++off) {
     Deque& d = deques_[static_cast<std::size_t>((thief + off) % n)];
-    std::lock_guard<std::mutex> lock(d.m);
+    LockGuard lock(d.m);
     if (d.items.empty()) continue;
     // Steal the most critical task; among equal priorities take the oldest
     // (lowest index), which is also the victim's coldest cache-wise.
@@ -65,18 +65,18 @@ bool WorkStealingQueues::acquire(int worker, WorkItem& out) {
     if (try_steal(worker, out)) return true;
     // Register as a sleeper BEFORE re-checking queued_: a pusher increments
     // queued_ before reading sleepers_, so either it sees us (and notifies
-    // under the sleep mutex) or our queued_ re-check in the wait predicate
-    // sees its increment. Both orders avoid the lost wakeup.
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    // under the sleep mutex) or our queued_ re-check in the wait loop sees
+    // its increment. Both orders avoid the lost wakeup.
+    LockGuard lock(sleep_mutex_);
     sleepers_.fetch_add(1);
-    sleep_cv_.wait(lock, [this] { return queued_.load() > 0 || done_.load(); });
+    while (queued_.load() <= 0 && !done_.load()) sleep_cv_.wait(sleep_mutex_);
     sleepers_.fetch_sub(1);
   }
 }
 
 void WorkStealingQueues::shutdown() {
   done_.store(true);
-  std::lock_guard<std::mutex> lock(sleep_mutex_);
+  LockGuard lock(sleep_mutex_);
   sleep_cv_.notify_all();
 }
 

@@ -13,13 +13,16 @@
 // workers park on a condition variable; the wake protocol (seq_cst counter
 // of queued tasks + registered-sleeper count, notify under the sleep mutex)
 // is lost-wakeup-free — see docs/PARALLEL_EXECUTOR.md for the argument.
+//
+// Lock discipline is statically checked: the deque contents are GUARDED_BY
+// their mutex and a clang -DSPC_ANALYZE=ON build verifies every access
+// (see support/thread_annotations.hpp).
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <vector>
 
+#include "support/thread_annotations.hpp"
 #include "support/types.hpp"
 
 namespace spc {
@@ -54,8 +57,8 @@ class WorkStealingQueues {
 
  private:
   struct alignas(64) Deque {
-    std::mutex m;
-    std::vector<WorkItem> items;
+    Mutex m;
+    std::vector<WorkItem> items SPC_GUARDED_BY(m);
   };
 
   bool try_pop_local(int worker, WorkItem& out);
@@ -66,8 +69,8 @@ class WorkStealingQueues {
   std::atomic<int> sleepers_{0};  // workers parked (or committing to park)
   std::atomic<bool> done_{false};
   std::atomic<i64> steals_{0};
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
+  Mutex sleep_mutex_;
+  CondVar sleep_cv_;
 };
 
 }  // namespace spc

@@ -1,0 +1,128 @@
+// Shared command-line plumbing for the spc tools: argument parsing, matrix
+// loading (files or generated benchmark matrices), and the standard
+// --ordering/--block/--rows/--cols option handling.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cholesky/sparse_cholesky.hpp"
+#include "gen/benchmark_suite.hpp"
+#include "graph/harwell_boeing.hpp"
+#include "graph/matrix_market.hpp"
+#include "mapping/heuristics.hpp"
+#include "support/error.hpp"
+
+namespace spc::cli {
+
+struct Args {
+  std::string command;
+  std::string matrix;
+  std::map<std::string, std::string> options;
+  bool has(const std::string& k) const { return options.count(k) > 0; }
+  std::string get(const std::string& k, const std::string& dflt) const {
+    auto it = options.find(k);
+    return it == options.end() ? dflt : it->second;
+  }
+};
+
+// argv[1] is the command unless `with_command` is false (single-purpose
+// tools take the matrix first); the first non-option argument after it is
+// the matrix; everything else is --key [value] pairs (value defaults to 1).
+inline Args parse_args(int argc, char** argv, const std::string& usage,
+                       bool with_command = true) {
+  Args a;
+  int i = 1;
+  if (with_command) {
+    SPC_CHECK(argc >= 2, usage);
+    a.command = argv[i++];
+  }
+  if (i < argc && argv[i][0] != '-') a.matrix = argv[i++];
+  for (; i < argc; ++i) {
+    const std::string raw = argv[i];
+    SPC_CHECK(raw.rfind("--", 0) == 0, "unexpected argument: " + raw);
+    const std::string key = raw.substr(2);
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      a.options.emplace(key, argv[++i]);
+    } else {
+      a.options.emplace(key, "1");
+    }
+  }
+  return a;
+}
+
+inline bool ends_with(const std::string& s, const std::string& suf) {
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+// A file or generated benchmark matrix (with its paper ordering when
+// generated).
+struct Loaded {
+  std::string name;
+  SymSparse a;
+  bool has_paper_ordering = false;
+  std::vector<idx> paper_ordering;
+};
+
+inline Loaded load_matrix(const Args& args) {
+  SPC_CHECK(!args.matrix.empty(),
+            "spc " + args.command + ": missing matrix argument");
+  Loaded out;
+  out.name = args.matrix;
+  if (ends_with(args.matrix, ".mtx")) {
+    out.a = read_matrix_market_file(args.matrix);
+  } else if (ends_with(args.matrix, ".rsa") || ends_with(args.matrix, ".rb") ||
+             ends_with(args.matrix, ".psa")) {
+    out.a = read_harwell_boeing_file(args.matrix);
+  } else {
+    const SuiteScale scale =
+        args.get("scale", "env") == "env"
+            ? suite_scale_from_env()
+            : (args.get("scale", "") == "full"
+                   ? SuiteScale::kFull
+                   : (args.get("scale", "") == "small" ? SuiteScale::kSmall
+                                                       : SuiteScale::kMedium));
+    BenchMatrix bm = make_bench_matrix(args.matrix, scale);
+    out.paper_ordering = order_bench_matrix(bm);
+    out.has_paper_ordering = true;
+    out.a = std::move(bm.matrix);
+  }
+  return out;
+}
+
+inline SparseCholesky analyze_from_args(const Args& args, const Loaded& m) {
+  SolverOptions opt;
+  opt.block_size = static_cast<idx>(std::stoi(args.get("block", "48")));
+  const std::string ord =
+      args.get("ordering", m.has_paper_ordering ? "paper" : "mmd");
+  if (ord == "paper" && m.has_paper_ordering) {
+    SolverOptions o2 = opt;
+    o2.ordering = SolverOptions::Ordering::kNatural;
+    return SparseCholesky::analyze_ordered(m.a, m.paper_ordering, o2);
+  }
+  if (ord == "mmd") {
+    opt.ordering = SolverOptions::Ordering::kMmd;
+  } else if (ord == "amd") {
+    opt.ordering = SolverOptions::Ordering::kAmd;
+  } else if (ord == "nd") {
+    opt.ordering = SolverOptions::Ordering::kNd;
+  } else if (ord == "natural") {
+    opt.ordering = SolverOptions::Ordering::kNatural;
+  } else {
+    SPC_CHECK(false, "unknown ordering: " + ord);
+  }
+  return SparseCholesky::analyze(m.a, opt);
+}
+
+inline RemapHeuristic heuristic_from(const std::string& s) {
+  if (s == "CY" || s == "cy") return RemapHeuristic::kCyclic;
+  if (s == "DW" || s == "dw") return RemapHeuristic::kDecreasingWork;
+  if (s == "IN" || s == "in") return RemapHeuristic::kIncreasingNumber;
+  if (s == "DN" || s == "dn") return RemapHeuristic::kDecreasingNumber;
+  if (s == "ID" || s == "id") return RemapHeuristic::kIncreasingDepth;
+  SPC_CHECK(false, "unknown heuristic: " + s + " (use CY|DW|IN|DN|ID)");
+}
+
+}  // namespace spc::cli

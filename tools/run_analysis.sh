@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Pre-merge analysis battery for sparsechol.
+#
+# Runs, in order:
+#   1. warnings-as-errors build + suite    (SPC_WERROR=ON)
+#   2. ThreadSanitizer build + tsan suite  (SPC_SANITIZE=thread)
+#   3. AddressSanitizer build + suite      (SPC_SANITIZE=address)
+#   4. UBSanitizer build + suite           (SPC_SANITIZE=undefined)
+#   5. Clang thread-safety analysis build  (SPC_ANALYZE=ON)     [needs clang++]
+#   6. clang-tidy over src/ and tools/     (.clang-tidy)        [needs clang-tidy]
+#
+# Steps 5-6 are skipped with a notice when the tools are not installed; the
+# script exits nonzero if any step that *did* run failed. Build trees go to
+# build-<step>/ next to the source tree (gitignored), full logs to
+# build-<step>.log.
+#
+# Usage: tools/run_analysis.sh [step...]   (default: all steps)
+#   e.g. tools/run_analysis.sh tsan ubsan
+set -u
+
+cd "$(dirname "$0")/.."
+JOBS="${SPC_ANALYSIS_JOBS:-$(nproc)}"
+ALL_STEPS=(werror tsan asan ubsan thread-safety tidy)
+STEPS=("$@")
+[ ${#STEPS[@]} -eq 0 ] && STEPS=("${ALL_STEPS[@]}")
+for s in "${STEPS[@]}"; do
+  case " ${ALL_STEPS[*]} " in
+    *" $s "*) ;;
+    *) echo "unknown step '$s' (known: ${ALL_STEPS[*]})" >&2; exit 2 ;;
+  esac
+done
+
+failures=()
+skipped=()
+
+note() { printf '\n=== %s ===\n' "$*"; }
+
+want() {
+  local s
+  for s in "${STEPS[@]}"; do [ "$s" = "$1" ] && return 0; done
+  return 1
+}
+
+# step <name> <test-mode> <cmake-args...>
+#   test-mode: all = full ctest suite, tsan = -L tsan only, none = build only
+step() {
+  local name="$1" tests="$2"
+  shift 2
+  note "$name"
+  if ! cmake -B "build-$name" -S . "$@" >"build-$name.log" 2>&1 ||
+     ! cmake --build "build-$name" -j "$JOBS" >>"build-$name.log" 2>&1; then
+    failures+=("$name (build)")
+    tail -40 "build-$name.log"
+    return 1
+  fi
+  if [ "$tests" != none ]; then
+    local label_args=()
+    [ "$tests" = tsan ] && label_args=(-L tsan)
+    if ! ctest --test-dir "build-$name" "${label_args[@]+"${label_args[@]}"}" \
+         -j "$JOBS" --output-on-failure >>"build-$name.log" 2>&1; then
+      failures+=("$name (tests)")
+      tail -40 "build-$name.log"
+      return 1
+    fi
+  fi
+  echo "$name: OK"
+}
+
+want werror && { step werror all -DSPC_WERROR=ON || true; }
+
+# The tsan label marks the concurrency tests; running the full suite under
+# tsan is slow without exercising any extra threading.
+want tsan && { step tsan tsan -DSPC_SANITIZE=thread || true; }
+
+want asan && { step asan all -DSPC_SANITIZE=address || true; }
+
+want ubsan && { step ubsan all -DSPC_SANITIZE=undefined || true; }
+
+if want thread-safety; then
+  if command -v clang++ >/dev/null 2>&1; then
+    step thread-safety none -DCMAKE_CXX_COMPILER=clang++ -DSPC_ANALYZE=ON || true
+  else
+    note thread-safety
+    echo "thread-safety: SKIPPED (clang++ not installed; the annotations in"
+    echo "  src/support/thread_annotations.hpp compile as no-ops under GCC)"
+    skipped+=(thread-safety)
+  fi
+fi
+
+if want tidy; then
+  note clang-tidy
+  if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      >build-tidy.log 2>&1
+    if find src tools -name '*.cpp' -print0 |
+       xargs -0 -P "$JOBS" -n 8 clang-tidy -p build-tidy --quiet \
+         --warnings-as-errors='*' >>build-tidy.log 2>&1; then
+      echo "tidy: OK"
+    else
+      failures+=(tidy)
+      tail -40 build-tidy.log
+    fi
+  else
+    echo "tidy: SKIPPED (clang-tidy not installed)"
+    skipped+=(tidy)
+  fi
+fi
+
+note summary
+[ ${#skipped[@]} -gt 0 ] && echo "skipped: ${skipped[*]}"
+if [ ${#failures[@]} -gt 0 ]; then
+  echo "FAILED: ${failures[*]}"
+  exit 1
+fi
+echo "all executed steps passed"

@@ -9,129 +9,27 @@
 //
 // <matrix> is a MatrixMarket (.mtx) or Harwell-Boeing (.rsa/.rb/.psa) file,
 // or the name of a generated benchmark matrix (e.g. CUBE30, BCSSTK31).
+#include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
-#include <chrono>
-
-#include "cholesky/sparse_cholesky.hpp"
+#include "cli_common.hpp"
 #include "factor/multifrontal.hpp"
 #include "factor/parallel_factor.hpp"
 #include "factor/residual.hpp"
-#include "gen/benchmark_suite.hpp"
-#include "graph/harwell_boeing.hpp"
-#include "graph/matrix_market.hpp"
-#include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
 namespace {
 
 using namespace spc;
-
-struct Args {
-  std::string command;
-  std::string matrix;
-  std::map<std::string, std::string> options;
-  bool has(const std::string& k) const { return options.count(k) > 0; }
-  std::string get(const std::string& k, const std::string& dflt) const {
-    auto it = options.find(k);
-    return it == options.end() ? dflt : it->second;
-  }
-};
-
-Args parse_args(int argc, char** argv) {
-  Args a;
-  SPC_CHECK(argc >= 2, "usage: spc <stats|solve|simulate|suite> ...");
-  a.command = argv[1];
-  int i = 2;
-  if (i < argc && argv[i][0] != '-') a.matrix = argv[i++];
-  for (; i < argc; ++i) {
-    const std::string raw = argv[i];
-    SPC_CHECK(raw.rfind("--", 0) == 0, "unexpected argument: " + raw);
-    const std::string key = raw.substr(2);
-    if (i + 1 < argc && argv[i + 1][0] != '-') {
-      a.options.emplace(key, argv[++i]);
-    } else {
-      a.options.emplace(key, "1");
-    }
-  }
-  return a;
-}
-
-bool ends_with(const std::string& s, const std::string& suf) {
-  return s.size() >= suf.size() && s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
-}
-
-// Loads a file or generates a named benchmark matrix (with its paper
-// ordering when generated).
-struct Loaded {
-  std::string name;
-  SymSparse a;
-  bool has_paper_ordering = false;
-  std::vector<idx> paper_ordering;
-};
-
-Loaded load_matrix(const Args& args) {
-  SPC_CHECK(!args.matrix.empty(), "spc " + args.command + ": missing matrix argument");
-  Loaded out;
-  out.name = args.matrix;
-  if (ends_with(args.matrix, ".mtx")) {
-    out.a = read_matrix_market_file(args.matrix);
-  } else if (ends_with(args.matrix, ".rsa") || ends_with(args.matrix, ".rb") ||
-             ends_with(args.matrix, ".psa")) {
-    out.a = read_harwell_boeing_file(args.matrix);
-  } else {
-    const SuiteScale scale =
-        args.get("scale", "env") == "env"
-            ? suite_scale_from_env()
-            : (args.get("scale", "") == "full"
-                   ? SuiteScale::kFull
-                   : (args.get("scale", "") == "small" ? SuiteScale::kSmall
-                                                       : SuiteScale::kMedium));
-    BenchMatrix bm = make_bench_matrix(args.matrix, scale);
-    out.paper_ordering = order_bench_matrix(bm);
-    out.has_paper_ordering = true;
-    out.a = std::move(bm.matrix);
-  }
-  return out;
-}
-
-SparseCholesky analyze_from_args(const Args& args, const Loaded& m) {
-  SolverOptions opt;
-  opt.block_size = static_cast<idx>(std::stoi(args.get("block", "48")));
-  const std::string ord = args.get("ordering", m.has_paper_ordering ? "paper" : "mmd");
-  if (ord == "paper" && m.has_paper_ordering) {
-    SolverOptions o2 = opt;
-    o2.ordering = SolverOptions::Ordering::kNatural;
-    return SparseCholesky::analyze_ordered(m.a, m.paper_ordering, o2);
-  }
-  if (ord == "mmd") {
-    opt.ordering = SolverOptions::Ordering::kMmd;
-  } else if (ord == "amd") {
-    opt.ordering = SolverOptions::Ordering::kAmd;
-  } else if (ord == "nd") {
-    opt.ordering = SolverOptions::Ordering::kNd;
-  } else if (ord == "natural") {
-    opt.ordering = SolverOptions::Ordering::kNatural;
-  } else {
-    SPC_CHECK(false, "unknown ordering: " + ord);
-  }
-  return SparseCholesky::analyze(m.a, opt);
-}
-
-RemapHeuristic heuristic_from(const std::string& s) {
-  if (s == "CY" || s == "cy") return RemapHeuristic::kCyclic;
-  if (s == "DW" || s == "dw") return RemapHeuristic::kDecreasingWork;
-  if (s == "IN" || s == "in") return RemapHeuristic::kIncreasingNumber;
-  if (s == "DN" || s == "dn") return RemapHeuristic::kDecreasingNumber;
-  if (s == "ID" || s == "id") return RemapHeuristic::kIncreasingDepth;
-  SPC_CHECK(false, "unknown heuristic: " + s + " (use CY|DW|IN|DN|ID)");
-}
+using cli::Args;
+using cli::analyze_from_args;
+using cli::heuristic_from;
+using cli::load_matrix;
+using cli::Loaded;
 
 int cmd_stats(const Args& args) {
   const Loaded m = load_matrix(args);
@@ -272,7 +170,8 @@ int cmd_suite(const Args& args) {
 
 int main(int argc, char** argv) {
   try {
-    const Args args = parse_args(argc, argv);
+    const Args args =
+        cli::parse_args(argc, argv, "usage: spc <stats|solve|simulate|suite> ...");
     if (args.command == "stats") return cmd_stats(args);
     if (args.command == "solve") return cmd_solve(args);
     if (args.command == "simulate") return cmd_simulate(args);
