@@ -6,15 +6,23 @@
 // "seed"  = kGlobalQueue scheduler (single mutex+condvar FIFO, whole BMOD
 //           under the destination lock) + the seed GEMM dispatch
 //           (register-blocked kernel, scalar potrf/trsm inside it).
-// "new"   = kWorkStealing scheduler (per-worker deques, critical-path
-//           priorities, two-phase BMOD) + the packed/tiled kernels.
+// "new"   = kWorkStealing scheduler (lock-free deques, critical-path
+//           priorities, arena block storage, aggregated scatters) + the
+//           packed/tiled kernels, driven through a reused ParallelWorkspace.
 //
+// Reported per matrix: the analyze (symbolic) time separately from numeric
+// factorization, the parallel efficiency t1/(tP*P) of the new executor, and
+// the per-phase breakdown (BFAC/BDIV/BMOD-compute/scatter/init/idle) of the
+// new executor at each thread count.
+//
+// Thread counts default to 1,2,4,8; override with SPC_THREADS=N[,N...].
 // Writes BENCH_parallel.json to the repo root (override with
 // --json-out=PATH). SPC_SMALL=1 shrinks the problems for a sanity pass.
 //
 // Note on this host: the container is typically pinned to one core, so the
 // thread sweep measures scheduling + locking overhead and kernel speed, not
 // true parallel speedup; on a multi-core host the same binary shows scaling.
+// The host's core count is recorded in the JSON for exactly that reason.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -22,6 +30,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cholesky/sparse_cholesky.hpp"
@@ -52,10 +61,31 @@ double median_seconds(F&& fn, int reps) {
   return t[reps / 2];
 }
 
+std::vector<int> thread_counts_from_env() {
+  std::vector<int> counts;
+  if (const char* env = std::getenv("SPC_THREADS")) {
+    int v = 0;
+    for (const char* p = env;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        v = v * 10 + (*p - '0');
+      } else {
+        if (v > 0) counts.push_back(v);
+        v = 0;
+        if (*p == '\0') break;
+      }
+    }
+  }
+  if (counts.empty()) counts = {1, 2, 4, 8};
+  return counts;
+}
+
 struct Run {
   int threads;
   double seed_s;
   double new_s;
+  double efficiency;  // t1 / (tP * P) of the new executor
+  ParallelProfile::Worker phases;  // summed over workers (new executor)
+  i64 steals;
 };
 
 struct MatrixResult {
@@ -63,36 +93,49 @@ struct MatrixResult {
   idx n;
   idx block_size;
   i64 flops;
-  double serial_s;  // sequential block_factorize, new kernels
+  double analyze_s;  // symbolic phase (ordering..task graph), once
+  double serial_s;   // sequential block_factorize, new kernels
   std::vector<Run> runs;
 };
 
 MatrixResult bench_matrix(const std::string& name, const SymSparse& a,
-                          idx block_size, int reps) {
+                          idx block_size, const std::vector<int>& threads_list,
+                          int reps) {
   SolverOptions sopt;
   sopt.block_size = block_size;
-  SparseCholesky chol = SparseCholesky::analyze(a, sopt);
-  const SymSparse& ap = chol.permuted_matrix();
-  const BlockStructure& bs = chol.structure();
-  const TaskGraph& tg = chol.task_graph();
 
   MatrixResult res;
   res.name = name;
   res.n = a.num_rows();
   res.block_size = block_size;
+
+  // Analyze (symbolic) time, reported separately from numeric factorization.
+  SparseCholesky chol = SparseCholesky::analyze(a, sopt);
+  res.analyze_s =
+      median_seconds([&] { chol = SparseCholesky::analyze(a, sopt); }, reps);
+  const SymSparse& ap = chol.permuted_matrix();
+  const BlockStructure& bs = chol.structure();
+  const TaskGraph& tg = chol.task_graph();
   res.flops = chol.factor_flops_exact();
 
   BlockFactor f;
   res.serial_s = median_seconds([&] { f = block_factorize(ap, bs); }, reps);
   const double residual = factor_residual_probe(ap, f);
 
-  std::printf("%-10s B=%-3lld n=%-7lld flops=%.3g  serial %.3fs  residual %.1e\n",
-              name.c_str(), static_cast<long long>(block_size),
-              static_cast<long long>(res.n), static_cast<double>(res.flops),
-              res.serial_s, residual);
+  std::printf(
+      "%-10s B=%-3lld n=%-7lld flops=%.3g  analyze %.3fs  serial %.3fs  "
+      "residual %.1e\n",
+      name.c_str(), static_cast<long long>(block_size),
+      static_cast<long long>(res.n), static_cast<double>(res.flops),
+      res.analyze_s, res.serial_s, residual);
 
-  for (int threads : {1, 2, 4, 8}) {
-    Run run;
+  // One workspace for the whole sweep: after the first run at the largest
+  // thread count has grown the scratch, repeated factorizations reuse it.
+  ParallelWorkspace ws(bs, tg);
+
+  double new_1t = 0;
+  for (int threads : threads_list) {
+    Run run{};
     run.threads = threads;
 
     ParallelFactorOptions seed_opt{threads};
@@ -105,10 +148,26 @@ MatrixResult bench_matrix(const std::string& name, const SymSparse& a,
     new_opt.scheduler = ParallelFactorOptions::Scheduler::kWorkStealing;
     set_gemm_dispatch(GemmDispatch::kAuto);
     run.new_s = median_seconds(
-        [&] { f = block_factorize_parallel(ap, bs, tg, new_opt); }, reps);
+        [&] { f = block_factorize_parallel(ap, bs, tg, new_opt, &ws); }, reps);
 
-    std::printf("  threads=%d  seed %.3fs  new %.3fs  speedup %.2fx\n",
-                threads, run.seed_s, run.new_s, run.seed_s / run.new_s);
+    // One profiled run for the phase breakdown (timer overhead excluded from
+    // the timings above).
+    ParallelProfile prof;
+    new_opt.profile = &prof;
+    f = block_factorize_parallel(ap, bs, tg, new_opt, &ws);
+    run.phases = prof.total();
+    run.steals = prof.steals;
+
+    if (threads == 1) new_1t = run.new_s;
+    run.efficiency =
+        (new_1t > 0 && run.new_s > 0) ? new_1t / (run.new_s * threads) : 0.0;
+
+    std::printf(
+        "  threads=%d  seed %.3fs  new %.3fs  speedup %.2fx  eff %.2f  "
+        "[gemm %.3fs scatter %.3fs idle %.3fs steals %lld]\n",
+        threads, run.seed_s, run.new_s, run.seed_s / run.new_s, run.efficiency,
+        run.phases.bmod_compute_s, run.phases.scatter_s, run.phases.idle_s,
+        static_cast<long long>(run.steals));
     res.runs.push_back(run);
   }
   return res;
@@ -122,12 +181,15 @@ void write_json(const std::string& path,
     return;
   }
   std::fprintf(jf, "{\n  \"bench\": \"parallel_scaling\",\n");
+  std::fprintf(jf, "  \"host_hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(jf,
                "  \"seed_impl\": \"kGlobalQueue scheduler + seed "
                "register-blocked kernels\",\n");
   std::fprintf(jf,
-               "  \"new_impl\": \"kWorkStealing scheduler + packed/tiled "
-               "kernels + two-phase BMOD\",\n");
+               "  \"new_impl\": \"kWorkStealing scheduler (lock-free deques, "
+               "arena storage, aggregated scatters) + packed/tiled "
+               "kernels\",\n");
   std::fprintf(jf, "  \"matrices\": [\n");
   double log_sum = 0;
   int log_count = 0;
@@ -135,18 +197,28 @@ void write_json(const std::string& path,
     const MatrixResult& m = results[i];
     std::fprintf(jf,
                  "    {\"name\": \"%s\", \"n\": %lld, \"block_size\": %lld, "
-                 "\"factor_flops\": %lld, \"serial_s\": %.4f,\n     \"runs\": [\n",
+                 "\"factor_flops\": %lld, \"analyze_s\": %.4f, "
+                 "\"serial_s\": %.4f,\n     \"runs\": [\n",
                  m.name.c_str(), static_cast<long long>(m.n),
                  static_cast<long long>(m.block_size),
-                 static_cast<long long>(m.flops), m.serial_s);
+                 static_cast<long long>(m.flops), m.analyze_s, m.serial_s);
     double speedup_8t = 0;
     for (std::size_t r = 0; r < m.runs.size(); ++r) {
       const Run& run = m.runs[r];
-      std::fprintf(jf,
-                   "       {\"threads\": %d, \"seed_s\": %.4f, \"new_s\": "
-                   "%.4f, \"speedup\": %.3f}%s\n",
-                   run.threads, run.seed_s, run.new_s, run.seed_s / run.new_s,
-                   r + 1 < m.runs.size() ? "," : "");
+      std::fprintf(
+          jf,
+          "       {\"threads\": %d, \"seed_s\": %.4f, \"new_s\": %.4f, "
+          "\"speedup\": %.3f, \"efficiency\": %.3f,\n        \"phases\": "
+          "{\"init_s\": %.4f, \"bfac_s\": %.4f, \"bdiv_s\": %.4f, "
+          "\"bmod_compute_s\": %.4f, \"scatter_s\": %.4f, \"idle_s\": %.4f, "
+          "\"batches\": %lld, \"mods\": %lld, \"steals\": %lld}}%s\n",
+          run.threads, run.seed_s, run.new_s, run.seed_s / run.new_s,
+          run.efficiency, run.phases.init_s, run.phases.bfac_s,
+          run.phases.bdiv_s, run.phases.bmod_compute_s, run.phases.scatter_s,
+          run.phases.idle_s, static_cast<long long>(run.phases.batches),
+          static_cast<long long>(run.phases.mods),
+          static_cast<long long>(run.steals),
+          r + 1 < m.runs.size() ? "," : "");
       if (run.threads == 8) speedup_8t = run.seed_s / run.new_s;
     }
     std::fprintf(jf, "     ],\n     \"speedup_8t_new_over_seed\": %.3f}%s\n",
@@ -179,7 +251,14 @@ int main(int argc, char** argv) {
   lp.hubs = small ? 20 : 80;
   lp.hub_span = 0.05;
 
-  std::printf("Parallel factorization scaling (threads 1/2/4/8)\n%s\n",
+  const std::vector<int> threads_list = thread_counts_from_env();
+  std::string tl;
+  for (int t : threads_list) {
+    if (!tl.empty()) tl += ',';
+    tl += std::to_string(t);
+  }
+  std::printf("Parallel factorization scaling (threads %s, host cores %u)\n%s\n",
+              tl.c_str(), std::thread::hardware_concurrency(),
               small ? "scale: SMALL (sanity)" : "scale: default");
 
   const SymSparse cube_m = make_grid3d(cube, cube, cube);
@@ -191,8 +270,8 @@ int main(int argc, char** argv) {
 
   std::vector<MatrixResult> results;
   for (idx b : {idx{48}, idx{64}}) {
-    results.push_back(bench_matrix(cube_name, cube_m, b, reps));
-    results.push_back(bench_matrix(lp_name, lp_m, b, reps));
+    results.push_back(bench_matrix(cube_name, cube_m, b, threads_list, reps));
+    results.push_back(bench_matrix(lp_name, lp_m, b, threads_list, reps));
   }
 
   write_json(json_path, results);

@@ -103,9 +103,14 @@ check::Report SparseCholesky::check_plan(const ParallelPlan& plan) const {
 void SparseCholesky::factorize() { factor_ = block_factorize(a_perm_, bs_); }
 
 void SparseCholesky::factorize_parallel(int num_threads) {
+  // The workspace pins the addresses of bs_/tg_; rebuild if this object was
+  // copied or moved since it was created (or it shares a copied-from peer's).
+  if (!pws_ || pws_->bs != &bs_ || pws_->tg != &tg_ || pws_.use_count() > 1) {
+    pws_ = std::make_shared<ParallelWorkspace>(bs_, tg_);
+  }
   ParallelFactorOptions opt;
   opt.num_threads = num_threads;
-  factor_ = block_factorize_parallel(a_perm_, bs_, tg_, opt);
+  factor_ = block_factorize_parallel(a_perm_, bs_, tg_, opt, pws_.get());
 }
 
 const BlockFactor& SparseCholesky::factor() const {

@@ -13,6 +13,7 @@
 //   spc::SimResult r = chol.simulate(plan);
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -33,6 +34,8 @@
 #include "symbolic/symbolic_factor.hpp"
 
 namespace spc {
+
+struct ParallelWorkspace;  // factor/parallel_factor.hpp
 
 struct SolverOptions {
   enum class Ordering {
@@ -71,7 +74,10 @@ class SparseCholesky {
   void factorize();
   // Same factor computed by the shared-memory data-driven executor (real
   // std::thread workers over the BFAC/BDIV/BMOD task graph; see
-  // factor/parallel_factor.hpp). 0 threads = hardware concurrency.
+  // factor/parallel_factor.hpp). 0 threads = hardware concurrency. The
+  // execution workspace (priorities, arena layout, counters, scratch) is
+  // built on the first call and cached, so repeated factorizations of the
+  // same analyzed structure re-plan and allocate nothing.
   void factorize_parallel(int num_threads = 0);
   bool factorized() const { return factor_.has_value(); }
 
@@ -138,6 +144,10 @@ class SparseCholesky {
   i64 factor_nnz_ = 0;
   i64 factor_flops_ = 0;
   std::optional<BlockFactor> factor_;
+  // Cached parallel execution state; (re)built lazily by factorize_parallel
+  // whenever it does not match the current bs_/tg_ addresses (e.g. after the
+  // object was copied or moved).
+  std::shared_ptr<ParallelWorkspace> pws_;
 };
 
 // Convenience one-shot solve.

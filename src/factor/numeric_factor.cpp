@@ -1,6 +1,7 @@
 #include "factor/numeric_factor.hpp"
 
 #include <algorithm>
+#include <new>
 
 #include "linalg/kernels.hpp"
 #include "support/error.hpp"
@@ -42,33 +43,84 @@ double BlockFactor::entry(idx r, idx c) const {
   return offdiag[static_cast<std::size_t>(e)](static_cast<idx>(it - rows), cj);
 }
 
-BlockFactor init_block_factor(const SymSparse& a, const BlockStructure& bs) {
-  SPC_CHECK(a.num_rows() == bs.part.num_cols(),
-            "init_block_factor: matrix/structure size mismatch");
+BlockArenaLayout compute_block_arena_layout(const BlockStructure& bs) {
+  // Round every segment up to a cache line (8 doubles) so no two blocks
+  // share one — scatters into adjacent destination blocks never false-share.
+  constexpr i64 kLine = 8;
   const idx nb = bs.num_block_cols();
-  BlockFactor f;
-  f.structure = &bs;
-  f.diag.resize(static_cast<std::size_t>(nb));
-  f.offdiag.resize(static_cast<std::size_t>(bs.num_entries()));
+  BlockArenaLayout layout;
+  layout.diag_off.resize(static_cast<std::size_t>(nb));
+  layout.entry_off.resize(static_cast<std::size_t>(bs.num_entries()));
+  i64 off = 0;
   for (idx j = 0; j < nb; ++j) {
-    f.diag[static_cast<std::size_t>(j)].resize(bs.part.width(j), bs.part.width(j));
+    const i64 w = bs.part.width(j);
+    layout.diag_off[static_cast<std::size_t>(j)] = off;
+    off += (w * w + kLine - 1) / kLine * kLine;
     for (i64 e = bs.blkptr[j]; e < bs.blkptr[j + 1]; ++e) {
-      f.offdiag[static_cast<std::size_t>(e)].resize(bs.blkcnt[e], bs.part.width(j));
+      layout.entry_off[static_cast<std::size_t>(e)] = off;
+      off += (static_cast<i64>(bs.blkcnt[e]) * w + kLine - 1) / kLine * kLine;
     }
   }
+  layout.total = off;
+  return layout;
+}
 
-  // Scatter A into the blocks. Rows within a column are (almost always)
-  // ascending, so consecutive entries tend to hit the same destination
-  // block: cache the entry lookup per (column, block-row) segment and
-  // advance a moving cursor through the entry's row list instead of a fresh
-  // binary search per nonzero. Falls back to a full search when the input
-  // is not sorted, so correctness never depends on the ordering.
+namespace {
+
+std::shared_ptr<double[]> allocate_arena(i64 elems) {
+  constexpr std::align_val_t kAlign{64};
+  if (elems <= 0) return nullptr;
+  double* p = static_cast<double*>(::operator new[](
+      static_cast<std::size_t>(elems) * sizeof(double), kAlign));
+  return std::shared_ptr<double[]>(
+      p, [](double* q) { ::operator delete[](q, kAlign); });
+}
+
+}  // namespace
+
+void attach_block_arena(const BlockStructure& bs, const BlockArenaLayout& layout,
+                        BlockFactor& f) {
+  const idx nb = bs.num_block_cols();
+  SPC_CHECK(static_cast<idx>(layout.diag_off.size()) == nb &&
+                static_cast<i64>(layout.entry_off.size()) == bs.num_entries(),
+            "attach_block_arena: layout/structure mismatch");
+  f.structure = &bs;
+  f.arena = allocate_arena(layout.total);
+  f.arena_elems = layout.total;
+  f.diag.resize(static_cast<std::size_t>(nb));
+  f.offdiag.resize(static_cast<std::size_t>(bs.num_entries()));
+  double* base = f.arena.get();
+  for (idx j = 0; j < nb; ++j) {
+    const idx w = bs.part.width(j);
+    f.diag[static_cast<std::size_t>(j)].attach(
+        base + layout.diag_off[static_cast<std::size_t>(j)], w, w);
+    for (i64 e = bs.blkptr[j]; e < bs.blkptr[j + 1]; ++e) {
+      f.offdiag[static_cast<std::size_t>(e)].attach(
+          base + layout.entry_off[static_cast<std::size_t>(e)], bs.blkcnt[e], w);
+    }
+  }
+}
+
+void init_block_column(const SymSparse& a, const BlockStructure& bs, idx j,
+                       BlockFactor& f) {
+  f.diag[static_cast<std::size_t>(j)].set_zero();
+  for (i64 e = bs.blkptr[j]; e < bs.blkptr[j + 1]; ++e) {
+    f.offdiag[static_cast<std::size_t>(e)].set_zero();
+  }
+
+  // Scatter A's columns of block column j. Rows within a column are (almost
+  // always) ascending, so consecutive entries tend to hit the same
+  // destination block: cache the entry lookup per (column, block-row)
+  // segment and advance a moving cursor through the entry's row list instead
+  // of a fresh binary search per nonzero. Falls back to a full search when
+  // the input is not sorted, so correctness never depends on the ordering.
   const auto& ptr = a.col_ptr();
   const auto& rowv = a.row_idx();
   const auto& val = a.values();
-  for (idx c = 0; c < a.num_rows(); ++c) {
-    const idx j = bs.part.block_of_col[c];
-    const idx cj = c - bs.part.first_col[j];
+  const idx first = bs.part.first_col[j];
+  const idx last = first + bs.part.width(j);
+  for (idx c = first; c < last; ++c) {
+    const idx cj = c - first;
     idx cur_bi = -1;
     i64 e = kNone;
     const idx* rows = nullptr;
@@ -78,7 +130,7 @@ BlockFactor init_block_factor(const SymSparse& a, const BlockStructure& bs) {
       const idx r = rowv[static_cast<std::size_t>(k)];
       const double v = val[static_cast<std::size_t>(k)];
       if (bs.part.block_of_col[r] == j) {
-        f.diag[static_cast<std::size_t>(j)](r - bs.part.first_col[j], cj) = v;
+        f.diag[static_cast<std::size_t>(j)](r - first, cj) = v;
         continue;
       }
       const idx bi = bs.part.block_of_col[r];
@@ -97,6 +149,14 @@ BlockFactor init_block_factor(const SymSparse& a, const BlockStructure& bs) {
       cursor = it;
     }
   }
+}
+
+BlockFactor init_block_factor(const SymSparse& a, const BlockStructure& bs) {
+  SPC_CHECK(a.num_rows() == bs.part.num_cols(),
+            "init_block_factor: matrix/structure size mismatch");
+  BlockFactor f;
+  attach_block_arena(bs, compute_block_arena_layout(bs), f);
+  for (idx j = 0; j < bs.num_block_cols(); ++j) init_block_column(a, bs, j, f);
   return f;
 }
 

@@ -26,10 +26,43 @@ struct BlockFactor {
   std::vector<DenseMatrix> diag;     // per block column: w x w
   std::vector<DenseMatrix> offdiag;  // per entry: cnt x w
 
+  // Pooled block storage: when the factor is built by init_block_factor the
+  // matrices above are views into this single 64-byte-aligned allocation
+  // (one contiguous segment per block column — see BlockArenaLayout), which
+  // replaces thousands of per-block heap buffers. Construction paths that
+  // build owning blocks directly (multifrontal, deserialize) leave it null.
+  std::shared_ptr<double[]> arena;
+  i64 arena_elems = 0;
+
   // Entry (global row r, global col c) of the factor, 0 if structurally zero.
   // For validation / small-matrix use only (does a per-call search).
   double entry(idx r, idx c) const;
 };
+
+// Offsets (in doubles) of every block inside the pooled factor arena. Blocks
+// are laid out column by column — the diagonal block of column J first, then
+// J's off-diagonal entries in blkptr order — each segment aligned to a cache
+// line so adjacent destination blocks never share one.
+struct BlockArenaLayout {
+  std::vector<i64> diag_off;   // per block column
+  std::vector<i64> entry_off;  // per off-diagonal entry
+  i64 total = 0;               // doubles, alignment padding included
+};
+
+BlockArenaLayout compute_block_arena_layout(const BlockStructure& bs);
+
+// Allocates f's arena (contents uninitialized) and attaches every
+// diag/offdiag block as a view into it. Fill with init_block_column before
+// use. The layout must come from compute_block_arena_layout(bs).
+void attach_block_arena(const BlockStructure& bs, const BlockArenaLayout& layout,
+                        BlockFactor& f);
+
+// Zeroes block column j's blocks and scatters A's columns of that block
+// column into them. Touches only column j's storage, so distinct columns can
+// be initialized concurrently — the parallel executor first-touches each
+// column's arena segment on the worker that initializes it.
+void init_block_column(const SymSparse& a, const BlockStructure& bs, idx j,
+                       BlockFactor& f);
 
 // Factors `a` (which must already be permuted to the ordering the structure
 // was built from). Throws spc::Error if a pivot fails (not SPD).

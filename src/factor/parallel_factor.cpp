@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,17 +20,502 @@
 namespace spc {
 namespace {
 
-// Shared dependency bookkeeping for both executor backends: readiness
-// counters per block, pending-source counters per mod, per-destination
-// locks, and the mods-by-source CSR used to fire BMODs when their sources
-// complete.
-class ExecutorState {
+using Clock = std::chrono::steady_clock;
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+constexpr i64 kEmptyList = -1;  // sentinel for the per-destination mod lists
+
+}  // namespace
+
+ParallelProfile::Worker ParallelProfile::total() const {
+  Worker t;
+  for (const Worker& w : workers) {
+    t.bfac_s += w.bfac_s;
+    t.bdiv_s += w.bdiv_s;
+    t.bmod_compute_s += w.bmod_compute_s;
+    t.scatter_s += w.scatter_s;
+    t.init_s += w.init_s;
+    t.idle_s += w.idle_s;
+    t.bfacs += w.bfacs;
+    t.bdivs += w.bdivs;
+    t.mods += w.mods;
+    t.batches += w.batches;
+  }
+  return t;
+}
+
+ParallelWorkspace::ParallelWorkspace(const BlockStructure& bs_in,
+                                     const TaskGraph& tg_in)
+    : bs(&bs_in),
+      tg(&tg_in),
+      prio(compute_task_priorities(bs_in, tg_in)),
+      layout(compute_block_arena_layout(bs_in)),
+      locks(tg_in.num_blocks()) {
+  const i64 num_blocks = tg_in.num_blocks();
+  const i64 num_mods = static_cast<i64>(tg_in.mods.size());
+
+  // Drain-task priority: the most critical BMOD waiting on that destination.
+  dest_prio.assign(static_cast<std::size_t>(num_blocks), 0);
+  for (i64 m = 0; m < num_mods; ++m) {
+    i64& p = dest_prio[static_cast<std::size_t>(
+        tg_in.mods[static_cast<std::size_t>(m)].dest)];
+    p = std::max(p, prio.mod[static_cast<std::size_t>(m)]);
+  }
+
+  // CSR of mods by source block.
+  src_ptr.assign(static_cast<std::size_t>(num_blocks) + 1, 0);
+  for (const BlockMod& mod : tg_in.mods) {
+    ++src_ptr[static_cast<std::size_t>(mod.src_a) + 1];
+    if (mod.src_b != mod.src_a) ++src_ptr[static_cast<std::size_t>(mod.src_b) + 1];
+  }
+  for (block_id b = 0; b < num_blocks; ++b) {
+    src_ptr[static_cast<std::size_t>(b) + 1] += src_ptr[static_cast<std::size_t>(b)];
+  }
+  src_mods.resize(static_cast<std::size_t>(src_ptr[static_cast<std::size_t>(num_blocks)]));
+  std::vector<i64> cursor(src_ptr.begin(), src_ptr.end() - 1);
+  for (i64 m = 0; m < num_mods; ++m) {
+    const BlockMod& mod = tg_in.mods[static_cast<std::size_t>(m)];
+    src_mods[static_cast<std::size_t>(cursor[static_cast<std::size_t>(mod.src_a)]++)] = m;
+    if (mod.src_b != mod.src_a) {
+      src_mods[static_cast<std::size_t>(cursor[static_cast<std::size_t>(mod.src_b)]++)] = m;
+    }
+  }
+
+  // Scratch high-water marks (hoisted here so repeated factorizations of the
+  // same plan never recompute or reallocate them).
+  for (const BlockMod& m : tg_in.mods) {
+    max_update_elems = std::max(
+        max_update_elems,
+        static_cast<i64>(tg_in.rows_of_block[static_cast<std::size_t>(m.src_a)]) *
+            tg_in.rows_of_block[static_cast<std::size_t>(m.src_b)]);
+  }
+  for (block_id b = 0; b < num_blocks; ++b) {
+    max_block_elems = std::max(
+        max_block_elems,
+        static_cast<i64>(tg_in.rows_of_block[static_cast<std::size_t>(b)]) *
+            bs_in.part.width(tg_in.col_of_block[static_cast<std::size_t>(b)]));
+  }
+}
+
+void ParallelWorkspace::prepare_run(int num_threads) {
+  const i64 num_blocks = tg->num_blocks();
+  const i64 num_mods = static_cast<i64>(tg->mods.size());
+  if (!deps) {
+    deps = std::make_unique<std::atomic<i64>[]>(static_cast<std::size_t>(num_blocks));
+    pending = std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(num_mods));
+    mod_next = std::make_unique<std::atomic<i64>[]>(static_cast<std::size_t>(num_mods));
+    dest_head = std::make_unique<std::atomic<i64>[]>(static_cast<std::size_t>(num_blocks));
+    dest_state = std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(num_blocks));
+  }
+  const idx nb = bs->num_block_cols();
+  for (block_id b = 0; b < num_blocks; ++b) {
+    deps[static_cast<std::size_t>(b)].store(
+        tg->mods_into[static_cast<std::size_t>(b)] + (b >= nb ? 1 : 0),
+        std::memory_order_relaxed);
+    dest_head[static_cast<std::size_t>(b)].store(kEmptyList, std::memory_order_relaxed);
+    dest_state[static_cast<std::size_t>(b)].store(0, std::memory_order_relaxed);
+  }
+  for (i64 m = 0; m < num_mods; ++m) {
+    pending[static_cast<std::size_t>(m)].store(
+        tg->mods[static_cast<std::size_t>(m)].src_a ==
+                tg->mods[static_cast<std::size_t>(m)].src_b
+            ? 1
+            : 2,
+        std::memory_order_relaxed);
+    mod_next[static_cast<std::size_t>(m)].store(kEmptyList, std::memory_order_relaxed);
+  }
+  if (static_cast<int>(scratch.size()) < num_threads) {
+    scratch.resize(static_cast<std::size_t>(num_threads));
+  }
+  // High-water scratch reservation (capped at 32 MiB for safety; a vector
+  // that once grew past the cap keeps its capacity, so even outsized blocks
+  // allocate at most once over the workspace lifetime).
+  const idx update_cap =
+      static_cast<idx>(std::min<i64>(max_update_elems, i64{1} << 22));
+  const idx accum_cap =
+      static_cast<idx>(std::min<i64>(max_block_elems, i64{1} << 22));
+  for (WorkerScratch& s : scratch) {
+    s.update.reserve(update_cap, 1);
+    s.accum.reserve(accum_cap, 1);
+  }
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Work-stealing executor (default backend).
+//
+// Task ids: [0, num_blocks) are completions (BFAC/BDIV of block b);
+// num_blocks + d is "drain destination block d" — apply every BMOD currently
+// queued on d's ready-mod list, accumulated in scratch and committed under
+// d's lock once per batch. Priorities are the critical-path heights from
+// factor/scheduler.hpp; ready batches are pushed in ascending priority so
+// each deque's LIFO end holds its most critical task, and thieves pick
+// victims by the deques' priority hints.
+// ---------------------------------------------------------------------------
+class WorkStealingExecutor {
  public:
-  ExecutorState(const SymSparse& a, const BlockStructure& bs, const TaskGraph& tg)
+  WorkStealingExecutor(const SymSparse& a, const BlockStructure& bs,
+                       const TaskGraph& tg, int num_threads,
+                       ParallelWorkspace& ws, ParallelProfile* prof)
+      : a_(a),
+        bs_(bs),
+        tg_(tg),
+        ws_(ws),
+        threads_(num_threads),
+        queues_(num_threads),
+        barrier_remaining_(num_threads),
+        prof_(prof) {
+    SPC_CHECK(ws.bs == &bs && ws.tg == &tg,
+              "block_factorize_parallel: workspace built for another plan");
+    ws_.prepare_run(num_threads);
+    attach_block_arena(bs_, ws_.layout, factor_);
+    if (prof_) {
+      prof_->workers.assign(static_cast<std::size_t>(num_threads), {});
+      prof_->wall_s = 0;
+      prof_->steals = 0;
+    }
+  }
+
+  BlockFactor run() {
+    const auto t0 = Clock::now();
+    seed_initial_tasks();
+    if (tg_.num_blocks() == 0) queues_.shutdown();  // nothing will ever fire
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads_));
+    for (int t = 0; t < threads_; ++t) {
+      workers.emplace_back([this, t] { worker(t); });
+    }
+    for (std::thread& w : workers) w.join();
+    rethrow_if_failed();
+    SPC_CHECK(completed_.load() == tg_.num_blocks(),
+              "block_factorize_parallel: not all blocks completed");
+    if (prof_) {
+      prof_->wall_s = secs_since(t0);
+      prof_->steals = queues_.steals();
+    }
+    return std::move(factor_);
+  }
+
+ private:
+  i64 task_priority(i64 task) const {
+    return task < tg_.num_blocks()
+               ? ws_.prio.completion[static_cast<std::size_t>(task)]
+               : ws_.dest_prio[static_cast<std::size_t>(task - tg_.num_blocks())];
+  }
+
+  void seed_initial_tasks() {
+    std::vector<i64> ready;
+    for (block_id b = 0; b < tg_.num_blocks(); ++b) {
+      if (ws_.deps[static_cast<std::size_t>(b)].load(std::memory_order_relaxed) ==
+          0) {
+        ready.push_back(b);
+      }
+    }
+    // Deal in ascending priority so every deque ends with its most critical
+    // task on top (workers pop LIFO). Safe before the workers spawn.
+    std::sort(ready.begin(), ready.end(), [this](i64 x, i64 y) {
+      return task_priority(x) < task_priority(y);
+    });
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      queues_.push(static_cast<int>(i) % threads_,
+                   WorkItem{ready[i], task_priority(ready[i])});
+    }
+  }
+
+  void worker(int id) {
+    ParallelProfile::Worker* pw =
+        prof_ ? &prof_->workers[static_cast<std::size_t>(id)] : nullptr;
+    // Phase 0: first-touch initialization. Each worker zeroes and scatters A
+    // into the block columns it is dealt, so a column's arena pages are
+    // mapped by a worker that will likely keep updating them.
+    {
+      const auto t0 = pw ? Clock::now() : Clock::time_point{};
+      try {
+        for (idx j = static_cast<idx>(id); j < bs_.num_block_cols();
+             j += threads_) {
+          init_block_column(a_, bs_, j, factor_);
+        }
+      } catch (...) {
+        fail(std::current_exception());
+      }
+      if (pw) pw->init_s += secs_since(t0);
+    }
+    barrier_arrive();
+    if (failed_.load(std::memory_order_acquire)) return;
+
+    ParallelWorkspace::WorkerScratch& s =
+        ws_.scratch[static_cast<std::size_t>(id)];
+    WorkItem item;
+    for (;;) {
+      const auto ti = pw ? Clock::now() : Clock::time_point{};
+      const bool got = queues_.acquire(id, item);
+      if (pw) pw->idle_s += secs_since(ti);
+      if (!got) break;
+      try {
+        if (item.id < tg_.num_blocks()) {
+          run_completion(id, item.id, pw);
+        } else {
+          run_dest(id, item.id - tg_.num_blocks(), s, pw);
+        }
+      } catch (...) {
+        fail(std::current_exception());
+        return;
+      }
+    }
+  }
+
+  // One-shot barrier between the init phase and the task phase: every block
+  // must be scattered before any BFAC can run.
+  void barrier_arrive() {
+    LockGuard lock(barrier_mutex_);
+    --barrier_remaining_;
+    if (barrier_remaining_ == 0) {
+      barrier_cv_.notify_all();
+    } else {
+      while (barrier_remaining_ > 0) barrier_cv_.wait(barrier_mutex_);
+    }
+  }
+
+  void run_completion(int id, block_id b, ParallelProfile::Worker* pw) {
+    const auto t0 = pw ? Clock::now() : Clock::time_point{};
+    complete_block(bs_, b, factor_);
+    if (pw) {
+      if (is_diag_block(bs_, b)) {
+        pw->bfac_s += secs_since(t0);
+        ++pw->bfacs;
+      } else {
+        pw->bdiv_s += secs_since(t0);
+        ++pw->bdivs;
+      }
+    }
+    // Fire the BMODs this block sources: the last pending-source decrement
+    // appends the mod to its destination's ready list, and the first append
+    // to an idle destination enqueues that destination's drain task.
+    std::vector<i64>& ready = ws_.scratch[static_cast<std::size_t>(id)].ready;
+    ready.clear();
+    for (i64 k = ws_.src_ptr[static_cast<std::size_t>(b)];
+         k < ws_.src_ptr[static_cast<std::size_t>(b) + 1]; ++k) {
+      const i64 m = ws_.src_mods[static_cast<std::size_t>(k)];
+      if (ws_.pending[static_cast<std::size_t>(m)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        release_mod(m, ready);
+      }
+    }
+    // A factored diagonal block releases its column's BDIVs.
+    if (is_diag_block(bs_, b)) {
+      const idx col = static_cast<idx>(b);
+      for (i64 e = bs_.blkptr[col]; e < bs_.blkptr[col + 1]; ++e) {
+        const block_id bd = bs_.num_block_cols() + e;
+        if (ws_.deps[static_cast<std::size_t>(bd)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          ready.push_back(bd);
+        }
+      }
+    }
+    push_ready(id, ready);
+    if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        tg_.num_blocks()) {
+      queues_.shutdown();
+    }
+  }
+
+  // A mod whose sources are both complete: push it onto the destination's
+  // lock-free ready list (atomic head + per-mod next links — no allocation),
+  // and enqueue the destination's drain task if nobody holds it. The
+  // release/seq_cst pair with run_dest's retire protocol guarantees every
+  // pushed mod is drained by exactly one task.
+  void release_mod(i64 m, std::vector<i64>& ready) {
+    const block_id d = tg_.mods[static_cast<std::size_t>(m)].dest;
+    i64 old = ws_.dest_head[static_cast<std::size_t>(d)].load(std::memory_order_relaxed);
+    do {
+      ws_.mod_next[static_cast<std::size_t>(m)].store(old, std::memory_order_relaxed);
+    } while (!ws_.dest_head[static_cast<std::size_t>(d)].compare_exchange_weak(
+        old, m, std::memory_order_release, std::memory_order_relaxed));
+    if (ws_.dest_state[static_cast<std::size_t>(d)].exchange(
+            1, std::memory_order_seq_cst) == 0) {
+      ready.push_back(tg_.num_blocks() + d);
+    }
+  }
+
+  // Drain destination block d: grab its entire ready-mod list, compute every
+  // update in scratch (no lock held), and commit to the block under its lock
+  // ONCE per batch — a batch of one scatters directly, a larger batch
+  // accumulates into a destination-shaped buffer first. Loops until the list
+  // stays empty across the state hand-off, so no released mod is stranded.
+  void run_dest(int id, block_id d, ParallelWorkspace::WorkerScratch& s,
+                ParallelProfile::Worker* pw) {
+    const idx nb = bs_.num_block_cols();
+    const bool diag = is_diag_block(bs_, d);
+    DenseMatrix& dest = diag ? factor_.diag[static_cast<std::size_t>(d)]
+                             : factor_.offdiag[static_cast<std::size_t>(d - nb)];
+    i64 processed = 0;
+    for (;;) {
+      i64 chain = ws_.dest_head[static_cast<std::size_t>(d)].exchange(
+          kEmptyList, std::memory_order_acquire);
+      if (chain != kEmptyList) {
+        i64 cnt = 0;
+        for (i64 m = chain; m != kEmptyList;
+             m = ws_.mod_next[static_cast<std::size_t>(m)].load(
+                 std::memory_order_relaxed)) {
+          ++cnt;
+        }
+        if (cnt == 1) {
+          compute_mod(chain, s, pw);
+          const auto t0 = pw ? Clock::now() : Clock::time_point{};
+          {
+            LockGuard lock(ws_.locks.for_block(d));
+            scatter_block_mod(bs_, tg_, tg_.mods[static_cast<std::size_t>(chain)],
+                              s.update, s.rel_rows, dest);
+          }
+          if (pw) pw->scatter_s += secs_since(t0);
+        } else {
+          const auto tz = pw ? Clock::now() : Clock::time_point{};
+          s.accum.resize_for_overwrite(dest.rows(), dest.cols());
+          s.accum.set_zero();
+          if (pw) pw->scatter_s += secs_since(tz);
+          for (i64 m = chain; m != kEmptyList;
+               m = ws_.mod_next[static_cast<std::size_t>(m)].load(
+                   std::memory_order_relaxed)) {
+            compute_mod(m, s, pw);
+            const auto t0 = pw ? Clock::now() : Clock::time_point{};
+            scatter_block_mod(bs_, tg_, tg_.mods[static_cast<std::size_t>(m)],
+                              s.update, s.rel_rows, s.accum);
+            if (pw) pw->scatter_s += secs_since(t0);
+          }
+          const auto t1 = pw ? Clock::now() : Clock::time_point{};
+          {
+            LockGuard lock(ws_.locks.for_block(d));
+            apply_accum(dest, s.accum, diag);
+          }
+          if (pw) pw->scatter_s += secs_since(t1);
+        }
+        processed += cnt;
+        if (pw) {
+          ++pw->batches;
+          pw->mods += cnt;
+        }
+      }
+      // Retire: release the drain flag, then re-check the list. A releaser
+      // that saw our flag set has already pushed its mod; whoever wins the
+      // flag next (us below, or its exchange) drains it.
+      ws_.dest_state[static_cast<std::size_t>(d)].store(0, std::memory_order_seq_cst);
+      if (ws_.dest_head[static_cast<std::size_t>(d)].load(
+              std::memory_order_seq_cst) == kEmptyList) {
+        break;
+      }
+      if (ws_.dest_state[static_cast<std::size_t>(d)].exchange(
+              1, std::memory_order_seq_cst) != 0) {
+        break;  // a releaser reclaimed it and enqueued a fresh drain task
+      }
+    }
+    // Count the batch against the destination's completion gate only after
+    // every update landed. The acq_rel RMW chain on deps hands our scatter
+    // writes to whichever worker runs the completion.
+    if (processed > 0 &&
+        ws_.deps[static_cast<std::size_t>(d)].fetch_sub(
+            processed, std::memory_order_acq_rel) == processed) {
+      std::vector<i64>& ready = ws_.scratch[static_cast<std::size_t>(id)].ready;
+      ready.clear();
+      ready.push_back(d);
+      push_ready(id, ready);
+    }
+  }
+
+  void compute_mod(i64 m, ParallelWorkspace::WorkerScratch& s,
+                   ParallelProfile::Worker* pw) {
+    const BlockMod& mod = tg_.mods[static_cast<std::size_t>(m)];
+    const idx nb = bs_.num_block_cols();
+    const DenseMatrix& li = factor_.offdiag[static_cast<std::size_t>(mod.src_a - nb)];
+    const DenseMatrix& lj = factor_.offdiag[static_cast<std::size_t>(mod.src_b - nb)];
+    const auto t0 = pw ? Clock::now() : Clock::time_point{};
+    compute_block_mod(bs_, mod, li, lj, s.update, s.rel_rows);
+    if (pw) pw->bmod_compute_s += secs_since(t0);
+  }
+
+  // dest += accum, shapes identical; lower triangle only for diagonal
+  // blocks (their strict upper part is dead storage). Contiguous adds, so
+  // the committed critical section is pure streaming bandwidth.
+  static void apply_accum(DenseMatrix& dest, const DenseMatrix& acc, bool diag) {
+    if (diag) {
+      for (idx c = 0; c < dest.cols(); ++c) {
+        double* dcol = dest.col(c) + c;
+        const double* acol = acc.col(c) + c;
+        const idx len = dest.rows() - c;
+        for (idx i = 0; i < len; ++i) dcol[i] += acol[i];
+      }
+    } else {
+      double* dp = dest.data();
+      const double* ap = acc.data();
+      const std::size_t n =
+          static_cast<std::size_t>(dest.rows()) * static_cast<std::size_t>(dest.cols());
+      for (std::size_t i = 0; i < n; ++i) dp[i] += ap[i];
+    }
+  }
+
+  void push_ready(int id, std::vector<i64>& buf) {
+    if (buf.empty()) return;
+    std::sort(buf.begin(), buf.end(), [this](i64 x, i64 y) {
+      return task_priority(x) < task_priority(y);
+    });
+    for (i64 task : buf) queues_.push(id, WorkItem{task, task_priority(task)});
+    buf.clear();
+  }
+
+  void fail(std::exception_ptr e) {
+    {
+      LockGuard lock(error_mutex_);
+      if (!error_) error_ = e;
+    }
+    failed_.store(true, std::memory_order_release);
+    queues_.shutdown();
+  }
+
+  // Called after the workers joined; the lock still satisfies the static
+  // guard and costs one uncontended acquire.
+  void rethrow_if_failed() {
+    std::exception_ptr e;
+    {
+      LockGuard lock(error_mutex_);
+      e = error_;
+    }
+    if (e) std::rethrow_exception(e);
+  }
+
+  const SymSparse& a_;
+  const BlockStructure& bs_;
+  const TaskGraph& tg_;
+  ParallelWorkspace& ws_;
+  BlockFactor factor_;
+  int threads_;
+  WorkStealingQueues queues_;
+  Mutex barrier_mutex_;
+  CondVar barrier_cv_;
+  int barrier_remaining_ SPC_GUARDED_BY(barrier_mutex_);
+  ParallelProfile* prof_;
+  Mutex error_mutex_;
+  std::exception_ptr error_ SPC_GUARDED_BY(error_mutex_);
+  std::atomic<bool> failed_{false};
+  std::atomic<i64> completed_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Seed executor: one global mutex+condvar FIFO, whole BMOD (GEMM + scatter)
+// under the destination lock. Kept verbatim as the baseline the benchmarks
+// compare the work-stealing backend against.
+// ---------------------------------------------------------------------------
+class GlobalQueueExecutor {
+ public:
+  GlobalQueueExecutor(const SymSparse& a, const BlockStructure& bs,
+                      const TaskGraph& tg, int num_threads)
       : bs_(bs),
         tg_(tg),
         factor_(init_block_factor(a, bs)),
-        block_locks_(tg.num_blocks()) {
+        block_locks_(tg.num_blocks()),
+        threads_(num_threads) {
     const i64 nb = bs.num_block_cols();
     const i64 num_blocks = tg.num_blocks();
     deps_ = std::make_unique<std::atomic<i64>[]>(static_cast<std::size_t>(num_blocks));
@@ -65,216 +553,6 @@ class ExecutorState {
       }
     }
   }
-
- protected:
-  const BlockStructure& bs_;
-  const TaskGraph& tg_;
-  BlockFactor factor_;
-
-  std::unique_ptr<std::atomic<i64>[]> deps_;
-  std::unique_ptr<std::atomic<int>[]> pending_;
-  BlockLocks block_locks_;
-  std::vector<i64> src_ptr_;
-  std::vector<i64> src_mods_;
-};
-
-// ---------------------------------------------------------------------------
-// Work-stealing executor (default backend).
-//
-// Task ids: [0, num_blocks) are completions (BFAC/BDIV of block b);
-// num_blocks + m is BMOD m. Priorities are the critical-path heights from
-// factor/scheduler.hpp, so stealing always pulls the most critical ready
-// task and the dependency spine is never starved behind bulk updates.
-// ---------------------------------------------------------------------------
-class WorkStealingExecutor : private ExecutorState {
- public:
-  WorkStealingExecutor(const SymSparse& a, const BlockStructure& bs,
-                       const TaskGraph& tg, int num_threads)
-      : ExecutorState(a, bs, tg),
-        threads_(num_threads),
-        prio_(compute_task_priorities(bs, tg)),
-        queues_(num_threads) {
-    for (const BlockMod& m : tg_.mods) {
-      max_update_elems_ = std::max(
-          max_update_elems_,
-          static_cast<i64>(tg_.rows_of_block[static_cast<std::size_t>(m.src_a)]) *
-              tg_.rows_of_block[static_cast<std::size_t>(m.src_b)]);
-    }
-  }
-
-  BlockFactor run() {
-    seed_initial_tasks();
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(threads_));
-    for (int t = 0; t < threads_; ++t) {
-      workers.emplace_back([this, t] { worker(t); });
-    }
-    for (std::thread& w : workers) w.join();
-    rethrow_if_failed();
-    SPC_CHECK(completed_.load() == tg_.num_blocks(),
-              "block_factorize_parallel: not all blocks completed");
-    return std::move(factor_);
-  }
-
- private:
-  // Per-worker scratch; sized once so steady-state BMODs allocate nothing.
-  struct Scratch {
-    DenseMatrix update;
-    std::vector<idx> rel_rows;
-  };
-
-  i64 task_priority(i64 task) const {
-    return task < tg_.num_blocks()
-               ? prio_.completion[static_cast<std::size_t>(task)]
-               : prio_.mod[static_cast<std::size_t>(task - tg_.num_blocks())];
-  }
-
-  void seed_initial_tasks() {
-    std::vector<i64> ready;
-    for (block_id b = 0; b < tg_.num_blocks(); ++b) {
-      if (deps_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed) == 0) {
-        ready.push_back(b);
-      }
-    }
-    // Deal in ascending priority so every deque ends with its most critical
-    // task on top (workers pop LIFO).
-    std::sort(ready.begin(), ready.end(), [this](i64 x, i64 y) {
-      return task_priority(x) < task_priority(y);
-    });
-    for (std::size_t i = 0; i < ready.size(); ++i) {
-      queues_.push(static_cast<int>(i) % threads_,
-                   WorkItem{ready[i], task_priority(ready[i])});
-    }
-  }
-
-  void worker(int id) {
-    Scratch s;
-    // High-water scratch reservation: the largest update any mod produces,
-    // so steady-state BMODs never allocate (capped at 32 MiB for safety).
-    s.update.reserve(
-        static_cast<idx>(std::min<i64>(max_update_elems_, i64{1} << 22)), 1);
-    WorkItem item;
-    while (queues_.acquire(id, item)) {
-      try {
-        if (item.id < tg_.num_blocks()) {
-          run_completion(id, item.id);
-        } else {
-          run_mod(id, item.id - tg_.num_blocks(), s);
-        }
-      } catch (...) {
-        fail(std::current_exception());
-        return;
-      }
-    }
-  }
-
-  void run_completion(int id, block_id b) {
-    complete_block(bs_, b, factor_);
-    // Fire the BMODs this block sources. Collect the newly ready ones and
-    // push in ascending priority: the most critical lands on top of our
-    // deque and is executed next (thieves grab by priority regardless).
-    ready_buf_local(id).clear();
-    for (i64 k = src_ptr_[static_cast<std::size_t>(b)];
-         k < src_ptr_[static_cast<std::size_t>(b) + 1]; ++k) {
-      const i64 m = src_mods_[static_cast<std::size_t>(k)];
-      if (pending_[static_cast<std::size_t>(m)].fetch_sub(
-              1, std::memory_order_acq_rel) == 1) {
-        ready_buf_local(id).push_back(tg_.num_blocks() + m);
-      }
-    }
-    // A factored diagonal block releases its column's BDIVs.
-    if (is_diag_block(bs_, b)) {
-      const idx col = static_cast<idx>(b);
-      for (i64 e = bs_.blkptr[col]; e < bs_.blkptr[col + 1]; ++e) {
-        const block_id bd = bs_.num_block_cols() + e;
-        if (deps_[static_cast<std::size_t>(bd)].fetch_sub(
-                1, std::memory_order_acq_rel) == 1) {
-          ready_buf_local(id).push_back(bd);
-        }
-      }
-    }
-    push_ready(id);
-    if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == tg_.num_blocks()) {
-      queues_.shutdown();
-    }
-  }
-
-  void run_mod(int id, i64 m, Scratch& s) {
-    const BlockMod& mod = tg_.mods[static_cast<std::size_t>(m)];
-    const idx nb = bs_.num_block_cols();
-    const DenseMatrix& li = factor_.offdiag[static_cast<std::size_t>(mod.src_a - nb)];
-    const DenseMatrix& lj = factor_.offdiag[static_cast<std::size_t>(mod.src_b - nb)];
-    // Two-phase BMOD: the GEMM runs into this worker's scratch with no lock
-    // held; only the scatter serializes on the destination block.
-    compute_block_mod(bs_, mod, li, lj, s.update, s.rel_rows);
-    DenseMatrix& dest = is_diag_block(bs_, mod.dest)
-                            ? factor_.diag[static_cast<std::size_t>(mod.dest)]
-                            : factor_.offdiag[static_cast<std::size_t>(mod.dest - nb)];
-    {
-      LockGuard lock(block_locks_.for_block(mod.dest));
-      scatter_block_mod(bs_, tg_, mod, s.update, s.rel_rows, dest);
-    }
-    if (deps_[static_cast<std::size_t>(mod.dest)].fetch_sub(
-            1, std::memory_order_acq_rel) == 1) {
-      ready_buf_local(id).clear();
-      ready_buf_local(id).push_back(mod.dest);
-      push_ready(id);
-    }
-  }
-
-  std::vector<i64>& ready_buf_local(int id) {
-    return ready_bufs_[static_cast<std::size_t>(id)];
-  }
-
-  void push_ready(int id) {
-    std::vector<i64>& buf = ready_buf_local(id);
-    if (buf.empty()) return;
-    std::sort(buf.begin(), buf.end(), [this](i64 x, i64 y) {
-      return task_priority(x) < task_priority(y);
-    });
-    for (i64 task : buf) queues_.push(id, WorkItem{task, task_priority(task)});
-    buf.clear();
-  }
-
-  void fail(std::exception_ptr e) {
-    {
-      LockGuard lock(error_mutex_);
-      if (!error_) error_ = e;
-    }
-    queues_.shutdown();
-  }
-
-  // Called after the workers joined; the lock still satisfies the static
-  // guard and costs one uncontended acquire.
-  void rethrow_if_failed() {
-    std::exception_ptr e;
-    {
-      LockGuard lock(error_mutex_);
-      e = error_;
-    }
-    if (e) std::rethrow_exception(e);
-  }
-
-  int threads_;
-  TaskPriorities prio_;
-  WorkStealingQueues queues_;
-  i64 max_update_elems_ = 0;
-  std::vector<std::vector<i64>> ready_bufs_{static_cast<std::size_t>(threads_)};
-  Mutex error_mutex_;
-  std::exception_ptr error_ SPC_GUARDED_BY(error_mutex_);
-  std::atomic<i64> completed_{0};
-};
-
-// ---------------------------------------------------------------------------
-// Seed executor: one global mutex+condvar FIFO, whole BMOD (GEMM + scatter)
-// under the destination lock. Kept verbatim as the baseline the benchmarks
-// compare the work-stealing backend against.
-// ---------------------------------------------------------------------------
-class GlobalQueueExecutor : private ExecutorState {
- public:
-  GlobalQueueExecutor(const SymSparse& a, const BlockStructure& bs,
-                      const TaskGraph& tg, int num_threads)
-      : ExecutorState(a, bs, tg), threads_(num_threads) {}
 
   BlockFactor run() {
     // Seed with blocks that have no pending work.
@@ -400,6 +678,14 @@ class GlobalQueueExecutor : private ExecutorState {
     }
   }
 
+  const BlockStructure& bs_;
+  const TaskGraph& tg_;
+  BlockFactor factor_;
+  std::unique_ptr<std::atomic<i64>[]> deps_;
+  std::unique_ptr<std::atomic<int>[]> pending_;
+  BlockLocks block_locks_;
+  std::vector<i64> src_ptr_;
+  std::vector<i64> src_mods_;
   int threads_;
   Mutex queue_mutex_;
   CondVar queue_cv_;
@@ -409,11 +695,45 @@ class GlobalQueueExecutor : private ExecutorState {
   std::atomic<i64> completed_{0};
 };
 
+void dump_profile_json(const ParallelProfile& p) {
+  const char* out_path = std::getenv("SPC_PROFILE_OUT");
+  std::FILE* f = out_path ? std::fopen(out_path, "w") : stderr;
+  if (!f) f = stderr;
+  const ParallelProfile::Worker t = p.total();
+  std::fprintf(f,
+               "{\"profile\": \"parallel_factor\", \"threads\": %d, "
+               "\"wall_s\": %.6f, \"steals\": %lld,\n",
+               static_cast<int>(p.workers.size()), p.wall_s,
+               static_cast<long long>(p.steals));
+  auto worker_fields = [&](const ParallelProfile::Worker& w) {
+    std::fprintf(f,
+                 "\"init_s\": %.6f, \"bfac_s\": %.6f, \"bdiv_s\": %.6f, "
+                 "\"bmod_compute_s\": %.6f, \"scatter_s\": %.6f, "
+                 "\"idle_s\": %.6f, \"bfacs\": %lld, \"bdivs\": %lld, "
+                 "\"mods\": %lld, \"batches\": %lld",
+                 w.init_s, w.bfac_s, w.bdiv_s, w.bmod_compute_s, w.scatter_s,
+                 w.idle_s, static_cast<long long>(w.bfacs),
+                 static_cast<long long>(w.bdivs), static_cast<long long>(w.mods),
+                 static_cast<long long>(w.batches));
+  };
+  std::fprintf(f, " \"total\": {");
+  worker_fields(t);
+  std::fprintf(f, "},\n \"workers\": [\n");
+  for (std::size_t i = 0; i < p.workers.size(); ++i) {
+    std::fprintf(f, "  {");
+    worker_fields(p.workers[i]);
+    std::fprintf(f, "}%s\n", i + 1 < p.workers.size() ? "," : "");
+  }
+  std::fprintf(f, " ]}\n");
+  if (out_path && f != stderr) std::fclose(f);
+}
+
 }  // namespace
 
 BlockFactor block_factorize_parallel(const SymSparse& a, const BlockStructure& bs,
                                      const TaskGraph& tg,
-                                     const ParallelFactorOptions& opt) {
+                                     const ParallelFactorOptions& opt,
+                                     ParallelWorkspace* ws) {
   int threads = opt.num_threads;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -423,8 +743,21 @@ BlockFactor block_factorize_parallel(const SymSparse& a, const BlockStructure& b
     GlobalQueueExecutor exec(a, bs, tg, threads);
     return exec.run();
   }
-  WorkStealingExecutor exec(a, bs, tg, threads);
-  return exec.run();
+  std::unique_ptr<ParallelWorkspace> local;
+  if (ws == nullptr) {
+    local = std::make_unique<ParallelWorkspace>(bs, tg);
+    ws = local.get();
+  }
+  ParallelProfile env_profile;
+  ParallelProfile* prof = opt.profile;
+  const char* env = std::getenv("SPC_PROFILE");
+  const bool env_dump = env != nullptr && env[0] != '\0' &&
+                        !(env[0] == '0' && env[1] == '\0');
+  if (env_dump && prof == nullptr) prof = &env_profile;
+  WorkStealingExecutor exec(a, bs, tg, threads, *ws, prof);
+  BlockFactor f = exec.run();
+  if (env_dump && prof != nullptr) dump_profile_json(*prof);
+  return f;
 }
 
 }  // namespace spc

@@ -10,11 +10,16 @@
 //
 // Two scheduler backends are provided:
 //
-//   kWorkStealing (default) — per-worker deques with priority-aware work
-//     stealing (support/work_queue.hpp), ready tasks ordered by the
-//     critical-path heights of factor/scheduler.hpp, and the two-phase BMOD
-//     (GEMM into per-worker scratch outside the destination lock, scatter
-//     under it). See docs/PARALLEL_EXECUTOR.md.
+//   kWorkStealing (default) — lock-free dependency resolution over per-worker
+//     Chase–Lev deques (support/work_queue.hpp): the last atomic decrement of
+//     a task's dependency counter pushes it straight onto the releasing
+//     worker's deque, ready batches are pushed in critical-path priority
+//     order (factor/scheduler.hpp), and BMODs into one destination block are
+//     drained in batches that accumulate in per-worker scratch and take the
+//     destination's lock once per batch (aggregated scatter — the
+//     shared-memory analogue of the paper's fan-out update aggregation).
+//     Factor blocks live in one pooled arena (numeric_factor.hpp), first-
+//     touch initialized in parallel. See docs/PARALLEL_EXECUTOR.md.
 //
 //   kGlobalQueue — the seed executor: one global mutex+condvar FIFO and
 //     whole BMODs under the destination lock. Kept as the benchmark baseline
@@ -24,26 +29,113 @@
 // floating-point summation order (updates may apply in any order).
 #pragma once
 
+#include <atomic>
+#include <memory>
+#include <vector>
+
 #include "blocks/block_structure.hpp"
 #include "blocks/task_graph.hpp"
 #include "factor/numeric_factor.hpp"
+#include "factor/scheduler.hpp"
 #include "graph/graph.hpp"
+#include "linalg/dense_matrix.hpp"
 #include "support/types.hpp"
 
 namespace spc {
+
+// Per-worker phase breakdown of one parallel factorization. Filled when
+// ParallelFactorOptions::profile is set, or collected and dumped as JSON to
+// stderr (or $SPC_PROFILE_OUT) when the environment sets SPC_PROFILE=1.
+struct ParallelProfile {
+  struct Worker {
+    double bfac_s = 0;          // time in potrf (BFAC)
+    double bdiv_s = 0;          // time in trsm (BDIV)
+    double bmod_compute_s = 0;  // BMOD GEMMs into scratch (no lock held)
+    double scatter_s = 0;       // scatters + the per-batch locked apply
+    double init_s = 0;          // first-touch arena init (zero + A scatter)
+    double idle_s = 0;          // time inside the scheduler (pop/steal/park)
+    i64 bfacs = 0, bdivs = 0, mods = 0, batches = 0;
+  };
+  std::vector<Worker> workers;
+  double wall_s = 0;
+  i64 steals = 0;
+
+  Worker total() const;  // element-wise sum over workers
+};
+
+// Reusable execution state for repeated factorizations of one analyzed plan
+// (one BlockStructure + TaskGraph): critical-path priorities, the
+// mods-by-source CSR, the arena layout, scratch high-water sizes, and the
+// atomic counter arrays. Constructing it is O(plan); prepare_run() between
+// factorizations only re-initializes counters and allocates nothing, so a
+// solver that factorizes the same structure repeatedly (e.g. per time step)
+// pays the set-up cost once. Not thread-safe: one workspace drives one
+// factorization at a time.
+struct ParallelWorkspace {
+  ParallelWorkspace(const BlockStructure& bs, const TaskGraph& tg);
+  ParallelWorkspace(const ParallelWorkspace&) = delete;
+  ParallelWorkspace& operator=(const ParallelWorkspace&) = delete;
+
+  const BlockStructure* bs;
+  const TaskGraph* tg;
+
+  // --- static per-plan data (computed once in the constructor) -------------
+  TaskPriorities prio;
+  std::vector<i64> dest_prio;  // per block: max critical-path height of the
+                               // BMODs into it (drain-task steal priority)
+  std::vector<i64> src_ptr;    // CSR of mods by source block id
+  std::vector<i64> src_mods;
+  BlockArenaLayout layout;     // pooled factor storage layout
+  i64 max_update_elems = 0;    // high-water GEMM scratch (elements)
+  i64 max_block_elems = 0;     // high-water destination block (elements)
+
+  // --- per-run state (allocated once, re-initialized by prepare_run) -------
+  std::unique_ptr<std::atomic<i64>[]> deps;       // per block: pending mods
+  std::unique_ptr<std::atomic<int>[]> pending;    // per mod: sources left
+  std::unique_ptr<std::atomic<i64>[]> mod_next;   // per mod: dest-list link
+  std::unique_ptr<std::atomic<i64>[]> dest_head;  // per block: ready-mod list
+  std::unique_ptr<std::atomic<int>[]> dest_state; // per block: drain flag
+  BlockLocks locks;
+
+  // Per-worker scratch, persisted across runs and reserved to the high-water
+  // sizes above, so steady-state BMODs of repeated factorizations allocate
+  // nothing.
+  struct WorkerScratch {
+    DenseMatrix update;         // one BMOD's GEMM result
+    DenseMatrix accum;          // aggregated updates into one destination
+    std::vector<idx> rel_rows;  // scatter row map
+    std::vector<i64> ready;     // ready-task batch buffer
+  };
+  std::vector<WorkerScratch> scratch;
+
+  // Re-initializes the atomic counters for a fresh run and grows the
+  // per-worker scratch to `num_threads` entries (existing entries, and any
+  // run with the same or fewer threads, reuse their buffers).
+  void prepare_run(int num_threads);
+};
 
 struct ParallelFactorOptions {
   int num_threads = 0;  // 0 = std::thread::hardware_concurrency()
 
   enum class Scheduler {
-    kWorkStealing,  // per-worker deques + critical-path priority stealing
+    kWorkStealing,  // lock-free deques + aggregated scatters (default)
     kGlobalQueue,   // seed implementation: single global FIFO
   };
   Scheduler scheduler = Scheduler::kWorkStealing;
+
+  // When non-null, filled with the per-worker phase breakdown of this run
+  // (work-stealing scheduler only). Independently, SPC_PROFILE=1 in the
+  // environment dumps the same data as JSON.
+  ParallelProfile* profile = nullptr;
 };
 
+// Factors `a` over the given block structure / task graph. When `ws` is
+// non-null it must have been constructed from the same (bs, tg) and is
+// reused across calls (no per-call analysis or scratch allocation);
+// otherwise a temporary workspace is built internally.
 BlockFactor block_factorize_parallel(const SymSparse& a, const BlockStructure& bs,
                                      const TaskGraph& tg,
-                                     const ParallelFactorOptions& opt = {});
+                                     const ParallelFactorOptions& opt = {},
+                                     ParallelWorkspace* ws = nullptr);
 
 }  // namespace spc

@@ -1,14 +1,83 @@
 #include "support/work_queue.hpp"
 
-#include <algorithm>
+#include <limits>
+#include <utility>
 
 #include "support/error.hpp"
 
 namespace spc {
+namespace {
+constexpr i64 kInitialCap = 64;  // power of two
+}
 
 WorkStealingQueues::WorkStealingQueues(int num_workers)
     : deques_(static_cast<std::size_t>(num_workers)) {
   SPC_CHECK(num_workers >= 1, "WorkStealingQueues: need at least one worker");
+  for (Deque& d : deques_) {
+    d.buffers.push_back(std::make_unique<Buffer>(kInitialCap));
+    d.buf.store(d.buffers.back().get(), std::memory_order_relaxed);
+  }
+}
+
+void WorkStealingQueues::push_bottom(Deque& d, i64 id) {
+  const i64 b = d.bottom.load(std::memory_order_relaxed);
+  const i64 t = d.top.load(std::memory_order_acquire);
+  Buffer* a = d.buf.load(std::memory_order_relaxed);
+  if (b - t >= a->cap) {
+    // Full: copy the live range [t, b) into a buffer twice the size and
+    // publish it. The old buffer is retired but kept alive (a thief may
+    // still read it; the values at live positions are unchanged, and its
+    // top CAS validates whatever it read).
+    auto grown = std::make_unique<Buffer>(a->cap * 2);
+    for (i64 i = t; i < b; ++i) {
+      grown->cells[i & grown->mask].store(
+          a->cells[i & a->mask].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    a = grown.get();
+    d.buffers.push_back(std::move(grown));
+    d.buf.store(a, std::memory_order_release);
+  }
+  a->cells[b & a->mask].store(id, std::memory_order_relaxed);
+  // Release: a thief that acquires this bottom value also sees the cell.
+  d.bottom.store(b + 1, std::memory_order_release);
+}
+
+bool WorkStealingQueues::pop_bottom(Deque& d, i64& id) {
+  const i64 b = d.bottom.load(std::memory_order_relaxed) - 1;
+  Buffer* a = d.buf.load(std::memory_order_relaxed);
+  // Publish the intent to take the bottom task BEFORE reading top (seq_cst
+  // store/load pair): either a racing thief sees the reduced bottom and
+  // backs off, or we see its advanced top and fall into the CAS arbitration.
+  d.bottom.store(b, std::memory_order_seq_cst);
+  i64 t = d.top.load(std::memory_order_seq_cst);
+  if (t > b) {  // empty
+    d.bottom.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+  id = a->cells[b & a->mask].load(std::memory_order_relaxed);
+  if (t == b) {
+    // Last task: exactly one of owner/thief wins the top CAS.
+    const bool won = d.top.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    d.bottom.store(b + 1, std::memory_order_relaxed);
+    return won;
+  }
+  return true;
+}
+
+bool WorkStealingQueues::steal_top(Deque& v, i64& id) {
+  i64 t = v.top.load(std::memory_order_seq_cst);
+  const i64 b = v.bottom.load(std::memory_order_seq_cst);
+  if (t >= b) return false;
+  Buffer* a = v.buf.load(std::memory_order_acquire);
+  const i64 cell = a->cells[t & a->mask].load(std::memory_order_relaxed);
+  if (!v.top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed)) {
+    return false;  // lost the race; caller moves on
+  }
+  id = cell;
+  return true;
 }
 
 void WorkStealingQueues::push(int worker, WorkItem item) {
@@ -16,44 +85,54 @@ void WorkStealingQueues::push(int worker, WorkItem item) {
   // fails its scan but then sees queued_ > 0 retries instead of sleeping,
   // so the counter may only over-promise, never under-promise.
   queued_.fetch_add(1);
-  {
-    Deque& d = deques_[static_cast<std::size_t>(worker)];
-    LockGuard lock(d.m);
-    d.items.push_back(item);
-  }
+  Deque& d = deques_[static_cast<std::size_t>(worker)];
+  push_bottom(d, item.id);
+  d.prio_hint.store(item.priority, std::memory_order_relaxed);
   if (sleepers_.load() > 0) {
     LockGuard lock(sleep_mutex_);
     sleep_cv_.notify_one();
   }
 }
 
-bool WorkStealingQueues::try_pop_local(int worker, WorkItem& out) {
-  Deque& d = deques_[static_cast<std::size_t>(worker)];
-  LockGuard lock(d.m);
-  if (d.items.empty()) return false;
-  out = d.items.back();
-  d.items.pop_back();
-  queued_.fetch_sub(1);
-  return true;
-}
-
 bool WorkStealingQueues::try_steal(int thief, WorkItem& out) {
   const int n = num_workers();
+  if (n == 1) return false;
+  i64 id = 0;
+  // Victim selection by priority hint: prefer the deque advertising the most
+  // critical recently-pushed work. The hint is heuristic (relaxed, may be
+  // stale) — it orders the attempts, the top CAS guarantees correctness.
+  int best = -1;
+  i64 best_prio = std::numeric_limits<i64>::min();
   for (int off = 1; off < n; ++off) {
-    Deque& d = deques_[static_cast<std::size_t>((thief + off) % n)];
-    LockGuard lock(d.m);
-    if (d.items.empty()) continue;
-    // Steal the most critical task; among equal priorities take the oldest
-    // (lowest index), which is also the victim's coldest cache-wise.
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < d.items.size(); ++i) {
-      if (d.items[i].priority > d.items[best].priority) best = i;
+    const int v = (thief + off) % n;
+    Deque& d = deques_[static_cast<std::size_t>(v)];
+    if (d.bottom.load(std::memory_order_relaxed) -
+            d.top.load(std::memory_order_relaxed) <=
+        0) {
+      continue;
     }
-    out = d.items[best];
-    d.items.erase(d.items.begin() + static_cast<std::ptrdiff_t>(best));
+    const i64 p = d.prio_hint.load(std::memory_order_relaxed);
+    if (best < 0 || p > best_prio) {
+      best_prio = p;
+      best = v;
+    }
+  }
+  if (best >= 0 && steal_top(deques_[static_cast<std::size_t>(best)], id)) {
     queued_.fetch_sub(1);
     steals_.fetch_add(1, std::memory_order_relaxed);
+    out = WorkItem{id, 0};
     return true;
+  }
+  // Ring-order fallback: any task beats idling.
+  for (int off = 1; off < n; ++off) {
+    const int v = (thief + off) % n;
+    if (v == best) continue;
+    if (steal_top(deques_[static_cast<std::size_t>(v)], id)) {
+      queued_.fetch_sub(1);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      out = WorkItem{id, 0};
+      return true;
+    }
   }
   return false;
 }
@@ -61,7 +140,12 @@ bool WorkStealingQueues::try_steal(int thief, WorkItem& out) {
 bool WorkStealingQueues::acquire(int worker, WorkItem& out) {
   for (;;) {
     if (done_.load()) return false;
-    if (try_pop_local(worker, out)) return true;
+    i64 id = 0;
+    if (pop_bottom(deques_[static_cast<std::size_t>(worker)], id)) {
+      queued_.fetch_sub(1);
+      out = WorkItem{id, 0};
+      return true;
+    }
     if (try_steal(worker, out)) return true;
     // Register as a sleeper BEFORE re-checking queued_: a pusher increments
     // queued_ before reading sleepers_, so either it sees us (and notifies

@@ -1,25 +1,35 @@
-// Work-stealing task queues for the shared-memory parallel executor.
+// Lock-free work-stealing task queues for the shared-memory parallel
+// executor.
 //
-// Each worker owns a deque: new tasks are pushed and popped at the top
-// (LIFO, so a worker keeps chasing the data it just produced), while idle
-// workers steal from other deques by *priority* — a thief scans the victim's
-// deque and removes the most critical task (ties broken toward the bottom,
-// i.e. FIFO among equals). Priorities are critical-path heights of the task
-// DAG (see factor/scheduler.hpp), so the dependency spine is never starved
-// behind bulk work.
+// Each worker owns a Chase–Lev deque (Chase & Lev, SPAA'05; memory orders
+// after Lê et al., PPoPP'13): the owner pushes and pops at the bottom with
+// plain atomic stores, thieves remove the oldest task at the top with a
+// single CAS. No mutex guards any deque — a task release is a cell store
+// plus one release store of the bottom index, and the only lock in the
+// subsystem is the sleep mutex, touched exclusively when a worker parks or
+// a pusher must wake one.
 //
-// Deques are guarded by small per-deque mutexes: the local fast path takes
-// one uncontended lock, and thieves never touch a global structure. Idle
-// workers park on a condition variable; the wake protocol (seq_cst counter
-// of queued tasks + registered-sleeper count, notify under the sleep mutex)
-// is lost-wakeup-free — see docs/PARALLEL_EXECUTOR.md for the argument.
+// Priorities (critical-path heights from factor/scheduler.hpp) steer the
+// schedule two ways: owners push ready batches in ascending priority order,
+// so the LIFO end always pops the most critical task next; and each deque
+// publishes a priority hint of its most recently pushed task, which thieves
+// use to pick the victim holding the most critical work. A thief then takes
+// the victim's *oldest* task — stealing from the opposite end never pulls
+// the critical task out from under the owner that is about to run it.
 //
-// Lock discipline is statically checked: the deque contents are GUARDED_BY
-// their mutex and a clang -DSPC_ANALYZE=ON build verifies every access
-// (see support/thread_annotations.hpp).
+// Deque capacity grows by doubling; retired buffers stay alive until the
+// queue set is destroyed, so a thief holding a stale buffer pointer always
+// reads valid (if superseded) memory — the top CAS rejects any task that was
+// concurrently taken.
+//
+// The park/wake protocol is unchanged from the mutex version and remains
+// lost-wakeup-free: a seq_cst counter of queued tasks plus a registered-
+// sleeper count, with notifies under the sleep mutex. See
+// docs/PARALLEL_EXECUTOR.md for the interleaving argument.
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <vector>
 
 #include "support/thread_annotations.hpp"
@@ -39,13 +49,16 @@ class WorkStealingQueues {
   int num_workers() const { return static_cast<int>(deques_.size()); }
 
   // Pushes onto `worker`'s deque (LIFO end) and wakes a sleeper if any.
-  // Any thread may push to any deque (the executor seeds all deques before
-  // the workers start, and workers push to their own).
+  // Owner-only at runtime: once the workers are running, only worker
+  // `worker` itself may push to its deque (the lock-free owner push is the
+  // point of the structure). The executor seeds all deques from the spawning
+  // thread before any worker starts, which is safe because nothing runs
+  // concurrently yet.
   void push(int worker, WorkItem item);
 
   // Blocking acquire for `worker`: own deque first (LIFO), then steal the
-  // highest-priority task from another deque, else sleep until work arrives.
-  // Returns false once shutdown() has been called.
+  // oldest task from the victim advertising the most critical work, else
+  // sleep until work arrives. Returns false once shutdown() has been called.
   bool acquire(int worker, WorkItem& out);
 
   // Wakes every sleeper and makes all subsequent/blocked acquire() calls
@@ -56,12 +69,34 @@ class WorkStealingQueues {
   i64 steals() const { return steals_.load(std::memory_order_relaxed); }
 
  private:
-  struct alignas(64) Deque {
-    Mutex m;
-    std::vector<WorkItem> items SPC_GUARDED_BY(m);
+  // Growable circular buffer of task ids. Cells are relaxed atomics: a thief
+  // may read a cell that the owner concurrently republishes, but the top CAS
+  // only lets the read count if the slot was still live, per Chase–Lev.
+  struct Buffer {
+    explicit Buffer(i64 capacity)
+        : cap(capacity),
+          mask(capacity - 1),
+          cells(std::make_unique<std::atomic<i64>[]>(
+              static_cast<std::size_t>(capacity))) {}
+    i64 cap;
+    i64 mask;  // cap is a power of two
+    std::unique_ptr<std::atomic<i64>[]> cells;
   };
 
-  bool try_pop_local(int worker, WorkItem& out);
+  struct alignas(64) Deque {
+    std::atomic<i64> top{0};
+    std::atomic<i64> bottom{0};
+    std::atomic<Buffer*> buf{nullptr};
+    std::atomic<i64> prio_hint{0};  // priority of the last pushed item
+    // Owner-only: current + retired buffers (kept so stale thief reads stay
+    // in bounds). Guarded by quiescence, not a lock: only the owner mutates.
+    std::vector<std::unique_ptr<Buffer>> buffers;
+  };
+
+  void push_bottom(Deque& d, i64 id);
+  bool pop_bottom(Deque& d, i64& id);
+  // One steal attempt from deque `v`; returns false on empty or lost race.
+  bool steal_top(Deque& v, i64& id);
   bool try_steal(int thief, WorkItem& out);
 
   std::vector<Deque> deques_;

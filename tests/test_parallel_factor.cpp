@@ -146,6 +146,135 @@ TEST(ParallelFactor, StressAllThreadCountsMatchSequential) {
   }
 }
 
+double max_factor_diff(const BlockFactor& seq, const BlockFactor& par) {
+  double max_diff = 0.0;
+  for (std::size_t j = 0; j < seq.diag.size(); ++j) {
+    DenseMatrix d = seq.diag[j];
+    d.axpy(-1.0, par.diag[j]);
+    max_diff = std::max(max_diff, d.norm());
+  }
+  for (std::size_t e = 0; e < seq.offdiag.size(); ++e) {
+    DenseMatrix d = seq.offdiag[e];
+    d.axpy(-1.0, par.offdiag[e]);
+    max_diff = std::max(max_diff, d.norm());
+  }
+  return max_diff;
+}
+
+// Stress the aggregated-scatter and arena paths specifically: a regular 3-D
+// cube and an irregular LP normal-equations matrix (the two families of the
+// paper's test set), every thread count 1..8, all runs through ONE reused
+// workspace, each compared against the serial right-looking reference.
+// Exercises multi-mod drain batches (cube supernodes receive many updates),
+// single-mod direct scatters, and first-touch arena init under every worker
+// count. Runs under tsan via the test binary's ctest label.
+TEST(ParallelFactor, StressAggregatedScatterCubeAndLpAllThreadCounts) {
+  struct Case {
+    const char* name;
+    SymSparse a;
+  };
+  LpGenOptions lp;
+  lp.n = 700;
+  lp.mean_overlap = 40;
+  lp.hubs = 12;
+  lp.hub_span = 0.05;
+  Case cases[] = {{"CUBE7", make_grid3d(7, 7, 7)},
+                  {"LP700", make_lp_normal_equations(lp)}};
+  for (const Case& c : cases) {
+    SolverOptions opt;
+    opt.block_size = 16;  // small blocks => deep graph, many mods per dest
+    SparseCholesky chol = SparseCholesky::analyze(c.a, opt);
+    const BlockFactor seq =
+        block_factorize(chol.permuted_matrix(), chol.structure());
+    ParallelWorkspace ws(chol.structure(), chol.task_graph());
+    for (int threads = 1; threads <= 8; ++threads) {
+      const BlockFactor par = block_factorize_parallel(
+          chol.permuted_matrix(), chol.structure(), chol.task_graph(),
+          ParallelFactorOptions{threads}, &ws);
+      ASSERT_EQ(seq.diag.size(), par.diag.size());
+      ASSERT_EQ(seq.offdiag.size(), par.offdiag.size());
+      EXPECT_LT(max_factor_diff(seq, par), 1e-8)
+          << c.name << " threads=" << threads;
+      EXPECT_LT(factor_residual_probe(chol.permuted_matrix(), par), 1e-10)
+          << c.name << " threads=" << threads;
+    }
+  }
+}
+
+// With one worker there is no scheduling nondeterminism: the deque drains in
+// a fixed order, so repeated 1-thread runs must agree BIT FOR BIT. (At >1
+// threads only a tolerance can hold — update order depends on the schedule
+// and floating-point addition does not commute across orders.)
+TEST(ParallelFactor, SingleThreadRunsAreBitwiseDeterministic) {
+  const SymSparse a = make_grid3d(6, 6, 6);
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  ParallelWorkspace ws(chol.structure(), chol.task_graph());
+  const auto run = [&] {
+    return block_factorize_parallel(chol.permuted_matrix(), chol.structure(),
+                                    chol.task_graph(),
+                                    ParallelFactorOptions{1}, &ws);
+  };
+  const BlockFactor f1 = run();
+  const BlockFactor f2 = run();
+  for (std::size_t j = 0; j < f1.diag.size(); ++j) {
+    const DenseMatrix& x = f1.diag[j];
+    const DenseMatrix& y = f2.diag[j];
+    for (idx c = 0; c < x.cols(); ++c) {
+      for (idx r = c; r < x.rows(); ++r) {
+        ASSERT_EQ(x(r, c), y(r, c)) << "diag " << j;
+      }
+    }
+  }
+  for (std::size_t e = 0; e < f1.offdiag.size(); ++e) {
+    const DenseMatrix& x = f1.offdiag[e];
+    const DenseMatrix& y = f2.offdiag[e];
+    for (idx c = 0; c < x.cols(); ++c) {
+      for (idx r = 0; r < x.rows(); ++r) {
+        ASSERT_EQ(x(r, c), y(r, c)) << "offdiag " << e;
+      }
+    }
+  }
+}
+
+// The profile's task tallies are exact invariants of the task graph: every
+// block completes once, and every BMOD is released and drained exactly once
+// no matter how drains batch up.
+TEST(ParallelFactor, ProfileCountsMatchTaskGraph) {
+  const SymSparse a = make_grid3d(6, 6, 6);
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  const TaskGraph& tg = chol.task_graph();
+  for (int threads : {1, 4}) {
+    ParallelProfile prof;
+    ParallelFactorOptions popt{threads};
+    popt.profile = &prof;
+    const BlockFactor f = block_factorize_parallel(
+        chol.permuted_matrix(), chol.structure(), tg, popt);
+    ASSERT_EQ(static_cast<int>(prof.workers.size()), threads);
+    const ParallelProfile::Worker t = prof.total();
+    EXPECT_EQ(t.bfacs, static_cast<i64>(chol.structure().num_block_cols()));
+    EXPECT_EQ(t.bfacs + t.bdivs, tg.num_blocks());
+    EXPECT_EQ(t.mods, static_cast<i64>(tg.mods.size()));
+    EXPECT_LE(t.batches, t.mods);
+    EXPECT_GT(prof.wall_s, 0.0);
+    EXPECT_LT(factor_residual_probe(chol.permuted_matrix(), f), 1e-10);
+  }
+}
+
+// The facade caches its workspace: repeated factorize_parallel() calls on
+// one analyzed object must keep producing a correct factor (and exercise the
+// prepare_run / arena re-attach path rather than a fresh workspace).
+TEST(ParallelFactor, FacadeRepeatedFactorizeReusesWorkspace) {
+  const SymSparse a = make_grid2d(14, 11);
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  Rng rng(7);
+  std::vector<double> b(static_cast<std::size_t>(a.num_rows()));
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  for (int run = 0; run < 3; ++run) {
+    chol.factorize_parallel(run + 1);
+    EXPECT_LT(solve_residual(a, chol.solve(b), b), 1e-10) << run;
+  }
+}
+
 TEST(ParallelFactor, RepeatedRunsDeterministicStructure) {
   // Values may differ in last bits across runs (scheduling), but the
   // residual must always be tiny — run several times to shake out races.

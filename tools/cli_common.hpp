@@ -52,6 +52,26 @@ inline Args parse_args(int argc, char** argv, const std::string& usage,
   return a;
 }
 
+// Parses "4" or "1,2,4,8" (any non-digit separates); used by flags that
+// accept either a single value or a sweep list, e.g. --threads N[,N...].
+inline std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  int v = 0;
+  bool in_num = false;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+      v = v * 10 + (s[i] - '0');
+      in_num = true;
+    } else {
+      if (in_num) out.push_back(v);
+      v = 0;
+      in_num = false;
+    }
+  }
+  SPC_CHECK(!out.empty(), "expected an integer list, got: " + s);
+  return out;
+}
+
 inline bool ends_with(const std::string& s, const std::string& suf) {
   return s.size() >= suf.size() &&
          s.compare(s.size() - suf.size(), suf.size(), suf) == 0;

@@ -4,7 +4,8 @@
 //   spc solve    <matrix> [--ordering ...] [--refine]
 //   spc simulate <matrix> [--procs P] [--rows CY|DW|IN|DN|ID] [--cols ...]
 //                [--no-domains] [--priority] [--timeline]
-//   spc engines  <matrix> [--threads N]
+//   spc engines  <matrix> [--threads N[,N...]]   (a list sweeps the parallel
+//                executor over the thread counts and prints a timing table)
 //   spc suite    [--scale small|medium|full]
 //
 // <matrix> is a MatrixMarket (.mtx) or Harwell-Boeing (.rsa/.rb/.psa) file,
@@ -104,7 +105,8 @@ int cmd_simulate(const Args& args) {
 int cmd_engines(const Args& args) {
   const Loaded m = load_matrix(args);
   const SparseCholesky chol = analyze_from_args(args, m);
-  const int threads = std::stoi(args.get("threads", "4"));
+  const std::vector<int> threads_list =
+      cli::parse_int_list(args.get("threads", "4"));
   std::printf("%s: comparing numeric engines (%d equations, %.1f Mops)\n",
               m.name.c_str(), m.a.num_rows(),
               static_cast<double>(chol.factor_flops_exact()) / 1e6);
@@ -127,13 +129,28 @@ int cmd_engines(const Args& args) {
     return block_factorize_multifrontal(chol.permuted_matrix(), chol.structure(),
                                         chol.symbolic());
   });
-  char label[64];
-  std::snprintf(label, sizeof(label), "parallel (%d threads)", threads);
-  timed(label, [&] {
-    return block_factorize_parallel(chol.permuted_matrix(), chol.structure(),
-                                    chol.task_graph(),
-                                    ParallelFactorOptions{threads});
-  });
+  // Thread sweep over the parallel executor, reusing one workspace so only
+  // the first run pays the plan/scratch set-up.
+  ParallelWorkspace ws(chol.structure(), chol.task_graph());
+  double t1 = 0;
+  for (int threads : threads_list) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const BlockFactor f = block_factorize_parallel(
+        chol.permuted_matrix(), chol.structure(), chol.task_graph(),
+        ParallelFactorOptions{threads}, &ws);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (threads == threads_list.front()) t1 = secs * threads_list.front();
+    char label[64];
+    std::snprintf(label, sizeof(label), "parallel (%d threads)", threads);
+    std::printf("  %-22s %8.3f s   residual %.1e", label, secs,
+                factor_residual_probe(chol.permuted_matrix(), f));
+    if (threads_list.size() > 1 && secs > 0) {
+      std::printf("   efficiency %.2f", t1 / (secs * threads));
+    }
+    std::printf("\n");
+  }
   std::printf("  multifrontal peak working set: %.1f MB\n",
               static_cast<double>(multifrontal_peak_entries(chol.symbolic())) * 8 /
                   1e6);
