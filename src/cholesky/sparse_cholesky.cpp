@@ -53,6 +53,7 @@ SparseCholesky SparseCholesky::analyze_ordered(const SymSparse& a,
             "analyze_ordered: permutation size mismatch");
   SPC_CHECK(opt.block_size >= 1, "analyze_ordered: block_size must be >= 1");
   SparseCholesky chol;
+  chol.opt_ = opt;
 
   // Apply the fill ordering, then postorder the elimination tree so that
   // supernodes and subtrees are contiguous (required by the block partition
@@ -100,7 +101,12 @@ check::Report SparseCholesky::check_plan(const ParallelPlan& plan) const {
   return check::check_plan(bs_, tg_, plan.domains, plan.map, plan.balance);
 }
 
-void SparseCholesky::factorize() { factor_ = block_factorize(a_perm_, bs_); }
+void SparseCholesky::factorize() {
+  FactorizeOptions fopt;
+  fopt.pivot_policy = opt_.pivot_policy;
+  fopt.pivot_delta = opt_.pivot_delta;
+  factor_ = block_factorize(a_perm_, bs_, fopt, &info_);
+}
 
 void SparseCholesky::factorize_parallel(int num_threads) {
   // The workspace pins the addresses of bs_/tg_; rebuild if this object was
@@ -110,6 +116,9 @@ void SparseCholesky::factorize_parallel(int num_threads) {
   }
   ParallelFactorOptions opt;
   opt.num_threads = num_threads;
+  opt.pivot_policy = opt_.pivot_policy;
+  opt.pivot_delta = opt_.pivot_delta;
+  opt.info = &info_;
   factor_ = block_factorize_parallel(a_perm_, bs_, tg_, opt, pws_.get());
 }
 
@@ -127,7 +136,11 @@ std::vector<double> SparseCholesky::solve(const std::vector<double>& b) const {
   for (std::size_t k = 0; k < b.size(); ++k) {
     pb[k] = b[static_cast<std::size_t>(perm_[k])];
   }
-  const std::vector<double> px = block_solve(*factor_, pb);
+  std::vector<double> px = block_solve(*factor_, pb);
+  // A perturbed factor is the exact factor of A + E with ||E|| on the order
+  // of the pivot threshold; one refinement step against the *unperturbed* A
+  // recovers working accuracy for the typical tiny-pivot case.
+  if (info_.perturbed_pivots > 0) refine_once(a_perm_, *factor_, pb, px);
   std::vector<double> x(b.size());
   for (std::size_t k = 0; k < b.size(); ++k) {
     x[static_cast<std::size_t>(perm_[k])] = px[k];

@@ -49,6 +49,13 @@ struct SolverOptions {
   idx block_size = 48;  // the paper's B
   bool amalgamate = true;
   AmalgamationOptions amalgamation;
+
+  // Pivot handling for the numeric phase (factor/numeric_factor.hpp):
+  // kStrict throws Error(kNotPositiveDefinite) at the first failing pivot;
+  // kPerturb boosts failing pivots to pivot_delta * max|diag(A)| and
+  // records them in factorize_info(). See docs/ROBUSTNESS.md.
+  PivotPolicy pivot_policy = PivotPolicy::kStrict;
+  double pivot_delta = kDefaultPivotDelta;
 };
 
 // A processor count + block mapping + domain decomposition, with the load
@@ -80,6 +87,13 @@ class SparseCholesky {
   // same analyzed structure re-plan and allocate nothing.
   void factorize_parallel(int num_threads = 0);
   bool factorized() const { return factor_.has_value(); }
+
+  // Perturbation/breakdown accounting of the most recent factorize() /
+  // factorize_parallel() call (zeroed before each run). Under kPerturb,
+  // perturbed_pivots / perturbed_cols report the boosted pivots; under
+  // kStrict the call throws instead and breakdown_col carries the failing
+  // column in the thrown Error's context.
+  const FactorizeInfo& factorize_info() const { return info_; }
 
   // Solves A x = b in the ORIGINAL row/column order of the input matrix.
   std::vector<double> solve(const std::vector<double>& b) const;
@@ -143,6 +157,8 @@ class SparseCholesky {
   TaskGraph tg_;
   i64 factor_nnz_ = 0;
   i64 factor_flops_ = 0;
+  SolverOptions opt_;
+  FactorizeInfo info_;
   std::optional<BlockFactor> factor_;
   // Cached parallel execution state; (re)built lazily by factorize_parallel
   // whenever it does not match the current bs_/tg_ addresses (e.g. after the

@@ -4,18 +4,31 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace spc {
 namespace {
 
 // Factors the leading `w` columns of the dense lower front F (full height)
 // and applies their Schur update to the trailing (n-w) x (n-w) lower block.
-void partial_cholesky(DenseMatrix& f, idx w) {
+// Pivots failing the control's test are replaced (boosted) rather than
+// thrown on; their front-local columns are appended to `adjusted` and the
+// first bad value recorded — the caller applies the policy (throw under
+// kStrict, account under kPerturb).
+void partial_cholesky(DenseMatrix& f, idx w, const PivotControl& pc,
+                      std::vector<idx>& adjusted, double* first_bad) {
   const idx n = f.rows();
+  const double thresh = pc.policy == PivotPolicy::kPerturb ? pc.boost : 0.0;
+  const double repl =
+      pc.policy == PivotPolicy::kPerturb && pc.boost > 0.0 ? pc.boost : 1.0;
   for (idx j = 0; j < w; ++j) {
     double d = f(j, j);
     for (idx k = 0; k < j; ++k) d -= f(j, k) * f(j, k);
-    SPC_CHECK(d > 0.0, "multifrontal: front pivot failed (matrix not SPD)");
+    if (!(d > thresh)) {
+      if (adjusted.empty() && first_bad != nullptr) *first_bad = d;
+      adjusted.push_back(j);
+      d = repl;
+    }
     d = std::sqrt(d);
     f(j, j) = d;
     const double inv = 1.0 / d;
@@ -41,7 +54,10 @@ void partial_cholesky(DenseMatrix& f, idx w) {
 }  // namespace
 
 BlockFactor block_factorize_multifrontal(const SymSparse& a, const BlockStructure& bs,
-                                         const SymbolicFactor& sf) {
+                                         const SymbolicFactor& sf,
+                                         const FactorizeOptions& opt,
+                                         FactorizeInfo* info) {
+  if (info != nullptr) info->reset();
   SPC_CHECK(bs.part.num_cols() == sf.sn.num_cols(),
             "multifrontal: structure/symbolic mismatch");
   const idx num_sn = sf.num_supernodes();
@@ -67,6 +83,9 @@ BlockFactor block_factorize_multifrontal(const SymSparse& a, const BlockStructur
   std::vector<DenseMatrix> update(static_cast<std::size_t>(num_sn));
   std::vector<idx> rel;
   DenseMatrix front;
+  const PivotControl pc = make_pivot_control(a, opt);
+  std::vector<idx> adjusted;        // front-local failing columns, per front
+  std::vector<idx> perturbed_cols;  // global, across the whole sweep
 
   // Blocks of a supernode are contiguous in block index.
   std::vector<idx> first_block(static_cast<std::size_t>(num_sn) + 1, 0);
@@ -124,7 +143,23 @@ BlockFactor block_factorize_multifrontal(const SymSparse& a, const BlockStructur
       u.resize(0, 0);
     }
 
-    partial_cholesky(front, w);
+    SPC_FAULT_POINT(fault::Site::kKernel, s, "multifrontal front factor");
+    adjusted.clear();
+    double first_bad = 0.0;
+    partial_cholesky(front, w, pc, adjusted, &first_bad);
+    if (!adjusted.empty()) {
+      if (pc.policy == PivotPolicy::kStrict) {
+        const idx col = first + adjusted.front();
+        ErrorContext ctx;
+        ctx.column = col;
+        ctx.supernode = s;
+        ctx.block_i = ctx.block_j = bs.part.block_of_col[col];
+        ctx.pivot = first_bad;
+        ctx.has_pivot = true;
+        throw_not_spd("factorize: matrix is not positive definite", ctx);
+      }
+      for (const idx local : adjusted) perturbed_cols.push_back(first + local);
+    }
 
     // Scatter the factored columns into the block storage: each chunk J of
     // this supernode owns front columns [a0, b0) and the rows below them.
@@ -162,6 +197,11 @@ BlockFactor block_factorize_multifrontal(const SymSparse& a, const BlockStructur
       SPC_CHECK(sf.sn_parent[static_cast<std::size_t>(s)] != kNone,
                 "multifrontal: non-root supernode with rows but no parent");
     }
+  }
+  if (info != nullptr) {
+    std::sort(perturbed_cols.begin(), perturbed_cols.end());
+    info->perturbed_cols = perturbed_cols;
+    info->perturbed_pivots = static_cast<i64>(perturbed_cols.size());
   }
   return f;
 }

@@ -20,8 +20,13 @@
 namespace spc {
 
 // `bs` must have been built from `sf` (same supernode partition).
+// Pivot-policy semantics match the other engines (numeric_factor.hpp): the
+// supernodes are processed in ascending column order, so a strict-policy
+// breakdown reports the minimal failing global column.
 BlockFactor block_factorize_multifrontal(const SymSparse& a, const BlockStructure& bs,
-                                         const SymbolicFactor& sf);
+                                         const SymbolicFactor& sf,
+                                         const FactorizeOptions& opt = {},
+                                         FactorizeInfo* info = nullptr);
 
 // Peak number of double entries held simultaneously in frontal/update
 // storage during the multifrontal sweep (the method's working-set metric).

@@ -1,10 +1,12 @@
 #include "factor/numeric_factor.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <new>
 
 #include "linalg/kernels.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace spc {
 namespace {
@@ -25,6 +27,84 @@ void relative_positions(const idx* sub_begin, const idx* sub_end,
 }
 
 }  // namespace
+
+PivotControl make_pivot_control(const SymSparse& a, const FactorizeOptions& opt) {
+  PivotControl pc;
+  pc.policy = opt.pivot_policy;
+  if (opt.pivot_policy == PivotPolicy::kPerturb) {
+    // boost = delta * max|diag(A)|, computed once so every engine and every
+    // schedule applies the identical absolute test.
+    double max_diag = 0.0;
+    const auto& ptr = a.col_ptr();
+    const auto& rows = a.row_idx();
+    const auto& val = a.values();
+    for (idx c = 0; c < a.num_rows(); ++c) {
+      for (i64 k = ptr[static_cast<std::size_t>(c)];
+           k < ptr[static_cast<std::size_t>(c) + 1]; ++k) {
+        if (rows[static_cast<std::size_t>(k)] == c) {
+          max_diag = std::max(max_diag, std::abs(val[static_cast<std::size_t>(k)]));
+          break;
+        }
+      }
+    }
+    pc.boost = opt.pivot_delta * max_diag;
+    // Degenerate scale (zero/NaN diagonal): fall back to an absolute floor
+    // so the boost value stays positive and the factorization can complete.
+    if (!(pc.boost > 0.0)) {
+      pc.boost = opt.pivot_delta > 0.0 ? opt.pivot_delta : kDefaultPivotDelta;
+    }
+  }
+  return pc;
+}
+
+void PivotEnv::on_block_pivots(block_id b, const std::vector<idx>& adjusted,
+                               double first_bad) {
+  const idx first = bs_.part.first_col[static_cast<std::size_t>(b)];
+  if (control_.policy == PivotPolicy::kPerturb) {
+    LockGuard lock(mutex_);
+    for (const idx local : adjusted) perturbed_.push_back(first + local);
+    return;
+  }
+  ErrorContext ctx;
+  ctx.column = first + adjusted.front();
+  ctx.supernode = bs_.part.sn_of_block[static_cast<std::size_t>(b)];
+  ctx.block_i = static_cast<std::int32_t>(b);
+  ctx.block_j = static_cast<std::int32_t>(b);
+  ctx.pivot = first_bad;
+  ctx.has_pivot = true;
+  if (!deferred_) {
+    throw_not_spd("factorize: matrix is not positive definite", ctx);
+  }
+  LockGuard lock(mutex_);
+  if (breakdown_col_ == kNone || ctx.column < breakdown_col_) {
+    breakdown_col_ = ctx.column;
+    breakdown_ctx_ = ctx;
+  }
+}
+
+bool PivotEnv::has_breakdown() const {
+  LockGuard lock(mutex_);
+  return breakdown_col_ != kNone;
+}
+
+void PivotEnv::throw_breakdown() const {
+  ErrorContext ctx;
+  {
+    LockGuard lock(mutex_);
+    SPC_CHECK(breakdown_col_ != kNone, "PivotEnv: no breakdown recorded");
+    ctx = breakdown_ctx_;
+  }
+  throw_not_spd("factorize: matrix is not positive definite", ctx);
+}
+
+void PivotEnv::export_info(FactorizeInfo* info) const {
+  if (info == nullptr) return;
+  LockGuard lock(mutex_);
+  info->perturbed_cols = perturbed_;
+  std::sort(info->perturbed_cols.begin(), info->perturbed_cols.end());
+  info->perturbed_pivots = static_cast<i64>(info->perturbed_cols.size());
+  info->breakdown_col = breakdown_col_;
+}
 
 double BlockFactor::entry(idx r, idx c) const {
   const BlockStructure& bs = *structure;
@@ -70,8 +150,16 @@ namespace {
 std::shared_ptr<double[]> allocate_arena(i64 elems) {
   constexpr std::align_val_t kAlign{64};
   if (elems <= 0) return nullptr;
-  double* p = static_cast<double*>(::operator new[](
-      static_cast<std::size_t>(elems) * sizeof(double), kAlign));
+  SPC_FAULT_POINT(fault::Site::kAlloc, elems, "factor arena allocation");
+  double* p = nullptr;
+  try {
+    p = static_cast<double*>(::operator new[](
+        static_cast<std::size_t>(elems) * sizeof(double), kAlign));
+  } catch (const std::bad_alloc&) {
+    throw Error("factor arena allocation of " + std::to_string(elems) +
+                    " doubles failed",
+                ErrorKind::kResourceExhausted);
+  }
   return std::shared_ptr<double[]>(
       p, [](double* q) { ::operator delete[](q, kAlign); });
 }
@@ -128,7 +216,9 @@ void init_block_column(const SymSparse& a, const BlockStructure& bs, idx j,
     const idx* cursor = nullptr;
     for (i64 k = ptr[static_cast<std::size_t>(c)]; k < ptr[static_cast<std::size_t>(c) + 1]; ++k) {
       const idx r = rowv[static_cast<std::size_t>(k)];
-      const double v = val[static_cast<std::size_t>(k)];
+      const double v = SPC_FAULT_POISON(
+          (static_cast<std::uint64_t>(c) << 32) | static_cast<std::uint32_t>(r),
+          val[static_cast<std::size_t>(k)]);
       if (bs.part.block_of_col[r] == j) {
         f.diag[static_cast<std::size_t>(j)](r - first, cj) = v;
         continue;
@@ -163,6 +253,13 @@ BlockFactor init_block_factor(const SymSparse& a, const BlockStructure& bs) {
 void compute_block_mod(const BlockStructure& bs, const BlockMod& m,
                        const DenseMatrix& src_i, const DenseMatrix& src_j,
                        DenseMatrix& update, std::vector<idx>& rel_rows) {
+  // Key the BMOD injection site on the mod's (dest, src_a, src_b) triple so
+  // the decision is identical across engines and thread counts.
+  SPC_FAULT_POINT(fault::Site::kKernel,
+                  (static_cast<std::uint64_t>(m.dest) << 42) ^
+                      (static_cast<std::uint64_t>(m.src_a) << 21) ^
+                      static_cast<std::uint64_t>(m.src_b),
+                  "BMOD");
   const idx nb = bs.num_block_cols();
   const i64 ei = m.src_a - nb;
   if (gemm_dispatch() == GemmDispatch::kSeedBlocked) {
@@ -300,19 +397,32 @@ void apply_block_mod(const BlockStructure& bs, const TaskGraph& tg,
   apply_block_mod_to(bs, tg, m, li, lj, dest, update, rel_rows);
 }
 
-void complete_block(const BlockStructure& bs, block_id b, BlockFactor& f) {
+void complete_block(const BlockStructure& bs, block_id b, BlockFactor& f,
+                    PivotEnv* pivots) {
   // Under the seed dispatch (benchmark baselines) run the seed's scalar
   // unblocked kernels, so kSeedBlocked reproduces the whole seed compute
   // path: BFAC/BDIV kernels, BMOD kernel and the one-phase scatter.
   const bool seed = gemm_dispatch() == GemmDispatch::kSeedBlocked;
   if (is_diag_block(bs, b)) {
+    SPC_FAULT_POINT(fault::Site::kKernel, b, "BFAC");
     DenseMatrix& d = f.diag[static_cast<std::size_t>(b)];
-    if (seed) {
-      potrf_lower_unblocked(d);  // BFAC
+    if (pivots == nullptr) {
+      if (seed) {
+        potrf_lower_unblocked(d);  // BFAC
+      } else {
+        potrf_lower(d);  // BFAC
+      }
     } else {
-      potrf_lower(d);  // BFAC
+      std::vector<idx> adjusted;
+      double first_bad = 0.0;
+      const idx replaced =
+          seed ? potrf_lower_unblocked_guarded(d, pivots->control(), adjusted,
+                                               &first_bad)
+               : potrf_lower_guarded(d, pivots->control(), adjusted, &first_bad);
+      if (replaced > 0) pivots->on_block_pivots(b, adjusted, first_bad);
     }
   } else {
+    SPC_FAULT_POINT(fault::Site::kKernel, b, "BDIV");
     const i64 e = b - bs.num_block_cols();
     // Recover the owning column of entry e by binary search over blkptr.
     idx lo = 0, hi = bs.num_block_cols();
@@ -334,8 +444,30 @@ void complete_block(const BlockStructure& bs, block_id b, BlockFactor& f) {
   }
 }
 
+namespace {
+
+// BFAC for the serial engines: guarded blocked potrf (arithmetic-identical
+// to potrf_lower on clean SPD input), with failures routed through the
+// run's PivotEnv. Sequential engines complete block columns in ascending
+// order, so the first strict failure is the minimal failing column.
+void bfac_guarded(idx k, BlockFactor& f, PivotEnv& pivots,
+                  std::vector<idx>& adjusted) {
+  SPC_FAULT_POINT(fault::Site::kKernel, k, "BFAC");
+  adjusted.clear();
+  double first_bad = 0.0;
+  if (potrf_lower_guarded(f.diag[static_cast<std::size_t>(k)], pivots.control(),
+                          adjusted, &first_bad) > 0) {
+    pivots.on_block_pivots(k, adjusted, first_bad);
+  }
+}
+
+}  // namespace
+
 BlockFactor block_factorize_left(const SymSparse& a, const BlockStructure& bs,
-                                 const TaskGraph& tg) {
+                                 const TaskGraph& tg,
+                                 const FactorizeOptions& opt,
+                                 FactorizeInfo* info) {
+  if (info != nullptr) info->reset();
   BlockFactor f = init_block_factor(a, bs);
   const idx nb = bs.num_block_cols();
 
@@ -357,6 +489,8 @@ BlockFactor block_factorize_left(const SymSparse& a, const BlockStructure& bs,
 
   DenseMatrix update;
   std::vector<idx> rel_rows;
+  std::vector<idx> adjusted;
+  PivotEnv pivots(bs, make_pivot_control(a, opt), /*deferred=*/false);
   for (idx j = 0; j < nb; ++j) {
     // Pull all updates into column j (their sources live in columns < j and
     // are already complete), then factor the column.
@@ -364,16 +498,20 @@ BlockFactor block_factorize_left(const SymSparse& a, const BlockStructure& bs,
       apply_block_mod(bs, tg, tg.mods[static_cast<std::size_t>(by_dest[static_cast<std::size_t>(k)])],
                       f, update, rel_rows);
     }
-    potrf_lower(f.diag[static_cast<std::size_t>(j)]);
+    bfac_guarded(j, f, pivots, adjusted);
     for (i64 e = bs.blkptr[j]; e < bs.blkptr[j + 1]; ++e) {
+      SPC_FAULT_POINT(fault::Site::kKernel, nb + e, "BDIV");
       trsm_right_ltrans(f.diag[static_cast<std::size_t>(j)],
                         f.offdiag[static_cast<std::size_t>(e)]);
     }
   }
+  pivots.export_info(info);
   return f;
 }
 
-BlockFactor block_factorize(const SymSparse& a, const BlockStructure& bs) {
+BlockFactor block_factorize(const SymSparse& a, const BlockStructure& bs,
+                            const FactorizeOptions& opt, FactorizeInfo* info) {
+  if (info != nullptr) info->reset();
   const TaskGraph tg = build_task_graph(bs);
   BlockFactor f = init_block_factor(a, bs);
   const idx nb = bs.num_block_cols();
@@ -381,10 +519,13 @@ BlockFactor block_factorize(const SymSparse& a, const BlockStructure& bs) {
   // Right-looking sweep: factor column K, then push its updates.
   DenseMatrix update;
   std::vector<idx> rel_rows;
+  std::vector<idx> adjusted;
+  PivotEnv pivots(bs, make_pivot_control(a, opt), /*deferred=*/false);
   std::size_t cursor = 0;
   for (idx k = 0; k < nb; ++k) {
-    potrf_lower(f.diag[static_cast<std::size_t>(k)]);  // BFAC(K,K)
+    bfac_guarded(k, f, pivots, adjusted);  // BFAC(K,K)
     for (i64 e = bs.blkptr[k]; e < bs.blkptr[k + 1]; ++e) {
+      SPC_FAULT_POINT(fault::Site::kKernel, nb + e, "BDIV");
       trsm_right_ltrans(f.diag[static_cast<std::size_t>(k)],
                         f.offdiag[static_cast<std::size_t>(e)]);  // BDIV(I,K)
     }
@@ -394,6 +535,7 @@ BlockFactor block_factorize(const SymSparse& a, const BlockStructure& bs) {
     }
   }
   SPC_CHECK(cursor == tg.mods.size(), "block_factorize: mods not consumed");
+  pivots.export_info(info);
   return f;
 }
 

@@ -16,10 +16,91 @@
 #include "blocks/task_graph.hpp"
 #include "graph/graph.hpp"
 #include "linalg/dense_matrix.hpp"
+#include "linalg/kernels.hpp"
+#include "support/error.hpp"
 #include "support/thread_annotations.hpp"
 #include "support/types.hpp"
 
 namespace spc {
+
+// Per-run pivot handling for the factorization engines. Under kStrict a
+// failed pivot raises Error(kNotPositiveDefinite) carrying the failing
+// global column; under kPerturb, pivots d <= pivot_delta * max|diag(A)| are
+// boosted to that threshold and counted (see docs/ROBUSTNESS.md). All
+// engines — serial right/left-looking, multifrontal, and the parallel
+// executors — implement identical semantics: the same matrix yields the
+// same breakdown column or the same set of perturbed columns everywhere.
+struct FactorizeOptions {
+  PivotPolicy pivot_policy = PivotPolicy::kStrict;
+  double pivot_delta = kDefaultPivotDelta;
+};
+
+// Outcome report for one factorization run.
+struct FactorizeInfo {
+  i64 perturbed_pivots = 0;         // number of boosted pivots (kPerturb)
+  std::vector<idx> perturbed_cols;  // their global (permuted) columns, ascending
+  idx breakdown_col = kNone;        // first failing column (kStrict failure);
+                                    // also carried by the thrown Error
+  void reset() {
+    perturbed_pivots = 0;
+    perturbed_cols.clear();
+    breakdown_col = kNone;
+  }
+};
+
+// Derives the absolute pivot threshold for factoring `a` under `opt`:
+// boost = pivot_delta * max|diag(a)| (computed once per run, so every
+// engine and every schedule applies the identical test).
+PivotControl make_pivot_control(const SymSparse& a, const FactorizeOptions& opt);
+
+// Shared pivot-accounting state for one factorization run. Engines hand a
+// PivotEnv to complete_block, which reports every replaced pivot here.
+// Thread-safe: parallel workers record through the internal mutex (the
+// lock is only ever taken on the failure path, so clean runs pay nothing).
+//
+// Strict-policy semantics differ by engine shape:
+//  - sequential engines (deferred = false): the first failing pivot throws
+//    immediately; since those engines complete block columns in ascending
+//    order, the reported column is the minimal failing column.
+//  - parallel engines (deferred = true): a raced teardown could surface a
+//    non-minimal column (failing blocks may live in disjoint elimination
+//    subtrees), so the executor instead boosts the failing pivot, keeps the
+//    DAG running to completion, records the minimum failing column, and
+//    throws after the join. Every column smaller than the true minimum
+//    factors with its true values, so the reported column matches the
+//    sequential engines exactly.
+class PivotEnv {
+ public:
+  PivotEnv(const BlockStructure& bs, const PivotControl& control, bool deferred)
+      : bs_(bs), control_(control), deferred_(deferred) {}
+
+  const PivotControl& control() const { return control_; }
+
+  // Reports `adjusted` (local columns within diagonal block b, ascending)
+  // as replaced pivots; first_bad is the first failing pivot's value.
+  // Under non-deferred kStrict this throws; otherwise it records.
+  void on_block_pivots(block_id b, const std::vector<idx>& adjusted,
+                       double first_bad);
+
+  // True when a deferred strict breakdown was recorded.
+  bool has_breakdown() const;
+
+  // Throws the recorded (minimum-column) breakdown. Pre: has_breakdown().
+  [[noreturn]] void throw_breakdown() const;
+
+  // Fills *info (sorted perturbation locations, breakdown column). Safe to
+  // call with info == nullptr. Call after all workers have joined.
+  void export_info(FactorizeInfo* info) const;
+
+ private:
+  const BlockStructure& bs_;
+  PivotControl control_;
+  bool deferred_;
+  mutable Mutex mutex_;
+  std::vector<idx> perturbed_ SPC_GUARDED_BY(mutex_);  // global columns
+  idx breakdown_col_ SPC_GUARDED_BY(mutex_) = kNone;
+  ErrorContext breakdown_ctx_ SPC_GUARDED_BY(mutex_);
+};
 
 struct BlockFactor {
   const BlockStructure* structure = nullptr;  // non-owning
@@ -65,17 +146,23 @@ void init_block_column(const SymSparse& a, const BlockStructure& bs, idx j,
                        BlockFactor& f);
 
 // Factors `a` (which must already be permuted to the ordering the structure
-// was built from). Throws spc::Error if a pivot fails (not SPD).
+// was built from). Under the default strict policy, throws
+// Error(kNotPositiveDefinite) at the first failing pivot; under kPerturb,
+// boosts failing pivots and reports them through *info (may be null).
 // Right-looking: after completing block column K, all its updates are pushed
 // into later columns (the order the block fan-out method uses).
-BlockFactor block_factorize(const SymSparse& a, const BlockStructure& bs);
+BlockFactor block_factorize(const SymSparse& a, const BlockStructure& bs,
+                            const FactorizeOptions& opt = {},
+                            FactorizeInfo* info = nullptr);
 
 // Left-looking variant: before factoring block column J, all updates into it
 // (from earlier columns) are pulled in. Numerically identical task set,
 // different schedule — the classic alternative the paper's authors compared
 // in [13]. Exposed for the factor_methods bench and as an API option.
 BlockFactor block_factorize_left(const SymSparse& a, const BlockStructure& bs,
-                                 const TaskGraph& tg);
+                                 const TaskGraph& tg,
+                                 const FactorizeOptions& opt = {},
+                                 FactorizeInfo* info = nullptr);
 
 // --- Building blocks shared with the parallel executor ---------------------
 
@@ -112,7 +199,11 @@ void scatter_block_mod(const BlockStructure& bs, const TaskGraph& tg,
 
 // Runs a block's completion operation: BFAC for diagonal blocks, BDIV for
 // off-diagonal ones (the diagonal block of its column must be factored).
-void complete_block(const BlockStructure& bs, block_id b, BlockFactor& f);
+// With a PivotEnv, failed BFAC pivots are routed through its policy
+// (throw / record / boost-and-defer); without one, the first failed pivot
+// throws Error(kNotPositiveDefinite) with block-local context.
+void complete_block(const BlockStructure& bs, block_id b, BlockFactor& f,
+                    PivotEnv* pivots = nullptr);
 
 // Per-destination-block mutexes: the shared-memory executors serialize
 // scatters into the same destination block on these. One annotated

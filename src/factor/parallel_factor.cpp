@@ -160,7 +160,8 @@ class WorkStealingExecutor {
  public:
   WorkStealingExecutor(const SymSparse& a, const BlockStructure& bs,
                        const TaskGraph& tg, int num_threads,
-                       ParallelWorkspace& ws, ParallelProfile* prof)
+                       ParallelWorkspace& ws, ParallelProfile* prof,
+                       PivotEnv* pivots, const std::atomic<bool>* cancel)
       : a_(a),
         bs_(bs),
         tg_(tg),
@@ -168,7 +169,9 @@ class WorkStealingExecutor {
         threads_(num_threads),
         queues_(num_threads),
         barrier_remaining_(num_threads),
-        prof_(prof) {
+        prof_(prof),
+        pivots_(pivots),
+        cancel_(cancel) {
     SPC_CHECK(ws.bs == &bs && ws.tg == &tg,
               "block_factorize_parallel: workspace built for another plan");
     ws_.prepare_run(num_threads);
@@ -199,6 +202,8 @@ class WorkStealingExecutor {
     }
     return std::move(factor_);
   }
+
+  const FailureSlot& failure() const { return slot_; }
 
  private:
   i64 task_priority(i64 task) const {
@@ -240,17 +245,28 @@ class WorkStealingExecutor {
           init_block_column(a_, bs_, j, factor_);
         }
       } catch (...) {
-        fail(std::current_exception());
+        fail(std::current_exception(), static_cast<i64>(id),
+             FailureSlot::Phase::kInit);
       }
       if (pw) pw->init_s += secs_since(t0);
     }
     barrier_arrive();
-    if (failed_.load(std::memory_order_acquire)) return;
-
+    // After a failure the loop keeps running: remaining tasks drain as
+    // no-ops (run_completion / run_dest skip the numeric work but still
+    // perform every counter decrement), so the DAG terminates through the
+    // normal completed_ == num_blocks path and the workspace counters are
+    // left fully consumed — ready for the next prepare_run.
     ParallelWorkspace::WorkerScratch& s =
         ws_.scratch[static_cast<std::size_t>(id)];
     WorkItem item;
     for (;;) {
+      if (cancel_ != nullptr &&
+          !cancelled_.load(std::memory_order_relaxed) &&
+          cancel_->load(std::memory_order_relaxed)) {
+        fail(std::make_exception_ptr(
+                 Error("factorization cancelled", ErrorKind::kCancelled)),
+             -1, FailureSlot::Phase::kCancel);
+      }
       const auto ti = pw ? Clock::now() : Clock::time_point{};
       const bool got = queues_.acquire(id, item);
       if (pw) pw->idle_s += secs_since(ti);
@@ -262,7 +278,10 @@ class WorkStealingExecutor {
           run_dest(id, item.id - tg_.num_blocks(), s, pw);
         }
       } catch (...) {
-        fail(std::current_exception());
+        // Bookkeeping itself threw (never expected): the drain protocol is
+        // broken, so force the queues down to guarantee the join.
+        fail(std::current_exception(), item.id, FailureSlot::Phase::kDrain);
+        queues_.shutdown();
         return;
       }
     }
@@ -281,15 +300,25 @@ class WorkStealingExecutor {
   }
 
   void run_completion(int id, block_id b, ParallelProfile::Worker* pw) {
-    const auto t0 = pw ? Clock::now() : Clock::time_point{};
-    complete_block(bs_, b, factor_);
-    if (pw) {
-      if (is_diag_block(bs_, b)) {
-        pw->bfac_s += secs_since(t0);
-        ++pw->bfacs;
-      } else {
-        pw->bdiv_s += secs_since(t0);
-        ++pw->bdivs;
+    // The numeric work is fenced off from the release bookkeeping below:
+    // whether it succeeds, throws (recorded, cancels the run), or is skipped
+    // because the run is already cancelled, every dependent counter is still
+    // decremented so the DAG drains to completion.
+    if (!cancelled_.load(std::memory_order_acquire)) {
+      const auto t0 = pw ? Clock::now() : Clock::time_point{};
+      try {
+        complete_block(bs_, b, factor_, pivots_);
+      } catch (...) {
+        fail(std::current_exception(), b, FailureSlot::Phase::kCompletion);
+      }
+      if (pw) {
+        if (is_diag_block(bs_, b)) {
+          pw->bfac_s += secs_since(t0);
+          ++pw->bfacs;
+        } else {
+          pw->bdiv_s += secs_since(t0);
+          ++pw->bdivs;
+        }
       }
     }
     // Fire the BMODs this block sources: the last pending-source decrement
@@ -363,35 +392,46 @@ class WorkStealingExecutor {
                  std::memory_order_relaxed)) {
           ++cnt;
         }
-        if (cnt == 1) {
-          compute_mod(chain, s, pw);
-          const auto t0 = pw ? Clock::now() : Clock::time_point{};
-          {
-            LockGuard lock(ws_.locks.for_block(d));
-            scatter_block_mod(bs_, tg_, tg_.mods[static_cast<std::size_t>(chain)],
-                              s.update, s.rel_rows, dest);
-          }
-          if (pw) pw->scatter_s += secs_since(t0);
-        } else {
-          const auto tz = pw ? Clock::now() : Clock::time_point{};
-          s.accum.resize_for_overwrite(dest.rows(), dest.cols());
-          s.accum.set_zero();
-          if (pw) pw->scatter_s += secs_since(tz);
-          for (i64 m = chain; m != kEmptyList;
-               m = ws_.mod_next[static_cast<std::size_t>(m)].load(
-                   std::memory_order_relaxed)) {
-            compute_mod(m, s, pw);
+        // The batch is *counted* unconditionally (the completion gate below
+        // must see every released mod exactly once), but *computed* only
+        // while the run is live.
+        try {
+          if (cancelled_.load(std::memory_order_acquire)) {
+            // drained as a no-op
+          } else if (cnt == 1) {
+            compute_mod(chain, s, pw);
             const auto t0 = pw ? Clock::now() : Clock::time_point{};
-            scatter_block_mod(bs_, tg_, tg_.mods[static_cast<std::size_t>(m)],
-                              s.update, s.rel_rows, s.accum);
+            {
+              LockGuard lock(ws_.locks.for_block(d));
+              scatter_block_mod(bs_, tg_,
+                                tg_.mods[static_cast<std::size_t>(chain)],
+                                s.update, s.rel_rows, dest);
+            }
             if (pw) pw->scatter_s += secs_since(t0);
+          } else {
+            const auto tz = pw ? Clock::now() : Clock::time_point{};
+            s.accum.resize_for_overwrite(dest.rows(), dest.cols());
+            s.accum.set_zero();
+            if (pw) pw->scatter_s += secs_since(tz);
+            for (i64 m = chain; m != kEmptyList;
+                 m = ws_.mod_next[static_cast<std::size_t>(m)].load(
+                     std::memory_order_relaxed)) {
+              compute_mod(m, s, pw);
+              const auto t0 = pw ? Clock::now() : Clock::time_point{};
+              scatter_block_mod(bs_, tg_, tg_.mods[static_cast<std::size_t>(m)],
+                                s.update, s.rel_rows, s.accum);
+              if (pw) pw->scatter_s += secs_since(t0);
+            }
+            const auto t1 = pw ? Clock::now() : Clock::time_point{};
+            {
+              LockGuard lock(ws_.locks.for_block(d));
+              apply_accum(dest, s.accum, diag);
+            }
+            if (pw) pw->scatter_s += secs_since(t1);
           }
-          const auto t1 = pw ? Clock::now() : Clock::time_point{};
-          {
-            LockGuard lock(ws_.locks.for_block(d));
-            apply_accum(dest, s.accum, diag);
-          }
-          if (pw) pw->scatter_s += secs_since(t1);
+        } catch (...) {
+          fail(std::current_exception(), tg_.num_blocks() + d,
+               FailureSlot::Phase::kDrain);
         }
         processed += cnt;
         if (pw) {
@@ -465,24 +505,19 @@ class WorkStealingExecutor {
     buf.clear();
   }
 
-  void fail(std::exception_ptr e) {
-    {
-      LockGuard lock(error_mutex_);
-      if (!error_) error_ = e;
-    }
-    failed_.store(true, std::memory_order_release);
-    queues_.shutdown();
+  // Records the failure (first one wins, later ones are only counted) and
+  // flips the run into drain mode. Deliberately does NOT shut the queues
+  // down: the outstanding tasks drain as no-ops through the normal
+  // completion protocol, which is what leaves the workspace reusable.
+  void fail(std::exception_ptr e, i64 task, FailureSlot::Phase phase) {
+    slot_.record(std::move(e), task, phase);
+    cancelled_.store(true, std::memory_order_release);
   }
 
-  // Called after the workers joined; the lock still satisfies the static
-  // guard and costs one uncontended acquire.
+  // Called after the workers joined; the join established the happens-before
+  // for the slot payload.
   void rethrow_if_failed() {
-    std::exception_ptr e;
-    {
-      LockGuard lock(error_mutex_);
-      e = error_;
-    }
-    if (e) std::rethrow_exception(e);
+    if (std::exception_ptr e = slot_.first()) std::rethrow_exception(e);
   }
 
   const SymSparse& a_;
@@ -496,9 +531,10 @@ class WorkStealingExecutor {
   CondVar barrier_cv_;
   int barrier_remaining_ SPC_GUARDED_BY(barrier_mutex_);
   ParallelProfile* prof_;
-  Mutex error_mutex_;
-  std::exception_ptr error_ SPC_GUARDED_BY(error_mutex_);
-  std::atomic<bool> failed_{false};
+  PivotEnv* pivots_;
+  const std::atomic<bool>* cancel_;
+  FailureSlot slot_;
+  std::atomic<bool> cancelled_{false};
   std::atomic<i64> completed_{0};
 };
 
@@ -510,12 +546,15 @@ class WorkStealingExecutor {
 class GlobalQueueExecutor {
  public:
   GlobalQueueExecutor(const SymSparse& a, const BlockStructure& bs,
-                      const TaskGraph& tg, int num_threads)
+                      const TaskGraph& tg, int num_threads, PivotEnv* pivots,
+                      const std::atomic<bool>* cancel)
       : bs_(bs),
         tg_(tg),
         factor_(init_block_factor(a, bs)),
         block_locks_(tg.num_blocks()),
-        threads_(num_threads) {
+        threads_(num_threads),
+        pivots_(pivots),
+        cancel_(cancel) {
     const i64 nb = bs.num_block_cols();
     const i64 num_blocks = tg.num_blocks();
     deps_ = std::make_unique<std::atomic<i64>[]>(static_cast<std::size_t>(num_blocks));
@@ -626,6 +665,11 @@ class GlobalQueueExecutor {
     std::vector<idx> rel_rows;
     Task task{};
     while (pop(task)) {
+      if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+        fail(std::make_exception_ptr(
+            Error("factorization cancelled", ErrorKind::kCancelled)));
+        return;
+      }
       try {
         if (task.kind == Task::kComplete) {
           run_completion(task.id);
@@ -640,7 +684,7 @@ class GlobalQueueExecutor {
   }
 
   void run_completion(block_id b) {
-    complete_block(bs_, b, factor_);
+    complete_block(bs_, b, factor_, pivots_);
     // Sources of later BMODs: release our writes via the pending decrements.
     for (i64 k = src_ptr_[static_cast<std::size_t>(b)];
          k < src_ptr_[static_cast<std::size_t>(b) + 1]; ++k) {
@@ -687,6 +731,8 @@ class GlobalQueueExecutor {
   std::vector<i64> src_ptr_;
   std::vector<i64> src_mods_;
   int threads_;
+  PivotEnv* pivots_;
+  const std::atomic<bool>* cancel_;
   Mutex queue_mutex_;
   CondVar queue_cv_;
   std::deque<Task> queue_ SPC_GUARDED_BY(queue_mutex_);
@@ -739,9 +785,29 @@ BlockFactor block_factorize_parallel(const SymSparse& a, const BlockStructure& b
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
   }
+  if (opt.info != nullptr) opt.info->reset();
+  // Both backends run pivots in deferred (continue) mode: a strict-policy
+  // breakdown boosts the failing pivot, records the minimal failing column,
+  // and lets the DAG finish, so the reported column matches the sequential
+  // engines regardless of task interleaving. A task failure (injected fault,
+  // allocation failure, cancellation) takes precedence over the deferred
+  // breakdown — it is rethrown from inside run().
+  FactorizeOptions fopt;
+  fopt.pivot_policy = opt.pivot_policy;
+  fopt.pivot_delta = opt.pivot_delta;
+  PivotEnv pivots(bs, make_pivot_control(a, fopt), /*deferred=*/true);
   if (opt.scheduler == ParallelFactorOptions::Scheduler::kGlobalQueue) {
-    GlobalQueueExecutor exec(a, bs, tg, threads);
-    return exec.run();
+    GlobalQueueExecutor exec(a, bs, tg, threads, &pivots, opt.cancel);
+    BlockFactor f;
+    try {
+      f = exec.run();
+    } catch (...) {
+      pivots.export_info(opt.info);
+      throw;
+    }
+    pivots.export_info(opt.info);
+    if (pivots.has_breakdown()) pivots.throw_breakdown();
+    return f;
   }
   std::unique_ptr<ParallelWorkspace> local;
   if (ws == nullptr) {
@@ -754,9 +820,17 @@ BlockFactor block_factorize_parallel(const SymSparse& a, const BlockStructure& b
   const bool env_dump = env != nullptr && env[0] != '\0' &&
                         !(env[0] == '0' && env[1] == '\0');
   if (env_dump && prof == nullptr) prof = &env_profile;
-  WorkStealingExecutor exec(a, bs, tg, threads, *ws, prof);
-  BlockFactor f = exec.run();
+  WorkStealingExecutor exec(a, bs, tg, threads, *ws, prof, &pivots, opt.cancel);
+  BlockFactor f;
+  try {
+    f = exec.run();
+  } catch (...) {
+    pivots.export_info(opt.info);
+    throw;
+  }
   if (env_dump && prof != nullptr) dump_profile_json(*prof);
+  pivots.export_info(opt.info);
+  if (pivots.has_breakdown()) pivots.throw_breakdown();
   return f;
 }
 

@@ -43,6 +43,48 @@
 
 namespace spc {
 
+// First-failure record for a parallel run. The first worker to fail claims
+// the slot with a single CAS and stores its exception together with the
+// failing task id and phase; later failures never clobber it — they are
+// only counted. After the workers have joined, first() returns the winning
+// exception (joining establishes the happens-before for the payload).
+class FailureSlot {
+ public:
+  enum class Phase { kInit, kCompletion, kDrain, kCancel };
+
+  // Returns true when this call recorded the first failure.
+  bool record(std::exception_ptr e, i64 task, Phase phase) {
+    int expected = 0;
+    if (!state_.compare_exchange_strong(expected, 1,
+                                        std::memory_order_acq_rel)) {
+      later_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    error_ = std::move(e);
+    task_ = task;
+    phase_ = phase;
+    state_.store(2, std::memory_order_release);
+    return true;
+  }
+
+  bool failed() const { return state_.load(std::memory_order_acquire) != 0; }
+  i64 later_failures() const { return later_.load(std::memory_order_relaxed); }
+
+  // The recorded failure; call only after the failing threads joined.
+  std::exception_ptr first() const {
+    return state_.load(std::memory_order_acquire) == 2 ? error_ : nullptr;
+  }
+  i64 task() const { return task_; }
+  Phase phase() const { return phase_; }
+
+ private:
+  std::atomic<int> state_{0};  // 0 = empty, 1 = claiming, 2 = recorded
+  std::atomic<i64> later_{0};
+  std::exception_ptr error_;
+  i64 task_ = -1;
+  Phase phase_ = Phase::kInit;
+};
+
 // Per-worker phase breakdown of one parallel factorization. Filled when
 // ParallelFactorOptions::profile is set, or collected and dumped as JSON to
 // stderr (or $SPC_PROFILE_OUT) when the environment sets SPC_PROFILE=1.
@@ -127,12 +169,36 @@ struct ParallelFactorOptions {
   // (work-stealing scheduler only). Independently, SPC_PROFILE=1 in the
   // environment dumps the same data as JSON.
   ParallelProfile* profile = nullptr;
+
+  // Pivot handling (numeric_factor.hpp). Strict breakdowns run in
+  // continue-mode: the failing pivot is boosted, the DAG runs to
+  // completion, and the call throws Error(kNotPositiveDefinite) carrying
+  // the minimal failing global column — the same column every sequential
+  // engine reports.
+  PivotPolicy pivot_policy = PivotPolicy::kStrict;
+  double pivot_delta = kDefaultPivotDelta;
+
+  // When non-null, filled with the run's perturbation/breakdown accounting.
+  FactorizeInfo* info = nullptr;
+
+  // Cooperative cancellation: when non-null and set true (from any thread),
+  // workers stop computing, the remaining DAG drains as no-ops, and the
+  // call throws Error(kCancelled) after a clean join. The workspace stays
+  // reusable.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 // Factors `a` over the given block structure / task graph. When `ws` is
 // non-null it must have been constructed from the same (bs, tg) and is
 // reused across calls (no per-call analysis or scratch allocation);
 // otherwise a temporary workspace is built internally.
+//
+// Failure semantics (docs/ROBUSTNESS.md): on the first task failure —
+// injected fault, allocation failure, internal error — the executor flips a
+// cancellation flag, remaining tasks drain as no-ops (dependency counters
+// are still consumed so the DAG terminates), all workers join, and the
+// *first* failure is rethrown with its context. A subsequent call on the
+// same workspace starts from a fully reset state and succeeds.
 BlockFactor block_factorize_parallel(const SymSparse& a, const BlockStructure& bs,
                                      const TaskGraph& tg,
                                      const ParallelFactorOptions& opt = {},

@@ -71,8 +71,16 @@ SymSparse make_lp_normal_equations(const LpGenOptions& opt) {
     absrow[static_cast<std::size_t>(edges[e].second)] += std::abs(val[e]);
   }
   std::vector<double> diag(static_cast<std::size_t>(n));
-  for (idx i = 0; i < n; ++i) {
-    diag[static_cast<std::size_t>(i)] = absrow[static_cast<std::size_t>(i)] + 1.0;
+  if (opt.spdize) {
+    for (idx i = 0; i < n; ++i) {
+      diag[static_cast<std::size_t>(i)] = absrow[static_cast<std::size_t>(i)] + 1.0;
+    }
+  } else {
+    // Deterministic non-dominant diagonal: indefinite with overwhelming
+    // probability — exercises the NotPositiveDefinite paths.
+    for (idx i = 0; i < n; ++i) {
+      diag[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0);
+    }
   }
   return SymSparse::from_entries(n, diag, edges, val);
 }

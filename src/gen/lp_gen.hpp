@@ -20,6 +20,10 @@ struct LpGenOptions {
   idx hubs = 0;              // rows coupled to a broad random subset; 0 = n/200
   double hub_span = 0.02;    // fraction of rows each hub touches
   std::uint64_t seed = 11;
+  // Default: diagonally dominant, hence SPD. Set false for a genuinely
+  // indefinite matrix (deterministic non-dominant random diagonal).
+  // Appended last so positional aggregate initialization keeps compiling.
+  bool spdize = true;
 };
 
 SymSparse make_lp_normal_equations(const LpGenOptions& opt);

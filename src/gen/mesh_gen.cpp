@@ -136,7 +136,17 @@ SymSparse make_fem_mesh(const MeshGenOptions& opt) {
     }
   }
   std::vector<double> diag(static_cast<std::size_t>(n));
-  for (idx i = 0; i < n; ++i) diag[static_cast<std::size_t>(i)] = absrow[static_cast<std::size_t>(i)] + 1.0;
+  if (opt.spdize) {
+    for (idx i = 0; i < n; ++i) {
+      diag[static_cast<std::size_t>(i)] = absrow[static_cast<std::size_t>(i)] + 1.0;
+    }
+  } else {
+    // Deterministic non-dominant diagonal: same pattern, but indefinite with
+    // overwhelming probability — the test matrix for breakdown handling.
+    for (idx i = 0; i < n; ++i) {
+      diag[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0);
+    }
+  }
   return SymSparse::from_entries(n, diag, pos, val);
 }
 

@@ -23,6 +23,11 @@ struct MeshGenOptions {
   int dim = 3;            // 2 = shell-like (surface), 3 = solid
   double avg_node_degree = 12.0;
   std::uint64_t seed = 7;
+  // Default: diagonally dominant, hence SPD. Set false for a genuinely
+  // indefinite matrix (deterministic non-dominant random diagonal) to
+  // exercise the NotPositiveDefinite paths. Appended last so positional
+  // aggregate initialization of the older fields keeps compiling.
+  bool spdize = true;
 };
 
 SymSparse make_fem_mesh(const MeshGenOptions& opt);

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -13,15 +14,18 @@ namespace {
 
 // Reads exactly `n` fixed-width fields laid out `per_line` to a line.
 // Fortran numeric fields may contain embedded blanks and 'D' exponents.
+// `lineno` counts every consumed line so parse failures name their source.
 template <typename T, typename Parse>
 std::vector<T> read_fields(std::istream& in, i64 n, const FortranFormat& fmt,
-                           Parse parse) {
+                           std::int64_t& lineno, Parse parse) {
   std::vector<T> out;
   out.reserve(static_cast<std::size_t>(n));
   std::string line;
   while (static_cast<i64>(out.size()) < n) {
-    SPC_CHECK(static_cast<bool>(std::getline(in, line)),
-              "harwell-boeing: unexpected end of file in data section");
+    SPC_CHECK_INPUT(static_cast<bool>(std::getline(in, line)),
+                    "harwell-boeing: unexpected end of file in data section",
+                    lineno);
+    ++lineno;
     for (int f = 0; f < fmt.count && static_cast<i64>(out.size()) < n; ++f) {
       const std::size_t pos = static_cast<std::size_t>(f) * fmt.width;
       if (pos >= line.size()) break;
@@ -30,27 +34,44 @@ std::vector<T> read_fields(std::istream& in, i64 n, const FortranFormat& fmt,
       const auto first = field.find_first_not_of(" \t\r");
       if (first == std::string::npos) continue;
       const auto last = field.find_last_not_of(" \t\r");
-      out.push_back(parse(field.substr(first, last - first + 1)));
+      out.push_back(parse(field.substr(first, last - first + 1), lineno));
     }
   }
   return out;
 }
 
-i64 parse_int(const std::string& s) {
+// std::stoll / std::stod throw std::invalid_argument / std::out_of_range on
+// garbage; translate those into MalformedInput instead of letting foreign
+// exception types escape the parser.
+i64 parse_int(const std::string& s, std::int64_t lineno) {
   std::size_t used = 0;
-  const long long v = std::stoll(s, &used);
-  SPC_CHECK(used == s.size(), "harwell-boeing: bad integer field '" + s + "'");
+  long long v = 0;
+  try {
+    v = std::stoll(s, &used);
+  } catch (const std::exception&) {
+    throw_malformed("harwell-boeing: bad integer field '" + s + "'", lineno);
+  }
+  SPC_CHECK_INPUT(used == s.size(),
+                  "harwell-boeing: bad integer field '" + s + "'", lineno);
   return v;
 }
 
-double parse_real(std::string s) {
+double parse_real(std::string s, std::int64_t lineno) {
   // Fortran 'D' and 'd' exponents.
   for (char& c : s) {
     if (c == 'D' || c == 'd') c = 'E';
   }
   std::size_t used = 0;
-  const double v = std::stod(s, &used);
-  SPC_CHECK(used == s.size(), "harwell-boeing: bad real field '" + s + "'");
+  double v = 0.0;
+  try {
+    v = std::stod(s, &used);
+  } catch (const std::exception&) {
+    throw_malformed("harwell-boeing: bad real field '" + s + "'", lineno);
+  }
+  SPC_CHECK_INPUT(used == s.size(),
+                  "harwell-boeing: bad real field '" + s + "'", lineno);
+  SPC_CHECK_INPUT(std::isfinite(v),
+                  "harwell-boeing: non-finite value '" + s + "'", lineno);
   return v;
 }
 
@@ -77,8 +98,8 @@ FortranFormat parse_fortran_format(const std::string& spec) {
       s.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
     }
   }
-  SPC_CHECK(!s.empty() && s.front() == '(' && s.back() == ')',
-            "harwell-boeing: malformed format spec '" + spec + "'");
+  SPC_CHECK_INPUT(!s.empty() && s.front() == '(' && s.back() == ')',
+                  "harwell-boeing: malformed format spec '" + spec + "'", 0);
   s = s.substr(1, s.size() - 2);
   // Drop scale factors like "1P," and leading commas.
   const auto comma = s.find(',');
@@ -92,46 +113,56 @@ FortranFormat parse_fortran_format(const std::string& spec) {
     count = count * 10 + (s[i] - '0');
     ++i;
   }
-  SPC_CHECK(i < s.size(), "harwell-boeing: format spec missing kind: " + spec);
+  SPC_CHECK_INPUT(i < s.size(), "harwell-boeing: format spec missing kind: " + spec,
+                  0);
   fmt.count = count == 0 ? 1 : count;
   fmt.kind = s[i];
-  SPC_CHECK(fmt.kind == 'I' || fmt.kind == 'E' || fmt.kind == 'D' ||
-                fmt.kind == 'F' || fmt.kind == 'G',
-            "harwell-boeing: unsupported edit descriptor in " + spec);
+  SPC_CHECK_INPUT(fmt.kind == 'I' || fmt.kind == 'E' || fmt.kind == 'D' ||
+                      fmt.kind == 'F' || fmt.kind == 'G',
+                  "harwell-boeing: unsupported edit descriptor in " + spec, 0);
   ++i;
   int width = 0;
   while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
     width = width * 10 + (s[i] - '0');
     ++i;
   }
-  SPC_CHECK(width > 0, "harwell-boeing: format spec missing width: " + spec);
+  SPC_CHECK_INPUT(width > 0, "harwell-boeing: format spec missing width: " + spec,
+                  0);
   fmt.width = width;
   return fmt;
 }
 
-SymSparse read_harwell_boeing(std::istream& in, bool* boosted) {
+SymSparse read_harwell_boeing(std::istream& in, bool* boosted, bool spdize) {
   std::string line1, line2, line3, line4;
-  SPC_CHECK(std::getline(in, line1) && std::getline(in, line2) &&
-                std::getline(in, line3) && std::getline(in, line4),
-            "harwell-boeing: truncated header");
+  SPC_CHECK_INPUT(std::getline(in, line1) && std::getline(in, line2) &&
+                      std::getline(in, line3) && std::getline(in, line4),
+                  "harwell-boeing: truncated header", 0);
+  std::int64_t lineno = 4;  // lines consumed so far
 
   // Line 2: TOTCRD PTRCRD INDCRD VALCRD RHSCRD (each I14).
   const i64 rhs_lines = to_count(field(line2, 56, 14));
-  SPC_CHECK(rhs_lines == 0, "harwell-boeing: right-hand sides are not supported");
+  SPC_CHECK_INPUT(rhs_lines == 0,
+                  "harwell-boeing: right-hand sides are not supported", 2);
 
   // Line 3: MXTYPE (A3), blanks, NROW NCOL NNZERO NELTVL (I14 each at 14).
   std::string type = field(line3, 0, 3);
   for (char& c : type) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-  SPC_CHECK(type.size() == 3, "harwell-boeing: bad matrix type");
+  SPC_CHECK_INPUT(type.size() == 3, "harwell-boeing: bad matrix type", 3);
   const bool pattern = type[0] == 'P';
-  SPC_CHECK(type[0] == 'R' || type[0] == 'P',
-            "harwell-boeing: only real or pattern matrices are supported");
-  SPC_CHECK(type[1] == 'S', "harwell-boeing: only symmetric matrices are supported");
-  SPC_CHECK(type[2] == 'A', "harwell-boeing: only assembled matrices are supported");
+  SPC_CHECK_INPUT(type[0] == 'R' || type[0] == 'P',
+                  "harwell-boeing: only real or pattern matrices are supported", 3);
+  SPC_CHECK_INPUT(type[1] == 'S',
+                  "harwell-boeing: only symmetric matrices are supported", 3);
+  SPC_CHECK_INPUT(type[2] == 'A',
+                  "harwell-boeing: only assembled matrices are supported", 3);
   const i64 nrow = to_count(field(line3, 14, 14));
   const i64 ncol = to_count(field(line3, 28, 14));
   const i64 nnz = to_count(field(line3, 42, 14));
-  SPC_CHECK(nrow > 0 && nrow == ncol, "harwell-boeing: matrix must be square");
+  SPC_CHECK_INPUT(nrow > 0 && nrow == ncol, "harwell-boeing: matrix must be square",
+                  3);
+  SPC_CHECK_INPUT(nrow <= std::numeric_limits<idx>::max(),
+                  "harwell-boeing: dimension overflows the index type", 3);
+  SPC_CHECK_INPUT(nnz >= 0, "harwell-boeing: negative entry count", 3);
 
   // Line 4: PTRFMT (A16) INDFMT (A16) VALFMT (A20) RHSFMT (A20).
   const FortranFormat ptr_fmt = parse_fortran_format(field(line4, 0, 16));
@@ -140,13 +171,18 @@ SymSparse read_harwell_boeing(std::istream& in, bool* boosted) {
   if (!pattern) val_fmt = parse_fortran_format(field(line4, 32, 20));
 
   const std::vector<i64> colptr =
-      read_fields<i64>(in, ncol + 1, ptr_fmt, parse_int);
-  const std::vector<i64> rowind = read_fields<i64>(in, nnz, ind_fmt, parse_int);
+      read_fields<i64>(in, ncol + 1, ptr_fmt, lineno, parse_int);
+  const std::vector<i64> rowind =
+      read_fields<i64>(in, nnz, ind_fmt, lineno, parse_int);
   std::vector<double> values;
-  if (!pattern) values = read_fields<double>(in, nnz, val_fmt, parse_real);
+  if (!pattern) values = read_fields<double>(in, nnz, val_fmt, lineno, parse_real);
 
-  SPC_CHECK(colptr.front() == 1 && colptr.back() == nnz + 1,
-            "harwell-boeing: inconsistent column pointers");
+  SPC_CHECK_INPUT(colptr.front() == 1 && colptr.back() == nnz + 1,
+                  "harwell-boeing: inconsistent column pointers", 0);
+  for (std::size_t c = 0; c + 1 < colptr.size(); ++c) {
+    SPC_CHECK_INPUT(colptr[c] >= 1 && colptr[c] <= colptr[c + 1],
+                    "harwell-boeing: non-monotone column pointers", 0);
+  }
 
   const idx n = static_cast<idx>(nrow);
   std::vector<double> diag(static_cast<std::size_t>(n), 0.0);
@@ -157,7 +193,8 @@ SymSparse read_harwell_boeing(std::istream& in, bool* boosted) {
     for (i64 k = colptr[static_cast<std::size_t>(c)] - 1;
          k < colptr[static_cast<std::size_t>(c) + 1] - 1; ++k) {
       const i64 r1 = rowind[static_cast<std::size_t>(k)];
-      SPC_CHECK(r1 >= 1 && r1 <= nrow, "harwell-boeing: row index out of range");
+      SPC_CHECK_INPUT(r1 >= 1 && r1 <= nrow,
+                      "harwell-boeing: row index out of range", 0);
       const idx r = static_cast<idx>(r1 - 1);
       const double v = pattern ? -1.0 : values[static_cast<std::size_t>(k)];
       if (r == c) {
@@ -171,7 +208,7 @@ SymSparse read_harwell_boeing(std::istream& in, bool* boosted) {
     }
   }
   bool any_boost = false;
-  for (idx v2 = 0; v2 < n; ++v2) {
+  for (idx v2 = 0; v2 < n && spdize; ++v2) {
     const double needed = absrow[static_cast<std::size_t>(v2)] + 1.0;
     if (diag[static_cast<std::size_t>(v2)] < needed) {
       if (!pattern) any_boost = true;
@@ -182,10 +219,11 @@ SymSparse read_harwell_boeing(std::istream& in, bool* boosted) {
   return SymSparse::from_entries(n, diag, pos, val);
 }
 
-SymSparse read_harwell_boeing_file(const std::string& path, bool* boosted) {
+SymSparse read_harwell_boeing_file(const std::string& path, bool* boosted,
+                                   bool spdize) {
   std::ifstream in(path);
-  SPC_CHECK(in.good(), "harwell-boeing: cannot open file " + path);
-  return read_harwell_boeing(in, boosted);
+  SPC_CHECK_INPUT(in.good(), "harwell-boeing: cannot open file " + path, 0);
+  return read_harwell_boeing(in, boosted, spdize);
 }
 
 }  // namespace spc

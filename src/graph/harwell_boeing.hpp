@@ -21,8 +21,16 @@
 
 namespace spc {
 
-SymSparse read_harwell_boeing(std::istream& in, bool* boosted = nullptr);
-SymSparse read_harwell_boeing_file(const std::string& path, bool* boosted = nullptr);
+// Pass spdize = false to keep the stored values exactly (indefinite input
+// then reaches the factorization's NotPositiveDefinite path instead of being
+// silently repaired). Malformed input — bad header counts, unparseable
+// fields, non-monotone column pointers, out-of-range row indices, truncated
+// sections, non-finite values — raises Error(kMalformedInput) with the
+// 1-based line number; it never invokes undefined behavior.
+SymSparse read_harwell_boeing(std::istream& in, bool* boosted = nullptr,
+                              bool spdize = true);
+SymSparse read_harwell_boeing_file(const std::string& path, bool* boosted = nullptr,
+                                   bool spdize = true);
 
 // Parsed form of a Fortran edit descriptor like "(13I6)" or "(1P,3E26.16)":
 // `count` fields per line, each `width` characters. Exposed for testing.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -16,31 +17,57 @@ std::string lower(std::string s) {
   return s;
 }
 
+// True when the stream has nothing but whitespace left — guards against
+// trailing garbage after the expected fields of a line.
+bool only_blanks_left(std::istream& is) {
+  char c;
+  while (is.get(c)) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-SymSparse read_matrix_market(std::istream& in, bool* boosted) {
+SymSparse read_matrix_market(std::istream& in, bool* boosted, bool spdize) {
   std::string line;
-  SPC_CHECK(static_cast<bool>(std::getline(in, line)), "MatrixMarket: empty stream");
+  std::int64_t lineno = 0;
+  SPC_CHECK_INPUT(static_cast<bool>(std::getline(in, line)),
+                  "MatrixMarket: empty stream", 0);
+  ++lineno;
   std::istringstream header(lower(line));
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
-  SPC_CHECK(banner == "%%matrixmarket", "MatrixMarket: missing banner");
-  SPC_CHECK(object == "matrix" && format == "coordinate",
-            "MatrixMarket: only coordinate matrices are supported");
-  SPC_CHECK(field == "real" || field == "pattern" || field == "integer",
-            "MatrixMarket: unsupported field type");
-  SPC_CHECK(symmetry == "symmetric",
-            "MatrixMarket: only symmetric matrices are supported");
+  SPC_CHECK_INPUT(banner == "%%matrixmarket", "MatrixMarket: missing banner",
+                  lineno);
+  SPC_CHECK_INPUT(object == "matrix" && format == "coordinate",
+                  "MatrixMarket: only coordinate matrices are supported", lineno);
+  SPC_CHECK_INPUT(field == "real" || field == "pattern" || field == "integer",
+                  "MatrixMarket: unsupported field type", lineno);
+  SPC_CHECK_INPUT(symmetry == "symmetric",
+                  "MatrixMarket: only symmetric matrices are supported", lineno);
   const bool is_pattern = field == "pattern";
 
   // Skip comments.
+  bool have_size = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    ++lineno;
+    if (!line.empty() && line[0] != '%') {
+      have_size = true;
+      break;
+    }
   }
+  SPC_CHECK_INPUT(have_size, "MatrixMarket: missing size line", lineno);
   std::istringstream size_line(line);
   long long rows = 0, cols = 0, nnz = 0;
   size_line >> rows >> cols >> nnz;
-  SPC_CHECK(rows > 0 && rows == cols, "MatrixMarket: matrix must be square");
+  SPC_CHECK_INPUT(!size_line.fail() && only_blanks_left(size_line),
+                  "MatrixMarket: unparseable size line", lineno);
+  SPC_CHECK_INPUT(rows > 0 && rows == cols, "MatrixMarket: matrix must be square",
+                  lineno);
+  SPC_CHECK_INPUT(rows <= std::numeric_limits<idx>::max(),
+                  "MatrixMarket: dimension overflows the index type", lineno);
+  SPC_CHECK_INPUT(nnz >= 0, "MatrixMarket: negative entry count", lineno);
 
   const idx n = static_cast<idx>(rows);
   std::vector<double> diag(static_cast<std::size_t>(n), 0.0);
@@ -50,13 +77,27 @@ SymSparse read_matrix_market(std::istream& in, bool* boosted) {
   std::vector<double> offdiag_abs_sum(static_cast<std::size_t>(n), 0.0);
 
   for (long long k = 0; k < nnz; ++k) {
+    // One entry per line (blank lines tolerated), so every diagnostic can
+    // name the offending line.
+    bool have_entry = false;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.find_first_not_of(" \t\r") != std::string::npos) {
+        have_entry = true;
+        break;
+      }
+    }
+    SPC_CHECK_INPUT(have_entry, "MatrixMarket: truncated entry list", lineno);
+    std::istringstream entry(line);
     long long i = 0, j = 0;
     double v = 1.0;
-    in >> i >> j;
-    if (!is_pattern) in >> v;
-    SPC_CHECK(static_cast<bool>(in), "MatrixMarket: truncated entry list");
-    SPC_CHECK(i >= 1 && i <= rows && j >= 1 && j <= cols,
-              "MatrixMarket: entry out of range");
+    entry >> i >> j;
+    if (!is_pattern) entry >> v;
+    SPC_CHECK_INPUT(!entry.fail() && only_blanks_left(entry),
+                    "MatrixMarket: unparseable entry", lineno);
+    SPC_CHECK_INPUT(i >= 1 && i <= rows && j >= 1 && j <= cols,
+                    "MatrixMarket: entry out of range", lineno);
+    SPC_CHECK_INPUT(std::isfinite(v), "MatrixMarket: non-finite value", lineno);
     const idx r = static_cast<idx>(i - 1);
     const idx c = static_cast<idx>(j - 1);
     if (r == c) {
@@ -70,9 +111,11 @@ SymSparse read_matrix_market(std::istream& in, bool* boosted) {
     }
   }
 
-  // Ensure SPD by diagonal dominance where needed.
+  // Ensure SPD by diagonal dominance where needed (unless the caller asked
+  // for the raw values, e.g. to exercise breakdown handling).
   bool any_boost = false;
   for (idx v2 = 0; v2 < n; ++v2) {
+    if (!spdize) break;
     const double needed = offdiag_abs_sum[static_cast<std::size_t>(v2)] + 1.0;
     if (is_pattern || !has_diag[static_cast<std::size_t>(v2)] ||
         diag[static_cast<std::size_t>(v2)] < needed) {
@@ -85,10 +128,11 @@ SymSparse read_matrix_market(std::istream& in, bool* boosted) {
   return SymSparse::from_entries(n, diag, pos, val);
 }
 
-SymSparse read_matrix_market_file(const std::string& path, bool* boosted) {
+SymSparse read_matrix_market_file(const std::string& path, bool* boosted,
+                                  bool spdize) {
   std::ifstream in(path);
-  SPC_CHECK(in.good(), "MatrixMarket: cannot open file " + path);
-  return read_matrix_market(in, boosted);
+  SPC_CHECK_INPUT(in.good(), "MatrixMarket: cannot open file " + path, 0);
+  return read_matrix_market(in, boosted, spdize);
 }
 
 void write_matrix_market(std::ostream& out, const SymSparse& m) {

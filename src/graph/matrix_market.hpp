@@ -15,8 +15,16 @@ namespace spc {
 // offdiag = -1). Real symmetric files keep their values, but the diagonal is
 // boosted to diagonal dominance if necessary so the result is SPD (this
 // library factors SPD matrices only; the boost is reported via *boosted).
-SymSparse read_matrix_market(std::istream& in, bool* boosted = nullptr);
-SymSparse read_matrix_market_file(const std::string& path, bool* boosted = nullptr);
+// Pass spdize = false to keep the values exactly as stored — required to
+// exercise the NotPositiveDefinite path on genuinely indefinite files.
+//
+// Malformed input (bad banner, unparseable or out-of-range entries, a
+// truncated entry list, non-finite values) raises Error(kMalformedInput)
+// carrying the 1-based line number; it never invokes undefined behavior.
+SymSparse read_matrix_market(std::istream& in, bool* boosted = nullptr,
+                             bool spdize = true);
+SymSparse read_matrix_market_file(const std::string& path, bool* boosted = nullptr,
+                                  bool spdize = true);
 
 // Writes the lower triangle in symmetric coordinate format.
 void write_matrix_market(std::ostream& out, const SymSparse& m);

@@ -391,7 +391,16 @@ void check_gemm_shapes(const DenseMatrix& a, const DenseMatrix& b,
 // points and the blocked panel algorithms). They read/write only the lower
 // triangle; upper-triangle zeroing is the entry points' job.
 // ---------------------------------------------------------------------------
-void potrf_raw(idx n, double* a, idx lda) {
+// Pivots failing the control's test are replaced (never thrown on): the
+// local column (base_col + j) is appended to `adjusted` and the first bad
+// value recorded. The test is `!(d > thresh)` so NaN pivots (poisoned or
+// propagated) are caught alongside non-positive ones.
+idx potrf_raw(idx n, double* a, idx lda, const PivotControl& pc, idx base_col,
+              std::vector<idx>& adjusted, double* first_bad) {
+  const double thresh = pc.policy == PivotPolicy::kPerturb ? pc.boost : 0.0;
+  const double repl =
+      pc.policy == PivotPolicy::kPerturb && pc.boost > 0.0 ? pc.boost : 1.0;
+  idx replaced = 0;
   for (idx j = 0; j < n; ++j) {
     double* aj = a + static_cast<std::size_t>(j) * lda;
     double d = aj[j];
@@ -399,7 +408,14 @@ void potrf_raw(idx n, double* a, idx lda) {
       const double v = a[static_cast<std::size_t>(p) * lda + j];
       d -= v * v;
     }
-    SPC_CHECK(d > 0.0, "potrf_lower: matrix is not positive definite");
+    if (!(d > thresh)) {
+      if (replaced == 0 && adjusted.empty() && first_bad != nullptr) {
+        *first_bad = d;
+      }
+      adjusted.push_back(base_col + j);
+      ++replaced;
+      d = repl;
+    }
     d = std::sqrt(d);
     aj[j] = d;
     const double inv_d = 1.0 / d;
@@ -412,6 +428,7 @@ void potrf_raw(idx n, double* a, idx lda) {
       aj[i] = s * inv_d;
     }
   }
+  return replaced;
 }
 
 // Like the blocked GEMM above, the triangular solve body is compiled twice:
@@ -473,45 +490,87 @@ void set_gemm_dispatch(GemmDispatch mode) {
 
 GemmDispatch gemm_dispatch() { return g_dispatch.load(std::memory_order_relaxed); }
 
+namespace {
+
+// Shared strict wrapper: run the guarded factorization and convert the
+// first replaced pivot into a structured NotPositiveDefinite error.
+void throw_first_pivot(const std::vector<idx>& adjusted, double first_bad) {
+  ErrorContext ctx;
+  ctx.column = adjusted.front();
+  ctx.pivot = first_bad;
+  ctx.has_pivot = true;
+  throw_not_spd("potrf_lower: matrix is not positive definite", ctx);
+}
+
+}  // namespace
+
 void potrf_lower_unblocked(DenseMatrix& a) {
   SPC_CHECK(a.rows() == a.cols(), "potrf_lower: matrix must be square");
   const idx n = a.rows();
-  potrf_raw(n, a.data(), n);
+  std::vector<idx> adjusted;
+  double first_bad = 0.0;
+  potrf_raw(n, a.data(), n, PivotControl{}, 0, adjusted, &first_bad);
+  if (!adjusted.empty()) throw_first_pivot(adjusted, first_bad);
   for (idx j = 1; j < n; ++j) {
     double* aj = a.col(j);
     for (idx i = 0; i < j; ++i) aj[i] = 0.0;
   }
 }
 
-void potrf_lower(DenseMatrix& a) {
+idx potrf_lower_unblocked_guarded(DenseMatrix& a, const PivotControl& pc,
+                                  std::vector<idx>& adjusted,
+                                  double* first_bad) {
   SPC_CHECK(a.rows() == a.cols(), "potrf_lower: matrix must be square");
   const idx n = a.rows();
-  if (n <= kPanel) {
-    potrf_lower_unblocked(a);
-    return;
+  const idx replaced = potrf_raw(n, a.data(), n, pc, 0, adjusted, first_bad);
+  for (idx j = 1; j < n; ++j) {
+    double* aj = a.col(j);
+    for (idx i = 0; i < j; ++i) aj[i] = 0.0;
   }
+  return replaced;
+}
+
+idx potrf_lower_guarded(DenseMatrix& a, const PivotControl& pc,
+                        std::vector<idx>& adjusted, double* first_bad) {
+  SPC_CHECK(a.rows() == a.cols(), "potrf_lower: matrix must be square");
+  const idx n = a.rows();
+  idx replaced = 0;
   double* data = a.data();
-  for (idx j = 0; j < n; j += kPanel) {
-    const idx nb = std::min<idx>(kPanel, n - j);
-    double* diag = data + static_cast<std::size_t>(j) * n + j;
-    potrf_raw(nb, diag, n);
-    const idx below = n - j - nb;
-    if (below == 0) continue;
-    trsm_rlt_fast(below, nb, diag, n, diag + nb, n);
-    // Trailing update A22 -= L21 * L21^T, one block column at a time so only
-    // the lower trapezoid is touched per step (the strict upper triangle may
-    // accumulate garbage inside a block column; it is zeroed below).
-    const double* l21 = diag + nb;  // (n-j-nb) x nb at rows j+nb..
-    for (idx c = j + nb; c < n; c += kPanel) {
-      const idx w = std::min<idx>(kPanel, n - c);
-      gemm_nt_minus_raw(n - c, w, nb, l21 + (c - j - nb), n, l21 + (c - j - nb),
-                        n, data + static_cast<std::size_t>(c) * n + c, n);
+  if (n <= kPanel) {
+    replaced = potrf_raw(n, data, n, pc, 0, adjusted, first_bad);
+  } else {
+    for (idx j = 0; j < n; j += kPanel) {
+      const idx nb = std::min<idx>(kPanel, n - j);
+      double* diag = data + static_cast<std::size_t>(j) * n + j;
+      replaced += potrf_raw(nb, diag, n, pc, j, adjusted, first_bad);
+      const idx below = n - j - nb;
+      if (below == 0) continue;
+      trsm_rlt_fast(below, nb, diag, n, diag + nb, n);
+      // Trailing update A22 -= L21 * L21^T, one block column at a time so
+      // only the lower trapezoid is touched per step (the strict upper
+      // triangle may accumulate garbage inside a block column; it is zeroed
+      // below).
+      const double* l21 = diag + nb;  // (n-j-nb) x nb at rows j+nb..
+      for (idx c = j + nb; c < n; c += kPanel) {
+        const idx w = std::min<idx>(kPanel, n - c);
+        gemm_nt_minus_raw(n - c, w, nb, l21 + (c - j - nb), n,
+                          l21 + (c - j - nb), n,
+                          data + static_cast<std::size_t>(c) * n + c, n);
+      }
     }
   }
   for (idx j = 1; j < n; ++j) {
     double* aj = a.col(j);
     for (idx i = 0; i < j; ++i) aj[i] = 0.0;
   }
+  return replaced;
+}
+
+void potrf_lower(DenseMatrix& a) {
+  std::vector<idx> adjusted;
+  double first_bad = 0.0;
+  potrf_lower_guarded(a, PivotControl{}, adjusted, &first_bad);
+  if (!adjusted.empty()) throw_first_pivot(adjusted, first_bad);
 }
 
 void trsm_right_ltrans_unblocked(const DenseMatrix& l, DenseMatrix& b) {

@@ -13,20 +13,56 @@
 // implementations (and as the seed kernels the benchmarks compare against).
 #pragma once
 
+#include <vector>
+
 #include "linalg/dense_matrix.hpp"
 #include "support/types.hpp"
 
 namespace spc {
 
+// Pivot handling for the Cholesky kernels (docs/ROBUSTNESS.md). Under
+// kStrict any pivot with d <= 0 is numeric breakdown; under kPerturb,
+// pivots d <= delta * max|diag(A)| are boosted to that threshold
+// (CHOLMOD-style regularization) and counted, so the factorization always
+// completes and one step of iterative refinement recovers solve accuracy.
+enum class PivotPolicy { kStrict, kPerturb };
+
+// Default relative perturbation threshold (delta in the formula above).
+inline constexpr double kDefaultPivotDelta = 1e-12;
+
+// Absolute pivot parameters for one factorization run, derived once from
+// PivotPolicy + delta + max|diag(A)| (see make_pivot_control in
+// factor/numeric_factor.hpp).
+struct PivotControl {
+  PivotPolicy policy = PivotPolicy::kStrict;
+  double boost = 0.0;  // kPerturb: pivots d <= boost are raised to boost
+};
+
 // In-place lower Cholesky factorization of A (A must be square, symmetric
 // content in the lower triangle). The strict upper triangle is zeroed.
-// Throws spc::Error if A is not positive definite. Blocked: panels are
-// factored with the scalar kernel and the trailing submatrix is updated
-// through the packed GEMM core.
+// Throws spc::Error (ErrorKind::kNotPositiveDefinite) if A is not positive
+// definite. Blocked: panels are factored with the scalar kernel and the
+// trailing submatrix is updated through the packed GEMM core.
 void potrf_lower(DenseMatrix& a);
 
 // Scalar (unblocked) reference version of potrf_lower.
 void potrf_lower_unblocked(DenseMatrix& a);
+
+// Guarded variant: pivots failing the control's test are replaced (boosted
+// under kPerturb; set to 1 under kStrict so the factorization can continue
+// deterministically) instead of throwing. The local column index of every
+// replaced pivot is appended to `adjusted`, the first failing pivot's value
+// lands in *first_bad, and the number of replacements is returned. The
+// engines build their policy semantics (immediate throw, deferred
+// min-column breakdown, perturbation accounting) on top of this.
+idx potrf_lower_guarded(DenseMatrix& a, const PivotControl& pc,
+                        std::vector<idx>& adjusted, double* first_bad);
+
+// Scalar (unblocked) guarded variant, arithmetic-identical to
+// potrf_lower_unblocked on SPD inputs — used under the seed kernel dispatch
+// so benchmark baselines keep their bit-exact compute path.
+idx potrf_lower_unblocked_guarded(DenseMatrix& a, const PivotControl& pc,
+                                  std::vector<idx>& adjusted, double* first_bad);
 
 // B := B * L^{-T} where L is lower triangular (the diagonal block of the
 // factor). B is m x k, L is k x k. Blocked: left-looking over column panels

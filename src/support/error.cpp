@@ -1,9 +1,62 @@
 #include "support/error.hpp"
 
+#include <cstdio>
+
 namespace spc {
+
+const char* error_kind_name(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kInternal: return "Internal";
+    case ErrorKind::kNotPositiveDefinite: return "NotPositiveDefinite";
+    case ErrorKind::kMalformedInput: return "MalformedInput";
+    case ErrorKind::kResourceExhausted: return "ResourceExhausted";
+    case ErrorKind::kCancelled: return "Cancelled";
+    case ErrorKind::kInjectedFault: return "InjectedFault";
+  }
+  return "Internal";
+}
+
+int exit_code_for(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kInternal: return 1;
+    case ErrorKind::kNotPositiveDefinite: return 4;
+    case ErrorKind::kMalformedInput: return 3;
+    case ErrorKind::kResourceExhausted: return 5;
+    case ErrorKind::kCancelled: return 6;
+    case ErrorKind::kInjectedFault: return 7;
+  }
+  return 1;
+}
 
 void throw_error(const char* file, int line, const std::string& msg) {
   throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+
+void throw_malformed(const std::string& msg, std::int64_t line) {
+  ErrorContext ctx;
+  ctx.line = line;
+  std::string what = msg;
+  if (line > 0) what += " (line " + std::to_string(line) + ")";
+  throw Error(what, ErrorKind::kMalformedInput, ctx);
+}
+
+void throw_not_spd(const std::string& msg, const ErrorContext& ctx) {
+  std::string what = msg;
+  if (ctx.column >= 0) what += " at column " + std::to_string(ctx.column);
+  if (ctx.supernode >= 0) {
+    what += " (supernode " + std::to_string(ctx.supernode);
+    if (ctx.block_j >= 0) {
+      what += ", block (" + std::to_string(ctx.block_i) + "," +
+              std::to_string(ctx.block_j) + ")";
+    }
+    what += ")";
+  }
+  if (ctx.has_pivot) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3e", ctx.pivot);
+    what += ", pivot " + std::string(buf);
+  }
+  throw Error(what, ErrorKind::kNotPositiveDefinite, ctx);
 }
 
 }  // namespace spc

@@ -1,19 +1,73 @@
 // Error handling: all precondition violations throw spc::Error so that tests
 // can assert on failure paths without aborting the process.
+//
+// Errors carry a structured ErrorKind plus an optional typed context payload
+// (failing column, owning supernode, block coordinates, pivot value, input
+// line number) so callers can react programmatically instead of parsing the
+// what() string. See docs/ROBUSTNESS.md for the taxonomy and the CLI
+// exit-code contract derived from it.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace spc {
 
-class Error : public std::runtime_error {
- public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+enum class ErrorKind {
+  kInternal,             // precondition/invariant violation (SPC_CHECK)
+  kNotPositiveDefinite,  // numeric breakdown: a pivot failed d > 0
+  kMalformedInput,       // unparseable or out-of-range external input
+  kResourceExhausted,    // allocation failure (arena, workspace, scratch)
+  kCancelled,            // cooperative cancellation via a caller's token
+  kInjectedFault,        // deterministic fault injection (SPC_FAULTS=ON)
 };
 
-// Builds "file:line: msg" and throws spc::Error.
+// Human-readable name for an ErrorKind ("NotPositiveDefinite", ...).
+const char* error_kind_name(ErrorKind kind);
+
+// Documented process exit code for CLI tools reporting this kind
+// (docs/ROBUSTNESS.md): Internal=1, MalformedInput=3, NotPositiveDefinite=4,
+// ResourceExhausted=5, Cancelled=6, InjectedFault=7. (2 is reserved for
+// usage errors, which never reach an Error object.)
+int exit_code_for(ErrorKind kind);
+
+// Optional structured payload. Fields default to "unknown" and are filled in
+// where the information exists: pivot failures carry the global (permuted)
+// column, owning supernode, and block coordinates; parser failures carry the
+// 1-based input line.
+struct ErrorContext {
+  std::int32_t column = -1;     // global column of the failing pivot
+  std::int32_t supernode = -1;  // owning supernode
+  std::int32_t block_i = -1;    // block-row coordinate of the failing block
+  std::int32_t block_j = -1;    // block-column coordinate
+  double pivot = 0.0;           // offending pivot value (valid iff has_pivot)
+  bool has_pivot = false;
+  std::int64_t line = 0;        // 1-based input line (MalformedInput), 0 = n/a
+};
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what, ErrorKind kind = ErrorKind::kInternal,
+                 const ErrorContext& context = {})
+      : std::runtime_error(what), kind_(kind), context_(context) {}
+
+  ErrorKind kind() const { return kind_; }
+  const ErrorContext& context() const { return context_; }
+
+ private:
+  ErrorKind kind_;
+  ErrorContext context_;
+};
+
+// Builds "file:line: msg" and throws spc::Error (kind Internal).
 [[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+
+// Throws Error(kMalformedInput) with "(line N)" appended when line > 0.
+[[noreturn]] void throw_malformed(const std::string& msg, std::int64_t line);
+
+// Throws Error(kNotPositiveDefinite) with the pivot location appended to msg.
+[[noreturn]] void throw_not_spd(const std::string& msg, const ErrorContext& ctx);
 
 }  // namespace spc
 
@@ -24,4 +78,13 @@ class Error : public std::runtime_error {
     if (!(cond)) {                                    \
       ::spc::throw_error(__FILE__, __LINE__, (msg));  \
     }                                                 \
+  } while (false)
+
+// Input validation check for parsers: failure raises MalformedInput carrying
+// the 1-based line number of the offending input line.
+#define SPC_CHECK_INPUT(cond, msg, line)          \
+  do {                                            \
+    if (!(cond)) {                                \
+      ::spc::throw_malformed((msg), (line));      \
+    }                                             \
   } while (false)

@@ -1,0 +1,151 @@
+#include "support/fault.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace spc::fault {
+namespace {
+
+// Global plan. Fields are individually atomic so tests can install a plan
+// while previously-spawned (but idle) worker threads still exist without a
+// data race; set_plan/clear are not meant to race with active injection.
+struct SiteState {
+  std::atomic<double> prob{0.0};
+  std::atomic<std::uint64_t> seed{0};
+  std::atomic<std::int64_t> budget{-1};
+  std::atomic<std::int64_t> fired{0};
+};
+
+SiteState g_sites[kNumSites];
+
+SiteState& state(Site site) { return g_sites[static_cast<int>(site)]; }
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Uniform [0,1) draw for (seed, key): stable across threads and runs.
+double decision(std::uint64_t seed, std::uint64_t key) {
+  const std::uint64_t h = splitmix64(seed ^ splitmix64(key));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool site_from_name(const std::string& name, Site* out) {
+  if (name == "alloc") { *out = Site::kAlloc; return true; }
+  if (name == "kernel") { *out = Site::kKernel; return true; }
+  if (name == "input") { *out = Site::kInput; return true; }
+  return false;
+}
+
+}  // namespace
+
+void set_plan(const FaultPlan& plan) {
+  for (int i = 0; i < kNumSites; ++i) {
+    g_sites[i].prob.store(plan.site[i].prob, std::memory_order_relaxed);
+    g_sites[i].seed.store(plan.site[i].seed, std::memory_order_relaxed);
+    g_sites[i].budget.store(plan.site[i].budget, std::memory_order_relaxed);
+    g_sites[i].fired.store(0, std::memory_order_relaxed);
+  }
+}
+
+void clear() { set_plan(FaultPlan{}); }
+
+std::int64_t injected(Site site) {
+  return state(site).fired.load(std::memory_order_relaxed);
+}
+
+bool parse_plan(const std::string& spec, FaultPlan* plan) {
+  FaultPlan parsed;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    // site:prob:seed[:budget]
+    const std::size_t c1 = entry.find(':');
+    if (c1 == std::string::npos) return false;
+    const std::size_t c2 = entry.find(':', c1 + 1);
+    if (c2 == std::string::npos) return false;
+    const std::size_t c3 = entry.find(':', c2 + 1);
+    Site site;
+    if (!site_from_name(entry.substr(0, c1), &site)) return false;
+    SitePlan& sp = parsed.site[static_cast<int>(site)];
+    try {
+      std::size_t used = 0;
+      const std::string prob_s = entry.substr(c1 + 1, c2 - c1 - 1);
+      sp.prob = std::stod(prob_s, &used);
+      if (used != prob_s.size()) return false;
+      const std::string seed_s =
+          entry.substr(c2 + 1, (c3 == std::string::npos ? entry.size() : c3) - c2 - 1);
+      sp.seed = std::stoull(seed_s, &used);
+      if (used != seed_s.size()) return false;
+      if (c3 != std::string::npos) {
+        const std::string budget_s = entry.substr(c3 + 1);
+        sp.budget = std::stoll(budget_s, &used);
+        if (used != budget_s.size()) return false;
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+    if (!(sp.prob >= 0.0 && sp.prob <= 1.0)) return false;
+  }
+  *plan = parsed;
+  return true;
+}
+
+void configure_from_env() {
+  const char* env = std::getenv("SPC_FAULT");
+  if (env == nullptr) return;
+  FaultPlan plan;
+  if (parse_plan(env, &plan)) set_plan(plan);
+}
+
+#if SPC_FAULTS_ENABLED
+// In fault-injection builds the environment is read once at startup, so
+// SPC_FAULT=... works on any binary linking the library (CLI tools, tests,
+// benches) without per-tool wiring. Normal builds ignore the variable.
+namespace {
+const bool g_env_plan_installed = [] {
+  configure_from_env();
+  return true;
+}();
+}  // namespace
+#endif
+
+bool should_inject(Site site, std::uint64_t key) {
+  SiteState& s = state(site);
+  const double prob = s.prob.load(std::memory_order_relaxed);
+  if (prob <= 0.0) return false;
+  if (decision(s.seed.load(std::memory_order_relaxed), key) >= prob) return false;
+  // Consume budget (-1 = unlimited). CAS loop so concurrent workers never
+  // overdraw: exactly `budget` injections fire, then the site goes quiet.
+  std::int64_t b = s.budget.load(std::memory_order_relaxed);
+  while (b >= 0) {
+    if (b == 0) return false;
+    if (s.budget.compare_exchange_weak(b, b - 1, std::memory_order_relaxed)) break;
+  }
+  s.fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void maybe_throw(Site site, std::uint64_t key, const char* what) {
+  if (!should_inject(site, key)) return;
+  throw Error(std::string(what) + " [injected fault]", ErrorKind::kInjectedFault);
+}
+
+double maybe_poison(std::uint64_t key, double v) {
+  if (!should_inject(Site::kInput, key)) return v;
+  // Keyed choice between the two poisoning modes from the fault plan design:
+  // quiet NaN or a negative value that breaks diagonal dominance.
+  if (splitmix64(key ^ 0x5eedu) & 1u) return std::nan("");
+  return -std::abs(v) - 1.0;
+}
+
+}  // namespace spc::fault

@@ -1,0 +1,88 @@
+// Deterministic fault injection for robustness testing.
+//
+// A process-global FaultPlan describes, per injection site, a probability,
+// a seed, and an optional budget. Decisions are pure functions of
+// (site seed, stable key) — the key is a task/block/column id that does not
+// depend on thread count or scheduling — so a given plan injects the same
+// faults no matter how the factorization is executed. Configure
+// programmatically (tests) via set_plan(), or from the environment:
+//
+//   SPC_FAULT=site:prob:seed[:budget][,site:prob:seed[:budget]...]
+//
+// where site is one of alloc | kernel | input (see docs/ROBUSTNESS.md for
+// the full grammar). Injection sites are compiled in only when the library
+// is built with -DSPC_FAULTS=ON; in normal builds the SPC_FAULT_POINT /
+// SPC_FAULT_POISON macros expand to nothing and the hot path is untouched.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace spc::fault {
+
+enum class Site {
+  kAlloc,   // arena / workspace allocation: throws InjectedFault
+  kKernel,  // kernel entry (BFAC/BDIV/BMOD): throws InjectedFault
+  kInput,   // input values: poisons with NaN or a flipped-sign diagonal
+};
+inline constexpr int kNumSites = 3;
+
+struct SitePlan {
+  double prob = 0.0;         // per-draw injection probability in [0,1]
+  std::uint64_t seed = 0;    // decision-hash seed
+  std::int64_t budget = -1;  // max injections for this site; -1 = unlimited
+};
+
+struct FaultPlan {
+  SitePlan site[kNumSites];  // indexed by static_cast<int>(Site)
+};
+
+// True when injection sites were compiled in (-DSPC_FAULTS=ON).
+constexpr bool compiled_in() {
+#if SPC_FAULTS_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+// Installs a plan and resets all injection counters.
+void set_plan(const FaultPlan& plan);
+
+// Disables all sites and resets counters.
+void clear();
+
+// Number of faults fired at `site` since the last set_plan()/clear().
+std::int64_t injected(Site site);
+
+// Parses the SPC_FAULT grammar into *plan. Returns false (plan untouched)
+// on a syntax error. Exposed for tests; configure_from_env() uses it.
+bool parse_plan(const std::string& spec, FaultPlan* plan);
+
+// Reads SPC_FAULT from the environment (once per call) and installs it.
+// No-op when the variable is unset or malformed.
+void configure_from_env();
+
+// Deterministic decision for a stable key. Consumes budget when it fires.
+bool should_inject(Site site, std::uint64_t key);
+
+// Throws Error(kInjectedFault, "<what> [injected fault]") when the plan
+// fires for (site, key).
+void maybe_throw(Site site, std::uint64_t key, const char* what);
+
+// Site::kInput value poisoning: returns NaN or -|v|-1 (keyed choice) when
+// the plan fires, else v unchanged.
+double maybe_poison(std::uint64_t key, double v);
+
+}  // namespace spc::fault
+
+#if SPC_FAULTS_ENABLED
+#define SPC_FAULT_POINT(site, key, what) \
+  ::spc::fault::maybe_throw((site), static_cast<std::uint64_t>(key), (what))
+#define SPC_FAULT_POISON(key, v) \
+  ::spc::fault::maybe_poison(static_cast<std::uint64_t>(key), (v))
+#else
+#define SPC_FAULT_POINT(site, key, what) ((void)0)
+#define SPC_FAULT_POISON(key, v) (v)
+#endif

@@ -91,11 +91,15 @@ inline Loaded load_matrix(const Args& args) {
             "spc " + args.command + ": missing matrix argument");
   Loaded out;
   out.name = args.matrix;
+  // --raw disables the SPD-izing diagonal boost for file input, so genuinely
+  // indefinite files reach the factorization's pivot handling (exit code 4
+  // under --pivot-policy strict).
+  const bool spdize = !args.has("raw");
   if (ends_with(args.matrix, ".mtx")) {
-    out.a = read_matrix_market_file(args.matrix);
+    out.a = read_matrix_market_file(args.matrix, nullptr, spdize);
   } else if (ends_with(args.matrix, ".rsa") || ends_with(args.matrix, ".rb") ||
              ends_with(args.matrix, ".psa")) {
-    out.a = read_harwell_boeing_file(args.matrix);
+    out.a = read_harwell_boeing_file(args.matrix, nullptr, spdize);
   } else {
     const SuiteScale scale =
         args.get("scale", "env") == "env"
@@ -115,6 +119,16 @@ inline Loaded load_matrix(const Args& args) {
 inline SparseCholesky analyze_from_args(const Args& args, const Loaded& m) {
   SolverOptions opt;
   opt.block_size = static_cast<idx>(std::stoi(args.get("block", "48")));
+  const std::string policy = args.get("pivot-policy", "strict");
+  if (policy == "perturb") {
+    opt.pivot_policy = PivotPolicy::kPerturb;
+  } else {
+    SPC_CHECK(policy == "strict",
+              "unknown --pivot-policy: " + policy + " (use strict|perturb)");
+  }
+  if (args.has("pivot-delta")) {
+    opt.pivot_delta = std::stod(args.get("pivot-delta", ""));
+  }
   const std::string ord =
       args.get("ordering", m.has_paper_ordering ? "paper" : "mmd");
   if (ord == "paper" && m.has_paper_ordering) {

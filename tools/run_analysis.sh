@@ -3,11 +3,13 @@
 #
 # Runs, in order:
 #   1. warnings-as-errors build + suite    (SPC_WERROR=ON)
-#   2. ThreadSanitizer build + tsan suite  (SPC_SANITIZE=thread)
+#   2. ThreadSanitizer build + tsan suite  (SPC_SANITIZE=thread, SPC_FAULTS=ON —
+#      also runs the fault-label teardown/retry tests under TSan)
 #   3. AddressSanitizer build + suite      (SPC_SANITIZE=address)
 #   4. UBSanitizer build + suite           (SPC_SANITIZE=undefined)
-#   5. Clang thread-safety analysis build  (SPC_ANALYZE=ON)     [needs clang++]
-#   6. clang-tidy over src/ and tools/     (.clang-tidy)        [needs clang-tidy]
+#   5. Fault-injection suite under ASan    (SPC_FAULTS=ON, -L fault)
+#   6. Clang thread-safety analysis build  (SPC_ANALYZE=ON)     [needs clang++]
+#   7. clang-tidy over src/ and tools/     (.clang-tidy)        [needs clang-tidy]
 #
 # Steps 5-6 are skipped with a notice when the tools are not installed; the
 # script exits nonzero if any step that *did* run failed. Build trees go to
@@ -20,7 +22,7 @@ set -u
 
 cd "$(dirname "$0")/.."
 JOBS="${SPC_ANALYSIS_JOBS:-$(nproc)}"
-ALL_STEPS=(werror tsan asan ubsan thread-safety tidy)
+ALL_STEPS=(werror tsan asan ubsan faults thread-safety tidy)
 STEPS=("$@")
 [ ${#STEPS[@]} -eq 0 ] && STEPS=("${ALL_STEPS[@]}")
 for s in "${STEPS[@]}"; do
@@ -42,7 +44,8 @@ want() {
 }
 
 # step <name> <test-mode> <cmake-args...>
-#   test-mode: all = full ctest suite, tsan = -L tsan only, none = build only
+#   test-mode: all = full ctest suite, none = build only, anything else =
+#   run only tests carrying that ctest label (-L <mode>)
 step() {
   local name="$1" tests="$2"
   shift 2
@@ -55,7 +58,7 @@ step() {
   fi
   if [ "$tests" != none ]; then
     local label_args=()
-    [ "$tests" = tsan ] && label_args=(-L tsan)
+    [ "$tests" != all ] && label_args=(-L "$tests")
     if ! ctest --test-dir "build-$name" "${label_args[@]+"${label_args[@]}"}" \
          -j "$JOBS" --output-on-failure >>"build-$name.log" 2>&1; then
       failures+=("$name (tests)")
@@ -69,12 +72,17 @@ step() {
 want werror && { step werror all -DSPC_WERROR=ON || true; }
 
 # The tsan label marks the concurrency tests; running the full suite under
-# tsan is slow without exercising any extra threading.
-want tsan && { step tsan tsan -DSPC_SANITIZE=thread || true; }
+# tsan is slow without exercising any extra threading. Fault sites are
+# compiled in so the inject-fail-then-retry teardown tests run under TSan.
+want tsan && { step tsan tsan -DSPC_SANITIZE=thread -DSPC_FAULTS=ON || true; }
 
 want asan && { step asan all -DSPC_SANITIZE=address || true; }
 
 want ubsan && { step ubsan all -DSPC_SANITIZE=undefined || true; }
+
+# Deterministic fault injection under ASan: every injection site fires at
+# several seeds; termination must be clean and leak-free.
+want faults && { step faults fault -DSPC_FAULTS=ON -DSPC_SANITIZE=address || true; }
 
 if want thread-safety; then
   if command -v clang++ >/dev/null 2>&1; then

@@ -2,6 +2,7 @@
 //
 //   spc stats    <matrix> [--ordering mmd|amd|nd|natural] [--block B]
 //   spc solve    <matrix> [--ordering ...] [--refine]
+//                [--pivot-policy strict|perturb] [--pivot-delta D] [--raw]
 //   spc simulate <matrix> [--procs P] [--rows CY|DW|IN|DN|ID] [--cols ...]
 //                [--no-domains] [--priority] [--timeline]
 //   spc engines  <matrix> [--threads N[,N...]]   (a list sweeps the parallel
@@ -10,6 +11,10 @@
 //
 // <matrix> is a MatrixMarket (.mtx) or Harwell-Boeing (.rsa/.rb/.psa) file,
 // or the name of a generated benchmark matrix (e.g. CUBE30, BCSSTK31).
+//
+// Exit codes (docs/ROBUSTNESS.md): 0 success, 1 internal error, 2 usage,
+// 3 malformed input, 4 not positive definite, 5 resource exhausted,
+// 6 cancelled, 7 injected fault.
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -63,6 +68,11 @@ int cmd_solve(const Args& args) {
   std::printf("%s: solved %d equations, residual %.2e%s\n", m.name.c_str(),
               m.a.num_rows(), solve_residual(m.a, x, b),
               args.has("refine") ? " (with refinement)" : "");
+  if (chol.factorize_info().perturbed_pivots > 0) {
+    std::printf("pivots: %lld perturbed (delta policy; solve applied one "
+                "refinement step)\n",
+                static_cast<long long>(chol.factorize_info().perturbed_pivots));
+  }
   return 0;
 }
 
@@ -197,7 +207,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
     return 2;
   } catch (const spc::Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    // Exit-code contract (docs/ROBUSTNESS.md): Internal=1, usage=2,
+    // MalformedInput=3, NotPositiveDefinite=4, ResourceExhausted=5,
+    // Cancelled=6, InjectedFault=7.
+    std::fprintf(stderr, "error [%s]: %s\n", spc::error_kind_name(e.kind()),
+                 e.what());
+    return spc::exit_code_for(e.kind());
   }
 }

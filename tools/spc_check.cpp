@@ -14,8 +14,10 @@
 // statistics.
 //
 // Exit status: 0 when no errors were found, 1 when any validator reported
-// an error, 2 on usage/load failures. Warnings print but do not change the
-// exit status.
+// an error, 2 on usage or internal failures, and the library's documented
+// error exit codes (docs/ROBUSTNESS.md) otherwise — notably 3 for malformed
+// matrix files and 4 for not-positive-definite input. Warnings print but do
+// not change the exit status.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -58,7 +60,11 @@ int main(int argc, char** argv) {
   try {
     return run(argc, argv);
   } catch (const spc::Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    std::fprintf(stderr, "error [%s]: %s\n", spc::error_kind_name(e.kind()),
+                 e.what());
+    // Usage and internal failures keep the historical exit code 2; structured
+    // kinds map to the documented contract (3 = malformed input, ...).
+    return e.kind() == spc::ErrorKind::kInternal ? 2
+                                                 : spc::exit_code_for(e.kind());
   }
 }
