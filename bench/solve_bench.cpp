@@ -1,0 +1,342 @@
+// Triangular-solve throughput: seed column-at-a-time scalar sweeps vs the
+// multi-RHS panel path vs the DAG-scheduled parallel executor
+// (factor/parallel_solve.hpp), on the regular CUBE and irregular LP
+// families, across RHS counts 1/4/16/64 and a thread sweep.
+//
+// "seed"     = one block_solve per RHS column (the pre-panel behavior:
+//              scalar forward/backward sweeps, factor walked once per
+//              column).
+// "panel"    = block_solve_multi: the factor walked once per panel of RHS
+//              columns, TRSM/GEMM panel kernels.
+// "parallel" = block_solve_multi_parallel at each thread count, reusing one
+//              SolveWorkspace; a separately profiled run reports the
+//              forward/backward/scatter/idle phase split.
+//
+// Thread counts default to 1,2,4,8; override with SPC_THREADS=N[,N...].
+// Writes BENCH_solve.json to the repo root (override with --json-out=PATH).
+// SPC_SMALL=1 shrinks the problems for a sanity pass.
+//
+// Note on this host: the container is typically pinned to one core, so the
+// thread sweep measures scheduling overhead, not true parallel speedup; the
+// panel-vs-seed speedup and the 1-thread parallel-vs-panel ratio are the
+// meaningful single-core numbers, and the host's core count is recorded in
+// the JSON.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cholesky/sparse_cholesky.hpp"
+#include "factor/block_solve.hpp"
+#include "factor/parallel_solve.hpp"
+#include "factor/residual.hpp"
+#include "gen/grid_gen.hpp"
+#include "gen/lp_gen.hpp"
+#include "support/rng.hpp"
+
+#ifndef SPC_REPO_ROOT
+#define SPC_REPO_ROOT "."
+#endif
+
+namespace {
+
+using namespace spc;
+
+template <typename F>
+double median_seconds(F&& fn, int reps) {
+  std::vector<double> t(reps);
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    t[r] = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+               .count();
+  }
+  std::sort(t.begin(), t.end());
+  return t[reps / 2];
+}
+
+std::vector<int> thread_counts_from_env() {
+  std::vector<int> counts;
+  if (const char* env = std::getenv("SPC_THREADS")) {
+    int v = 0;
+    for (const char* p = env;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        v = v * 10 + (*p - '0');
+      } else {
+        if (v > 0) counts.push_back(v);
+        v = 0;
+        if (*p == '\0') break;
+      }
+    }
+  }
+  if (counts.empty()) counts = {1, 2, 4, 8};
+  return counts;
+}
+
+struct ThreadRun {
+  int threads;
+  double par_s;
+  double efficiency;  // t1 / (tP * P) of the parallel path
+  SolveProfile::Worker phases;
+  i64 steals;
+};
+
+struct RhsResult {
+  idx nrhs;
+  double seed_s;     // per-column scalar sweeps
+  double panel_s;    // serial panel path
+  double residual;   // of the panel solve
+  std::vector<ThreadRun> runs;
+};
+
+struct MatrixResult {
+  std::string name;
+  idx n;
+  i64 flops;
+  std::vector<RhsResult> rhs;
+};
+
+MatrixResult bench_matrix(const std::string& name, const SymSparse& a,
+                          const std::vector<idx>& nrhs_list,
+                          const std::vector<int>& threads_list, int reps) {
+  MatrixResult res;
+  res.name = name;
+  res.n = a.num_rows();
+
+  SparseCholesky chol = SparseCholesky::analyze(a);
+  chol.factorize();
+  res.flops = chol.factor_flops_exact();
+  const BlockFactor& f = chol.factor();
+  const idx n = res.n;
+
+  std::printf("%-10s n=%-7lld factor flops=%.3g\n", name.c_str(),
+              static_cast<long long>(n), static_cast<double>(res.flops));
+
+  Rng rng(314159);
+  const idx max_nrhs = *std::max_element(nrhs_list.begin(), nrhs_list.end());
+  DenseMatrix b_full(n, max_nrhs);
+  for (idx c = 0; c < max_nrhs; ++c) {
+    for (idx r = 0; r < n; ++r) b_full(r, c) = rng.uniform(-1.0, 1.0);
+  }
+
+  SolveWorkspace ws(chol.structure());
+  for (idx nrhs : nrhs_list) {
+    RhsResult rr{};
+    rr.nrhs = nrhs;
+    DenseMatrix b(n, nrhs);
+    for (idx c = 0; c < nrhs; ++c) {
+      const double* src = b_full.col(c);
+      std::copy(src, src + n, b.col(c));
+    }
+
+    DenseMatrix x = b;
+    rr.seed_s = median_seconds(
+        [&] {
+          for (idx c = 0; c < nrhs; ++c) {
+            std::vector<double> col(static_cast<std::size_t>(n));
+            std::copy(b.col(c), b.col(c) + n, col.begin());
+            col = block_solve(f, col);
+            std::copy(col.begin(), col.end(), x.col(c));
+          }
+        },
+        reps);
+
+    // Panel and 1-thread parallel execute the identical kernel sequence, so
+    // their ratio is the executor's pure overhead. Interleave the timed reps
+    // so host drift (this container shares cores with other jobs) hits both
+    // paths equally instead of biasing whichever ran second.
+    const auto time_once = [](auto&& fn) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+          .count();
+    };
+    SolveOptions opt1;
+    opt1.threads = 1;
+    const int pair_reps = 2 * reps + 1;
+    std::vector<double> t_panel(pair_reps), t_par1(pair_reps);
+    for (int rep = 0; rep < pair_reps; ++rep) {
+      t_panel[rep] = time_once([&] {
+        x = b;
+        block_solve_multi(f, x);
+      });
+      t_par1[rep] = time_once([&] {
+        x = b;
+        block_solve_multi_parallel(f, x, opt1, &ws);
+      });
+    }
+    std::sort(t_panel.begin(), t_panel.end());
+    std::sort(t_par1.begin(), t_par1.end());
+    rr.panel_s = t_panel[pair_reps / 2];
+    const double par_1t = t_par1[pair_reps / 2];
+    // Residual checked after the thread sweep: the sparse multiply would
+    // otherwise evict the factor from cache mid-measurement.
+    x = b;
+    block_solve_multi(f, x);
+    const DenseMatrix x_panel = x;
+
+    std::printf("  nrhs=%-3lld seed %.4fs  panel %.4fs  speedup %.2fx\n",
+                static_cast<long long>(nrhs), rr.seed_s, rr.panel_s,
+                rr.seed_s / rr.panel_s);
+
+    for (int threads : threads_list) {
+      ThreadRun run{};
+      run.threads = threads;
+      SolveOptions opt;
+      opt.threads = threads;
+      run.par_s = threads == 1 ? par_1t
+                               : median_seconds(
+                                     [&] {
+                                       x = b;
+                                       block_solve_multi_parallel(f, x, opt,
+                                                                  &ws);
+                                     },
+                                     reps);
+      // One profiled run for the phase split (timer overhead kept out of
+      // the timings above).
+      SolveProfile prof;
+      opt.profile = &prof;
+      x = b;
+      block_solve_multi_parallel(f, x, opt, &ws);
+      run.phases = prof.total();
+      run.steals = prof.steals;
+      run.efficiency =
+          (par_1t > 0 && run.par_s > 0) ? par_1t / (run.par_s * threads) : 0.0;
+      std::printf(
+          "    threads=%d  par %.4fs  eff %.2f  [fwd %.4fs bwd %.4fs "
+          "scatter %.4fs idle %.4fs steals %lld]\n",
+          threads, run.par_s, run.efficiency, run.phases.forward_s,
+          run.phases.backward_s, run.phases.scatter_s, run.phases.idle_s,
+          static_cast<long long>(run.steals));
+      rr.runs.push_back(run);
+    }
+    rr.residual = solve_residual_multi(chol.permuted_matrix(), x_panel, b);
+    std::printf("    residual %.1e\n", rr.residual);
+    res.rhs.push_back(rr);
+  }
+  return res;
+}
+
+void write_json(const std::string& path,
+                const std::vector<MatrixResult>& results) {
+  std::FILE* jf = std::fopen(path.c_str(), "w");
+  if (!jf) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(jf, "{\n  \"bench\": \"solve\",\n");
+  std::fprintf(jf, "  \"host_hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(jf,
+               "  \"seed_impl\": \"block_solve per RHS column (scalar "
+               "sweeps, factor walked once per column)\",\n");
+  std::fprintf(jf,
+               "  \"panel_impl\": \"block_solve_multi (TRSM/GEMM panel "
+               "kernels, factor walked once per panel)\",\n");
+  std::fprintf(jf,
+               "  \"parallel_impl\": \"DAG-scheduled executor on "
+               "work-stealing deques, per-worker accumulators\",\n");
+  std::fprintf(jf, "  \"matrices\": [\n");
+  double log_sum = 0;
+  int log_count = 0;
+  double ratio_1t_worst = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const MatrixResult& m = results[i];
+    std::fprintf(jf,
+                 "    {\"name\": \"%s\", \"n\": %lld, \"factor_flops\": "
+                 "%lld,\n     \"rhs\": [\n",
+                 m.name.c_str(), static_cast<long long>(m.n),
+                 static_cast<long long>(m.flops));
+    for (std::size_t r = 0; r < m.rhs.size(); ++r) {
+      const RhsResult& rr = m.rhs[r];
+      const double speedup = rr.panel_s > 0 ? rr.seed_s / rr.panel_s : 0.0;
+      std::fprintf(jf,
+                   "       {\"nrhs\": %lld, \"seed_s\": %.5f, \"panel_s\": "
+                   "%.5f, \"speedup_panel_vs_seed\": %.3f, \"residual\": "
+                   "%.2e,\n        \"runs\": [\n",
+                   static_cast<long long>(rr.nrhs), rr.seed_s, rr.panel_s,
+                   speedup, rr.residual);
+      for (std::size_t t = 0; t < rr.runs.size(); ++t) {
+        const ThreadRun& run = rr.runs[t];
+        std::fprintf(
+            jf,
+            "          {\"threads\": %d, \"par_s\": %.5f, \"efficiency\": "
+            "%.3f, \"phases\": {\"forward_s\": %.5f, \"backward_s\": %.5f, "
+            "\"scatter_s\": %.5f, \"idle_s\": %.5f, \"steals\": %lld}}%s\n",
+            run.threads, run.par_s, run.efficiency, run.phases.forward_s,
+            run.phases.backward_s, run.phases.scatter_s, run.phases.idle_s,
+            static_cast<long long>(run.steals),
+            t + 1 < rr.runs.size() ? "," : "");
+        if (run.threads == 1 && rr.panel_s > 0) {
+          ratio_1t_worst =
+              std::max(ratio_1t_worst, run.par_s / rr.panel_s);
+        }
+      }
+      std::fprintf(jf, "        ]}%s\n", r + 1 < m.rhs.size() ? "," : "");
+      if (rr.nrhs == 16 && speedup > 0) {
+        log_sum += std::log(speedup);
+        ++log_count;
+      }
+    }
+    std::fprintf(jf, "     ]}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  const double geomean = log_count ? std::exp(log_sum / log_count) : 0.0;
+  std::fprintf(jf,
+               "  ],\n  \"speedup_nrhs16_geomean\": %.3f,\n"
+               "  \"parallel_1t_vs_panel_worst_ratio\": %.3f\n}\n",
+               geomean, ratio_1t_worst);
+  std::fclose(jf);
+  std::printf(
+      "wrote %s (panel speedup geomean at nrhs=16: %.2fx; 1-thread parallel "
+      "overhead vs panel: %.1f%%)\n",
+      path.c_str(), geomean, 100.0 * (ratio_1t_worst - 1.0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = std::string(SPC_REPO_ROOT) + "/BENCH_solve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) json_path = argv[i] + 11;
+  }
+  const bool small = std::getenv("SPC_SMALL") != nullptr;
+  const int reps = small ? 1 : 3;
+  const idx cube = small ? 12 : 30;
+  LpGenOptions lp;
+  lp.n = small ? 1500 : 10000;
+  lp.mean_overlap = small ? 60 : 200;
+  lp.hubs = small ? 20 : 80;
+  lp.hub_span = 0.05;
+
+  const std::vector<int> threads_list = thread_counts_from_env();
+  std::string tl;
+  for (int t : threads_list) {
+    if (!tl.empty()) tl += ',';
+    tl += std::to_string(t);
+  }
+  std::printf("Triangular solve throughput (threads %s, host cores %u)\n%s\n",
+              tl.c_str(), std::thread::hardware_concurrency(),
+              small ? "scale: SMALL (sanity)" : "scale: default");
+
+  const SymSparse cube_m = make_grid3d(cube, cube, cube);
+  const SymSparse lp_m = make_lp_normal_equations(lp);
+  const std::string cube_name = "CUBE" + std::to_string(cube) + "x" +
+                                std::to_string(cube) + "x" +
+                                std::to_string(cube);
+  const std::string lp_name = "LP" + std::to_string(lp.n);
+
+  const std::vector<idx> nrhs_list = {1, 4, 16, 64};
+  std::vector<MatrixResult> results;
+  results.push_back(
+      bench_matrix(cube_name, cube_m, nrhs_list, threads_list, reps));
+  results.push_back(bench_matrix(lp_name, lp_m, nrhs_list, threads_list, reps));
+
+  write_json(json_path, results);
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Validator for the triangular-solve dependency DAG.
+//
+// factor/parallel_solve.cpp derives both solve sweeps from the block
+// structure alone: an off-diagonal entry (I, J) is an edge J -> I of the
+// forward DAG and I -> J of the backward DAG. check_solve_dag replays the
+// executors' counter protocol symbolically over both orientations, so a
+// structure corruption that would deadlock a parallel solve (a stuck
+// counter, an entry released twice, a cycle) is reported as a finding.
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "check/check.hpp"
+
+namespace spc::check {
+
+Report check_solve_dag(const BlockStructure& bs) {
+  Report r;
+  const idx nb = bs.num_block_cols();
+  if (static_cast<idx>(bs.blkptr.size()) != nb + 1 ||
+      static_cast<i64>(bs.blkrow.size()) != bs.num_entries()) {
+    std::ostringstream os;
+    os << "blkptr/blkrow not sized to " << nb << " block columns";
+    r.error("solve.structure", os.str());
+    return r;
+  }
+  const i64 ne = bs.num_entries();
+  for (i64 e = 0; e < ne; ++e) {
+    // blkptr is monotone by check_block_structure; find the owning column
+    // lazily below instead of trusting it here.
+    const idx row = bs.blkrow[static_cast<std::size_t>(e)];
+    if (row < 0 || row >= nb) {
+      std::ostringstream os;
+      os << "entry " << e << " has block row " << row << " outside [0, " << nb
+         << ")";
+      r.error("solve.blkrow-range", os.str());
+      return r;
+    }
+  }
+  std::vector<idx> col_of_entry(static_cast<std::size_t>(ne));
+  for (idx k = 0; k < nb; ++k) {
+    const i64 lo = bs.blkptr[static_cast<std::size_t>(k)];
+    const i64 hi = bs.blkptr[static_cast<std::size_t>(k) + 1];
+    if (lo < 0 || hi < lo || hi > ne) {
+      std::ostringstream os;
+      os << "blkptr not monotone at column " << k;
+      r.error("solve.structure", os.str());
+      return r;
+    }
+    for (i64 e = lo; e < hi; ++e) {
+      col_of_entry[static_cast<std::size_t>(e)] = k;
+      if (bs.blkrow[static_cast<std::size_t>(e)] <= k) {
+        std::ostringstream os;
+        os << "entry " << e << " of column " << k << " lands in block row "
+           << bs.blkrow[static_cast<std::size_t>(e)]
+           << ", not strictly below the column";
+        r.error("solve.blkrow-range", os.str());
+        return r;
+      }
+    }
+  }
+
+  // Forward sweep: column J waits for every entry whose block row is J;
+  // finishing J releases its own entries into their destination rows.
+  std::vector<i64> deps(static_cast<std::size_t>(nb), 0);
+  for (i64 e = 0; e < ne; ++e) {
+    deps[static_cast<std::size_t>(bs.blkrow[static_cast<std::size_t>(e)])]++;
+  }
+  std::vector<i64> consumed(static_cast<std::size_t>(ne), 0);
+  std::vector<idx> queue;
+  queue.reserve(static_cast<std::size_t>(nb));
+  for (idx k = 0; k < nb; ++k) {
+    if (deps[static_cast<std::size_t>(k)] == 0) queue.push_back(k);
+  }
+  i64 done = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const idx j = queue[head];
+    ++done;
+    for (i64 e = bs.blkptr[static_cast<std::size_t>(j)];
+         e < bs.blkptr[static_cast<std::size_t>(j) + 1]; ++e) {
+      consumed[static_cast<std::size_t>(e)]++;
+      const idx dst = bs.blkrow[static_cast<std::size_t>(e)];
+      if (--deps[static_cast<std::size_t>(dst)] == 0) queue.push_back(dst);
+    }
+  }
+  if (done != nb) {
+    std::ostringstream os;
+    os << "forward sweep drained " << done << " of " << nb
+       << " block columns (cycle or inconsistent counters)";
+    r.error("solve.fwd-stuck", os.str());
+    return r;
+  }
+  for (i64 e = 0; e < ne; ++e) {
+    if (consumed[static_cast<std::size_t>(e)] != 1) {
+      std::ostringstream os;
+      os << "forward sweep consumed entry " << e << " "
+         << consumed[static_cast<std::size_t>(e)] << " times";
+      r.error("solve.entry-consumed", os.str());
+      return r;
+    }
+  }
+
+  // Backward sweep: column K waits for its own entries; finishing K releases
+  // each entry of block row K back into the entry's owning column.
+  std::vector<i64> row_entries(static_cast<std::size_t>(nb), 0);
+  for (i64 e = 0; e < ne; ++e) {
+    row_entries[static_cast<std::size_t>(bs.blkrow[static_cast<std::size_t>(e)])]++;
+  }
+  std::vector<std::vector<i64>> by_row(static_cast<std::size_t>(nb));
+  for (idx k = 0; k < nb; ++k) {
+    by_row[static_cast<std::size_t>(k)].reserve(
+        static_cast<std::size_t>(row_entries[static_cast<std::size_t>(k)]));
+  }
+  for (i64 e = 0; e < ne; ++e) {
+    by_row[static_cast<std::size_t>(bs.blkrow[static_cast<std::size_t>(e)])]
+        .push_back(e);
+  }
+  for (idx k = 0; k < nb; ++k) {
+    deps[static_cast<std::size_t>(k)] = bs.blkptr[static_cast<std::size_t>(k) + 1] -
+                                        bs.blkptr[static_cast<std::size_t>(k)];
+  }
+  std::fill(consumed.begin(), consumed.end(), 0);
+  queue.clear();
+  for (idx k = 0; k < nb; ++k) {
+    if (deps[static_cast<std::size_t>(k)] == 0) queue.push_back(k);
+  }
+  done = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const idx i = queue[head];
+    ++done;
+    for (i64 e : by_row[static_cast<std::size_t>(i)]) {
+      consumed[static_cast<std::size_t>(e)]++;
+      const idx dst = col_of_entry[static_cast<std::size_t>(e)];
+      if (--deps[static_cast<std::size_t>(dst)] == 0) queue.push_back(dst);
+    }
+  }
+  if (done != nb) {
+    std::ostringstream os;
+    os << "backward sweep drained " << done << " of " << nb
+       << " block columns (cycle or inconsistent counters)";
+    r.error("solve.bwd-stuck", os.str());
+    return r;
+  }
+  for (i64 e = 0; e < ne; ++e) {
+    if (consumed[static_cast<std::size_t>(e)] != 1) {
+      std::ostringstream os;
+      os << "backward sweep consumed entry " << e << " "
+         << consumed[static_cast<std::size_t>(e)] << " times";
+      r.error("solve.entry-consumed", os.str());
+      return r;
+    }
+  }
+  return r;
+}
+
+}  // namespace spc::check

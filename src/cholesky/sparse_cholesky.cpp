@@ -1,5 +1,6 @@
 #include "cholesky/sparse_cholesky.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "factor/block_solve.hpp"
@@ -141,6 +142,103 @@ std::vector<double> SparseCholesky::solve(const std::vector<double>& b) const {
   // of the pivot threshold; one refinement step against the *unperturbed* A
   // recovers working accuracy for the typical tiny-pivot case.
   if (info_.perturbed_pivots > 0) refine_once(a_perm_, *factor_, pb, px);
+  std::vector<double> x(b.size());
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    x[static_cast<std::size_t>(perm_[k])] = px[k];
+  }
+  return x;
+}
+
+SolveWorkspace& SparseCholesky::solve_workspace() const {
+  // The workspace pins the address of bs_; rebuild if this object was copied
+  // or moved since it was created (or it shares a copied-from peer's).
+  if (!sws_ || sws_->bs != &bs_ || sws_.use_count() > 1) {
+    sws_ = std::make_shared<SolveWorkspace>(bs_);
+  }
+  return *sws_;
+}
+
+std::vector<double> SparseCholesky::solve(const std::vector<double>& b,
+                                          const SolveOptions& opt) const {
+  SPC_CHECK(factor_.has_value(), "solve(): call factorize() first");
+  SPC_CHECK(static_cast<idx>(b.size()) == a_perm_.num_rows(),
+            "solve(): right-hand side size mismatch");
+  SolveWorkspace& ws = solve_workspace();
+  std::vector<double> pb(b.size());
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    pb[k] = b[static_cast<std::size_t>(perm_[k])];
+  }
+  std::vector<double> px = pb;
+  block_solve_panel(*factor_, px.data(), 1, opt, &ws);
+  if (info_.perturbed_pivots > 0) {
+    refine_once(a_perm_, *factor_, pb, px, opt, &ws);
+  }
+  std::vector<double> x(b.size());
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    x[static_cast<std::size_t>(perm_[k])] = px[k];
+  }
+  return x;
+}
+
+void SparseCholesky::solve_multi(DenseMatrix& b, const SolveOptions& opt) const {
+  SPC_CHECK(factor_.has_value(), "solve_multi(): call factorize() first");
+  SPC_CHECK(b.rows() == a_perm_.num_rows(),
+            "solve_multi(): right-hand side row count mismatch");
+  if (b.cols() == 0) return;
+  SolveWorkspace& ws = solve_workspace();
+  const idx n = b.rows();
+  // Stage the permuted panel in the workspace's persistent buffer, solve in
+  // place (block_solve_multi_parallel panels it by opt.nrhs_block), then
+  // permute back — zero allocation at steady state.
+  const std::size_t elems =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(b.cols());
+  if (ws.rhs.size() < elems) ws.rhs.resize(elems);
+  for (idx c = 0; c < b.cols(); ++c) {
+    const double* src = b.col(c);
+    double* dst = ws.rhs.data() + static_cast<std::size_t>(c) * n;
+    for (idx k = 0; k < n; ++k) dst[k] = src[perm_[k]];
+  }
+  DenseMatrix staged;
+  staged.attach(ws.rhs.data(), n, b.cols());
+  block_solve_multi_parallel(*factor_, staged, opt, &ws);
+  if (info_.perturbed_pivots > 0) {
+    // Column-wise refinement against the unperturbed A (docs/ROBUSTNESS.md);
+    // b still holds the original right-hand sides at this point.
+    std::vector<double> pb(static_cast<std::size_t>(n));
+    std::vector<double> px(static_cast<std::size_t>(n));
+    for (idx c = 0; c < b.cols(); ++c) {
+      const double* src = b.col(c);
+      double* sc = ws.rhs.data() + static_cast<std::size_t>(c) * n;
+      for (idx k = 0; k < n; ++k) pb[static_cast<std::size_t>(k)] = src[perm_[k]];
+      std::copy(sc, sc + n, px.begin());
+      refine_once(a_perm_, *factor_, pb, px, opt, &ws);
+      std::copy(px.begin(), px.end(), sc);
+    }
+  }
+  for (idx c = 0; c < b.cols(); ++c) {
+    double* dst = b.col(c);
+    const double* src = ws.rhs.data() + static_cast<std::size_t>(c) * n;
+    for (idx k = 0; k < n; ++k) dst[perm_[k]] = src[k];
+  }
+}
+
+std::vector<double> SparseCholesky::solve_refined(const std::vector<double>& b,
+                                                  const SolveOptions& opt,
+                                                  int max_iters,
+                                                  double tol) const {
+  SPC_CHECK(factor_.has_value(), "solve_refined(): call factorize() first");
+  SPC_CHECK(static_cast<idx>(b.size()) == a_perm_.num_rows(),
+            "solve_refined(): right-hand side size mismatch");
+  SolveWorkspace& ws = solve_workspace();
+  std::vector<double> pb(b.size());
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    pb[k] = b[static_cast<std::size_t>(perm_[k])];
+  }
+  std::vector<double> px = pb;
+  block_solve_panel(*factor_, px.data(), 1, opt, &ws);
+  for (int it = 0; it < max_iters; ++it) {
+    if (refine_once(a_perm_, *factor_, pb, px, opt, &ws) <= tol) break;
+  }
   std::vector<double> x(b.size());
   for (std::size_t k = 0; k < b.size(); ++k) {
     x[static_cast<std::size_t>(perm_[k])] = px[k];

@@ -22,6 +22,7 @@
 #include "blocks/task_graph.hpp"
 #include "check/check.hpp"
 #include "factor/numeric_factor.hpp"
+#include "factor/parallel_solve.hpp"
 #include "graph/graph.hpp"
 #include "mapping/balance.hpp"
 #include "mapping/block_map.hpp"
@@ -98,11 +99,29 @@ class SparseCholesky {
   // Solves A x = b in the ORIGINAL row/column order of the input matrix.
   std::vector<double> solve(const std::vector<double>& b) const;
 
+  // Same, routed through the panel/parallel solve path (factor/
+  // parallel_solve.hpp): opt.threads == 1 runs the serial panel sweeps,
+  // >= 2 the DAG executor. The solve workspace (DAG, priorities, scratch)
+  // is built on the first call and cached, so repeated solves allocate
+  // nothing. Perturbed-pivot refinement (see below) rides the same path.
+  std::vector<double> solve(const std::vector<double>& b,
+                            const SolveOptions& opt) const;
+
+  // Multi-RHS solve in place: B is num_rows() x nrhs, column-major, in the
+  // ORIGINAL row order; processed in panels of opt.nrhs_block columns so
+  // the factor is walked once per panel. Uses the same cached workspace.
+  void solve_multi(DenseMatrix& b, const SolveOptions& opt = {}) const;
+
   // Solve followed by iterative refinement until the correction's inf-norm
   // drops below `tol` or `max_iters` steps. For well-conditioned SPD systems
   // one step already reaches working accuracy; the option matters for the
   // ill-conditioned stiffness matrices in the BCSSTK class.
   std::vector<double> solve_refined(const std::vector<double>& b, int max_iters = 3,
+                                    double tol = 1e-14) const;
+
+  // solve_refined with the solves routed through the panel/parallel path.
+  std::vector<double> solve_refined(const std::vector<double>& b,
+                                    const SolveOptions& opt, int max_iters = 3,
                                     double tol = 1e-14) const;
 
   // --- Introspection -------------------------------------------------------
@@ -164,6 +183,10 @@ class SparseCholesky {
   // whenever it does not match the current bs_/tg_ addresses (e.g. after the
   // object was copied or moved).
   std::shared_ptr<ParallelWorkspace> pws_;
+  // Cached solve workspace, same lifecycle; mutable because solve() is
+  // const while the workspace's counters/scratch are per-run state.
+  SolveWorkspace& solve_workspace() const;
+  mutable std::shared_ptr<SolveWorkspace> sws_;
 };
 
 // Convenience one-shot solve.

@@ -18,9 +18,23 @@ void block_lower_transpose_solve(const BlockFactor& f, std::vector<double>& x);
 // Full solve A x = b given A = L L^T.
 std::vector<double> block_solve(const BlockFactor& f, const std::vector<double>& b);
 
-// Multiple right-hand sides: columns of B solved independently in place.
-// B is n x nrhs, column-major.
-void block_solve_multi(const BlockFactor& f, DenseMatrix& b);
+// Panel sweeps (docs/SOLVE.md): in-place forward / backward solve of an
+// n x nrhs RHS panel stored column-major at `x` with leading dimension ldx.
+// The factor is traversed ONCE for the whole panel, and each block op runs
+// through the level-3 solve kernels (trsm_left_* / gemm_nn/tn) instead of
+// the scalar substitution above. `scratch` holds one off-diagonal entry's
+// GEMM result (forward) or gathered RHS rows (backward); pass a persistent
+// matrix to make repeated solves allocation-free.
+void block_lower_solve_panel(const BlockFactor& f, double* x, idx ldx,
+                             idx nrhs, DenseMatrix& scratch);
+void block_lower_transpose_solve_panel(const BlockFactor& f, double* x,
+                                       idx ldx, idx nrhs, DenseMatrix& scratch);
+
+// Multiple right-hand sides solved in place. B is n x nrhs, column-major,
+// processed in panels of `nrhs_block` columns through the panel sweeps (so
+// the factor is walked once per panel, not once per RHS column).
+void block_solve_multi(const BlockFactor& f, DenseMatrix& b,
+                       idx nrhs_block = 32);
 
 // One step of iterative refinement: x += A^{-1} (b - A x) using the factor.
 // Returns the inf-norm of the correction (a convergence indicator). `a` must

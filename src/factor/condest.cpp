@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "factor/block_solve.hpp"
+#include "factor/parallel_solve.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -53,8 +54,29 @@ double estimate_inv_norm2(const SymSparse& a, const BlockFactor& f, int iters,
   return lambda;
 }
 
+double estimate_inv_norm2(const SymSparse& a, const BlockFactor& f,
+                          const SolveOptions& opt, SolveWorkspace* ws, int iters,
+                          std::uint64_t seed) {
+  SPC_CHECK(iters >= 1, "estimate_inv_norm2: iters must be >= 1");
+  SPC_CHECK(a.num_rows() == f.structure->part.num_cols(),
+            "estimate_inv_norm2: matrix/factor mismatch");
+  std::vector<double> v = random_unit(a.num_rows(), seed);
+  double lambda = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    block_solve_panel(f, v.data(), 1, opt, ws);
+    lambda = normalize(v);
+  }
+  return lambda;
+}
+
 double estimate_condition(const SymSparse& a, const BlockFactor& f, int iters) {
   return estimate_norm2(a, iters) * estimate_inv_norm2(a, f, iters);
+}
+
+double estimate_condition(const SymSparse& a, const BlockFactor& f,
+                          const SolveOptions& opt, SolveWorkspace* ws,
+                          int iters) {
+  return estimate_norm2(a, iters) * estimate_inv_norm2(a, f, opt, ws, iters);
 }
 
 }  // namespace spc

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "factor/numeric_factor.hpp"
+#include "factor/parallel_solve.hpp"
 #include "graph/graph.hpp"
 #include "support/types.hpp"
 
@@ -20,7 +21,19 @@ double estimate_norm2(const SymSparse& a, int iters = 30, std::uint64_t seed = 7
 double estimate_inv_norm2(const SymSparse& a, const BlockFactor& f, int iters = 30,
                           std::uint64_t seed = 7);
 
+// Same, with the per-iteration solves routed through the panel/parallel
+// path of factor/parallel_solve.hpp (in place, reusing `ws` so the power
+// iteration allocates nothing at steady state).
+double estimate_inv_norm2(const SymSparse& a, const BlockFactor& f,
+                          const SolveOptions& opt, SolveWorkspace* ws = nullptr,
+                          int iters = 30, std::uint64_t seed = 7);
+
 // 2-norm condition number estimate of the (permuted) matrix.
 double estimate_condition(const SymSparse& a, const BlockFactor& f, int iters = 30);
+
+// Condition estimate with panel/parallel solves (see above).
+double estimate_condition(const SymSparse& a, const BlockFactor& f,
+                          const SolveOptions& opt, SolveWorkspace* ws = nullptr,
+                          int iters = 30);
 
 }  // namespace spc

@@ -135,4 +135,22 @@ double solve_residual(const SymSparse& a, const std::vector<double>& x,
   return err / scale;
 }
 
+double solve_residual_multi(const SymSparse& a, const DenseMatrix& x,
+                            const DenseMatrix& b) {
+  SPC_CHECK(x.rows() == a.num_rows() && b.rows() == a.num_rows() &&
+                x.cols() == b.cols(),
+            "solve_residual_multi: shape mismatch");
+  const std::size_t n = static_cast<std::size_t>(a.num_rows());
+  std::vector<double> xc(n), bc(n);
+  double worst = 0.0;
+  for (idx c = 0; c < x.cols(); ++c) {
+    const double* xp = x.col(c);
+    const double* bp = b.col(c);
+    std::copy(xp, xp + n, xc.begin());
+    std::copy(bp, bp + n, bc.begin());
+    worst = std::max(worst, solve_residual(a, xc, bc));
+  }
+  return worst;
+}
+
 }  // namespace spc

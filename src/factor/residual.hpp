@@ -21,4 +21,9 @@ double factor_residual_dense(const SymSparse& a, const BlockFactor& f);
 double solve_residual(const SymSparse& a, const std::vector<double>& x,
                       const std::vector<double>& b);
 
+// Max of solve_residual over the columns of a multi-RHS solve (X, B
+// column-major, same shape).
+double solve_residual_multi(const SymSparse& a, const DenseMatrix& x,
+                            const DenseMatrix& b);
+
 }  // namespace spc

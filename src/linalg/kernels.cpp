@@ -48,6 +48,27 @@ void pack_panel(const double* src, idx ld, idx rows, idx kc, double* dst) {
   }
 }
 
+// Transposing variant: logical operand row r lives in STORAGE COLUMN r of
+// src (logical element (r, p) = src[r * ld + p]), so each packed strip row
+// streams a contiguous storage column. This is how the NN/TN solve GEMMs
+// feed the same micro-kernels: packing B (stored k x n) through this yields
+// the B^T-by-NR-strips layout the kernel expects, and likewise for A^T.
+template <int R>
+void pack_panel_trans(const double* src, idx ld, idx rows, idx kc, double* dst) {
+  for (idx i = 0; i < rows; i += R) {
+    const idx r_count = std::min<idx>(R, rows - i);
+    double* out = dst;
+    for (idx r = 0; r < r_count; ++r) {
+      const double* col = src + static_cast<std::size_t>(i + r) * ld;
+      for (idx p = 0; p < kc; ++p) out[static_cast<std::size_t>(p) * R + r] = col[p];
+    }
+    for (idx r = r_count; r < R; ++r) {
+      for (idx p = 0; p < kc; ++p) out[static_cast<std::size_t>(p) * R + r] = 0.0;
+    }
+    dst += static_cast<std::size_t>(R) * kc;
+  }
+}
+
 // Portable 4x4 micro-kernel: acc = sum_p a_strip(:,p) * b_strip(:,p)^T, then
 // C(0:mr, 0:nr) -= acc (accumulate) or C = -acc (overwrite, for callers whose
 // C is uninitialized scratch). The accumulator array is sized for the
@@ -190,6 +211,8 @@ struct MicroConfig {
   idx nr;
   void (*pack_a)(const double*, idx, idx, idx, double*);
   void (*pack_b)(const double*, idx, idx, idx, double*);
+  void (*pack_a_t)(const double*, idx, idx, idx, double*);
+  void (*pack_b_t)(const double*, idx, idx, idx, double*);
   void (*kernel)(idx, const double*, const double*, double*, idx, idx, idx,
                  bool);
 };
@@ -198,10 +221,19 @@ const MicroConfig& micro_config() {
   static const MicroConfig cfg = [] {
 #if SPC_X86_MICROKERNELS
     if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-      return MicroConfig{8, 4, pack_panel<8>, pack_panel<4>, micro_kernel_8x4_avx2};
+      return MicroConfig{8,
+                         4,
+                         pack_panel<8>,
+                         pack_panel<4>,
+                         pack_panel_trans<8>,
+                         pack_panel_trans<4>,
+                         micro_kernel_8x4_avx2};
     }
 #endif
-    return MicroConfig{4, 4, pack_panel<4>, pack_panel<4>, micro_kernel_4x4};
+    return MicroConfig{4,           4,
+                       pack_panel<4>, pack_panel<4>,
+                       pack_panel_trans<4>, pack_panel_trans<4>,
+                       micro_kernel_4x4};
   }();
   return cfg;
 }
@@ -222,9 +254,14 @@ PackBuffers& pack_buffers() {
 // writes C = -(A_panel B_panel^T) instead of accumulating, and later panels
 // accumulate as usual. This saves a full zero-fill pass plus the first
 // panel's C read when the caller's C is scratch (the two-phase BMOD path).
+// The trans flags flip an operand's storage interpretation (logical rows in
+// storage columns) by routing it through the transposing pack: with b_trans
+// the op becomes C -= A * B for a k x n stored B, with a_trans additionally
+// C -= A^T * B for a k x m stored A.
 void gemm_packed_raw(idx m, idx n, idx k, const double* a, idx lda,
                      const double* b, idx ldb, double* c, idx ldc,
-                     bool overwrite = false) {
+                     bool overwrite = false, bool a_trans = false,
+                     bool b_trans = false) {
   const MicroConfig& cfg = micro_config();
   PackBuffers& bufs = pack_buffers();
   const idx mc_max = std::min<idx>(kMC, m);
@@ -240,12 +277,22 @@ void gemm_packed_raw(idx m, idx n, idx k, const double* a, idx lda,
     for (idx pc = 0; pc < k; pc += kKC) {
       const idx kc = std::min<idx>(kKC, k - pc);
       const bool accumulate = !overwrite || pc > 0;
-      cfg.pack_b(b + static_cast<std::size_t>(pc) * ldb + jc, ldb, nc, kc,
-                 bufs.b.data());
+      if (b_trans) {
+        cfg.pack_b_t(b + static_cast<std::size_t>(jc) * ldb + pc, ldb, nc, kc,
+                     bufs.b.data());
+      } else {
+        cfg.pack_b(b + static_cast<std::size_t>(pc) * ldb + jc, ldb, nc, kc,
+                   bufs.b.data());
+      }
       for (idx ic = 0; ic < m; ic += kMC) {
         const idx mc = std::min<idx>(kMC, m - ic);
-        cfg.pack_a(a + static_cast<std::size_t>(pc) * lda + ic, lda, mc, kc,
-                   bufs.a.data());
+        if (a_trans) {
+          cfg.pack_a_t(a + static_cast<std::size_t>(ic) * lda + pc, lda, mc, kc,
+                       bufs.a.data());
+        } else {
+          cfg.pack_a(a + static_cast<std::size_t>(pc) * lda + ic, lda, mc, kc,
+                     bufs.a.data());
+        }
         for (idx jr = 0; jr < nc; jr += cfg.nr) {
           const idx nr = std::min<idx>(cfg.nr, nc - jr);
           const double* bp =
@@ -478,6 +525,245 @@ void trsm_rlt_fast(idx m, idx k, const double* l, idx ldl, double* b, idx ldb) {
   fn(m, k, l, ldl, b, ldb);
 }
 
+// ---------------------------------------------------------------------------
+// Solve-path small-shape kernels. Same dual-compile pattern as above: each
+// body is an always_inline helper compiled once for the baseline ISA and
+// once under an AVX2+FMA target attribute, with the variant picked at first
+// use. They cover the fragmented row segments (m or n too small for the
+// packed core) of the panel triangular solves.
+// ---------------------------------------------------------------------------
+
+// C -= A * B, register-blocked two C columns x four ranks. Structurally the
+// NT kernel above with B read down its stored columns (B is k x n here).
+__attribute__((always_inline)) inline void gemm_nn_body(
+    idx m, idx n, idx k, const double* a, idx lda, const double* b, idx ldb,
+    double* c, idx ldc) {
+  idx j = 0;
+  for (; j + 1 < n; j += 2) {
+    double* c0 = c + static_cast<std::size_t>(j) * ldc;
+    double* c1 = c + static_cast<std::size_t>(j + 1) * ldc;
+    const double* b0col = b + static_cast<std::size_t>(j) * ldb;
+    const double* b1col = b0col + ldb;
+    idx p = 0;
+    for (; p + 3 < k; p += 4) {
+      const double* a0 = a + static_cast<std::size_t>(p) * lda;
+      const double* a1 = a0 + lda;
+      const double* a2 = a1 + lda;
+      const double* a3 = a2 + lda;
+      const double b00 = b0col[p], b01 = b0col[p + 1], b02 = b0col[p + 2],
+                   b03 = b0col[p + 3];
+      const double b10 = b1col[p], b11 = b1col[p + 1], b12 = b1col[p + 2],
+                   b13 = b1col[p + 3];
+      for (idx i = 0; i < m; ++i) {
+        const double v0 = a0[i], v1 = a1[i], v2 = a2[i], v3 = a3[i];
+        c0[i] -= v0 * b00 + v1 * b01 + v2 * b02 + v3 * b03;
+        c1[i] -= v0 * b10 + v1 * b11 + v2 * b12 + v3 * b13;
+      }
+    }
+    for (; p < k; ++p) {
+      const double* ap = a + static_cast<std::size_t>(p) * lda;
+      const double bv0 = b0col[p];
+      const double bv1 = b1col[p];
+      for (idx i = 0; i < m; ++i) {
+        c0[i] -= ap[i] * bv0;
+        c1[i] -= ap[i] * bv1;
+      }
+    }
+  }
+  if (j < n) {
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    const double* bj = b + static_cast<std::size_t>(j) * ldb;
+    idx p = 0;
+    for (; p + 3 < k; p += 4) {
+      const double* a0 = a + static_cast<std::size_t>(p) * lda;
+      const double* a1 = a0 + lda;
+      const double* a2 = a1 + lda;
+      const double* a3 = a2 + lda;
+      const double b0 = bj[p], b1 = bj[p + 1], b2 = bj[p + 2], b3 = bj[p + 3];
+      for (idx i = 0; i < m; ++i) {
+        cj[i] -= a0[i] * b0 + a1[i] * b1 + a2[i] * b2 + a3[i] * b3;
+      }
+    }
+    for (; p < k; ++p) {
+      const double* ap = a + static_cast<std::size_t>(p) * lda;
+      const double bjp = bj[p];
+      for (idx i = 0; i < m; ++i) cj[i] -= ap[i] * bjp;
+    }
+  }
+}
+
+void gemm_nn_small(idx m, idx n, idx k, const double* a, idx lda,
+                   const double* b, idx ldb, double* c, idx ldc) {
+  gemm_nn_body(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+#if SPC_X86_MICROKERNELS
+__attribute__((target("avx2,fma"))) void gemm_nn_small_avx2(
+    idx m, idx n, idx k, const double* a, idx lda, const double* b, idx ldb,
+    double* c, idx ldc) {
+  gemm_nn_body(m, n, k, a, lda, b, ldb, c, ldc);
+}
+#endif
+
+GemmRawFn pick_gemm_nn_small() {
+#if SPC_X86_MICROKERNELS
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return gemm_nn_small_avx2;
+  }
+#endif
+  return gemm_nn_small;
+}
+void gemm_nn_small_raw(idx m, idx n, idx k, const double* a, idx lda,
+                       const double* b, idx ldb, double* c, idx ldc) {
+  static const GemmRawFn fn = pick_gemm_nn_small();
+  fn(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+// C -= A^T * B with A stored k x m: both operands stream contiguously down
+// their stored columns, so this is four-way-split dot products.
+__attribute__((always_inline)) inline void gemm_tn_body(
+    idx m, idx n, idx k, const double* a, idx lda, const double* b, idx ldb,
+    double* c, idx ldc) {
+  for (idx j = 0; j < n; ++j) {
+    const double* bj = b + static_cast<std::size_t>(j) * ldb;
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    for (idx i = 0; i < m; ++i) {
+      const double* ai = a + static_cast<std::size_t>(i) * lda;
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      idx p = 0;
+      for (; p + 3 < k; p += 4) {
+        s0 += ai[p] * bj[p];
+        s1 += ai[p + 1] * bj[p + 1];
+        s2 += ai[p + 2] * bj[p + 2];
+        s3 += ai[p + 3] * bj[p + 3];
+      }
+      double s = (s0 + s1) + (s2 + s3);
+      for (; p < k; ++p) s += ai[p] * bj[p];
+      cj[i] -= s;
+    }
+  }
+}
+
+void gemm_tn_small(idx m, idx n, idx k, const double* a, idx lda,
+                   const double* b, idx ldb, double* c, idx ldc) {
+  gemm_tn_body(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+#if SPC_X86_MICROKERNELS
+__attribute__((target("avx2,fma"))) void gemm_tn_small_avx2(
+    idx m, idx n, idx k, const double* a, idx lda, const double* b, idx ldb,
+    double* c, idx ldc) {
+  gemm_tn_body(m, n, k, a, lda, b, ldb, c, ldc);
+}
+#endif
+
+GemmRawFn pick_gemm_tn_small() {
+#if SPC_X86_MICROKERNELS
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return gemm_tn_small_avx2;
+  }
+#endif
+  return gemm_tn_small;
+}
+void gemm_tn_small_raw(idx m, idx n, idx k, const double* a, idx lda,
+                       const double* b, idx ldb, double* c, idx ldc) {
+  static const GemmRawFn fn = pick_gemm_tn_small();
+  fn(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+// Scalar forward substitution on a k x n panel: X := L^{-1} X. Column p's
+// pivot divide is a multiply by the reciprocal; the rank-1 update below the
+// pivot streams L's stored column with unit stride, so the AVX2 clone
+// vectorizes it.
+__attribute__((always_inline)) inline void trsm_ll_body(idx kdim, idx n,
+                                                        const double* l,
+                                                        idx ldl, double* x,
+                                                        idx ldx) {
+  for (idx p = 0; p < kdim; ++p) {
+    const double* lp = l + static_cast<std::size_t>(p) * ldl;
+    const double inv = 1.0 / lp[p];
+    for (idx j = 0; j < n; ++j) {
+      double* xj = x + static_cast<std::size_t>(j) * ldx;
+      const double xp = xj[p] * inv;
+      xj[p] = xp;
+      for (idx i = p + 1; i < kdim; ++i) xj[i] -= lp[i] * xp;
+    }
+  }
+}
+
+void trsm_ll_raw(idx kdim, idx n, const double* l, idx ldl, double* x,
+                 idx ldx) {
+  trsm_ll_body(kdim, n, l, ldl, x, ldx);
+}
+
+#if SPC_X86_MICROKERNELS
+__attribute__((target("avx2,fma"))) void trsm_ll_avx2(idx kdim, idx n,
+                                                      const double* l, idx ldl,
+                                                      double* x, idx ldx) {
+  trsm_ll_body(kdim, n, l, ldl, x, ldx);
+}
+#endif
+
+using TrsmLeftFn = void (*)(idx, idx, const double*, idx, double*, idx);
+TrsmLeftFn pick_trsm_ll() {
+#if SPC_X86_MICROKERNELS
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return trsm_ll_avx2;
+  }
+#endif
+  return trsm_ll_raw;
+}
+void trsm_ll_fast(idx kdim, idx n, const double* l, idx ldl, double* x,
+                  idx ldx) {
+  static const TrsmLeftFn fn = pick_trsm_ll();
+  fn(kdim, n, l, ldl, x, ldx);
+}
+
+// Scalar backward substitution: X := L^{-T} X. Row p of L^T is stored
+// column p of L, so the inner dot streams contiguously.
+__attribute__((always_inline)) inline void trsm_llt_body(idx kdim, idx n,
+                                                         const double* l,
+                                                         idx ldl, double* x,
+                                                         idx ldx) {
+  for (idx p = kdim - 1; p >= 0; --p) {
+    const double* lp = l + static_cast<std::size_t>(p) * ldl;
+    const double inv = 1.0 / lp[p];
+    for (idx j = 0; j < n; ++j) {
+      double* xj = x + static_cast<std::size_t>(j) * ldx;
+      double s = xj[p];
+      for (idx i = p + 1; i < kdim; ++i) s -= lp[i] * xj[i];
+      xj[p] = s * inv;
+    }
+  }
+}
+
+void trsm_llt_raw(idx kdim, idx n, const double* l, idx ldl, double* x,
+                  idx ldx) {
+  trsm_llt_body(kdim, n, l, ldl, x, ldx);
+}
+
+#if SPC_X86_MICROKERNELS
+__attribute__((target("avx2,fma"))) void trsm_llt_avx2(idx kdim, idx n,
+                                                       const double* l, idx ldl,
+                                                       double* x, idx ldx) {
+  trsm_llt_body(kdim, n, l, ldl, x, ldx);
+}
+#endif
+
+TrsmLeftFn pick_trsm_llt() {
+#if SPC_X86_MICROKERNELS
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return trsm_llt_avx2;
+  }
+#endif
+  return trsm_llt_raw;
+}
+void trsm_llt_fast(idx kdim, idx n, const double* l, idx ldl, double* x,
+                   idx ldx) {
+  static const TrsmLeftFn fn = pick_trsm_llt();
+  fn(kdim, n, l, ldl, x, ldx);
+}
+
 // Panel width for the blocked potrf/trsm: big enough that the trailing
 // GEMM dominates, small enough that the scalar panel stays in L1.
 constexpr idx kPanel = 32;
@@ -655,6 +941,86 @@ void gemm_nt_neg_raw(idx m, idx n, idx k, const double* a, idx lda,
               c + static_cast<std::size_t>(j) * ldc + m, 0.0);
   }
   if (k > 0) gemm_small_raw(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_nn_minus_raw(idx m, idx n, idx k, const double* a, idx lda,
+                       const double* b, idx ldb, double* c, idx ldc) {
+  if (m == 0 || n == 0 || k == 0) return;
+  if (packed_profitable(m, n, k)) {
+    gemm_packed_raw(m, n, k, a, lda, b, ldb, c, ldc, /*overwrite=*/false,
+                    /*a_trans=*/false, /*b_trans=*/true);
+  } else {
+    gemm_nn_small_raw(m, n, k, a, lda, b, ldb, c, ldc);
+  }
+}
+
+void gemm_nn_neg_raw(idx m, idx n, idx k, const double* a, idx lda,
+                     const double* b, idx ldb, double* c, idx ldc) {
+  if (m == 0 || n == 0) return;
+  if (k > 0 && packed_profitable(m, n, k)) {
+    gemm_packed_raw(m, n, k, a, lda, b, ldb, c, ldc, /*overwrite=*/true,
+                    /*a_trans=*/false, /*b_trans=*/true);
+    return;
+  }
+  for (idx j = 0; j < n; ++j) {
+    std::fill(c + static_cast<std::size_t>(j) * ldc,
+              c + static_cast<std::size_t>(j) * ldc + m, 0.0);
+  }
+  if (k > 0) gemm_nn_small_raw(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_tn_minus_raw(idx m, idx n, idx k, const double* a, idx lda,
+                       const double* b, idx ldb, double* c, idx ldc) {
+  if (m == 0 || n == 0 || k == 0) return;
+  if (packed_profitable(m, n, k)) {
+    gemm_packed_raw(m, n, k, a, lda, b, ldb, c, ldc, /*overwrite=*/false,
+                    /*a_trans=*/true, /*b_trans=*/true);
+  } else {
+    gemm_tn_small_raw(m, n, k, a, lda, b, ldb, c, ldc);
+  }
+}
+
+void trsm_left_lower(idx k, idx n, const double* l, idx ldl, double* x,
+                     idx ldx) {
+  if (k == 0 || n == 0) return;
+  if (k <= kPanel || n < 2) {
+    trsm_ll_fast(k, n, l, ldl, x, ldx);
+    return;
+  }
+  // Right-looking over diagonal panels: solve the panel, then push its
+  // contribution into the rows below it through the GEMM core.
+  for (idx jb = 0; jb < k; jb += kPanel) {
+    const idx nb = std::min<idx>(kPanel, k - jb);
+    const double* diag = l + static_cast<std::size_t>(jb) * ldl + jb;
+    trsm_ll_fast(nb, n, diag, ldl, x + jb, ldx);
+    const idx below = k - jb - nb;
+    if (below > 0) {
+      gemm_nn_minus_raw(below, n, nb, diag + nb, ldl, x + jb, ldx,
+                        x + jb + nb, ldx);
+    }
+  }
+}
+
+void trsm_left_ltrans(idx k, idx n, const double* l, idx ldl, double* x,
+                      idx ldx) {
+  if (k == 0 || n == 0) return;
+  if (k <= kPanel || n < 2) {
+    trsm_llt_fast(k, n, l, ldl, x, ldx);
+    return;
+  }
+  // Bottom-up over diagonal panels: subtract the already-solved tail's
+  // contribution L(tail, panel)^T X(tail, :), then solve the panel.
+  for (idx jb = ((k - 1) / kPanel) * kPanel;; jb -= kPanel) {
+    const idx nb = std::min<idx>(kPanel, k - jb);
+    const idx below = k - jb - nb;
+    if (below > 0) {
+      gemm_tn_minus_raw(nb, n, below, l + static_cast<std::size_t>(jb) * ldl + jb + nb,
+                        ldl, x + jb + nb, ldx, x + jb, ldx);
+    }
+    trsm_llt_fast(nb, n, l + static_cast<std::size_t>(jb) * ldl + jb, ldl,
+                  x + jb, ldx);
+    if (jb == 0) break;
+  }
 }
 
 void gemm_nt_minus(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {

@@ -97,6 +97,39 @@ void gemm_nt_minus_raw(idx m, idx n, idx k, const double* a, idx lda,
 void gemm_nt_neg_raw(idx m, idx n, idx k, const double* a, idx lda,
                      const double* b, idx ldb, double* c, idx ldc);
 
+// ---------------------------------------------------------------------------
+// Solve-path kernels (docs/SOLVE.md). The triangular solve works on n x nrhs
+// RHS panels, so its GEMMs are NN / TN shaped (B is the panel itself, not a
+// transposed factor block). They share the packed core above: the B (and,
+// for TN, A) operand is packed through a transposing pack routine, so big
+// panels hit the same register micro-kernels as BMOD.
+// ---------------------------------------------------------------------------
+
+// C := C - A * B with A m x k (lda), B k x n (ldb), C m x n (ldc).
+void gemm_nn_minus_raw(idx m, idx n, idx k, const double* a, idx lda,
+                       const double* b, idx ldb, double* c, idx ldc);
+
+// C := -(A * B), overwriting C (need not be initialized) — the forward
+// sweep's per-entry update block, scattered into the RHS afterwards.
+void gemm_nn_neg_raw(idx m, idx n, idx k, const double* a, idx lda,
+                     const double* b, idx ldb, double* c, idx ldc);
+
+// C := C - A^T * B with A stored k x m (lda), B k x n (ldb), C m x n (ldc).
+// The backward sweep's per-entry update (L_e^T times gathered RHS rows).
+void gemm_tn_minus_raw(idx m, idx n, idx k, const double* a, idx lda,
+                       const double* b, idx ldb, double* c, idx ldc);
+
+// X := L^{-1} X where L is k x k lower triangular (ldl) and X is a k x n
+// panel (ldx). Blocked: diagonal panels use the scalar substitution kernel,
+// the below-panel update runs through gemm_nn_minus_raw.
+void trsm_left_lower(idx k, idx n, const double* l, idx ldl, double* x,
+                     idx ldx);
+
+// X := L^{-T} X, the transpose counterpart (backward substitution), blocked
+// through gemm_tn_minus_raw.
+void trsm_left_ltrans(idx k, idx n, const double* l, idx ldl, double* x,
+                      idx ldx);
+
 // Kernel dispatch override used by benchmarks to record seed-vs-new numbers:
 // kSeedBlocked reproduces the seed dispatch (register-blocked kernel only,
 // never packed). Not meant for concurrent flipping while GEMMs are running.

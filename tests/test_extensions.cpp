@@ -113,8 +113,12 @@ TEST(MultiRhs, MatchesSingleSolve) {
     std::vector<double> b(static_cast<std::size_t>(n));
     for (idx r = 0; r < n; ++r) b[static_cast<std::size_t>(r)] = rhs(r, c);
     // block_solve works in the permuted space; compare against it directly.
+    // The panel path sums entry updates in a different order than the scalar
+    // sweeps, so compare to tolerance rather than bitwise.
     const std::vector<double> x = block_solve(chol.factor(), b);
-    for (idx r = 0; r < n; ++r) EXPECT_DOUBLE_EQ(multi(r, c), x[static_cast<std::size_t>(r)]);
+    for (idx r = 0; r < n; ++r) {
+      EXPECT_NEAR(multi(r, c), x[static_cast<std::size_t>(r)], 1e-12);
+    }
   }
 }
 

@@ -363,5 +363,130 @@ TEST(FlopCounts, MonotoneInDimensions) {
   EXPECT_LT(flops_bmod(2, 3, 4), flops_bmod(2, 3, 5));
 }
 
+// --- Solve-path kernels (gemm_nn / gemm_tn / triangular panel solves) ------
+
+// Shapes straddle the register tiles and the packed-path profitability
+// threshold, like the GemmNt exhaustive test above.
+TEST(GemmSolve, NnVariantsMatchNaiveAcrossShapes) {
+  Rng rng(17);
+  for (idx m : {1, 3, 8, 13, 40, 96}) {
+    for (idx n : {1, 2, 4, 9, 33}) {
+      for (idx k : {1, 5, 16, 48}) {
+        DenseMatrix a(m, k), b(k, n), c0(m, n);
+        for (idx c = 0; c < k; ++c) {
+          for (idx r = 0; r < m; ++r) a(r, c) = rng.uniform(-1.0, 1.0);
+        }
+        for (idx c = 0; c < n; ++c) {
+          for (idx r = 0; r < k; ++r) b(r, c) = rng.uniform(-1.0, 1.0);
+        }
+        for (idx c = 0; c < n; ++c) {
+          for (idx r = 0; r < m; ++r) c0(r, c) = rng.uniform(-1.0, 1.0);
+        }
+        DenseMatrix c1 = c0;
+        DenseMatrix c2(m, n);
+        // Naive C -= A*B.
+        for (idx c = 0; c < n; ++c) {
+          for (idx r = 0; r < m; ++r) {
+            double s = c0(r, c);
+            for (idx p = 0; p < k; ++p) s -= a(r, p) * b(p, c);
+            c0(r, c) = s;
+          }
+        }
+        gemm_nn_minus_raw(m, n, k, a.data(), m, b.data(), k, c1.data(), m);
+        gemm_nn_neg_raw(m, n, k, a.data(), m, b.data(), k, c2.data(), m);
+        for (idx c = 0; c < n; ++c) {
+          for (idx r = 0; r < m; ++r) {
+            EXPECT_NEAR(c1(r, c), c0(r, c), 1e-11)
+                << "minus m=" << m << " n=" << n << " k=" << k;
+            // c2 started from zero, so it should equal the pure -A*B part.
+            double s = 0.0;
+            for (idx p = 0; p < k; ++p) s -= a(r, p) * b(p, c);
+            EXPECT_NEAR(c2(r, c), s, 1e-11)
+                << "neg m=" << m << " n=" << n << " k=" << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmSolve, TnMatchesNaiveAcrossShapes) {
+  Rng rng(18);
+  for (idx m : {1, 4, 9, 40}) {
+    for (idx n : {1, 3, 8, 21}) {
+      for (idx k : {1, 6, 16, 64}) {
+        DenseMatrix a(k, m), b(k, n), c0(m, n);
+        for (idx c = 0; c < m; ++c) {
+          for (idx r = 0; r < k; ++r) a(r, c) = rng.uniform(-1.0, 1.0);
+        }
+        for (idx c = 0; c < n; ++c) {
+          for (idx r = 0; r < k; ++r) b(r, c) = rng.uniform(-1.0, 1.0);
+        }
+        for (idx c = 0; c < n; ++c) {
+          for (idx r = 0; r < m; ++r) c0(r, c) = rng.uniform(-1.0, 1.0);
+        }
+        DenseMatrix c1 = c0;
+        // Naive C -= A^T*B.
+        for (idx c = 0; c < n; ++c) {
+          for (idx r = 0; r < m; ++r) {
+            double s = c0(r, c);
+            for (idx p = 0; p < k; ++p) s -= a(p, r) * b(p, c);
+            c0(r, c) = s;
+          }
+        }
+        gemm_tn_minus_raw(m, n, k, a.data(), k, b.data(), k, c1.data(), m);
+        for (idx c = 0; c < n; ++c) {
+          for (idx r = 0; r < m; ++r) {
+            EXPECT_NEAR(c1(r, c), c0(r, c), 1e-11)
+                << "tn m=" << m << " n=" << n << " k=" << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TrsmLeft, LowerAndTransposeInvertAcrossSizes) {
+  Rng rng(19);
+  // Sizes straddle the kPanel=32 blocking of the panel solves.
+  for (idx k : {1, 2, 7, 31, 32, 33, 80}) {
+    for (idx n : {1, 2, 5, 17}) {
+      const DenseMatrix a = random_spd(k, rng);
+      DenseMatrix l = a;
+      potrf_lower(l);
+      DenseMatrix x0(k, n);
+      for (idx c = 0; c < n; ++c) {
+        for (idx r = 0; r < k; ++r) x0(r, c) = rng.uniform(-1.0, 1.0);
+      }
+      // Scalar reference forward solve.
+      DenseMatrix ref = x0;
+      for (idx c = 0; c < n; ++c) {
+        for (idx r = 0; r < k; ++r) {
+          double s = ref(r, c);
+          for (idx p = 0; p < r; ++p) s -= l(r, p) * ref(p, c);
+          ref(r, c) = s / l(r, r);
+        }
+      }
+      DenseMatrix x1 = x0;
+      trsm_left_lower(k, n, l.data(), k, x1.data(), k);
+      for (idx c = 0; c < n; ++c) {
+        for (idx r = 0; r < k; ++r) {
+          EXPECT_NEAR(x1(r, c), ref(r, c), 1e-9) << "k=" << k << " n=" << n;
+        }
+      }
+      // L^T solve applied after the L solve reconstructs A^{-1} x0; check
+      // A * result == x0.
+      trsm_left_ltrans(k, n, l.data(), k, x1.data(), k);
+      for (idx c = 0; c < n; ++c) {
+        for (idx r = 0; r < k; ++r) {
+          double s = 0.0;
+          for (idx p = 0; p < k; ++p) s += a(r, p) * x1(p, c);
+          EXPECT_NEAR(s, x0(r, c), 1e-7) << "k=" << k << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace spc

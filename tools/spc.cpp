@@ -3,6 +3,9 @@
 //   spc stats    <matrix> [--ordering mmd|amd|nd|natural] [--block B]
 //   spc solve    <matrix> [--ordering ...] [--refine]
 //                [--pivot-policy strict|perturb] [--pivot-delta D] [--raw]
+//                [--nrhs N] [--threads N[,N...]] [--nrhs-block B]
+//                (--nrhs/--threads switch to a multi-RHS sweep through the
+//                panel/parallel solve path and print a timing table)
 //   spc simulate <matrix> [--procs P] [--rows CY|DW|IN|DN|ID] [--cols ...]
 //                [--no-domains] [--priority] [--timeline]
 //   spc engines  <matrix> [--threads N[,N...]]   (a list sweeps the parallel
@@ -56,10 +59,52 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+// Multi-RHS sweep through the panel/parallel solve path: one random B,
+// solved per thread count on the facade's cached workspace.
+int cmd_solve_sweep(const Args& args, const Loaded& m,
+                    const SparseCholesky& chol) {
+  const idx n = m.a.num_rows();
+  const idx nrhs = static_cast<idx>(std::stoi(args.get("nrhs", "8")));
+  const std::vector<int> threads_list =
+      cli::parse_int_list(args.get("threads", "1"));
+  Rng rng(12345);
+  DenseMatrix b(n, nrhs);
+  for (idx c = 0; c < nrhs; ++c) {
+    for (idx r = 0; r < n; ++r) b(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  std::printf("%s: solving %d equations, %lld right-hand sides\n",
+              m.name.c_str(), n, static_cast<long long>(nrhs));
+  SolveOptions opt;
+  opt.nrhs_block = static_cast<idx>(std::stoi(args.get("nrhs-block", "32")));
+  double t1 = 0;
+  for (int threads : threads_list) {
+    opt.threads = threads;
+    DenseMatrix x = b;
+    const auto t0 = std::chrono::steady_clock::now();
+    chol.solve_multi(x, opt);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (threads == threads_list.front()) t1 = secs * threads_list.front();
+    char label[64];
+    std::snprintf(label, sizeof(label), "panel (%d threads)", threads);
+    std::printf("  %-22s %8.4f s   residual %.1e", label, secs,
+                solve_residual_multi(m.a, x, b));
+    if (threads_list.size() > 1 && secs > 0) {
+      std::printf("   efficiency %.2f", t1 / (secs * threads));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int cmd_solve(const Args& args) {
   const Loaded m = load_matrix(args);
   SparseCholesky chol = analyze_from_args(args, m);
   chol.factorize();
+  if (args.has("nrhs") || args.has("threads")) {
+    return cmd_solve_sweep(args, m, chol);
+  }
   Rng rng(12345);
   std::vector<double> b(static_cast<std::size_t>(m.a.num_rows()));
   for (double& v : b) v = rng.uniform(-1.0, 1.0);

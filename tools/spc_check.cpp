@@ -36,6 +36,7 @@ int run(int argc, char** argv) {
   const SparseCholesky chol = cli::analyze_from_args(args, m);
 
   check::Report report = chol.check_analysis();
+  report.merge(check::check_solve_dag(chol.structure()));
   std::string scope = "analysis";
   if (args.has("procs")) {
     const idx procs = static_cast<idx>(std::stoi(args.get("procs", "64")));
