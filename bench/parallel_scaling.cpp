@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "cholesky/sparse_cholesky.hpp"
 #include "factor/parallel_factor.hpp"
 #include "factor/residual.hpp"
@@ -75,7 +76,10 @@ std::vector<int> thread_counts_from_env() {
       }
     }
   }
-  if (counts.empty()) counts = {1, 2, 4, 8};
+  // The default sweep is host-gated: counts above the hardware thread count
+  // are oversubscription noise (an explicit SPC_THREADS list is honored
+  // verbatim for deliberate oversubscription runs).
+  if (counts.empty()) counts = bench::gated_thread_counts({1, 2, 4, 8});
   return counts;
 }
 

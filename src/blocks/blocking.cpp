@@ -1,0 +1,94 @@
+#include "blocks/blocking.hpp"
+
+#include <algorithm>
+
+#include "blocks/work_model.hpp"
+#include "support/error.hpp"
+#include "symbolic/etree.hpp"
+
+namespace spc {
+
+// The header spells the default floor as a literal so it does not have to
+// pull in the work model; keep the two in sync.
+static_assert(BlockingOptions{}.min_block_flops == 32 * kFixedOpCost,
+              "BlockingOptions::min_block_flops default drifted from "
+              "32 x kFixedOpCost");
+
+std::vector<idx> supernode_block_widths(const SymbolicFactor& sf,
+                                        const BlockingOptions& opt) {
+  SPC_CHECK(opt.block_size >= 1, "supernode_block_widths: block_size must be >= 1");
+  SPC_CHECK(opt.block_cap >= opt.block_size,
+            "supernode_block_widths: block_cap must be >= block_size");
+  const idx ns = sf.num_supernodes();
+  const std::vector<idx> depth = etree_depth(sf.sn_parent);
+  const idx max_depth =
+      depth.empty() ? 0 : *std::max_element(depth.begin(), depth.end());
+
+  std::vector<idx> widths(static_cast<std::size_t>(ns), opt.block_size);
+  for (idx s = 0; s < ns; ++s) {
+    const idx w = sf.sn.width(s);
+    const i64 t = sf.rows_below(s);
+
+    // Taper with etree height: the deepest supernodes (eliminated first,
+    // where subtree parallelism is abundant) get the widest blocks; blocks
+    // near the root (eliminated last, where block-level concurrency and the
+    // 2-D mapping's balance are all that is left) shrink back to B.
+    const double raw =
+        max_depth > 0
+            ? static_cast<double>(depth[static_cast<std::size_t>(s)]) / max_depth
+            : 1.0;
+    idx target =
+        opt.block_size +
+        static_cast<idx>(raw * static_cast<double>(opt.block_cap -
+                                                   opt.block_size) +
+                         0.5);
+
+    // Top-band split rule: a heavy supernode in the top ~sixth of the tree
+    // is the workmax driver of the P-processor balance statistic (§3.2) —
+    // splitting it into several column blocks lets the cyclic column map
+    // spread the dominant supernode's work across the processor grid. Split
+    // such supernodes into at least kBalanceSplits column blocks (never
+    // narrower than 5B/6, so per-op overhead stays bounded). Light or deep
+    // supernodes are untouched; narrowing THEM would multiply BMOD counts
+    // without moving workmax. The tight depth threshold self-limits on deep
+    // full-scale trees, where block columns are already plentiful relative
+    // to the grid and further narrowing is pure overhead.
+    constexpr idx kBalanceSplits = 6;
+    if (raw < 0.15 && w >= 2 * opt.block_size) {
+      const idx split_w = std::max<idx>(
+          std::max<idx>(1, 5 * opt.block_size / 6),
+          (w + kBalanceSplits - 1) / kBalanceSplits);
+      target = std::min(target, split_w);
+    }
+
+    // Flop-per-block floor (the work model charges kFixedOpCost per block
+    // op): estimate the update flops a single column of this supernode
+    // generates — the dominant GEMM dimension is the trailing row count,
+    // m ~= t + w/2 mid-supernode — and widen the block until a block
+    // column carries at least min_block_flops. Slivers too light to meet
+    // the floor collapse into one block per supernode.
+    const i64 m = t + w / 2;
+    const i64 col_flops = std::max<i64>(1, m * m);
+    const i64 floor_w = (opt.min_block_flops + col_flops - 1) / col_flops;
+    if (floor_w > target) target = static_cast<idx>(std::min<i64>(floor_w, w));
+
+    widths[static_cast<std::size_t>(s)] =
+        std::clamp<idx>(target, 1, opt.block_cap);
+  }
+  return widths;
+}
+
+BlockPartition make_blocking(const SymbolicFactor& sf,
+                             const BlockingOptions& opt) {
+  if (opt.policy == BlockingPolicy::kUniform) {
+    // The historical uniform-B partition, bit-for-bit.
+    return make_block_partition(sf.sn, opt.block_size);
+  }
+  return make_block_partition_variable(sf.sn, supernode_block_widths(sf, opt));
+}
+
+const char* blocking_policy_name(BlockingPolicy policy) {
+  return policy == BlockingPolicy::kUniform ? "uniform" : "supernode";
+}
+
+}  // namespace spc

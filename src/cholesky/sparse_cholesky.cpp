@@ -75,7 +75,8 @@ SparseCholesky SparseCholesky::analyze_ordered(const SymSparse& a,
     sn = amalgamate_supernodes(sn, chol.parent_, counts, opt.amalgamation);
   }
   chol.sf_ = symbolic_factorize(chol.a_perm_, chol.parent_, sn);
-  chol.bs_ = build_block_structure(chol.sf_, opt.block_size);
+  chol.bs_ = build_block_structure(chol.sf_, make_blocking(chol.sf_,
+                                                           opt.blocking_options()));
   chol.tg_ = build_task_graph(chol.bs_);
   if (invariants_enabled()) chol.check_analysis().require_ok("analyze");
   return chol;
@@ -93,6 +94,7 @@ check::Report SparseCholesky::check_analysis() const {
   r.merge(check::check_supernodes(sf_.sn, n));
   r.merge(check::check_symbolic(a_perm_, parent_, sf_));
   r.merge(check::check_block_structure(sf_, bs_));
+  r.merge(check::check_blocking(sf_, bs_.part, opt_.blocking_options().width_cap()));
   r.merge(check::check_task_graph(bs_, tg_));
   r.merge(check::check_schedule(bs_, tg_));
   return r;

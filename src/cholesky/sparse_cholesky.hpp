@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "blocks/block_structure.hpp"
+#include "blocks/blocking.hpp"
 #include "blocks/domains.hpp"
 #include "blocks/task_graph.hpp"
 #include "check/check.hpp"
@@ -47,9 +48,25 @@ struct SolverOptions {
     kNatural,  // keep the given order (dense problems, pre-ordered input)
   };
   Ordering ordering = Ordering::kMmd;
-  idx block_size = 48;  // the paper's B
+  idx block_size = 48;  // the paper's B (and kSupernode's near-root width)
+  // Blocking policy (blocks/blocking.hpp): kUniform cuts every supernode at
+  // block_size (the historical partition, bit-for-bit); kSupernode derives
+  // irregular per-supernode widths from the elimination-tree structure, up
+  // to block_cap columns on the dense bottom-of-tree supernodes. See
+  // docs/BLOCKING.md.
+  BlockingPolicy blocking = BlockingPolicy::kUniform;
+  idx block_cap = 160;
   bool amalgamate = true;
   AmalgamationOptions amalgamation;
+
+  // The assembled blocking configuration analyze() hands to make_blocking.
+  BlockingOptions blocking_options() const {
+    BlockingOptions b;
+    b.policy = blocking;
+    b.block_size = block_size;
+    b.block_cap = block_cap;
+    return b;
+  }
 
   // Pivot handling for the numeric phase (factor/numeric_factor.hpp):
   // kStrict throws Error(kNotPositiveDefinite) at the first failing pivot;
@@ -126,6 +143,7 @@ class SparseCholesky {
 
   // --- Introspection -------------------------------------------------------
   idx num_rows() const { return a_perm_.num_rows(); }
+  const SolverOptions& options() const { return opt_; }
   const std::vector<idx>& ordering() const { return perm_; }  // new->old
   const SymSparse& permuted_matrix() const { return a_perm_; }
   const std::vector<idx>& etree_parent() const { return parent_; }

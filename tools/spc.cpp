@@ -1,6 +1,7 @@
 // spc — command-line front end for the sparsechol library.
 //
 //   spc stats    <matrix> [--ordering mmd|amd|nd|natural] [--block B]
+//                [--blocking uniform|supernode] [--block-cap N]
 //   spc solve    <matrix> [--ordering ...] [--refine]
 //                [--pivot-policy strict|perturb] [--pivot-delta D] [--raw]
 //                [--nrhs N] [--threads N[,N...]] [--nrhs-block B]
@@ -51,6 +52,7 @@ int cmd_stats(const Args& args) {
   std::printf("supernodes:  %d (stored entries incl. amalgamation padding: %lld)\n",
               chol.symbolic().num_supernodes(),
               static_cast<long long>(chol.symbolic().total_stored_entries()));
+  std::printf("blocking:    %s\n", cli::blocking_summary(chol.options()).c_str());
   std::printf("blocks:      %d block columns, %lld off-diagonal blocks, "
               "%lld block ops\n",
               chol.structure().num_block_cols(),
@@ -140,6 +142,9 @@ int cmd_simulate(const Args& args) {
               heuristic_name(row_h).c_str(), heuristic_name(col_h).c_str(),
               domains ? "on" : "off",
               policy == SchedulingPolicy::kPriority ? "priority" : "data-driven");
+  std::printf("blocking: %s, %d block columns\n",
+              cli::blocking_summary(chol.options()).c_str(),
+              chol.structure().num_block_cols());
   std::printf("balance: row %.2f col %.2f diag %.2f overall %.2f\n",
               plan.balance.row, plan.balance.col, plan.balance.diag,
               plan.balance.overall);

@@ -1,6 +1,7 @@
 // spc_check — structural invariant checker for the sparsechol pipeline.
 //
 //   spc_check <matrix> [--ordering mmd|amd|nd|natural] [--block B]
+//             [--blocking uniform|supernode] [--block-cap N]
 //             [--procs P] [--rows CY|DW|IN|DN|ID] [--cols ...] [--no-domains]
 //             [--quiet]
 //
@@ -37,7 +38,7 @@ int run(int argc, char** argv) {
 
   check::Report report = chol.check_analysis();
   report.merge(check::check_solve_dag(chol.structure()));
-  std::string scope = "analysis";
+  std::string scope = "analysis[" + cli::blocking_summary(chol.options()) + "]";
   if (args.has("procs")) {
     const idx procs = static_cast<idx>(std::stoi(args.get("procs", "64")));
     const ParallelPlan plan = chol.plan_parallel(
