@@ -18,7 +18,7 @@
 #include "linalg/dense_matrix.hpp"
 #include "linalg/kernels.hpp"
 #include "support/error.hpp"
-#include "support/thread_annotations.hpp"
+#include "support/sync.hpp"
 #include "support/types.hpp"
 
 namespace spc {

@@ -1,7 +1,6 @@
 #include "factor/parallel_factor.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -14,7 +13,7 @@
 
 #include "factor/scheduler.hpp"
 #include "support/error.hpp"
-#include "support/thread_annotations.hpp"
+#include "support/sync.hpp"
 #include "support/work_queue.hpp"
 
 namespace spc {
@@ -104,12 +103,15 @@ void ParallelWorkspace::prepare_run(int num_threads) {
   const i64 num_blocks = tg->num_blocks();
   const i64 num_mods = static_cast<i64>(tg->mods.size());
   if (!deps) {
-    deps = std::make_unique<std::atomic<i64>[]>(static_cast<std::size_t>(num_blocks));
-    pending = std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(num_mods));
-    mod_next = std::make_unique<std::atomic<i64>[]>(static_cast<std::size_t>(num_mods));
-    dest_head = std::make_unique<std::atomic<i64>[]>(static_cast<std::size_t>(num_blocks));
-    dest_state = std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(num_blocks));
+    deps = std::make_unique<spc::atomic<i64>[]>(static_cast<std::size_t>(num_blocks));
+    pending = std::make_unique<spc::atomic<int>[]>(static_cast<std::size_t>(num_mods));
+    mod_next = std::make_unique<spc::atomic<i64>[]>(static_cast<std::size_t>(num_mods));
+    dest_head = std::make_unique<spc::atomic<i64>[]>(static_cast<std::size_t>(num_blocks));
+    dest_state = std::make_unique<spc::atomic<int>[]>(static_cast<std::size_t>(num_blocks));
   }
+  // All counter resets below are relaxed: prepare_run executes on the
+  // calling thread before any worker spawns, and std::thread creation
+  // publishes everything sequenced before it to the new thread.
   const idx nb = bs->num_block_cols();
   for (block_id b = 0; b < num_blocks; ++b) {
     deps[static_cast<std::size_t>(b)].store(
@@ -161,7 +163,7 @@ class WorkStealingExecutor {
   WorkStealingExecutor(const SymSparse& a, const BlockStructure& bs,
                        const TaskGraph& tg, int num_threads,
                        ParallelWorkspace& ws, ParallelProfile* prof,
-                       PivotEnv* pivots, const std::atomic<bool>* cancel)
+                       PivotEnv* pivots, const spc::atomic<bool>* cancel)
       : a_(a),
         bs_(bs),
         tg_(tg),
@@ -215,6 +217,7 @@ class WorkStealingExecutor {
   void seed_initial_tasks() {
     std::vector<i64> ready;
     for (block_id b = 0; b < tg_.num_blocks(); ++b) {
+      // relaxed: still single-threaded (runs before the workers spawn).
       if (ws_.deps[static_cast<std::size_t>(b)].load(std::memory_order_relaxed) ==
           0) {
         ready.push_back(b);
@@ -260,6 +263,9 @@ class WorkStealingExecutor {
         ws_.scratch[static_cast<std::size_t>(id)];
     WorkItem item;
     for (;;) {
+      // relaxed polls: cancellation is advisory — a worker that misses the
+      // flag for one iteration just runs one more task; fail() below does
+      // the synchronized first-failure recording.
       if (cancel_ != nullptr &&
           !cancelled_.load(std::memory_order_relaxed) &&
           cancel_->load(std::memory_order_relaxed)) {
@@ -359,6 +365,10 @@ class WorkStealingExecutor {
   // pushed mod is drained by exactly one task.
   void release_mod(i64 m, std::vector<i64>& ready) {
     const block_id d = tg_.mods[static_cast<std::size_t>(m)].dest;
+    // Treiber push. relaxed head load + relaxed next store are safe because
+    // only the release CAS publishes the node: a drainer that acquires the
+    // head sees the next link (sequenced before the CAS), and a failed CAS
+    // just retries with the refreshed head value.
     i64 old = ws_.dest_head[static_cast<std::size_t>(d)].load(std::memory_order_relaxed);
     do {
       ws_.mod_next[static_cast<std::size_t>(m)].store(old, std::memory_order_relaxed);
@@ -386,6 +396,9 @@ class WorkStealingExecutor {
       i64 chain = ws_.dest_head[static_cast<std::size_t>(d)].exchange(
           kEmptyList, std::memory_order_acquire);
       if (chain != kEmptyList) {
+        // The acquire exchange above synchronizes with every pusher's
+        // release CAS, so the relaxed mod_next loads walking the chain see
+        // the links (and compute_mod sees the sources' panels).
         i64 cnt = 0;
         for (i64 m = chain; m != kEmptyList;
              m = ws_.mod_next[static_cast<std::size_t>(m)].load(
@@ -532,10 +545,10 @@ class WorkStealingExecutor {
   int barrier_remaining_ SPC_GUARDED_BY(barrier_mutex_);
   ParallelProfile* prof_;
   PivotEnv* pivots_;
-  const std::atomic<bool>* cancel_;
+  const spc::atomic<bool>* cancel_;
   FailureSlot slot_;
-  std::atomic<bool> cancelled_{false};
-  std::atomic<i64> completed_{0};
+  spc::atomic<bool> cancelled_{false};
+  spc::atomic<i64> completed_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -547,7 +560,7 @@ class GlobalQueueExecutor {
  public:
   GlobalQueueExecutor(const SymSparse& a, const BlockStructure& bs,
                       const TaskGraph& tg, int num_threads, PivotEnv* pivots,
-                      const std::atomic<bool>* cancel)
+                      const spc::atomic<bool>* cancel)
       : bs_(bs),
         tg_(tg),
         factor_(init_block_factor(a, bs)),
@@ -557,14 +570,17 @@ class GlobalQueueExecutor {
         cancel_(cancel) {
     const i64 nb = bs.num_block_cols();
     const i64 num_blocks = tg.num_blocks();
-    deps_ = std::make_unique<std::atomic<i64>[]>(static_cast<std::size_t>(num_blocks));
+    // Counter init is relaxed throughout the constructor: the workers that
+    // read them are spawned afterwards, and thread creation publishes all
+    // prior writes.
+    deps_ = std::make_unique<spc::atomic<i64>[]>(static_cast<std::size_t>(num_blocks));
     for (block_id b = 0; b < num_blocks; ++b) {
       deps_[static_cast<std::size_t>(b)].store(
           tg.mods_into[static_cast<std::size_t>(b)] + (b >= nb ? 1 : 0),
           std::memory_order_relaxed);
     }
     const i64 num_mods = static_cast<i64>(tg.mods.size());
-    pending_ = std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(num_mods));
+    pending_ = std::make_unique<spc::atomic<int>[]>(static_cast<std::size_t>(num_mods));
     for (i64 m = 0; m < num_mods; ++m) {
       pending_[static_cast<std::size_t>(m)].store(
           tg.mods[static_cast<std::size_t>(m)].src_a ==
@@ -594,7 +610,7 @@ class GlobalQueueExecutor {
   }
 
   BlockFactor run() {
-    // Seed with blocks that have no pending work.
+    // Seed with blocks that have no pending work (relaxed: pre-spawn).
     for (block_id b = 0; b < tg_.num_blocks(); ++b) {
       if (deps_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed) == 0) {
         push(Task{Task::kComplete, b});
@@ -665,6 +681,7 @@ class GlobalQueueExecutor {
     std::vector<idx> rel_rows;
     Task task{};
     while (pop(task)) {
+      // relaxed poll: advisory cancellation (see WorkStealingExecutor).
       if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
         fail(std::make_exception_ptr(
             Error("factorization cancelled", ErrorKind::kCancelled)));
@@ -725,20 +742,20 @@ class GlobalQueueExecutor {
   const BlockStructure& bs_;
   const TaskGraph& tg_;
   BlockFactor factor_;
-  std::unique_ptr<std::atomic<i64>[]> deps_;
-  std::unique_ptr<std::atomic<int>[]> pending_;
+  std::unique_ptr<spc::atomic<i64>[]> deps_;
+  std::unique_ptr<spc::atomic<int>[]> pending_;
   BlockLocks block_locks_;
   std::vector<i64> src_ptr_;
   std::vector<i64> src_mods_;
   int threads_;
   PivotEnv* pivots_;
-  const std::atomic<bool>* cancel_;
+  const spc::atomic<bool>* cancel_;
   Mutex queue_mutex_;
   CondVar queue_cv_;
   std::deque<Task> queue_ SPC_GUARDED_BY(queue_mutex_);
   bool finished_ SPC_GUARDED_BY(queue_mutex_) = false;
   std::exception_ptr error_ SPC_GUARDED_BY(queue_mutex_);
-  std::atomic<i64> completed_{0};
+  spc::atomic<i64> completed_{0};
 };
 
 void dump_profile_json(const ParallelProfile& p) {

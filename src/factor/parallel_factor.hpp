@@ -29,7 +29,6 @@
 // floating-point summation order (updates may apply in any order).
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -39,6 +38,7 @@
 #include "factor/scheduler.hpp"
 #include "graph/graph.hpp"
 #include "linalg/dense_matrix.hpp"
+#include "support/sync.hpp"
 #include "support/types.hpp"
 
 namespace spc {
@@ -57,6 +57,7 @@ class FailureSlot {
     int expected = 0;
     if (!state_.compare_exchange_strong(expected, 1,
                                         std::memory_order_acq_rel)) {
+      // relaxed: pure count of losing racers, read after the workers join.
       later_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
@@ -78,8 +79,8 @@ class FailureSlot {
   Phase phase() const { return phase_; }
 
  private:
-  std::atomic<int> state_{0};  // 0 = empty, 1 = claiming, 2 = recorded
-  std::atomic<i64> later_{0};
+  spc::atomic<int> state_{0};  // 0 = empty, 1 = claiming, 2 = recorded
+  spc::atomic<i64> later_{0};
   std::exception_ptr error_;
   i64 task_ = -1;
   Phase phase_ = Phase::kInit;
@@ -132,11 +133,11 @@ struct ParallelWorkspace {
   i64 max_block_elems = 0;     // high-water destination block (elements)
 
   // --- per-run state (allocated once, re-initialized by prepare_run) -------
-  std::unique_ptr<std::atomic<i64>[]> deps;       // per block: pending mods
-  std::unique_ptr<std::atomic<int>[]> pending;    // per mod: sources left
-  std::unique_ptr<std::atomic<i64>[]> mod_next;   // per mod: dest-list link
-  std::unique_ptr<std::atomic<i64>[]> dest_head;  // per block: ready-mod list
-  std::unique_ptr<std::atomic<int>[]> dest_state; // per block: drain flag
+  std::unique_ptr<spc::atomic<i64>[]> deps;       // per block: pending mods
+  std::unique_ptr<spc::atomic<int>[]> pending;    // per mod: sources left
+  std::unique_ptr<spc::atomic<i64>[]> mod_next;   // per mod: dest-list link
+  std::unique_ptr<spc::atomic<i64>[]> dest_head;  // per block: ready-mod list
+  std::unique_ptr<spc::atomic<int>[]> dest_state; // per block: drain flag
   BlockLocks locks;
 
   // Per-worker scratch, persisted across runs and reserved to the high-water
@@ -185,7 +186,7 @@ struct ParallelFactorOptions {
   // workers stop computing, the remaining DAG drains as no-ops, and the
   // call throws Error(kCancelled) after a clean join. The workspace stays
   // reusable.
-  const std::atomic<bool>* cancel = nullptr;
+  const spc::atomic<bool>* cancel = nullptr;
 };
 
 // Factors `a` over the given block structure / task graph. When `ws` is

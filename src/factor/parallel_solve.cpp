@@ -13,7 +13,7 @@
 #include "linalg/kernels.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
-#include "support/thread_annotations.hpp"
+#include "support/sync.hpp"
 #include "support/work_queue.hpp"
 
 namespace spc {
@@ -135,10 +135,11 @@ void SolveWorkspace::prepare_run(int num_threads, idx nrhs) {
   const idx nb = bs->num_block_cols();
   const idx n = bs->part.num_cols();
   if (!deps) {
-    deps = std::make_unique<std::atomic<i64>[]>(static_cast<std::size_t>(nb));
+    deps = std::make_unique<spc::atomic<i64>[]>(static_cast<std::size_t>(nb));
   }
   // Forward in-degrees; the executor re-initializes for the backward sweep
-  // at the inter-sweep barrier.
+  // at the inter-sweep barrier. relaxed: prepare_run executes before the
+  // workers spawn, and thread creation publishes the stores.
   for (idx j = 0; j < nb; ++j) {
     deps[static_cast<std::size_t>(j)].store(
         row_ptr[static_cast<std::size_t>(j) + 1] - row_ptr[static_cast<std::size_t>(j)],
@@ -180,7 +181,8 @@ namespace {
 // block_lower_solve_panel / block_lower_transpose_solve_panel, so a 1-thread
 // "parallel" solve is bitwise identical to the serial multi-RHS solve.
 // ---------------------------------------------------------------------------
-void check_cancel(const std::atomic<bool>* cancel) {
+void check_cancel(const spc::atomic<bool>* cancel) {
+  // relaxed: cancellation is advisory — a stale read costs one extra column.
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
     throw Error("solve cancelled", ErrorKind::kCancelled);
   }
@@ -281,7 +283,7 @@ class SolveExecutor {
  public:
   SolveExecutor(const BlockFactor& f, double* x, idx nrhs, int threads,
                 SolveWorkspace& ws, SolveProfile* prof,
-                const std::atomic<bool>* cancel)
+                const spc::atomic<bool>* cancel)
       : f_(f),
         bs_(*f.structure),
         ws_(ws),
@@ -333,6 +335,7 @@ class SolveExecutor {
   void seed_forward() {
     std::vector<i64> ready;
     for (idx j = 0; j < nb_; ++j) {
+      // relaxed: still single-threaded (runs before the workers spawn).
       if (ws_.deps[static_cast<std::size_t>(j)].load(std::memory_order_relaxed) == 0) {
         ready.push_back(j);
       }
@@ -397,6 +400,8 @@ class SolveExecutor {
     WorkStealingQueues& q = forward ? fwd_queues_ : bwd_queues_;
     WorkItem item;
     for (;;) {
+      // relaxed polls: advisory cancellation — a missed flag runs at most
+      // one more column; fail() does the synchronized recording.
       if (cancel_ != nullptr && !cancelled_.load(std::memory_order_relaxed) &&
           cancel_->load(std::memory_order_relaxed)) {
         fail(std::make_exception_ptr(
@@ -583,11 +588,11 @@ class SolveExecutor {
   int barrier_remaining_ SPC_GUARDED_BY(barrier_mutex_);
   i64 barrier_generation_ SPC_GUARDED_BY(barrier_mutex_) = 0;
   SolveProfile* prof_;
-  const std::atomic<bool>* cancel_;
+  const spc::atomic<bool>* cancel_;
   FailureSlot slot_;
-  std::atomic<bool> cancelled_{false};
-  std::atomic<i64> fwd_completed_{0};
-  std::atomic<i64> bwd_completed_{0};
+  spc::atomic<bool> cancelled_{false};
+  spc::atomic<i64> fwd_completed_{0};
+  spc::atomic<i64> bwd_completed_{0};
 };
 
 void dump_solve_profile_json(const SolveProfile& p) {

@@ -18,7 +18,6 @@
 // bitwise identical to the serial solve and pays no scheduling overhead.
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -26,6 +25,7 @@
 #include "factor/numeric_factor.hpp"
 #include "graph/graph.hpp"
 #include "linalg/dense_matrix.hpp"
+#include "support/sync.hpp"
 #include "support/types.hpp"
 
 namespace spc {
@@ -63,7 +63,7 @@ struct SolveOptions {
   // workers stop computing, the remaining DAG drains as no-ops, and the call
   // throws Error(kCancelled) after a clean join. The workspace stays
   // reusable.
-  const std::atomic<bool>* cancel = nullptr;
+  const spc::atomic<bool>* cancel = nullptr;
 };
 
 // Reusable solve state for one BlockStructure, mirroring ParallelWorkspace:
@@ -93,7 +93,7 @@ struct SolveWorkspace {
   i64 max_entry_rows = 0;  // widest off-diagonal entry (dense rows)
 
   // --- per-run state (allocated once, re-initialized by prepare_run) -------
-  std::unique_ptr<std::atomic<i64>[]> deps;  // per block column
+  std::unique_ptr<spc::atomic<i64>[]> deps;  // per block column
   struct WorkerScratch {
     std::vector<double> accum;  // n x nrhs accumulation panel (ld = n)
     DenseMatrix update;         // one entry's GEMM result / gathered rows

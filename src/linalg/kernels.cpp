@@ -1,7 +1,6 @@
 #include "linalg/kernels.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <vector>
 
@@ -11,11 +10,12 @@
 #endif
 
 #include "support/error.hpp"
+#include "support/sync.hpp"
 
 namespace spc {
 namespace {
 
-std::atomic<GemmDispatch> g_dispatch{GemmDispatch::kAuto};
+spc::atomic<GemmDispatch> g_dispatch{GemmDispatch::kAuto};
 
 // ---------------------------------------------------------------------------
 // Packed GEMM core: C := C - A * B^T on column-major, lda/ldb/ldc-strided
@@ -770,6 +770,10 @@ constexpr idx kPanel = 32;
 
 }  // namespace
 
+// relaxed is sufficient for the dispatch flag: it is a standalone mode
+// switch guarding no other data — a stale read just runs one more GEMM
+// through the previous (equally correct) kernel. Tests that flip it do so
+// before spawning workers, so thread creation orders the store anyway.
 void set_gemm_dispatch(GemmDispatch mode) {
   g_dispatch.store(mode, std::memory_order_relaxed);
 }

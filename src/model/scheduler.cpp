@@ -1,0 +1,876 @@
+#include "model/scheduler.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace spc::model {
+
+namespace {
+
+// Identifies the calling OS thread as a logical thread of an exploration.
+// ctx is a Scheduler::ThreadCtx*, stored as void* to keep the type private.
+struct Tls {
+  Scheduler* sched = nullptr;
+  void* ctx = nullptr;
+};
+thread_local Tls g_tls;
+
+const char* mo_name(std::memory_order mo) {
+  switch (mo) {
+    case std::memory_order_relaxed: return "relaxed";
+    case std::memory_order_consume: return "consume";
+    case std::memory_order_acquire: return "acquire";
+    case std::memory_order_release: return "release";
+    case std::memory_order_acq_rel: return "acq_rel";
+    case std::memory_order_seq_cst: return "seq_cst";
+  }
+  return "?";
+}
+
+bool acquire_side(std::memory_order mo) {
+  return mo == std::memory_order_acquire || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst || mo == std::memory_order_consume;
+}
+
+bool release_side(std::memory_order mo) {
+  return mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+
+// Shim operations reached while an exception unwinds the stack (LockGuard
+// destructors, container teardown) must neither context-switch nor throw;
+// they degrade to bare state updates.
+bool unwinding() { return std::uncaught_exceptions() > 0; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scheduler core
+// ---------------------------------------------------------------------------
+
+Scheduler::Scheduler(const Options& opt, Policy* policy)
+    : opt_(opt), policy_(policy) {}
+
+Scheduler::~Scheduler() = default;
+
+Scheduler* Scheduler::current() { return g_tls.sched; }
+
+Scheduler::ThreadCtx* Scheduler::cur() {
+  return static_cast<ThreadCtx*>(g_tls.ctx);
+}
+
+std::string Scheduler::describe_op(const char* op, const void* obj,
+                                   std::memory_order mo, bool has_mo) const {
+  char buf[96];
+  if (has_mo) {
+    std::snprintf(buf, sizeof buf, "%s(%s) @%p", op, mo_name(mo), obj);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s @%p", op, obj);
+  }
+  return buf;
+}
+
+std::string Scheduler::thread_states_locked() const {
+  std::ostringstream os;
+  for (const auto& up : threads_) {
+    os << "  T" << up->tid << ": ";
+    switch (up->st) {
+      case St::kNew: os << "new"; break;
+      case St::kRunnable: os << "runnable"; break;
+      case St::kBlockedMutex: os << "blocked on mutex @" << up->wait_obj; break;
+      case St::kBlockedCv: os << "blocked on condvar @" << up->wait_obj; break;
+      case St::kDriverWait: os << "waiting in join_all"; break;
+      case St::kFinished: os << "finished"; break;
+    }
+    os << "  next: " << up->pending << "\n";
+  }
+  return os.str();
+}
+
+void Scheduler::record_violation(const std::string& msg) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!violated_) {
+    violated_ = true;
+    error_ = msg;
+  }
+  aborting_ = true;
+  wake_cv_.notify_all();
+}
+
+void Scheduler::violation_locked(std::unique_lock<std::mutex>& lk,
+                                 const std::string& msg) {
+  (void)lk;
+  if (!violated_) {
+    violated_ = true;
+    error_ = msg;
+  }
+  aborting_ = true;
+  wake_cv_.notify_all();
+  throw SchedAbort{};
+}
+
+void Scheduler::violation(const std::string& msg) {
+  std::unique_lock<std::mutex> lk(mu_);
+  violation_locked(lk, msg);
+}
+
+void Scheduler::wait_for_grant(std::unique_lock<std::mutex>& lk,
+                               ThreadCtx* me) {
+  wake_cv_.wait(lk, [&] { return aborting_ || active_ == me->tid; });
+  if (aborting_) throw SchedAbort{};
+}
+
+void Scheduler::choose_next_locked(std::unique_lock<std::mutex>& lk) {
+  if (aborting_) {
+    wake_cv_.notify_all();
+    return;
+  }
+  // Candidates: continuation (the thread that ran last) first, then
+  // ascending tid. A condvar waiter is a candidate only as a spurious
+  // wakeup, budgeted per schedule (in replay the trace dictates them).
+  std::vector<int> cands;
+  bool cont_enabled = false;
+  for (const auto& up : threads_) {
+    bool en = false;
+    if (up->st == St::kRunnable) {
+      en = true;
+    } else if (up->st == St::kBlockedCv) {
+      en = opt_.mode == Options::Mode::kReplay ||
+           (opt_.spurious_wakeups && spurious_ < opt_.max_spurious);
+    }
+    if (en) cands.push_back(up->tid);
+  }
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (cands[i] == last_running_) {
+      cont_enabled = true;
+      cands.erase(cands.begin() + static_cast<long>(i));
+      cands.insert(cands.begin(), last_running_);
+      break;
+    }
+  }
+  if (cands.empty()) {
+    violation_locked(lk, "deadlock: no runnable thread\n" +
+                             thread_states_locked());
+  }
+  // Fair scheduling: a continuation that has spun through the whole fairness
+  // window while someone else is runnable is forced to hand over (not
+  // counted as a preemption — the spin itself is voluntary). Replay skips
+  // this: the recorded trace already encodes every switch.
+  if (opt_.mode != Options::Mode::kReplay && cont_enabled &&
+      cands.size() > 1 && consecutive_ >= opt_.fairness_window) {
+    cands.erase(cands.begin());
+    cont_enabled = false;
+  }
+  // CHESS-style preemption bounding: once the budget is spent, the running
+  // thread keeps the token until it blocks voluntarily.
+  if (opt_.mode == Options::Mode::kExhaustive && cont_enabled &&
+      preemptions_ >= opt_.preemption_bound) {
+    cands.assign(1, last_running_);
+  }
+  const long step = static_cast<long>(sched_trace_.size());
+  const int idx = policy_->pick(step, cands);
+  if (idx < 0 || idx >= static_cast<int>(cands.size())) {
+    violation_locked(lk, opt_.mode == Options::Mode::kReplay
+                             ? "replay divergence: trace does not match this "
+                               "program (stale trace or nondeterministic body)"
+                             : "internal: policy returned an invalid choice");
+  }
+  const int chosen = cands[static_cast<std::size_t>(idx)];
+  if (cont_enabled && chosen != last_running_) ++preemptions_;
+  ThreadCtx* next = threads_[static_cast<std::size_t>(chosen)].get();
+  if (next->st == St::kBlockedCv) {
+    ++spurious_;
+    auto& ws = cv_waiters_[next->wait_obj];
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i] == chosen) {
+        ws.erase(ws.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+    next->st = St::kRunnable;
+    next->cv_notified = false;
+    next->pending = "(spurious wakeup in cv_wait)";
+  }
+  sched_trace_.push_back(chosen);
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%4ld: T%d ", step, chosen);
+    step_log_.push_back(std::string(buf) + next->pending);
+  }
+  ++step_;
+  if (step_ > opt_.max_steps) {
+    violation_locked(lk, "livelock: schedule exceeded the step bound (" +
+                             std::to_string(opt_.max_steps) + " steps)");
+  }
+  consecutive_ = chosen == last_running_ ? consecutive_ + 1 : 0;
+  last_running_ = chosen;
+  active_ = chosen;
+  wake_cv_.notify_all();
+}
+
+void Scheduler::yield_locked(std::unique_lock<std::mutex>& lk, const char* op,
+                             const void* obj, std::memory_order mo,
+                             bool has_mo) {
+  ThreadCtx* me = cur();
+  me->pending = describe_op(op, obj, mo, has_mo);
+  choose_next_locked(lk);
+  wait_for_grant(lk, me);
+}
+
+// ---------------------------------------------------------------------------
+// Thread lifecycle
+// ---------------------------------------------------------------------------
+
+void Scheduler::register_driver() {
+  auto ctx = std::make_unique<ThreadCtx>();
+  ctx->tid = 0;
+  ctx->st = St::kRunnable;
+  ctx->vc.c[0] = 1;  // own components start at 1 so clock 0 means "no event"
+  ctx->pending = "(driver)";
+  g_tls.sched = this;
+  g_tls.ctx = ctx.get();
+  threads_.push_back(std::move(ctx));
+  active_ = 0;
+  last_running_ = 0;
+}
+
+void Scheduler::unregister_driver() {
+  g_tls.sched = nullptr;
+  g_tls.ctx = nullptr;
+}
+
+void Scheduler::spawn_thread(std::function<void()> fn) {
+  ThreadCtx* raw = nullptr;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (aborting_) throw SchedAbort{};
+    ThreadCtx* me = cur();
+    if (threads_.size() >= static_cast<std::size_t>(kMaxThreads)) {
+      violation_locked(lk, "spawn: more than kMaxThreads logical threads");
+    }
+    auto ctx = std::make_unique<ThreadCtx>();
+    ctx->tid = static_cast<int>(threads_.size());
+    ctx->st = St::kRunnable;
+    ctx->fn = std::move(fn);
+    ctx->vc = me->vc;  // spawn is a release edge from the spawner
+    ctx->vc.c[ctx->tid] = 1;
+    ctx->pending = "(start)";
+    bump_clock(me);
+    ++alive_;
+    raw = ctx.get();
+    threads_.push_back(std::move(ctx));
+  }
+  // The OS thread parks in thread_main until the scheduler grants it.
+  raw->th = std::thread(&Scheduler::thread_main, this, raw);
+}
+
+void Scheduler::thread_main(ThreadCtx* ctx) {
+  g_tls.sched = this;
+  g_tls.ctx = ctx;
+  bool run = true;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    wake_cv_.wait(lk, [&] { return aborting_ || active_ == ctx->tid; });
+    if (aborting_) run = false;
+  }
+  if (run) {
+    try {
+      ctx->fn();
+    } catch (SchedAbort&) {
+    } catch (const std::exception& e) {
+      record_violation("uncaught exception in T" + std::to_string(ctx->tid) +
+                       ": " + e.what());
+    } catch (...) {
+      record_violation("uncaught non-std exception in T" +
+                       std::to_string(ctx->tid));
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    finish_thread(lk, ctx);
+  }
+  g_tls.sched = nullptr;
+  g_tls.ctx = nullptr;
+}
+
+void Scheduler::finish_thread(std::unique_lock<std::mutex>& lk,
+                              ThreadCtx* ctx) {
+  ctx->st = St::kFinished;
+  ctx->pending = "(finished)";
+  --alive_;
+  if (aborting_ || alive_ == 0) {
+    // Abort: everyone unwinds on their own. Last finisher: wake the driver
+    // parked in join_all (a forced hand-back, not a recorded choice).
+    wake_cv_.notify_all();
+    return;
+  }
+  if (active_ == ctx->tid) {
+    try {
+      choose_next_locked(lk);
+    } catch (SchedAbort&) {
+      // Deadlock among the survivors was recorded; they unwind, we exit.
+    }
+  }
+}
+
+void Scheduler::driver_join_all() {
+  ThreadCtx* me = threads_[0].get();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (alive_ > 0) {
+      me->st = St::kDriverWait;
+      me->pending = "(join_all resumes)";
+      if (!aborting_) {
+        try {
+          choose_next_locked(lk);  // hand the token to a worker
+        } catch (SchedAbort&) {
+          // Deadlock recorded (e.g. every worker already blocked); fall
+          // through and wait for them to unwind.
+        }
+      } else {
+        wake_cv_.notify_all();
+      }
+      wake_cv_.wait(lk, [&] { return alive_ == 0; });
+      me->st = St::kRunnable;
+      active_ = 0;
+      last_running_ = 0;
+    }
+  }
+  for (auto& up : threads_) {
+    if (up->th.joinable()) up->th.join();
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (std::size_t i = 1; i < threads_.size(); ++i) {
+      me->vc.join(threads_[i]->vc);  // join is an acquire edge per thread
+    }
+    bump_clock(me);
+    if (violated_) throw SchedAbort{};
+  }
+}
+
+void Scheduler::driver_shutdown() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (alive_ > 0) {
+      if (!violated_) {
+        violated_ = true;
+        error_ = "driver returned with live threads (body missing join_all?)";
+      }
+      aborting_ = true;
+      wake_cv_.notify_all();
+      wake_cv_.wait(lk, [&] { return alive_ == 0; });
+    }
+  }
+  for (auto& up : threads_) {
+    if (up->th.joinable()) up->th.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic hooks
+// ---------------------------------------------------------------------------
+
+void Scheduler::atomic_load(const void* a, std::memory_order mo,
+                            const char* op) {
+  if (unwinding()) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (aborting_) throw SchedAbort{};
+  yield_locked(lk, op, a, mo, true);
+  ThreadCtx* me = cur();
+  if (acquire_side(mo)) me->vc.join(atomics_[a].vc);
+  bump_clock(me);
+}
+
+void Scheduler::atomic_store(const void* a, std::memory_order mo,
+                             const char* op) {
+  if (unwinding()) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (aborting_) throw SchedAbort{};
+  yield_locked(lk, op, a, mo, true);
+  ThreadCtx* me = cur();
+  AtomicState& as = atomics_[a];
+  if (release_side(mo)) {
+    as.vc = me->vc;
+  } else {
+    // A relaxed store carries no happens-before and, being a new store (not
+    // an RMW), also heads a fresh release sequence: drop the old clock.
+    as.vc.clear();
+  }
+  bump_clock(me);
+}
+
+void Scheduler::atomic_rmw_begin(const void* a, std::memory_order mo,
+                                 const char* op) {
+  if (unwinding()) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (aborting_) throw SchedAbort{};
+  yield_locked(lk, op, a, mo, true);
+}
+
+void Scheduler::atomic_rmw_commit(const void* a, std::memory_order mo,
+                                  bool success, std::memory_order fail_mo) {
+  if (unwinding()) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  ThreadCtx* me = cur();
+  AtomicState& as = atomics_[a];
+  if (success) {
+    if (acquire_side(mo)) me->vc.join(as.vc);
+    // The write side of an RMW always continues the release sequence of the
+    // store it read from, so the location keeps its clock; a release-side
+    // RMW additionally publishes this thread's history (join, not assign).
+    if (release_side(mo)) as.vc.join(me->vc);
+  } else {
+    if (acquire_side(fail_mo)) me->vc.join(as.vc);
+  }
+  bump_clock(me);
+}
+
+// ---------------------------------------------------------------------------
+// Cell (non-atomic data) race detection
+// ---------------------------------------------------------------------------
+
+void Scheduler::cell_access(const void* c, bool is_write, const char* name) {
+  if (unwinding()) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (aborting_) throw SchedAbort{};
+  {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s '%s' @%p",
+                  is_write ? "cell_write" : "cell_read", name ? name : "?", c);
+    ThreadCtx* me = cur();
+    me->pending = buf;
+    choose_next_locked(lk);
+    wait_for_grant(lk, me);
+  }
+  ThreadCtx* me = cur();
+  CellState& cs = cells_[c];
+  if (name) cs.name = name;
+  const char* cn = cs.name ? cs.name : "?";
+  auto race = [&](const char* what, int other, long other_step) {
+    std::ostringstream os;
+    os << "data race on cell '" << cn << "': " << (is_write ? "write" : "read")
+       << " by T" << me->tid << " at step " << step_ << " is unordered with "
+       << what << " by T" << other << " at step " << other_step;
+    violation_locked(lk, os.str());
+  };
+  if (is_write) {
+    if (cs.w_tid >= 0 && me->vc.c[cs.w_tid] < cs.w_clk) {
+      race("write", cs.w_tid, cs.w_step);
+    }
+    for (int u = 0; u < kMaxThreads; ++u) {
+      if (cs.r_clk[u] > 0 && me->vc.c[u] < cs.r_clk[u]) {
+        race("read", u, cs.r_step[u]);
+      }
+    }
+    cs.w_tid = me->tid;
+    cs.w_clk = me->vc.c[me->tid];
+    cs.w_step = step_;
+    for (int u = 0; u < kMaxThreads; ++u) {
+      cs.r_clk[u] = 0;
+      cs.r_step[u] = 0;
+    }
+  } else {
+    if (cs.w_tid >= 0 && me->vc.c[cs.w_tid] < cs.w_clk) {
+      race("write", cs.w_tid, cs.w_step);
+    }
+    cs.r_clk[me->tid] = me->vc.c[me->tid];
+    cs.r_step[me->tid] = step_;
+  }
+  bump_clock(me);
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / condvar hooks
+// ---------------------------------------------------------------------------
+
+void Scheduler::mutex_lock(const void* m) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ThreadCtx* me = cur();
+  MutexState& ms = mutexes_[m];
+  if (unwinding()) {
+    // Best effort during unwind: take it without scheduling (the schedule
+    // is aborting or about to; blocking here would wedge the teardown).
+    ms.held = true;
+    ms.owner = me->tid;
+    return;
+  }
+  if (aborting_) throw SchedAbort{};
+  yield_locked(lk, "lock", m, std::memory_order_seq_cst, false);
+  while (ms.held) {
+    if (ms.owner == me->tid) {
+      violation_locked(lk, "recursive lock of a non-recursive mutex");
+    }
+    me->st = St::kBlockedMutex;
+    me->wait_obj = m;
+    me->pending = "(blocked on lock)";
+    choose_next_locked(lk);
+    wait_for_grant(lk, me);
+    me->st = St::kRunnable;
+    me->wait_obj = nullptr;
+  }
+  ms.held = true;
+  ms.owner = me->tid;
+  me->vc.join(ms.vc);  // acquire edge from the previous unlock
+  bump_clock(me);
+}
+
+bool Scheduler::mutex_try_lock(const void* m) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ThreadCtx* me = cur();
+  MutexState& ms = mutexes_[m];
+  if (unwinding()) {
+    if (ms.held) return false;
+    ms.held = true;
+    ms.owner = me->tid;
+    return true;
+  }
+  if (aborting_) throw SchedAbort{};
+  yield_locked(lk, "try_lock", m, std::memory_order_seq_cst, false);
+  if (ms.held) {
+    bump_clock(me);
+    return false;
+  }
+  ms.held = true;
+  ms.owner = me->tid;
+  me->vc.join(ms.vc);
+  bump_clock(me);
+  return true;
+}
+
+void Scheduler::mutex_unlock(const void* m) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ThreadCtx* me = cur();
+  MutexState& ms = mutexes_[m];
+  if (!aborting_ && !unwinding() && (!ms.held || ms.owner != me->tid)) {
+    violation_locked(lk, "unlock of a mutex not held by this thread");
+  }
+  ms.held = false;
+  ms.owner = -1;
+  ms.vc = me->vc;  // release edge to the next lock
+  bump_clock(me);
+  for (auto& up : threads_) {
+    if (up->st == St::kBlockedMutex && up->wait_obj == m) {
+      up->st = St::kRunnable;  // contenders re-check under their lock loop
+    }
+  }
+  // Deliberately not a scheduling point (and never throws: LockGuard calls
+  // this from its destructor). The next context switch comes at the
+  // unlocking thread's next operation, which exposes the same interleavings.
+}
+
+void Scheduler::cv_wait(const void* cv, const void* m) {
+  if (unwinding()) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (aborting_) throw SchedAbort{};
+  ThreadCtx* me = cur();
+  MutexState& ms = mutexes_[m];
+  if (!ms.held || ms.owner != me->tid) {
+    violation_locked(lk, "cv_wait without holding the mutex");
+  }
+  // Releasing the mutex and blocking is one atomic step, like the real
+  // primitive: no scheduling point in between, so no missed-wakeup artifact.
+  ms.held = false;
+  ms.owner = -1;
+  ms.vc = me->vc;
+  bump_clock(me);
+  for (auto& up : threads_) {
+    if (up->st == St::kBlockedMutex && up->wait_obj == m) {
+      up->st = St::kRunnable;
+    }
+  }
+  me->st = St::kBlockedCv;
+  me->wait_obj = cv;
+  me->cv_notified = false;
+  cv_waiters_[cv].push_back(me->tid);
+  me->pending = "(wakes in cv_wait)";
+  choose_next_locked(lk);
+  wait_for_grant(lk, me);
+  me->st = St::kRunnable;
+  me->wait_obj = nullptr;
+  // Reacquire the mutex (an acquire edge once it succeeds).
+  while (ms.held) {
+    me->st = St::kBlockedMutex;
+    me->wait_obj = m;
+    me->pending = "(blocked reacquiring after cv_wait)";
+    choose_next_locked(lk);
+    wait_for_grant(lk, me);
+    me->st = St::kRunnable;
+    me->wait_obj = nullptr;
+  }
+  ms.held = true;
+  ms.owner = me->tid;
+  me->vc.join(ms.vc);
+  bump_clock(me);
+}
+
+void Scheduler::cv_notify(const void* cv, bool all) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (aborting_) return;
+  auto it = cv_waiters_.find(cv);
+  if (it == cv_waiters_.end() || it->second.empty()) return;
+  auto& ws = it->second;
+  const std::size_t n = all ? ws.size() : 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    ThreadCtx* t = threads_[static_cast<std::size_t>(ws[i])].get();
+    t->st = St::kRunnable;
+    t->cv_notified = true;
+    t->pending = "(woken in cv_wait)";
+  }
+  ws.erase(ws.begin(), ws.begin() + static_cast<long>(n));
+  // Waiters are woken FIFO. No clock transfer: the associated mutex provides
+  // the ordering, exactly as with the real primitive. Not a scheduling point
+  // and never throws (callable from noexcept contexts).
+}
+
+// ---------------------------------------------------------------------------
+// Exec
+// ---------------------------------------------------------------------------
+
+void Exec::spawn(std::function<void()> fn) {
+  sched_.spawn_thread(std::move(fn));
+}
+
+void Exec::join_all() { sched_.driver_join_all(); }
+
+// ---------------------------------------------------------------------------
+// Policies
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Exhaustive DFS over choice indices: force the recorded prefix, take the
+// first (continuation) branch beyond it, and record (chosen, #candidates)
+// so the explorer can bump the deepest non-exhausted choice.
+class DfsPolicy final : public Scheduler::Policy {
+ public:
+  std::vector<int> prefix;
+  std::vector<std::pair<int, int>> record;
+
+  int pick(long step, const std::vector<int>& candidates) override {
+    int idx = 0;
+    if (static_cast<std::size_t>(step) < prefix.size()) {
+      idx = prefix[static_cast<std::size_t>(step)];
+    }
+    if (idx >= static_cast<int>(candidates.size())) return -1;
+    record.emplace_back(idx, static_cast<int>(candidates.size()));
+    return idx;
+  }
+};
+
+// PCT (Burckhardt et al.): random per-thread priorities, run the
+// highest-priority enabled thread, and demote it below everyone at d random
+// change points. Seeded splitmix64 keeps every schedule reproducible.
+class PctPolicy final : public Scheduler::Policy {
+ public:
+  // `horizon` is the step range the change points are sampled from; the
+  // explorer feeds back the previous schedule's actual length, so short
+  // litmus runs still get change points landing inside the execution.
+  PctPolicy(std::uint64_t seed, int change_points, long horizon)
+      : x_(seed ? seed : 1) {
+    if (horizon < 2) horizon = 2;
+    for (int i = 0; i < kMaxThreads; ++i) {
+      prio_[i] = static_cast<int>(next() % 4096) + 16;
+    }
+    for (int i = 0; i < change_points; ++i) {
+      change_.insert(static_cast<long>(
+          next() % static_cast<std::uint64_t>(horizon)));
+    }
+  }
+
+  int pick(long step, const std::vector<int>& candidates) override {
+    int best = 0;
+    for (int i = 1; i < static_cast<int>(candidates.size()); ++i) {
+      if (prio_[candidates[static_cast<std::size_t>(i)]] >
+          prio_[candidates[static_cast<std::size_t>(best)]]) {
+        best = i;
+      }
+    }
+    if (change_.count(step) > 0) {
+      prio_[candidates[static_cast<std::size_t>(best)]] = low_--;
+    }
+    return best;
+  }
+
+ private:
+  std::uint64_t next() {
+    x_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t x_;
+  int prio_[kMaxThreads];
+  int low_ = 0;  // demoted priorities go 0, -1, -2, ... (below the 16+ base)
+  std::set<long> change_;
+};
+
+// Replays a dumped trace: at each step, grant the recorded tid (matched by
+// id, not index, so it tolerates candidate-list differences); -1 on
+// divergence turns into a violation in the scheduler.
+class ReplayPolicy final : public Scheduler::Policy {
+ public:
+  explicit ReplayPolicy(const std::string& trace) {
+    long v = 0;
+    bool have = false;
+    for (char ch : trace) {
+      if (ch >= '0' && ch <= '9') {
+        v = v * 10 + (ch - '0');
+        have = true;
+      } else if (have) {
+        trace_.push_back(static_cast<int>(v));
+        v = 0;
+        have = false;
+      }
+    }
+    if (have) trace_.push_back(static_cast<int>(v));
+  }
+
+  int pick(long step, const std::vector<int>& candidates) override {
+    if (static_cast<std::size_t>(step) >= trace_.size()) return -1;
+    const int want = trace_[static_cast<std::size_t>(step)];
+    for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+      if (candidates[static_cast<std::size_t>(i)] == want) return i;
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<int> trace_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Explorer
+// ---------------------------------------------------------------------------
+
+struct Runner {
+  static void run_one(const Options& opt, Scheduler::Policy& pol,
+                      const std::function<void(Exec&)>& body, Result& res) {
+    Scheduler sched(opt, &pol);
+    sched.register_driver();
+    try {
+      Exec ex(sched);
+      body(ex);
+    } catch (SchedAbort&) {
+    } catch (const std::exception& e) {
+      sched.record_violation(std::string("uncaught exception in driver: ") +
+                             e.what());
+    } catch (...) {
+      sched.record_violation("uncaught non-std exception in driver");
+    }
+    sched.driver_shutdown();
+    sched.unregister_driver();
+    ++res.schedules;
+    res.steps += sched.step_;
+    if (sched.violated_) {
+      res.ok = false;
+      res.error = sched.error_;
+      std::ostringstream os;
+      for (std::size_t i = 0; i < sched.sched_trace_.size(); ++i) {
+        if (i) os << '.';
+        os << sched.sched_trace_[i];
+      }
+      res.trace = os.str();
+      res.step_log = sched.step_log_;
+    }
+  }
+};
+
+Result explore(const Options& opt, const std::function<void(Exec&)>& body) {
+  Result res;
+  switch (opt.mode) {
+    case Options::Mode::kExhaustive: {
+      DfsPolicy pol;
+      for (;;) {
+        pol.record.clear();
+        Runner::run_one(opt, pol, body, res);
+        if (!res.ok) return res;
+        // Advance to the deepest choice with an unexplored sibling.
+        int d = static_cast<int>(pol.record.size()) - 1;
+        while (d >= 0 &&
+               pol.record[static_cast<std::size_t>(d)].first + 1 >=
+                   pol.record[static_cast<std::size_t>(d)].second) {
+          --d;
+        }
+        if (d < 0) {
+          res.exhausted = true;
+          return res;
+        }
+        pol.prefix.resize(static_cast<std::size_t>(d) + 1);
+        for (int i = 0; i < d; ++i) {
+          pol.prefix[static_cast<std::size_t>(i)] =
+              pol.record[static_cast<std::size_t>(i)].first;
+        }
+        pol.prefix[static_cast<std::size_t>(d)] =
+            pol.record[static_cast<std::size_t>(d)].first + 1;
+        if (opt.max_schedules > 0 && res.schedules >= opt.max_schedules) {
+          return res;
+        }
+      }
+    }
+    case Options::Mode::kPct: {
+      long horizon = 64;  // refined to the observed length after schedule 0
+      for (long s = 0; s < opt.pct_schedules; ++s) {
+        PctPolicy pol(
+            opt.seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(s),
+            opt.pct_change_points, horizon);
+        const long before = res.steps;
+        Runner::run_one(opt, pol, body, res);
+        if (!res.ok) return res;
+        horizon = res.steps - before;
+      }
+      return res;
+    }
+    case Options::Mode::kReplay: {
+      ReplayPolicy pol(opt.replay);
+      Runner::run_one(opt, pol, body, res);
+      return res;
+    }
+  }
+  return res;
+}
+
+Result replay(const std::string& trace,
+              const std::function<void(Exec&)>& body) {
+  Options opt;
+  opt.mode = Options::Mode::kReplay;
+  opt.replay = trace;
+  opt.max_spurious = 1 << 30;  // the trace dictates every wakeup
+  return explore(opt, body);
+}
+
+void assert_fail(const char* expr, const char* msg, const char* file,
+                 int line) {
+  std::ostringstream os;
+  os << "assertion failed: " << msg << " [" << expr << "] at " << file << ":"
+     << line;
+  if (Scheduler* s = Scheduler::current()) {
+    s->violation(os.str());  // throws SchedAbort
+  }
+  throw std::runtime_error(os.str());
+}
+
+std::string Result::report() const {
+  std::ostringstream os;
+  if (ok) {
+    os << "ok: " << schedules << " schedules, " << steps << " steps";
+    if (exhausted) os << " (schedule space exhausted)";
+    return os.str();
+  }
+  os << "violation: " << error << "\n";
+  os << "replay trace: " << trace << "\n";
+  os << "last steps of the violating schedule:\n";
+  const std::size_t from = step_log.size() > 60 ? step_log.size() - 60 : 0;
+  for (std::size_t i = from; i < step_log.size(); ++i) {
+    os << "  " << step_log[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace spc::model

@@ -1,0 +1,327 @@
+// Deterministic concurrency model checking for the lock-free protocols.
+//
+// The idiom is Loom/CDSChecker's: all synchronization operations of the code
+// under test are routed through a cooperative scheduler (via the shims in
+// model/shim.hpp and the spc::atomic / spc::Mutex aliases of
+// support/sync.hpp), which serializes N logical threads onto ONE running
+// thread at a time and context-switches only at those operations. Every
+// interleaving of a test body is then a sequence of scheduling choices, and
+// the explorer enumerates them:
+//
+//   * kExhaustive — depth-first enumeration of all schedules, bounded by a
+//     preemption budget (CHESS-style: only `preemption_bound` involuntary
+//     switches per schedule) and a schedule cap. Small litmus tests cover
+//     their entire interleaving space this way.
+//   * kPct — PCT-style randomized priority scheduling (Burckhardt et al.,
+//     ASPLOS'10): random thread priorities with d random inversion points,
+//     seeded, so large protocols get probabilistic coverage with
+//     reproducible schedules.
+//   * kReplay — re-runs the exact schedule dumped by a previous violation
+//     (Result::trace), for deterministic debugging.
+//
+// On top of the interleaving search the scheduler maintains vector clocks
+// for the happens-before relation induced by the memory orders the code
+// actually uses (relaxed operations synchronize nothing; release/acquire/
+// acq_rel/seq_cst edges, mutex hand-offs, and spawn/join all transfer
+// clocks). Non-atomic shared cells wrapped in model::Cell<T> are checked on
+// every access: two accesses without a happens-before edge, at least one a
+// write, are reported as a data race — even if the explored schedule
+// happened to order them benignly.
+//
+// Violations (data races, SPC_MODEL_ASSERT failures, uncaught exceptions,
+// deadlocks, step-bound livelocks, replay divergence) abort the schedule,
+// unwind every logical thread, and return a Result carrying the replayable
+// schedule trace and an annotated step log. See docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace spc::model {
+
+// Hard cap on logical threads per exploration (vector clocks are fixed-size).
+inline constexpr int kMaxThreads = 8;
+
+struct Options {
+  enum class Mode { kExhaustive, kPct, kReplay };
+  Mode mode = Mode::kExhaustive;
+
+  // kExhaustive: stop after this many schedules even if the space is not
+  // exhausted (0 = unlimited). `preemption_bound` caps involuntary context
+  // switches per schedule, the CHESS result being that almost all real
+  // concurrency bugs need very few.
+  long max_schedules = 100000;
+  int preemption_bound = 3;
+
+  // kPct: number of seeded random schedules and priority change points.
+  long pct_schedules = 200;
+  int pct_change_points = 3;
+  std::uint64_t seed = 1;
+
+  // Condition-variable waiters may be woken spuriously (a scheduling choice,
+  // like the real primitive allows), at most `max_spurious` times per
+  // schedule so wait loops cannot blow up the search space.
+  bool spurious_wakeups = true;
+  int max_spurious = 4;
+
+  // Per-schedule step bound; exceeding it is reported as a livelock.
+  long max_steps = 50000;
+
+  // Fairness (CHESS fair-scheduling): a thread granted this many consecutive
+  // steps while another thread is runnable is forced to hand the token over.
+  // Spin loops that wait on another thread's progress (e.g. a worker
+  // re-polling a queue its producer has not filled yet) would otherwise pin
+  // the continuation-first search in an unfair infinite schedule. Small
+  // litmus bodies never hit the window; it only breaks unfair spins.
+  long fairness_window = 128;
+
+  // kReplay: the schedule to pin, as dumped in Result::trace.
+  std::string replay;
+};
+
+struct Result {
+  bool ok = true;
+  bool exhausted = false;  // kExhaustive only: entire bounded space covered
+  long schedules = 0;      // schedules actually run
+  long steps = 0;          // total scheduling steps across all schedules
+  std::string error;       // violation description; empty when ok
+  std::string trace;       // replayable schedule of the violating run
+  std::vector<std::string> step_log;  // annotated ops of the violating run
+
+  // Human-readable summary: the error, the replayable trace, and the tail of
+  // the annotated step log.
+  std::string report() const;
+};
+
+class Scheduler;
+
+// Handle a litmus body uses to create and join logical threads. The body
+// itself runs as logical thread T0 (the driver): state it constructs before
+// spawn() and asserts it runs after join_all() participate in the
+// happens-before bookkeeping like any other access.
+class Exec {
+ public:
+  explicit Exec(Scheduler& s) : sched_(s) {}
+  Exec(const Exec&) = delete;
+  Exec& operator=(const Exec&) = delete;
+
+  // Spawns logical thread T1..T{kMaxThreads-1}. The child inherits the
+  // spawner's vector clock (spawn is a release/acquire edge).
+  void spawn(std::function<void()> fn);
+
+  // Blocks the driver until every spawned thread finished, joining their
+  // clocks into the driver's. Rethrows the schedule abort if the run was
+  // aborted by a violation, so post-join assertions never see a torn state.
+  void join_all();
+
+ private:
+  Scheduler& sched_;
+};
+
+// Runs `body` once per explored schedule. The body must be deterministic
+// apart from scheduling (no wall-clock, no real randomness): it constructs
+// fresh shared state, spawns threads, join_all()s, and asserts the
+// post-state with SPC_MODEL_ASSERT.
+Result explore(const Options& opt, const std::function<void(Exec&)>& body);
+
+// Re-runs `body` pinned to the exact schedule `trace` (from Result::trace).
+Result replay(const std::string& trace, const std::function<void(Exec&)>& body);
+
+// SPC_MODEL_ASSERT support: inside an exploration this records a violation
+// and aborts the schedule; outside one it throws spc-style (so a litmus
+// helper used without explore() still fails loudly).
+void assert_fail(const char* expr, const char* msg, const char* file, int line);
+
+#define SPC_MODEL_ASSERT(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::spc::model::assert_fail(#cond, (msg), __FILE__, __LINE__);      \
+    }                                                                   \
+  } while (0)
+
+// ---------------------------------------------------------------------------
+// Internals below (used by model/shim.hpp; not part of the litmus-facing API)
+// ---------------------------------------------------------------------------
+
+// Thrown to unwind logical threads when a schedule is aborted.
+struct SchedAbort {};
+
+struct Runner;  // internal explorer driver (scheduler.cpp)
+
+class Scheduler {
+ public:
+  // The per-schedule scheduling policy (implemented by the explorer:
+  // exhaustive DFS, PCT random priorities, or trace replay).
+  class Policy {
+   public:
+    virtual ~Policy() = default;
+    // Chooses among `candidates` (ordered: continuation first, then
+    // ascending tid). Returns an index into candidates, or -1 to signal a
+    // divergence (flagged as a violation by the scheduler).
+    virtual int pick(long step, const std::vector<int>& candidates) = 0;
+  };
+
+  // The scheduler of the active exploration IF the calling thread is one of
+  // its registered logical threads; nullptr otherwise (shims pass through).
+  static Scheduler* current();
+
+  // --- shim hooks; callable only from a registered logical thread ----------
+  // Each *_begin is a scheduling point (the context switch happens before
+  // the operation); the clock bookkeeping runs token-held after it.
+  void atomic_load(const void* a, std::memory_order mo, const char* op);
+  void atomic_store(const void* a, std::memory_order mo, const char* op);
+  void atomic_rmw_begin(const void* a, std::memory_order mo, const char* op);
+  void atomic_rmw_commit(const void* a, std::memory_order mo, bool success,
+                         std::memory_order fail_mo);
+  void cell_access(const void* c, bool is_write, const char* name);
+  void mutex_lock(const void* m);
+  bool mutex_try_lock(const void* m);
+  void mutex_unlock(const void* m);
+  void cv_wait(const void* cv, const void* m);
+  void cv_notify(const void* cv, bool all);
+
+  // Records a violation and aborts the schedule (throws SchedAbort).
+  [[noreturn]] void violation(const std::string& msg);
+
+ private:
+  friend class Exec;
+  friend struct Runner;
+
+  struct VectorClock {
+    long c[kMaxThreads] = {};
+    void join(const VectorClock& o) {
+      for (int i = 0; i < kMaxThreads; ++i) {
+        if (o.c[i] > c[i]) c[i] = o.c[i];
+      }
+    }
+    void clear() {
+      for (long& x : c) x = 0;
+    }
+  };
+
+  enum class St { kNew, kRunnable, kBlockedMutex, kBlockedCv, kDriverWait,
+                  kFinished };
+
+  struct ThreadCtx {
+    int tid = 0;
+    St st = St::kNew;
+    const void* wait_obj = nullptr;
+    bool cv_notified = false;  // woken by notify (vs. spurious candidate)
+    VectorClock vc;
+    std::string pending;  // op this thread performs when next granted
+    std::function<void()> fn;
+    std::thread th;
+  };
+
+  struct MutexState {
+    bool held = false;
+    int owner = -1;
+    VectorClock vc;
+  };
+
+  struct AtomicState {
+    VectorClock vc;
+  };
+
+  struct CellState {
+    int w_tid = -1;
+    long w_clk = 0;
+    long w_step = -1;
+    long r_clk[kMaxThreads] = {};
+    long r_step[kMaxThreads] = {};
+    const char* name = nullptr;
+  };
+
+  explicit Scheduler(const Options& opt, Policy* policy);
+  ~Scheduler();
+
+  ThreadCtx* cur();
+  void register_driver();
+  void unregister_driver();
+  void spawn_thread(std::function<void()> fn);
+  void driver_join_all();
+  // Aborts and reaps any logical threads still alive (normally a no-op:
+  // join_all already finished them). Called by the explorer after the body.
+  void driver_shutdown();
+  void thread_main(ThreadCtx* ctx);
+  void finish_thread(std::unique_lock<std::mutex>& lk, ThreadCtx* ctx);
+
+  // Scheduling point: records the pending op, picks the next thread, and
+  // suspends the caller until it is granted again. Pre: lk holds mu_.
+  void yield_locked(std::unique_lock<std::mutex>& lk, const char* op,
+                    const void* obj, std::memory_order mo, bool has_mo);
+  void choose_next_locked(std::unique_lock<std::mutex>& lk);
+  void wait_for_grant(std::unique_lock<std::mutex>& lk, ThreadCtx* me);
+  [[noreturn]] void violation_locked(std::unique_lock<std::mutex>& lk,
+                                     const std::string& msg);
+  void record_violation(const std::string& msg);  // no throw (wrapper path)
+
+  void bump_clock(ThreadCtx* t) { ++t->vc.c[t->tid]; }
+  std::string describe_op(const char* op, const void* obj,
+                          std::memory_order mo, bool has_mo) const;
+  std::string thread_states_locked() const;
+
+  const Options& opt_;
+  Policy* policy_;
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  std::vector<std::unique_ptr<ThreadCtx>> threads_;  // [0] = driver
+  int active_ = 0;
+  int last_running_ = 0;
+  int alive_ = 0;  // spawned, unfinished logical threads (excl. driver)
+  int preemptions_ = 0;
+  int spurious_ = 0;
+  long consecutive_ = 0;  // steps the current thread has held the token
+  long step_ = 0;
+  bool aborting_ = false;
+  bool violated_ = false;
+  std::string error_;
+  std::vector<int> sched_trace_;
+  std::vector<std::string> step_log_;
+  std::map<const void*, MutexState> mutexes_;
+  std::map<const void*, AtomicState> atomics_;
+  std::map<const void*, CellState> cells_;
+  std::map<const void*, std::vector<int>> cv_waiters_;
+};
+
+// Non-atomic shared cell tracked by the race detector. Reads and writes are
+// scheduling points and feed the vector-clock happens-before check; the
+// value itself is plain storage. Outside an exploration, accesses are plain
+// loads/stores. Use for modelling the executors' non-atomic shared data
+// (per-worker accumulator panels, arena blocks) in litmus tests.
+template <typename T>
+class Cell {
+ public:
+  Cell() = default;
+  explicit Cell(T v, const char* name = nullptr) : v_(v), name_(name) {}
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  T read() const {
+    if (Scheduler* s = Scheduler::current()) {
+      s->cell_access(this, /*is_write=*/false, name_);
+    }
+    return v_;
+  }
+  void write(T v) {
+    if (Scheduler* s = Scheduler::current()) {
+      s->cell_access(this, /*is_write=*/true, name_);
+    }
+    v_ = v;
+  }
+  void set_name(const char* name) { name_ = name; }
+
+ private:
+  T v_{};
+  const char* name_ = nullptr;
+};
+
+}  // namespace spc::model

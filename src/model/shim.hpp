@@ -1,0 +1,212 @@
+// Instrumented synchronization primitives for -DSPC_MODEL=ON builds.
+//
+// support/sync.hpp aliases spc::atomic / spc::Mutex / spc::LockGuard /
+// spc::CondVar to the types below when the model checker is compiled in.
+// Each operation checks whether the calling thread is a registered logical
+// thread of an active exploration (Scheduler::current()):
+//
+//   * yes — the operation is a scheduling point: the scheduler may context-
+//     switch to another logical thread first, then the operation executes
+//     and its memory order feeds the vector-clock happens-before state.
+//   * no  — straight pass-through to the underlying std primitive, so a
+//     model build still runs the entire ordinary test suite unchanged.
+//
+// A single object must not be used by registered and unregistered threads
+// concurrently (the modeled state and the raw std state would split); litmus
+// tests construct their own state, so this never arises in practice.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "model/scheduler.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace spc::model {
+
+namespace detail {
+// std's single-order compare_exchange derives the failure order by dropping
+// the release part; replicate that for our single-order overloads.
+inline std::memory_order cas_fail_order(std::memory_order mo) {
+  switch (mo) {
+    case std::memory_order_acq_rel: return std::memory_order_acquire;
+    case std::memory_order_release: return std::memory_order_relaxed;
+    default: return mo;
+  }
+}
+}  // namespace detail
+
+template <typename T>
+class Atomic {
+ public:
+  Atomic() noexcept : v_() {}
+  constexpr Atomic(T v) noexcept : v_(v) {}
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const {
+    if (Scheduler* s = Scheduler::current()) s->atomic_load(this, mo, "load");
+    return v_.load(mo);
+  }
+  operator T() const { return load(); }
+
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    if (Scheduler* s = Scheduler::current()) s->atomic_store(this, mo, "store");
+    v_.store(v, mo);
+  }
+  T operator=(T v) {
+    store(v);
+    return v;
+  }
+
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    Scheduler* s = Scheduler::current();
+    if (s) s->atomic_rmw_begin(this, mo, "exchange");
+    T old = v_.exchange(v, mo);
+    if (s) s->atomic_rmw_commit(this, mo, true, mo);
+    return old;
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure) {
+    Scheduler* s = Scheduler::current();
+    if (s) s->atomic_rmw_begin(this, success, "cas");
+    bool ok = v_.compare_exchange_strong(expected, desired, success, failure);
+    if (s) s->atomic_rmw_commit(this, success, ok, failure);
+    return ok;
+  }
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, mo,
+                                   detail::cas_fail_order(mo));
+  }
+
+  // Under the scheduler a weak CAS never fails spuriously (the token makes
+  // it uncontended); pass-through keeps the real weak semantics.
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order success,
+                             std::memory_order failure) {
+    Scheduler* s = Scheduler::current();
+    if (s) s->atomic_rmw_begin(this, success, "cas_weak");
+    bool ok = v_.compare_exchange_weak(expected, desired, success, failure);
+    if (s) s->atomic_rmw_commit(this, success, ok, failure);
+    return ok;
+  }
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst) {
+    return compare_exchange_weak(expected, desired, mo,
+                                 detail::cas_fail_order(mo));
+  }
+
+  T fetch_add(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    Scheduler* s = Scheduler::current();
+    if (s) s->atomic_rmw_begin(this, mo, "fetch_add");
+    T old = v_.fetch_add(d, mo);
+    if (s) s->atomic_rmw_commit(this, mo, true, mo);
+    return old;
+  }
+  T fetch_sub(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    Scheduler* s = Scheduler::current();
+    if (s) s->atomic_rmw_begin(this, mo, "fetch_sub");
+    T old = v_.fetch_sub(d, mo);
+    if (s) s->atomic_rmw_commit(this, mo, true, mo);
+    return old;
+  }
+  T fetch_or(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    Scheduler* s = Scheduler::current();
+    if (s) s->atomic_rmw_begin(this, mo, "fetch_or");
+    T old = v_.fetch_or(d, mo);
+    if (s) s->atomic_rmw_commit(this, mo, true, mo);
+    return old;
+  }
+  T fetch_and(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    Scheduler* s = Scheduler::current();
+    if (s) s->atomic_rmw_begin(this, mo, "fetch_and");
+    T old = v_.fetch_and(d, mo);
+    if (s) s->atomic_rmw_commit(this, mo, true, mo);
+    return old;
+  }
+
+ private:
+  std::atomic<T> v_;
+};
+
+class SPC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SPC_ACQUIRE() {
+    if (Scheduler* s = Scheduler::current()) {
+      s->mutex_lock(this);
+    } else {
+      m_.lock();
+    }
+  }
+  void unlock() SPC_RELEASE() {
+    if (Scheduler* s = Scheduler::current()) {
+      s->mutex_unlock(this);
+    } else {
+      m_.unlock();
+    }
+  }
+  bool try_lock() SPC_TRY_ACQUIRE(true) {
+    if (Scheduler* s = Scheduler::current()) return s->mutex_try_lock(this);
+    return m_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+class SPC_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) SPC_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() SPC_RELEASE() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& m) SPC_REQUIRES(m) {
+    if (Scheduler* s = Scheduler::current()) {
+      s->cv_wait(this, &m);
+      return;
+    }
+    std::unique_lock<std::mutex> lk(m.m_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // ownership stays with the caller's scoped lock
+  }
+  void notify_one() noexcept {
+    if (Scheduler* s = Scheduler::current()) {
+      s->cv_notify(this, /*all=*/false);
+      return;
+    }
+    cv_.notify_one();
+  }
+  void notify_all() noexcept {
+    if (Scheduler* s = Scheduler::current()) {
+      s->cv_notify(this, /*all=*/true);
+      return;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace spc::model

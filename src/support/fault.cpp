@@ -11,6 +11,16 @@ namespace {
 // Global plan. Fields are individually atomic so tests can install a plan
 // while previously-spawned (but idle) worker threads still exist without a
 // data race; set_plan/clear are not meant to race with active injection.
+//
+// memory-order audit (sync_lint allowlist: this file): every access below
+// is relaxed on purpose. Each field is a self-contained scalar — no access
+// publishes or consumes any other memory, so no release/acquire pairing is
+// needed anywhere: a worker that reads a torn-in-time mix of {prob, seed,
+// budget} during plan install merely decides one injection differently,
+// which set_plan's contract (install before the run under test) already
+// excludes. The budget CAS needs only the atomicity of the RMW itself to
+// avoid overdrawing, not ordering; `fired` is a pure statistics counter
+// read after workers join (join provides the happens-before).
 struct SiteState {
   std::atomic<double> prob{0.0};
   std::atomic<std::uint64_t> seed{0};

@@ -1,0 +1,104 @@
+// The single synchronization layer of the library.
+//
+// Every atomic, mutex, and condition variable in concurrent library code is
+// spelled through the aliases in this header — spc::atomic<T>, spc::Mutex,
+// spc::LockGuard, spc::CondVar — never through the std primitives directly
+// (tools/sync_lint.sh enforces this outside src/support/ and src/model/).
+// The aliases resolve two ways:
+//
+//   * Normal builds (the default): spc::atomic<T> IS std::atomic<T> (a type
+//     alias, so codegen, layout, and ABI are bitwise identical to using the
+//     std type directly — see tests/test_shim_parity.cpp), and Mutex /
+//     LockGuard / CondVar are the thin annotated wrappers over std::mutex /
+//     std::condition_variable defined below. Zero overhead, zero behavior
+//     change.
+//
+//   * -DSPC_MODEL=ON: the aliases resolve to the instrumented versions in
+//     src/model/shim.hpp, which route every load / store / RMW / lock /
+//     wait through the cooperative model-checking scheduler (src/model/)
+//     whenever the calling thread is a registered logical thread of an
+//     active exploration, and pass through to the real std primitives
+//     otherwise. This is what lets the litmus suite (tests/test_model.cpp)
+//     drive the real WorkStealingQueues / FailureSlot protocols through
+//     systematically explored interleavings. See docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <atomic>
+
+#include "support/thread_annotations.hpp"
+
+#if defined(SPC_MODEL_ENABLED)
+
+#include "model/shim.hpp"
+
+namespace spc {
+template <typename T>
+using atomic = model::Atomic<T>;
+using Mutex = model::Mutex;
+using LockGuard = model::LockGuard;
+using CondVar = model::CondVar;
+}  // namespace spc
+
+#else  // !SPC_MODEL_ENABLED — the real primitives, annotated.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace spc {
+
+template <typename T>
+using atomic = std::atomic<T>;
+
+// std::mutex with a capability identity the analysis can track.
+class SPC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SPC_ACQUIRE() { m_.lock(); }
+  void unlock() SPC_RELEASE() { m_.unlock(); }
+  bool try_lock() SPC_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+// Scoped lock over spc::Mutex (the annotated std::lock_guard).
+class SPC_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) SPC_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() SPC_RELEASE() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+// Condition variable usable with spc::Mutex. wait() requires the mutex held
+// and re-holds it on return, which the REQUIRES contract expresses exactly;
+// predicate re-checks are written as explicit while-loops at the call sites
+// so the analysis sees every guarded read under the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& m) SPC_REQUIRES(m) {
+    std::unique_lock<std::mutex> lk(m.m_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // ownership stays with the caller's scoped lock
+  }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace spc
+
+#endif  // SPC_MODEL_ENABLED

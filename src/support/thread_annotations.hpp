@@ -1,26 +1,21 @@
-// Clang thread-safety analysis layer.
+// Clang thread-safety analysis attribute macros
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under any other
+// compiler they expand to nothing, so GCC builds are unaffected.
 //
-// Two pieces:
-//  1. SPC_* attribute macros wrapping Clang's capability annotations
-//     (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under any
-//     other compiler they expand to nothing, so GCC builds are unaffected.
-//  2. Annotated synchronization wrappers — spc::Mutex, spc::LockGuard,
-//     spc::CondVar — over the std primitives. All concurrent code in the
-//     library locks through these so that a clang build with
-//     -DSPC_ANALYZE=ON (which adds -Wthread-safety -Werror) statically
-//     verifies the lock discipline: every GUARDED_BY field is only touched
-//     with its mutex held, every REQUIRES contract is met at each call
-//     site, and scoped locks cannot leak.
+// The annotated synchronization wrappers that carry these capabilities —
+// spc::Mutex, spc::LockGuard, spc::CondVar — live in support/sync.hpp (the
+// single header every concurrent translation unit includes). A clang build
+// with -DSPC_ANALYZE=ON (which adds -Wthread-safety -Werror) statically
+// verifies the lock discipline: every GUARDED_BY field is only touched with
+// its mutex held, every REQUIRES contract is met at each call site, and
+// scoped locks cannot leak.
 //
 // Convention: data members carry SPC_GUARDED_BY(mutex); functions that the
-// caller must enter locked carry SPC_REQUIRES(mutex). The wrappers below are
-// the single trusted boundary between the annotated world and the
-// unannotated std internals — nothing outside this header may suppress the
-// analysis.
+// caller must enter locked carry SPC_REQUIRES(mutex). The wrappers in
+// sync.hpp are the single trusted boundary between the annotated world and
+// the unannotated std internals — nothing outside that header may suppress
+// the analysis.
 #pragma once
-
-#include <condition_variable>
-#include <mutex>
 
 #if defined(__clang__)
 #define SPC_THREAD_ANNOTATION(x) __attribute__((x))
@@ -42,57 +37,3 @@
 #define SPC_RETURN_CAPABILITY(x) SPC_THREAD_ANNOTATION(lock_returned(x))
 #define SPC_NO_THREAD_SAFETY_ANALYSIS \
   SPC_THREAD_ANNOTATION(no_thread_safety_analysis)
-
-namespace spc {
-
-// std::mutex with a capability identity the analysis can track.
-class SPC_CAPABILITY("mutex") Mutex {
- public:
-  Mutex() = default;
-  Mutex(const Mutex&) = delete;
-  Mutex& operator=(const Mutex&) = delete;
-
-  void lock() SPC_ACQUIRE() { m_.lock(); }
-  void unlock() SPC_RELEASE() { m_.unlock(); }
-  bool try_lock() SPC_TRY_ACQUIRE(true) { return m_.try_lock(); }
-
- private:
-  friend class CondVar;
-  std::mutex m_;
-};
-
-// Scoped lock over spc::Mutex (the annotated std::lock_guard).
-class SPC_SCOPED_CAPABILITY LockGuard {
- public:
-  explicit LockGuard(Mutex& m) SPC_ACQUIRE(m) : m_(m) { m_.lock(); }
-  ~LockGuard() SPC_RELEASE() { m_.unlock(); }
-  LockGuard(const LockGuard&) = delete;
-  LockGuard& operator=(const LockGuard&) = delete;
-
- private:
-  Mutex& m_;
-};
-
-// Condition variable usable with spc::Mutex. wait() requires the mutex held
-// and re-holds it on return, which the REQUIRES contract expresses exactly;
-// predicate re-checks are written as explicit while-loops at the call sites
-// so the analysis sees every guarded read under the lock.
-class CondVar {
- public:
-  CondVar() = default;
-  CondVar(const CondVar&) = delete;
-  CondVar& operator=(const CondVar&) = delete;
-
-  void wait(Mutex& m) SPC_REQUIRES(m) {
-    std::unique_lock<std::mutex> lk(m.m_, std::adopt_lock);
-    cv_.wait(lk);
-    lk.release();  // ownership stays with the caller's scoped lock
-  }
-  void notify_one() noexcept { cv_.notify_one(); }
-  void notify_all() noexcept { cv_.notify_all(); }
-
- private:
-  std::condition_variable cv_;
-};
-
-}  // namespace spc

@@ -15,11 +15,16 @@ WorkStealingQueues::WorkStealingQueues(int num_workers)
   SPC_CHECK(num_workers >= 1, "WorkStealingQueues: need at least one worker");
   for (Deque& d : deques_) {
     d.buffers.push_back(std::make_unique<Buffer>(kInitialCap));
+    // relaxed: single-threaded construction; the spawn of any worker that
+    // could observe the deque happens-after and publishes it.
     d.buf.store(d.buffers.back().get(), std::memory_order_relaxed);
   }
 }
 
 void WorkStealingQueues::push_bottom(Deque& d, i64 id) {
+  // bottom and buf are written only by the owner, so the owner's own reads
+  // need no ordering (relaxed); top is acquire to see the cells freed by
+  // thieves' CASes before reusing them.
   const i64 b = d.bottom.load(std::memory_order_relaxed);
   const i64 t = d.top.load(std::memory_order_acquire);
   Buffer* a = d.buf.load(std::memory_order_relaxed);
@@ -44,6 +49,7 @@ void WorkStealingQueues::push_bottom(Deque& d, i64 id) {
 }
 
 bool WorkStealingQueues::pop_bottom(Deque& d, i64& id) {
+  // Owner-private reads (see push_bottom) — relaxed.
   const i64 b = d.bottom.load(std::memory_order_relaxed) - 1;
   Buffer* a = d.buf.load(std::memory_order_relaxed);
   // Publish the intent to take the bottom task BEFORE reading top (seq_cst
@@ -52,9 +58,13 @@ bool WorkStealingQueues::pop_bottom(Deque& d, i64& id) {
   d.bottom.store(b, std::memory_order_seq_cst);
   i64 t = d.top.load(std::memory_order_seq_cst);
   if (t > b) {  // empty
+    // Restoring bottom is relaxed: a thief reading the stale smaller value
+    // only under-estimates the size and backs off — never takes a task.
     d.bottom.store(b + 1, std::memory_order_relaxed);
     return false;
   }
+  // relaxed: the owner wrote this cell itself (program order), and a grown
+  // buffer was installed by the owner too.
   id = a->cells[b & a->mask].load(std::memory_order_relaxed);
   if (t == b) {
     // Last task: exactly one of owner/thief wins the top CAS.
@@ -71,6 +81,9 @@ bool WorkStealingQueues::steal_top(Deque& v, i64& id) {
   const i64 b = v.bottom.load(std::memory_order_seq_cst);
   if (t >= b) return false;
   Buffer* a = v.buf.load(std::memory_order_acquire);
+  // relaxed speculative read: the seq_cst top CAS below validates it — on
+  // success nobody else consumed index t, so the value read was the one the
+  // owner published before its release store of bottom.
   const i64 cell = a->cells[t & a->mask].load(std::memory_order_relaxed);
   if (!v.top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                      std::memory_order_relaxed)) {
@@ -119,6 +132,7 @@ bool WorkStealingQueues::try_steal(int thief, WorkItem& out) {
   }
   if (best >= 0 && steal_top(deques_[static_cast<std::size_t>(best)], id)) {
     queued_.fetch_sub(1);
+    // relaxed: pure statistics counter, read after the workers joined.
     steals_.fetch_add(1, std::memory_order_relaxed);
     out = WorkItem{id, 0};
     return true;

@@ -32,7 +32,7 @@
 #include <memory>
 #include <vector>
 
-#include "support/thread_annotations.hpp"
+#include "support/sync.hpp"
 #include "support/types.hpp"
 
 namespace spc {
@@ -76,18 +76,18 @@ class WorkStealingQueues {
     explicit Buffer(i64 capacity)
         : cap(capacity),
           mask(capacity - 1),
-          cells(std::make_unique<std::atomic<i64>[]>(
+          cells(std::make_unique<spc::atomic<i64>[]>(
               static_cast<std::size_t>(capacity))) {}
     i64 cap;
     i64 mask;  // cap is a power of two
-    std::unique_ptr<std::atomic<i64>[]> cells;
+    std::unique_ptr<spc::atomic<i64>[]> cells;
   };
 
   struct alignas(64) Deque {
-    std::atomic<i64> top{0};
-    std::atomic<i64> bottom{0};
-    std::atomic<Buffer*> buf{nullptr};
-    std::atomic<i64> prio_hint{0};  // priority of the last pushed item
+    spc::atomic<i64> top{0};
+    spc::atomic<i64> bottom{0};
+    spc::atomic<Buffer*> buf{nullptr};
+    spc::atomic<i64> prio_hint{0};  // priority of the last pushed item
     // Owner-only: current + retired buffers (kept so stale thief reads stay
     // in bounds). Guarded by quiescence, not a lock: only the owner mutates.
     std::vector<std::unique_ptr<Buffer>> buffers;
@@ -100,10 +100,10 @@ class WorkStealingQueues {
   bool try_steal(int thief, WorkItem& out);
 
   std::vector<Deque> deques_;
-  std::atomic<i64> queued_{0};    // tasks currently in some deque
-  std::atomic<int> sleepers_{0};  // workers parked (or committing to park)
-  std::atomic<bool> done_{false};
-  std::atomic<i64> steals_{0};
+  spc::atomic<i64> queued_{0};    // tasks currently in some deque
+  spc::atomic<int> sleepers_{0};  // workers parked (or committing to park)
+  spc::atomic<bool> done_{false};
+  spc::atomic<i64> steals_{0};
   Mutex sleep_mutex_;
   CondVar sleep_cv_;
 };

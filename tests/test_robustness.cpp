@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+
+#include "support/sync.hpp"
 #include <cmath>
 #include <sstream>
 #include <string>
@@ -108,7 +110,7 @@ TEST(FailureSlot, ConcurrentRecordsExactlyOneWinner) {
   const int kThreads = 8;
   for (int rep = 0; rep < 20; ++rep) {
     FailureSlot slot;
-    std::atomic<int> winners{0};
+    spc::atomic<int> winners{0};
     std::vector<std::thread> ts;
     ts.reserve(kThreads);
     for (int t = 0; t < kThreads; ++t) {
@@ -517,7 +519,7 @@ TEST(Cancellation, PreSetTokenCancelsAndWorkspaceStaysReusable) {
   ParallelWorkspace ws(chol.structure(), chol.task_graph());
 
   for (int threads : {1, 2, 4}) {
-    std::atomic<bool> cancel{true};
+    spc::atomic<bool> cancel{true};
     ParallelFactorOptions popt;
     popt.num_threads = threads;
     popt.cancel = &cancel;
@@ -546,7 +548,7 @@ TEST(Cancellation, MidRunTokenEitherCompletesOrCancelsCleanly) {
   const SymSparse& ap = chol.permuted_matrix();
   ParallelWorkspace ws(chol.structure(), chol.task_graph());
   for (int rep = 0; rep < 3; ++rep) {
-    std::atomic<bool> cancel{false};
+    spc::atomic<bool> cancel{false};
     std::thread canceller([&cancel] { cancel.store(true); });
     ParallelFactorOptions popt;
     popt.num_threads = 4;

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <atomic>
+
+#include "support/sync.hpp"
 #include <cmath>
 #include <vector>
 
@@ -213,7 +215,7 @@ TEST(SolveTeardown, CancellationDrainsCleanly) {
   const SparseCholesky chol = factorized(make_grid2d(20, 21));
   const idx n = chol.num_rows();
   SolveWorkspace ws(chol.structure());
-  std::atomic<bool> cancel{true};
+  spc::atomic<bool> cancel{true};
   for (int threads : {1, 4}) {
     DenseMatrix b = random_rhs(n, 3, 5);
     SolveOptions opt;

@@ -2,27 +2,31 @@
 # Pre-merge analysis battery for sparsechol.
 #
 # Runs, in order:
-#   1. warnings-as-errors build + suite    (SPC_WERROR=ON)
-#   2. ThreadSanitizer build + tsan suite  (SPC_SANITIZE=thread, SPC_FAULTS=ON —
+#   1. sync-layer lint                     (tools/sync_lint.sh: raw-primitive
+#      ban + audited memory_order_relaxed budgets)
+#   2. warnings-as-errors build + suite    (SPC_WERROR=ON)
+#   3. ThreadSanitizer build + tsan suite  (SPC_SANITIZE=thread, SPC_FAULTS=ON —
 #      also runs the fault-label teardown/retry tests under TSan)
-#   3. AddressSanitizer build + suite      (SPC_SANITIZE=address)
-#   4. UBSanitizer build + suite           (SPC_SANITIZE=undefined)
-#   5. Fault-injection suite under ASan    (SPC_FAULTS=ON, -L fault)
-#   6. Clang thread-safety analysis build  (SPC_ANALYZE=ON)     [needs clang++]
-#   7. clang-tidy over src/ and tools/     (.clang-tidy)        [needs clang-tidy]
+#   4. AddressSanitizer build + suite      (SPC_SANITIZE=address)
+#   5. UBSanitizer build + suite           (SPC_SANITIZE=undefined)
+#   6. Fault-injection suite under ASan    (SPC_FAULTS=ON, -L fault)
+#   7. Concurrency model checking          (SPC_MODEL=ON, -L model: exhaustive
+#      litmus + 10000 seeded PCT schedules per protocol)
+#   8. Clang thread-safety analysis build  (SPC_ANALYZE=ON)     [needs clang++]
+#   9. clang-tidy over src/ and tools/     (.clang-tidy)        [needs clang-tidy]
 #
-# Steps 5-6 are skipped with a notice when the tools are not installed; the
-# script exits nonzero if any step that *did* run failed. Build trees go to
-# build-<step>/ next to the source tree (gitignored), full logs to
-# build-<step>.log.
+# Steps 8-9 are skipped with a notice when the tools are not installed; the
+# script exits nonzero if any step that *did* run failed, and prints a
+# per-step PASS/FAIL/SKIP table at the end. Build trees go to build-<step>/
+# next to the source tree (gitignored), full logs to build-<step>.log.
 #
 # Usage: tools/run_analysis.sh [step...]   (default: all steps)
-#   e.g. tools/run_analysis.sh tsan ubsan
+#   e.g. tools/run_analysis.sh tsan model
 set -u
 
 cd "$(dirname "$0")/.."
 JOBS="${SPC_ANALYSIS_JOBS:-$(nproc)}"
-ALL_STEPS=(werror tsan asan ubsan faults thread-safety tidy)
+ALL_STEPS=(lint werror tsan asan ubsan faults model thread-safety tidy)
 STEPS=("$@")
 [ ${#STEPS[@]} -eq 0 ] && STEPS=("${ALL_STEPS[@]}")
 for s in "${STEPS[@]}"; do
@@ -33,9 +37,10 @@ for s in "${STEPS[@]}"; do
 done
 
 failures=()
-skipped=()
+results=()  # "<name> <PASS|FAIL|SKIP>" in execution order
 
 note() { printf '\n=== %s ===\n' "$*"; }
+record() { results+=("$1 $2"); }
 
 want() {
   local s
@@ -53,6 +58,7 @@ step() {
   if ! cmake -B "build-$name" -S . "$@" >"build-$name.log" 2>&1 ||
      ! cmake --build "build-$name" -j "$JOBS" >>"build-$name.log" 2>&1; then
     failures+=("$name (build)")
+    record "$name" FAIL
     tail -40 "build-$name.log"
     return 1
   fi
@@ -62,12 +68,25 @@ step() {
     if ! ctest --test-dir "build-$name" "${label_args[@]+"${label_args[@]}"}" \
          -j "$JOBS" --output-on-failure >>"build-$name.log" 2>&1; then
       failures+=("$name (tests)")
+      record "$name" FAIL
       tail -40 "build-$name.log"
       return 1
     fi
   fi
+  record "$name" PASS
   echo "$name: OK"
 }
+
+if want lint; then
+  note lint
+  if tools/sync_lint.sh; then
+    record lint PASS
+    echo "lint: OK"
+  else
+    record lint FAIL
+    failures+=(lint)
+  fi
+fi
 
 want werror && { step werror all -DSPC_WERROR=ON || true; }
 
@@ -84,6 +103,14 @@ want ubsan && { step ubsan all -DSPC_SANITIZE=undefined || true; }
 # several seeds; termination must be clean and leak-free.
 want faults && { step faults fault -DSPC_FAULTS=ON -DSPC_SANITIZE=address || true; }
 
+# Model-checked litmus suite over the lock-free protocols: exhaustive
+# exploration of the small twins plus SPC_MODEL_SCHEDULES seeded PCT
+# schedules for the real-class protocols (tests/test_model.cpp).
+want model && {
+  SPC_MODEL_SCHEDULES="${SPC_MODEL_SCHEDULES:-10000}" \
+    step model model -DSPC_MODEL=ON || true
+}
+
 if want thread-safety; then
   if command -v clang++ >/dev/null 2>&1; then
     step thread-safety none -DCMAKE_CXX_COMPILER=clang++ -DSPC_ANALYZE=ON || true
@@ -91,7 +118,7 @@ if want thread-safety; then
     note thread-safety
     echo "thread-safety: SKIPPED (clang++ not installed; the annotations in"
     echo "  src/support/thread_annotations.hpp compile as no-ops under GCC)"
-    skipped+=(thread-safety)
+    record thread-safety SKIP
   fi
 fi
 
@@ -103,21 +130,30 @@ if want tidy; then
     if find src tools -name '*.cpp' -print0 |
        xargs -0 -P "$JOBS" -n 8 clang-tidy -p build-tidy --quiet \
          --warnings-as-errors='*' >>build-tidy.log 2>&1; then
+      record tidy PASS
       echo "tidy: OK"
     else
       failures+=(tidy)
+      record tidy FAIL
       tail -40 build-tidy.log
     fi
   else
     echo "tidy: SKIPPED (clang-tidy not installed)"
-    skipped+=(tidy)
+    record tidy SKIP
   fi
 fi
 
 note summary
-[ ${#skipped[@]} -gt 0 ] && echo "skipped: ${skipped[*]}"
+printf '%-15s %s\n' step result
+printf '%-15s %s\n' ---- ------
+for r in ${results[@]+"${results[@]}"}; do
+  # shellcheck disable=SC2086 — intentional word split of "name status"
+  printf '%-15s %s\n' $r
+done
 if [ ${#failures[@]} -gt 0 ]; then
+  echo
   echo "FAILED: ${failures[*]}"
   exit 1
 fi
+echo
 echo "all executed steps passed"

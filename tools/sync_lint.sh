@@ -1,0 +1,85 @@
+#!/bin/sh
+# Sync-layer lint: every atomic / mutex / condvar in library code must be
+# spelled through the spc:: aliases of src/support/sync.hpp, so the
+# -DSPC_MODEL=ON build can interpose the model-checking shims on ALL of it
+# (docs/STATIC_ANALYSIS.md). Two rules over src/, with src/support/ and
+# src/model/ exempt (they ARE the sync layer):
+#
+#   1. Raw primitives are forbidden: std::atomic, std::mutex,
+#      std::condition_variable, std::lock_guard, std::unique_lock,
+#      std::scoped_lock, and the <atomic>/<mutex>/<condition_variable>
+#      includes. Use spc::atomic / spc::Mutex / spc::LockGuard /
+#      spc::CondVar. No allowlist: there are no exceptions.
+#
+#   2. memory_order_relaxed is budgeted: every file using it needs an entry
+#      in tools/sync_lint_allow.txt ("path|count|justification") whose count
+#      matches the file's occurrence count exactly, and every relaxed site
+#      needs an inline justification comment (that is what the entry
+#      vouches for). A new relaxed use fails the lint until the author
+#      re-audits the file and bumps its budget; a removed use fails it
+#      until the budget shrinks — so the allowlist can hold neither
+#      unexplained nor stale entries.
+#
+# Exit 0 = clean, 1 = violations, 2 = usage/internal error.
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+ALLOW=tools/sync_lint_allow.txt
+[ -f "$ALLOW" ] || { echo "sync_lint: missing $ALLOW" >&2; exit 2; }
+
+fail=0
+
+# --- rule 1: raw primitives ------------------------------------------------
+RAW='std::atomic[ \t]*<|std::mutex|std::condition_variable|std::lock_guard|std::unique_lock|std::scoped_lock|#include[ \t]*<atomic>|#include[ \t]*<mutex>|#include[ \t]*<condition_variable>'
+raw_hits=$(grep -rnE "$RAW" src --include='*.cpp' --include='*.hpp' \
+             | grep -v '^src/support/' | grep -v '^src/model/')
+if [ -n "$raw_hits" ]; then
+  echo "sync_lint: raw synchronization primitives outside src/support/ and"
+  echo "sync_lint: src/model/ — use the spc:: aliases of support/sync.hpp:"
+  echo "$raw_hits" | sed 's/^/  /'
+  fail=1
+fi
+
+# --- rule 2: memory_order_relaxed budgets ----------------------------------
+# Count relaxed occurrences per file (files outside the exempt dirs only).
+counts=$(grep -rcE 'memory_order_relaxed' src --include='*.cpp' --include='*.hpp' \
+           | grep -v ':0$' | grep -v '^src/support/' | grep -v '^src/model/')
+
+# Every counted file must have an exactly-matching budget entry.
+echo "$counts" | while IFS=: read -r file n; do
+  [ -n "$file" ] || continue
+  entry=$(grep -v '^[ \t]*#' "$ALLOW" | grep -F "$file|" | head -1)
+  if [ -z "$entry" ]; then
+    echo "sync_lint: $file uses memory_order_relaxed ($n sites) but has no"
+    echo "sync_lint: budget entry in $ALLOW — audit each site (justify it"
+    echo "sync_lint: inline) and add 'path|count|justification'."
+    exit 1
+  fi
+  budget=$(printf '%s' "$entry" | cut -d'|' -f2)
+  if [ "$budget" != "$n" ]; then
+    echo "sync_lint: $file has $n memory_order_relaxed sites but $ALLOW"
+    echo "sync_lint: budgets $budget — re-audit the file and update the entry."
+    exit 1
+  fi
+done || fail=1
+
+# Every budget entry must still match a counted file (no stale entries).
+grep -v '^[ \t]*#' "$ALLOW" | grep -v '^[ \t]*$' | while IFS='|' read -r file budget just; do
+  if [ -z "$file" ] || [ -z "$budget" ] || [ -z "$just" ]; then
+    echo "sync_lint: malformed allowlist entry (want path|count|justification):"
+    echo "  $file|$budget|$just"
+    exit 1
+  fi
+  n=$(echo "$counts" | grep -F "$file:" | cut -d: -f2)
+  if [ -z "$n" ]; then
+    echo "sync_lint: stale allowlist entry — $file no longer uses"
+    echo "sync_lint: memory_order_relaxed (or was removed); delete the entry."
+    exit 1
+  fi
+done || fail=1
+
+if [ "$fail" -eq 0 ]; then
+  echo "sync_lint: OK (raw primitives confined to src/support/ + src/model/;"
+  echo "sync_lint: relaxed-order budgets match the audited allowlist)"
+fi
+exit "$fail"
