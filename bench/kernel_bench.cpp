@@ -12,10 +12,12 @@
 // form --json-out=PATH) — the machine-readable perf trajectory record.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "linalg/dense_matrix.hpp"
 #include "linalg/kernels.hpp"
@@ -223,6 +225,62 @@ Pair bench_bdiv(idx k) {
   return p;
 }
 
+// fp32 vs fp64 packed GEMM at the factorization's block size, per ISA path:
+// the mixed-precision factorization (SolverOptions::Precision::kFp32Refine)
+// rides on exactly this ratio.
+struct F32Pair {
+  spc::KernelIsa isa;
+  double fp64_mflops = 0;
+  double fp32_mflops = 0;
+  double ratio() const { return fp32_mflops / fp64_mflops; }
+};
+
+std::vector<F32Pair> bench_f32_gemm(idx b) {
+  const idx m = 2 * b, n = 2 * b, k = b;
+  const double flops = static_cast<double>(spc::flops_bmod(m, n, k));
+  const int iters = std::max(1, static_cast<int>(2e8 / flops));
+  std::vector<double> a64(static_cast<std::size_t>(m * k));
+  std::vector<double> b64(static_cast<std::size_t>(n * k));
+  std::vector<double> c64(static_cast<std::size_t>(m * n));
+  spc::Rng rng(7);
+  for (double& v : a64) v = rng.uniform(-1.0, 1.0);
+  for (double& v : b64) v = rng.uniform(-1.0, 1.0);
+  std::vector<float> a32(a64.begin(), a64.end());
+  std::vector<float> b32(b64.begin(), b64.end());
+  std::vector<float> c32(static_cast<std::size_t>(m * n));
+
+  const spc::KernelIsa saved = spc::kernel_isa();
+  std::vector<F32Pair> out;
+  for (const spc::KernelIsa isa :
+       {spc::KernelIsa::kScalar, spc::KernelIsa::kAvx2,
+        spc::KernelIsa::kAvx512}) {
+    if (!spc::set_kernel_isa(isa)) continue;
+    F32Pair p;
+    p.isa = isa;
+    p.fp64_mflops =
+        flops /
+        time_best(
+            [&] {
+              spc::gemm_nt_neg_raw(m, n, k, a64.data(), m, b64.data(), n,
+                                   c64.data(), m);
+            },
+            iters) /
+        1e6;
+    p.fp32_mflops =
+        flops /
+        time_best(
+            [&] {
+              spc::gemm_nt_neg_raw_f32(m, n, k, a32.data(), m, b32.data(), n,
+                                       c32.data(), m);
+            },
+            iters) /
+        1e6;
+    out.push_back(p);
+  }
+  spc::set_kernel_isa(saved);
+  return out;
+}
+
 #ifndef SPC_REPO_ROOT
 #define SPC_REPO_ROOT "."
 #endif
@@ -237,7 +295,10 @@ void write_json(const std::string& path) {
   std::fprintf(f,
                "  \"seed_impl\": \"scalar potrf/trsm + 2x4 register-blocked "
                "gemm\",\n  \"new_impl\": \"blocked potrf/trsm + packed/tiled "
-               "gemm (runtime AVX2+FMA micro-kernel)\",\n");
+               "gemm (runtime scalar/AVX2/AVX-512 micro-kernels)\",\n");
+  std::fprintf(f, "  \"isa\": \"%s\",\n",
+               spc::kernel_isa_name(spc::kernel_isa()));
+  std::fprintf(f, "  \"affinity\": \"n/a\",\n");
   const char* fmt =
       "    {\"op\": \"%s\", \"B\": %d, \"m\": %d, \"n\": %d, \"k\": %d, "
       "\"seed_mflops\": %.1f, \"new_mflops\": %.1f, \"speedup\": %.3f}%s\n";
@@ -258,6 +319,20 @@ void write_json(const std::string& path) {
                  bdiv.new_mflops, bdiv.speedup(), b == 96 ? "" : ",");
     std::printf("bdiv  B=%-3d  seed %8.1f  new %8.1f  speedup %.2fx\n", b,
                 bdiv.seed_mflops, bdiv.new_mflops, bdiv.speedup());
+  }
+  std::fprintf(f, "  ],\n  \"fp32_gemm\": [\n");
+  const std::vector<F32Pair> f32 = bench_f32_gemm(48);
+  for (std::size_t i = 0; i < f32.size(); ++i) {
+    const F32Pair& p = f32[i];
+    std::fprintf(f,
+                 "    {\"op\": \"gemm\", \"B\": 48, \"isa\": \"%s\", "
+                 "\"fp64_mflops\": %.1f, \"fp32_mflops\": %.1f, "
+                 "\"fp32_over_fp64\": %.3f}%s\n",
+                 spc::kernel_isa_name(p.isa), p.fp64_mflops, p.fp32_mflops,
+                 p.ratio(), i + 1 < f32.size() ? "," : "");
+    std::printf("gemm  B=48   %-6s fp64 %8.1f  fp32 %8.1f  ratio %.2fx\n",
+                spc::kernel_isa_name(p.isa), p.fp64_mflops, p.fp32_mflops,
+                p.ratio());
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -86,10 +86,15 @@ std::vector<int> thread_counts_from_env() {
 struct Run {
   int threads;
   double seed_s;
-  double new_s;
-  double efficiency;  // t1 / (tP * P) of the new executor
-  ParallelProfile::Worker phases;  // summed over workers (new executor)
-  i64 steals;
+  double none_s;      // new executor, affinity off (pure work stealing)
+  double new_s;       // new executor, subtree affinity (the default)
+  double efficiency;  // t1 / (tP * P) of the new executor (affinity on)
+  ParallelProfile::Worker phases;       // summed over workers (affinity on)
+  ParallelProfile::Worker phases_none;  // summed over workers (affinity off)
+  i64 steals;                           // affinity on
+  i64 steals_none;                      // affinity off
+  i64 affinity_hits;
+  i64 below_frontier_steals;
 };
 
 struct MatrixResult {
@@ -148,9 +153,25 @@ MatrixResult bench_matrix(const std::string& name, const SymSparse& a,
     run.seed_s = median_seconds(
         [&] { f = block_factorize_parallel(ap, bs, tg, seed_opt); }, reps);
 
+    // New executor with affinity off: the pre-affinity pure work stealing
+    // baseline the subtree partition is measured against.
+    ParallelFactorOptions none_opt{threads};
+    none_opt.scheduler = ParallelFactorOptions::Scheduler::kWorkStealing;
+    none_opt.affinity = ParallelFactorOptions::Affinity::kNone;
+    set_gemm_dispatch(GemmDispatch::kAuto);
+    run.none_s = median_seconds(
+        [&] { f = block_factorize_parallel(ap, bs, tg, none_opt, &ws); }, reps);
+    {
+      ParallelProfile prof;
+      none_opt.profile = &prof;
+      f = block_factorize_parallel(ap, bs, tg, none_opt, &ws);
+      run.phases_none = prof.total();
+      run.steals_none = prof.steals;
+    }
+
+    // New executor with subtree affinity (the default policy).
     ParallelFactorOptions new_opt{threads};
     new_opt.scheduler = ParallelFactorOptions::Scheduler::kWorkStealing;
-    set_gemm_dispatch(GemmDispatch::kAuto);
     run.new_s = median_seconds(
         [&] { f = block_factorize_parallel(ap, bs, tg, new_opt, &ws); }, reps);
 
@@ -161,17 +182,26 @@ MatrixResult bench_matrix(const std::string& name, const SymSparse& a,
     f = block_factorize_parallel(ap, bs, tg, new_opt, &ws);
     run.phases = prof.total();
     run.steals = prof.steals;
+    run.affinity_hits = run.phases.affinity_hits;
+    run.below_frontier_steals = run.phases.below_frontier_steals;
 
     if (threads == 1) new_1t = run.new_s;
     run.efficiency =
         (new_1t > 0 && run.new_s > 0) ? new_1t / (run.new_s * threads) : 0.0;
 
     std::printf(
-        "  threads=%d  seed %.3fs  new %.3fs  speedup %.2fx  eff %.2f  "
-        "[gemm %.3fs scatter %.3fs idle %.3fs steals %lld]\n",
-        threads, run.seed_s, run.new_s, run.seed_s / run.new_s, run.efficiency,
-        run.phases.bmod_compute_s, run.phases.scatter_s, run.phases.idle_s,
-        static_cast<long long>(run.steals));
+        "  threads=%d  seed %.3fs  nosteal-affinity %.3fs  new %.3fs  "
+        "speedup %.2fx  eff %.2f\n"
+        "    [gemm %.3fs (off: %.3fs) scatter %.3fs idle %.3fs  "
+        "steals %lld (off: %lld)  "
+        "pinned-hits %lld  frontier-violations %lld]\n",
+        threads, run.seed_s, run.none_s, run.new_s, run.seed_s / run.new_s,
+        run.efficiency, run.phases.bmod_compute_s,
+        run.phases_none.bmod_compute_s, run.phases.scatter_s,
+        run.phases.idle_s, static_cast<long long>(run.steals),
+        static_cast<long long>(run.steals_none),
+        static_cast<long long>(run.affinity_hits),
+        static_cast<long long>(run.below_frontier_steals));
     res.runs.push_back(run);
   }
   return res;
@@ -187,6 +217,8 @@ void write_json(const std::string& path,
   std::fprintf(jf, "{\n  \"bench\": \"parallel_scaling\",\n");
   std::fprintf(jf, "  \"host_hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
+  std::fprintf(jf, "  \"isa\": \"%s\",\n", kernel_isa_name(kernel_isa()));
+  std::fprintf(jf, "  \"affinity\": \"subtree\",\n");
   std::fprintf(jf,
                "  \"seed_impl\": \"kGlobalQueue scheduler + seed "
                "register-blocked kernels\",\n");
@@ -211,17 +243,26 @@ void write_json(const std::string& path,
       const Run& run = m.runs[r];
       std::fprintf(
           jf,
-          "       {\"threads\": %d, \"seed_s\": %.4f, \"new_s\": %.4f, "
+          "       {\"threads\": %d, \"seed_s\": %.4f, "
+          "\"affinity_none_s\": %.4f, \"new_s\": %.4f, "
           "\"speedup\": %.3f, \"efficiency\": %.3f,\n        \"phases\": "
           "{\"init_s\": %.4f, \"bfac_s\": %.4f, \"bdiv_s\": %.4f, "
           "\"bmod_compute_s\": %.4f, \"scatter_s\": %.4f, \"idle_s\": %.4f, "
-          "\"batches\": %lld, \"mods\": %lld, \"steals\": %lld}}%s\n",
-          run.threads, run.seed_s, run.new_s, run.seed_s / run.new_s,
-          run.efficiency, run.phases.init_s, run.phases.bfac_s,
-          run.phases.bdiv_s, run.phases.bmod_compute_s, run.phases.scatter_s,
-          run.phases.idle_s, static_cast<long long>(run.phases.batches),
+          "\"batches\": %lld, \"mods\": %lld, \"steals\": %lld, "
+          "\"steals_affinity_none\": %lld, "
+          "\"bmod_compute_affinity_none_s\": %.4f, \"affinity_hits\": %lld, "
+          "\"below_frontier_steals\": %lld}}%s\n",
+          run.threads, run.seed_s, run.none_s, run.new_s,
+          run.seed_s / run.new_s, run.efficiency, run.phases.init_s,
+          run.phases.bfac_s, run.phases.bdiv_s, run.phases.bmod_compute_s,
+          run.phases.scatter_s, run.phases.idle_s,
+          static_cast<long long>(run.phases.batches),
           static_cast<long long>(run.phases.mods),
           static_cast<long long>(run.steals),
+          static_cast<long long>(run.steals_none),
+          run.phases_none.bmod_compute_s,
+          static_cast<long long>(run.affinity_hits),
+          static_cast<long long>(run.below_frontier_steals),
           r + 1 < m.runs.size() ? "," : "");
       if (run.threads == 8) speedup_8t = run.seed_s / run.new_s;
     }

@@ -34,6 +34,7 @@
 #include "graph/graph.hpp"
 #include "mapping/balance.hpp"
 #include "mapping/block_map.hpp"
+#include "mapping/subcube.hpp"
 #include "support/types.hpp"
 #include "symbolic/symbolic_factor.hpp"
 
@@ -181,5 +182,24 @@ Report check_domains(const DomainDecomposition& dom, idx num_procs,
 Report check_plan(const BlockStructure& bs, const TaskGraph& tg,
                   const DomainDecomposition& dom, const BlockMap& map,
                   const BalanceStats& reported);
+
+// --- Subtree-affinity partition (check_affinity.cpp) -----------------------
+//
+// Validates a subtree_affinity_partition result (mapping/subcube.hpp)
+// against the structure it was built for: array shapes and owner ranges
+// (sched.affinity.shape / .owner-range), per-column work re-derived from
+// the task graph (sched.affinity.col-work), subtree closure — a pinned
+// column's children in the block elimination tree are pinned to the SAME
+// worker, i.e. no below-frontier column is ever split across workers, and
+// ownership never resumes below a shared column (sched.affinity.closure) —
+// the reported per-worker totals (sched.affinity.worker-work), and the LPT
+// balance bound max_w worker_work[w] <= pinned_work/P + max_pinned_subtree
+// (sched.affinity.balance).
+Report check_affinity_partition(const BlockStructure& bs, const TaskGraph& tg,
+                                const AffinityPartition& part);
+
+// Builds the partition for `num_workers` and validates it.
+Report check_affinity(const BlockStructure& bs, const TaskGraph& tg,
+                      int num_workers);
 
 }  // namespace spc::check

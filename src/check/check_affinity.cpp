@@ -1,0 +1,160 @@
+// Validators for the subtree-affinity partition the shared-memory executor
+// pins work with (mapping/subcube.hpp): shapes and owner ranges, the
+// per-column work model re-derived from the task graph, subtree closure of
+// the ownership map (the steal-exclusion frontier), per-worker totals, and
+// the LPT balance bound.
+#include <sstream>
+
+#include "check/check.hpp"
+
+namespace spc::check {
+
+Report check_affinity_partition(const BlockStructure& bs, const TaskGraph& tg,
+                                const AffinityPartition& part) {
+  Report r;
+  const idx nb = bs.num_block_cols();
+
+  // Stage 1: shapes. Everything below indexes these arrays.
+  if (part.num_workers < 1) {
+    std::ostringstream os;
+    os << "num_workers = " << part.num_workers;
+    r.error("sched.affinity.shape", os.str());
+    return r;
+  }
+  if (static_cast<idx>(part.owner.size()) != nb ||
+      static_cast<idx>(part.col_work.size()) != nb ||
+      static_cast<int>(part.worker_work.size()) != part.num_workers) {
+    std::ostringstream os;
+    os << "owner/col_work/worker_work sized " << part.owner.size() << "/"
+       << part.col_work.size() << "/" << part.worker_work.size() << " for "
+       << nb << " block columns and " << part.num_workers << " workers";
+    r.error("sched.affinity.shape", os.str());
+    return r;
+  }
+
+  // Stage 2: owner range. kShared (-1) or a valid worker id.
+  for (idx j = 0; j < nb; ++j) {
+    const int o = part.owner[static_cast<std::size_t>(j)];
+    if (o < AffinityPartition::kShared || o >= part.num_workers) {
+      std::ostringstream os;
+      os << "owner[" << j << "] = " << o << " outside [-1, "
+         << part.num_workers << ")";
+      r.error("sched.affinity.owner-range", os.str());
+      return r;
+    }
+  }
+
+  // Stage 3: the per-column work model, re-derived from the task graph: a
+  // column is charged its blocks' completion flops plus every BMOD landing
+  // in it (the compute the owning worker actually executes).
+  std::vector<i64> col_work(static_cast<std::size_t>(nb), 0);
+  for (block_id b = 0; b < tg.num_blocks(); ++b) {
+    col_work[static_cast<std::size_t>(
+        tg.col_of_block[static_cast<std::size_t>(b)])] +=
+        tg.completion_flops[static_cast<std::size_t>(b)];
+  }
+  for (const BlockMod& m : tg.mods) {
+    col_work[static_cast<std::size_t>(
+        tg.col_of_block[static_cast<std::size_t>(m.dest)])] += m.flops;
+  }
+  i64 total = 0;
+  for (idx j = 0; j < nb; ++j) {
+    total += col_work[static_cast<std::size_t>(j)];
+    if (col_work[static_cast<std::size_t>(j)] !=
+        part.col_work[static_cast<std::size_t>(j)]) {
+      std::ostringstream os;
+      os << "col_work[" << j << "] = " << part.col_work[static_cast<std::size_t>(j)]
+         << ", recomputed " << col_work[static_cast<std::size_t>(j)];
+      r.error("sched.affinity.col-work", os.str());
+      return r;
+    }
+  }
+  if (total != part.total_work) {
+    std::ostringstream os;
+    os << "total_work = " << part.total_work << ", recomputed " << total;
+    r.error("sched.affinity.col-work", os.str());
+    return r;
+  }
+
+  // Stage 4: subtree closure — the steal-exclusion invariant. In the block
+  // elimination tree (parent = block row of the first sub-diagonal entry),
+  // a pinned column's children must be pinned to the SAME worker unless the
+  // child is itself a partition root... but roots hang off SHARED parents by
+  // construction, so the closed form is: child shared implies nothing, child
+  // pinned implies parent shared (child is a frontier root) or parent pinned
+  // to the same worker. Equivalently no below-frontier column is owned by
+  // two workers, and ownership never resumes underneath a shared column.
+  for (idx j = 0; j < nb; ++j) {
+    if (bs.blkptr[static_cast<std::size_t>(j)] >=
+        bs.blkptr[static_cast<std::size_t>(j) + 1]) {
+      continue;  // forest root: no parent
+    }
+    const idx p = bs.blkrow[static_cast<std::size_t>(
+        bs.blkptr[static_cast<std::size_t>(j)])];
+    const int oj = part.owner[static_cast<std::size_t>(j)];
+    const int op = part.owner[static_cast<std::size_t>(p)];
+    if (op >= 0 && oj != op) {
+      std::ostringstream os;
+      os << "column " << j << " owner " << oj << " under pinned column " << p
+         << " owner " << op << " (ownership must be uniform below the frontier)";
+      r.error("sched.affinity.closure", os.str());
+      return r;
+    }
+  }
+
+  // Stage 5: per-worker totals and the pinned aggregates.
+  std::vector<i64> worker(static_cast<std::size_t>(part.num_workers), 0);
+  i64 pinned = 0;
+  for (idx j = 0; j < nb; ++j) {
+    const int o = part.owner[static_cast<std::size_t>(j)];
+    if (o >= 0) {
+      worker[static_cast<std::size_t>(o)] += col_work[static_cast<std::size_t>(j)];
+      pinned += col_work[static_cast<std::size_t>(j)];
+    }
+  }
+  for (int w = 0; w < part.num_workers; ++w) {
+    if (worker[static_cast<std::size_t>(w)] !=
+        part.worker_work[static_cast<std::size_t>(w)]) {
+      std::ostringstream os;
+      os << "worker_work[" << w << "] = "
+         << part.worker_work[static_cast<std::size_t>(w)] << ", recomputed "
+         << worker[static_cast<std::size_t>(w)];
+      r.error("sched.affinity.worker-work", os.str());
+      return r;
+    }
+  }
+  if (pinned != part.pinned_work) {
+    std::ostringstream os;
+    os << "pinned_work = " << part.pinned_work << ", recomputed " << pinned;
+    r.error("sched.affinity.worker-work", os.str());
+    return r;
+  }
+
+  // Stage 6: the LPT balance guarantee. Assigning subtrees heaviest-first
+  // to the least-loaded worker bounds every worker by the average pinned
+  // load plus one subtree: worker_work[w] <= pinned/P + max_pinned_subtree.
+  const i64 bound =
+      part.pinned_work / static_cast<i64>(part.num_workers) +
+      part.max_pinned_subtree;
+  for (int w = 0; w < part.num_workers; ++w) {
+    if (part.worker_work[static_cast<std::size_t>(w)] > bound) {
+      std::ostringstream os;
+      os << "worker " << w << " pinned load "
+         << part.worker_work[static_cast<std::size_t>(w)]
+         << " exceeds the LPT bound " << bound << " (pinned " << part.pinned_work
+         << " / " << part.num_workers << " workers + max subtree "
+         << part.max_pinned_subtree << ")";
+      r.error("sched.affinity.balance", os.str());
+      return r;
+    }
+  }
+  return r;
+}
+
+Report check_affinity(const BlockStructure& bs, const TaskGraph& tg,
+                      int num_workers) {
+  return check_affinity_partition(
+      bs, tg, subtree_affinity_partition(num_workers, bs, tg));
+}
+
+}  // namespace spc::check

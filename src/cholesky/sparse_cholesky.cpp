@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "factor/block_solve.hpp"
+#include "factor/fp32_factor.hpp"
 #include "factor/parallel_factor.hpp"
 #include "graph/permutation.hpp"
 #include "ordering/mmd.hpp"
@@ -24,6 +25,16 @@ bool invariants_enabled() {
     return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
   }();
   return on;
+}
+
+// Refinement sweeps the plain solve paths apply automatically: one step
+// recovers working accuracy after perturbed pivots (docs/ROBUSTNESS.md);
+// an fp32-computed factor starts from ~single-precision backward error, so
+// it gets two (residuals are evaluated in fp64, and each sweep contracts
+// the error by O(cond(A) * eps_fp32)).
+int auto_refine_steps(const FactorizeInfo& info) {
+  if (info.fp32) return 2;
+  return info.perturbed_pivots > 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -108,6 +119,19 @@ void SparseCholesky::factorize() {
   FactorizeOptions fopt;
   fopt.pivot_policy = opt_.pivot_policy;
   fopt.pivot_delta = opt_.pivot_delta;
+  if (opt_.precision == SolverOptions::Precision::kFp32Refine) {
+    try {
+      factor_ = block_factorize_fp32(a_perm_, bs_, tg_, fopt, &info_);
+      return;
+    } catch (const Error& e) {
+      if (e.kind() != ErrorKind::kNotPositiveDefinite) throw;
+      // fp32 rounding can push a barely-SPD pivot negative where the fp64
+      // factorization succeeds; retry in full precision and record it.
+    }
+    factor_ = block_factorize(a_perm_, bs_, fopt, &info_);
+    info_.fp32_fallback = true;
+    return;
+  }
   factor_ = block_factorize(a_perm_, bs_, fopt, &info_);
 }
 
@@ -142,8 +166,11 @@ std::vector<double> SparseCholesky::solve(const std::vector<double>& b) const {
   std::vector<double> px = block_solve(*factor_, pb);
   // A perturbed factor is the exact factor of A + E with ||E|| on the order
   // of the pivot threshold; one refinement step against the *unperturbed* A
-  // recovers working accuracy for the typical tiny-pivot case.
-  if (info_.perturbed_pivots > 0) refine_once(a_perm_, *factor_, pb, px);
+  // recovers working accuracy for the typical tiny-pivot case. An fp32
+  // factor gets two sweeps (see auto_refine_steps).
+  for (int it = auto_refine_steps(info_); it > 0; --it) {
+    refine_once(a_perm_, *factor_, pb, px);
+  }
   std::vector<double> x(b.size());
   for (std::size_t k = 0; k < b.size(); ++k) {
     x[static_cast<std::size_t>(perm_[k])] = px[k];
@@ -172,7 +199,7 @@ std::vector<double> SparseCholesky::solve(const std::vector<double>& b,
   }
   std::vector<double> px = pb;
   block_solve_panel(*factor_, px.data(), 1, opt, &ws);
-  if (info_.perturbed_pivots > 0) {
+  for (int it = auto_refine_steps(info_); it > 0; --it) {
     refine_once(a_perm_, *factor_, pb, px, opt, &ws);
   }
   std::vector<double> x(b.size());
@@ -203,7 +230,7 @@ void SparseCholesky::solve_multi(DenseMatrix& b, const SolveOptions& opt) const 
   DenseMatrix staged;
   staged.attach(ws.rhs.data(), n, b.cols());
   block_solve_multi_parallel(*factor_, staged, opt, &ws);
-  if (info_.perturbed_pivots > 0) {
+  if (const int steps = auto_refine_steps(info_); steps > 0) {
     // Column-wise refinement against the unperturbed A (docs/ROBUSTNESS.md);
     // b still holds the original right-hand sides at this point.
     std::vector<double> pb(static_cast<std::size_t>(n));
@@ -213,7 +240,9 @@ void SparseCholesky::solve_multi(DenseMatrix& b, const SolveOptions& opt) const 
       double* sc = ws.rhs.data() + static_cast<std::size_t>(c) * n;
       for (idx k = 0; k < n; ++k) pb[static_cast<std::size_t>(k)] = src[perm_[k]];
       std::copy(sc, sc + n, px.begin());
-      refine_once(a_perm_, *factor_, pb, px, opt, &ws);
+      for (int it = 0; it < steps; ++it) {
+        refine_once(a_perm_, *factor_, pb, px, opt, &ws);
+      }
       std::copy(px.begin(), px.end(), sc);
     }
   }

@@ -74,6 +74,20 @@ struct SolverOptions {
   // records them in factorize_info(). See docs/ROBUSTNESS.md.
   PivotPolicy pivot_policy = PivotPolicy::kStrict;
   double pivot_delta = kDefaultPivotDelta;
+
+  // Numeric precision of factorize() (factor/fp32_factor.hpp). kFp32Refine
+  // computes the factor in fp32 (up to ~2x kernel throughput), promotes it
+  // to double, and pairs it with fp64 iterative refinement in the solve
+  // paths, recovering fp64-quality solutions for reasonably conditioned
+  // systems. If the fp32 pass breaks down under kStrict — fp32 rounding can
+  // push a barely-SPD pivot negative — factorize() automatically retries in
+  // fp64 and sets factorize_info().fp32_fallback (docs/ROBUSTNESS.md).
+  // factorize_parallel() always computes in fp64.
+  enum class Precision {
+    kFp64,        // standard double-precision factorization (default)
+    kFp32Refine,  // fp32 factorization + fp64 iterative refinement
+  };
+  Precision precision = Precision::kFp64;
 };
 
 // A processor count + block mapping + domain decomposition, with the load

@@ -41,10 +41,16 @@ struct FactorizeInfo {
   std::vector<idx> perturbed_cols;  // their global (permuted) columns, ascending
   idx breakdown_col = kNone;        // first failing column (kStrict failure);
                                     // also carried by the thrown Error
+  bool fp32 = false;           // factor numerics were computed in fp32
+                               // (block_factorize_fp32); solves should refine
+  bool fp32_fallback = false;  // fp32 pass broke down under kStrict and the
+                               // caller automatically re-factored in fp64
   void reset() {
     perturbed_pivots = 0;
     perturbed_cols.clear();
     breakdown_col = kNone;
+    fp32 = false;
+    fp32_fallback = false;
   }
 };
 

@@ -42,6 +42,9 @@ ParallelProfile::Worker ParallelProfile::total() const {
     t.bdivs += w.bdivs;
     t.mods += w.mods;
     t.batches += w.batches;
+    t.affinity_hits += w.affinity_hits;
+    t.affinity_spills += w.affinity_spills;
+    t.below_frontier_steals += w.below_frontier_steals;
   }
   return t;
 }
@@ -99,7 +102,16 @@ ParallelWorkspace::ParallelWorkspace(const BlockStructure& bs_in,
   }
 }
 
-void ParallelWorkspace::prepare_run(int num_threads) {
+void ParallelWorkspace::prepare_run(int num_threads, bool use_affinity) {
+  if (use_affinity) {
+    if (affinity.empty() || affinity_threads != num_threads) {
+      affinity = subtree_affinity_partition(num_threads, *bs, *tg);
+      affinity_threads = num_threads;
+    }
+  } else {
+    affinity = AffinityPartition{};
+    affinity_threads = 0;
+  }
   const i64 num_blocks = tg->num_blocks();
   const i64 num_mods = static_cast<i64>(tg->mods.size());
   if (!deps) {
@@ -163,12 +175,14 @@ class WorkStealingExecutor {
   WorkStealingExecutor(const SymSparse& a, const BlockStructure& bs,
                        const TaskGraph& tg, int num_threads,
                        ParallelWorkspace& ws, ParallelProfile* prof,
-                       PivotEnv* pivots, const spc::atomic<bool>* cancel)
+                       PivotEnv* pivots, const spc::atomic<bool>* cancel,
+                       bool affinity)
       : a_(a),
         bs_(bs),
         tg_(tg),
         ws_(ws),
         threads_(num_threads),
+        affinity_(affinity),
         queues_(num_threads),
         barrier_remaining_(num_threads),
         prof_(prof),
@@ -176,12 +190,13 @@ class WorkStealingExecutor {
         cancel_(cancel) {
     SPC_CHECK(ws.bs == &bs && ws.tg == &tg,
               "block_factorize_parallel: workspace built for another plan");
-    ws_.prepare_run(num_threads);
+    ws_.prepare_run(num_threads, affinity);
     attach_block_arena(bs_, ws_.layout, factor_);
     if (prof_) {
       prof_->workers.assign(static_cast<std::size_t>(num_threads), {});
       prof_->wall_s = 0;
       prof_->steals = 0;
+      prof_->affinity = affinity;
     }
   }
 
@@ -214,6 +229,17 @@ class WorkStealingExecutor {
                : ws_.dest_prio[static_cast<std::size_t>(task - tg_.num_blocks())];
   }
 
+  // Pinning worker of a task (completion of block b, or drain of block d),
+  // from its block column's affinity owner; kShared (-1) when unpinned or
+  // affinity is off.
+  int task_owner(i64 task) const {
+    if (!affinity_) return AffinityPartition::kShared;
+    const block_id b =
+        task < tg_.num_blocks() ? task : task - tg_.num_blocks();
+    return ws_.affinity.owner[static_cast<std::size_t>(
+        tg_.col_of_block[static_cast<std::size_t>(b)])];
+  }
+
   void seed_initial_tasks() {
     std::vector<i64> ready;
     for (block_id b = 0; b < tg_.num_blocks(); ++b) {
@@ -223,14 +249,22 @@ class WorkStealingExecutor {
         ready.push_back(b);
       }
     }
-    // Deal in ascending priority so every deque ends with its most critical
-    // task on top (workers pop LIFO). Safe before the workers spawn.
+    // Deal in ascending priority so every deque (and private stack) ends
+    // with its most critical task on top (workers pop LIFO). Safe before the
+    // workers spawn. Pinned tasks go straight to their owner's private
+    // stack; shared ones are dealt round-robin over the public deques.
     std::sort(ready.begin(), ready.end(), [this](i64 x, i64 y) {
       return task_priority(x) < task_priority(y);
     });
+    std::size_t shared = 0;
     for (std::size_t i = 0; i < ready.size(); ++i) {
-      queues_.push(static_cast<int>(i) % threads_,
-                   WorkItem{ready[i], task_priority(ready[i])});
+      const WorkItem item{ready[i], task_priority(ready[i])};
+      const int o = task_owner(ready[i]);
+      if (o >= 0) {
+        queues_.push_private(o, item);
+      } else {
+        queues_.push(static_cast<int>(shared++) % threads_, item);
+      }
     }
   }
 
@@ -239,13 +273,24 @@ class WorkStealingExecutor {
         prof_ ? &prof_->workers[static_cast<std::size_t>(id)] : nullptr;
     // Phase 0: first-touch initialization. Each worker zeroes and scatters A
     // into the block columns it is dealt, so a column's arena pages are
-    // mapped by a worker that will likely keep updating them.
+    // mapped by a worker that will likely keep updating them. Under affinity
+    // each worker initializes exactly its own subtrees' columns (the columns
+    // it will factor and update); shared columns are dealt round-robin by
+    // their ordinal, which reduces to the pre-affinity j % threads deal when
+    // affinity is off.
     {
       const auto t0 = pw ? Clock::now() : Clock::time_point{};
       try {
-        for (idx j = static_cast<idx>(id); j < bs_.num_block_cols();
-             j += threads_) {
-          init_block_column(a_, bs_, j, factor_);
+        idx shared = 0;
+        for (idx j = 0; j < bs_.num_block_cols(); ++j) {
+          const int o = affinity_
+                            ? ws_.affinity.owner[static_cast<std::size_t>(j)]
+                            : AffinityPartition::kShared;
+          const bool mine =
+              o >= 0 ? o == id
+                     : static_cast<int>(shared % threads_) == id;
+          if (o < 0) ++shared;
+          if (mine) init_block_column(a_, bs_, j, factor_);
         }
       } catch (...) {
         fail(std::current_exception(), static_cast<i64>(id),
@@ -274,8 +319,19 @@ class WorkStealingExecutor {
              -1, FailureSlot::Phase::kCancel);
       }
       const auto ti = pw ? Clock::now() : Clock::time_point{};
-      const bool got = queues_.acquire(id, item);
-      if (pw) pw->idle_s += secs_since(ti);
+      AcquireSource src = AcquireSource::kOwn;
+      const bool got = queues_.acquire(id, item, &src);
+      if (pw) {
+        pw->idle_s += secs_since(ti);
+        if (got) {
+          if (src == AcquireSource::kPrivate) ++pw->affinity_hits;
+          // A stolen task with an owner is a spilled pinned task crossing
+          // the frontier — the structural argument says this stays 0.
+          if (src == AcquireSource::kSteal && task_owner(item.id) >= 0) {
+            ++pw->below_frontier_steals;
+          }
+        }
+      }
       if (!got) break;
       try {
         if (item.id < tg_.num_blocks()) {
@@ -509,12 +565,32 @@ class WorkStealingExecutor {
     }
   }
 
+  // Routes a ready batch: tasks pinned to this worker go onto its private
+  // stack (thieves never see them — the frontier steal exclusion), shared
+  // tasks onto its public deque. A pinned task released by a NON-owner can
+  // only reach another worker's work through a public deque — push() is
+  // owner-only at runtime, so the task spills to the releaser's own public
+  // deque and is counted. Structurally this does not happen (a below-
+  // frontier task's sources live in the same subtree, so its releaser is its
+  // owner); the spill path keeps the protocol correct even if a pinned task
+  // leaks out via a stolen spill.
   void push_ready(int id, std::vector<i64>& buf) {
     if (buf.empty()) return;
     std::sort(buf.begin(), buf.end(), [this](i64 x, i64 y) {
       return task_priority(x) < task_priority(y);
     });
-    for (i64 task : buf) queues_.push(id, WorkItem{task, task_priority(task)});
+    ParallelProfile::Worker* pw =
+        prof_ ? &prof_->workers[static_cast<std::size_t>(id)] : nullptr;
+    for (i64 task : buf) {
+      const WorkItem item{task, task_priority(task)};
+      const int o = task_owner(task);
+      if (o == id) {
+        queues_.push_private(id, item);
+      } else {
+        if (pw && o >= 0) ++pw->affinity_spills;
+        queues_.push(id, item);
+      }
+    }
     buf.clear();
   }
 
@@ -539,6 +615,7 @@ class WorkStealingExecutor {
   ParallelWorkspace& ws_;
   BlockFactor factor_;
   int threads_;
+  bool affinity_;
   WorkStealingQueues queues_;
   Mutex barrier_mutex_;
   CondVar barrier_cv_;
@@ -765,19 +842,25 @@ void dump_profile_json(const ParallelProfile& p) {
   const ParallelProfile::Worker t = p.total();
   std::fprintf(f,
                "{\"profile\": \"parallel_factor\", \"threads\": %d, "
-               "\"wall_s\": %.6f, \"steals\": %lld,\n",
+               "\"wall_s\": %.6f, \"steals\": %lld, \"affinity\": \"%s\",\n",
                static_cast<int>(p.workers.size()), p.wall_s,
-               static_cast<long long>(p.steals));
+               static_cast<long long>(p.steals),
+               p.affinity ? "subtree" : "none");
   auto worker_fields = [&](const ParallelProfile::Worker& w) {
     std::fprintf(f,
                  "\"init_s\": %.6f, \"bfac_s\": %.6f, \"bdiv_s\": %.6f, "
                  "\"bmod_compute_s\": %.6f, \"scatter_s\": %.6f, "
                  "\"idle_s\": %.6f, \"bfacs\": %lld, \"bdivs\": %lld, "
-                 "\"mods\": %lld, \"batches\": %lld",
+                 "\"mods\": %lld, \"batches\": %lld, "
+                 "\"affinity_hits\": %lld, \"affinity_spills\": %lld, "
+                 "\"below_frontier_steals\": %lld",
                  w.init_s, w.bfac_s, w.bdiv_s, w.bmod_compute_s, w.scatter_s,
                  w.idle_s, static_cast<long long>(w.bfacs),
                  static_cast<long long>(w.bdivs), static_cast<long long>(w.mods),
-                 static_cast<long long>(w.batches));
+                 static_cast<long long>(w.batches),
+                 static_cast<long long>(w.affinity_hits),
+                 static_cast<long long>(w.affinity_spills),
+                 static_cast<long long>(w.below_frontier_steals));
   };
   std::fprintf(f, " \"total\": {");
   worker_fields(t);
@@ -837,7 +920,9 @@ BlockFactor block_factorize_parallel(const SymSparse& a, const BlockStructure& b
   const bool env_dump = env != nullptr && env[0] != '\0' &&
                         !(env[0] == '0' && env[1] == '\0');
   if (env_dump && prof == nullptr) prof = &env_profile;
-  WorkStealingExecutor exec(a, bs, tg, threads, *ws, prof, &pivots, opt.cancel);
+  WorkStealingExecutor exec(
+      a, bs, tg, threads, *ws, prof, &pivots, opt.cancel,
+      opt.affinity == ParallelFactorOptions::Affinity::kSubtree);
   BlockFactor f;
   try {
     f = exec.run();

@@ -37,6 +37,7 @@
 #include "factor/numeric_factor.hpp"
 #include "factor/scheduler.hpp"
 #include "graph/graph.hpp"
+#include "mapping/subcube.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "support/sync.hpp"
 #include "support/types.hpp"
@@ -98,10 +99,17 @@ struct ParallelProfile {
     double init_s = 0;          // first-touch arena init (zero + A scatter)
     double idle_s = 0;          // time inside the scheduler (pop/steal/park)
     i64 bfacs = 0, bdivs = 0, mods = 0, batches = 0;
+    // Affinity counters (zero when the run used Affinity::kNone):
+    i64 affinity_hits = 0;     // tasks acquired from the private pinned stack
+    i64 affinity_spills = 0;   // pinned tasks released by a non-owner (pushed
+                               // to the releaser's public deque instead)
+    i64 below_frontier_steals = 0;  // steals that claimed a pinned (spilled)
+                                    // task — 0 unless spills happened
   };
   std::vector<Worker> workers;
   double wall_s = 0;
   i64 steals = 0;
+  bool affinity = false;  // whether subtree-affinity scheduling was active
 
   Worker total() const;  // element-wise sum over workers
 };
@@ -151,10 +159,18 @@ struct ParallelWorkspace {
   };
   std::vector<WorkerScratch> scratch;
 
+  // Subtree-affinity partition (mapping/subcube.hpp), cached per thread
+  // count: prepare_run(n, true) recomputes it only when n changes, so
+  // repeated factorizations with a stable thread count pay the partition
+  // cost once. Empty (or all-shared) when affinity is off or n <= 1.
+  AffinityPartition affinity;
+  int affinity_threads = 0;  // thread count the cached partition was built for
+
   // Re-initializes the atomic counters for a fresh run and grows the
   // per-worker scratch to `num_threads` entries (existing entries, and any
-  // run with the same or fewer threads, reuse their buffers).
-  void prepare_run(int num_threads);
+  // run with the same or fewer threads, reuse their buffers). When
+  // `use_affinity` is set, also (re)builds the cached affinity partition.
+  void prepare_run(int num_threads, bool use_affinity = false);
 };
 
 struct ParallelFactorOptions {
@@ -165,6 +181,19 @@ struct ParallelFactorOptions {
     kGlobalQueue,   // seed implementation: single global FIFO
   };
   Scheduler scheduler = Scheduler::kWorkStealing;
+
+  // Task placement for the work-stealing backend. kSubtree (default) pins
+  // the bottom of the elimination tree to workers via
+  // subtree_affinity_partition: each worker runs its own subtrees' tasks
+  // from a private stack thieves cannot reach (steals happen only above the
+  // subtree frontier), and first-touch arena init follows the same
+  // ownership. At 1 thread the partition degenerates to all-shared, so the
+  // schedule (and the factor, bitwise) is identical to kNone.
+  enum class Affinity {
+    kNone,     // pure work stealing (the pre-affinity behavior)
+    kSubtree,  // pin elimination-tree subtrees to workers (default)
+  };
+  Affinity affinity = Affinity::kSubtree;
 
   // When non-null, filled with the per-worker phase breakdown of this run
   // (work-stealing scheduler only). Independently, SPC_PROFILE=1 in the

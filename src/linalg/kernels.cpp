@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #if defined(__x86_64__) && defined(__GNUC__)
@@ -26,6 +28,12 @@ spc::atomic<GemmDispatch> g_dispatch{GemmDispatch::kAuto};
 // Tile sizes: the A panel (kMC x kKC doubles = 96 KiB max) lives in L2, the
 // active B strip (kKC x kNR) and A strip (kKC x kMR) in L1; the kMR x kNR
 // accumulator block stays in registers across the whole k-loop.
+//
+// The cache blocking constants are SHARED across every ISA path and element
+// type: identical k-panel boundaries plus the one-FMA-per-element-per-rank
+// micro-kernels below are what make the packed path's results bitwise
+// identical under SPC_FORCE_ISA (kMC must stay divisible by every mr: 4, 8,
+// 16, 32).
 // ---------------------------------------------------------------------------
 constexpr idx kMC = 96;
 constexpr idx kKC = 128;
@@ -34,15 +42,15 @@ constexpr idx kNC = 512;
 // Pack a rows x kc panel (top-left at `src`) into R-row strips, zero-padding
 // the last strip to a full R rows. Packing A uses R = MR; packing B with the
 // same routine effectively packs B^T in NR-row strips.
-template <int R>
-void pack_panel(const double* src, idx ld, idx rows, idx kc, double* dst) {
+template <int R, typename T>
+void pack_panel(const T* src, idx ld, idx rows, idx kc, T* dst) {
   for (idx i = 0; i < rows; i += R) {
     const idx r_count = std::min<idx>(R, rows - i);
     for (idx p = 0; p < kc; ++p) {
-      const double* col = src + static_cast<std::size_t>(p) * ld + i;
+      const T* col = src + static_cast<std::size_t>(p) * ld + i;
       idx r = 0;
       for (; r < r_count; ++r) dst[r] = col[r];
-      for (; r < R; ++r) dst[r] = 0.0;
+      for (; r < R; ++r) dst[r] = T(0);
       dst += R;
     }
   }
@@ -53,55 +61,62 @@ void pack_panel(const double* src, idx ld, idx rows, idx kc, double* dst) {
 // streams a contiguous storage column. This is how the NN/TN solve GEMMs
 // feed the same micro-kernels: packing B (stored k x n) through this yields
 // the B^T-by-NR-strips layout the kernel expects, and likewise for A^T.
-template <int R>
-void pack_panel_trans(const double* src, idx ld, idx rows, idx kc, double* dst) {
+template <int R, typename T>
+void pack_panel_trans(const T* src, idx ld, idx rows, idx kc, T* dst) {
   for (idx i = 0; i < rows; i += R) {
     const idx r_count = std::min<idx>(R, rows - i);
-    double* out = dst;
+    T* out = dst;
     for (idx r = 0; r < r_count; ++r) {
-      const double* col = src + static_cast<std::size_t>(i + r) * ld;
+      const T* col = src + static_cast<std::size_t>(i + r) * ld;
       for (idx p = 0; p < kc; ++p) out[static_cast<std::size_t>(p) * R + r] = col[p];
     }
     for (idx r = r_count; r < R; ++r) {
-      for (idx p = 0; p < kc; ++p) out[static_cast<std::size_t>(p) * R + r] = 0.0;
+      for (idx p = 0; p < kc; ++p) out[static_cast<std::size_t>(p) * R + r] = T(0);
     }
     dst += static_cast<std::size_t>(R) * kc;
   }
 }
 
 // Portable 4x4 micro-kernel: acc = sum_p a_strip(:,p) * b_strip(:,p)^T, then
-// C(0:mr, 0:nr) -= acc (accumulate) or C = -acc (overwrite, for callers whose
-// C is uninitialized scratch). The accumulator array is sized for the
-// compiler to keep it in vector registers (8 xmm under baseline SSE2).
-void micro_kernel_4x4(idx kc, const double* ap, const double* bp, double* c,
-                      idx ldc, idx mr, idx nr, bool accumulate) {
-  double acc[16] = {};
+// C(0:mr, 0:nr) -= acc (accumulate) or C = 0 - acc (overwrite, for callers
+// whose C is uninitialized scratch). Each accumulator element advances with
+// exactly ONE fused multiply-add per rank — the same per-element arithmetic
+// as the SIMD kernels below. fma is exactly rounded, so libm fma, scalar
+// vfmadd, and vector vfmadd all produce the same bits; together with the
+// shared cache blocking this makes every packed GEMM bitwise identical
+// across the scalar/avx2/avx512 paths. (Overwrite stores spell 0 - acc, not
+// -acc, so a +0.0 accumulator lands as +0.0 on every path.)
+template <typename T>
+__attribute__((always_inline)) inline void micro_kernel_4x4_body(
+    idx kc, const T* ap, const T* bp, T* c, idx ldc, idx mr, idx nr,
+    bool accumulate) {
+  T acc[16] = {};
   for (idx p = 0; p < kc; ++p) {
-    const double a0 = ap[0], a1 = ap[1], a2 = ap[2], a3 = ap[3];
-    const double b0 = bp[0], b1 = bp[1], b2 = bp[2], b3 = bp[3];
-    acc[0] += a0 * b0;
-    acc[1] += a1 * b0;
-    acc[2] += a2 * b0;
-    acc[3] += a3 * b0;
-    acc[4] += a0 * b1;
-    acc[5] += a1 * b1;
-    acc[6] += a2 * b1;
-    acc[7] += a3 * b1;
-    acc[8] += a0 * b2;
-    acc[9] += a1 * b2;
-    acc[10] += a2 * b2;
-    acc[11] += a3 * b2;
-    acc[12] += a0 * b3;
-    acc[13] += a1 * b3;
-    acc[14] += a2 * b3;
-    acc[15] += a3 * b3;
+    const T a0 = ap[0], a1 = ap[1], a2 = ap[2], a3 = ap[3];
+    const T b0 = bp[0], b1 = bp[1], b2 = bp[2], b3 = bp[3];
+    acc[0] = std::fma(a0, b0, acc[0]);
+    acc[1] = std::fma(a1, b0, acc[1]);
+    acc[2] = std::fma(a2, b0, acc[2]);
+    acc[3] = std::fma(a3, b0, acc[3]);
+    acc[4] = std::fma(a0, b1, acc[4]);
+    acc[5] = std::fma(a1, b1, acc[5]);
+    acc[6] = std::fma(a2, b1, acc[6]);
+    acc[7] = std::fma(a3, b1, acc[7]);
+    acc[8] = std::fma(a0, b2, acc[8]);
+    acc[9] = std::fma(a1, b2, acc[9]);
+    acc[10] = std::fma(a2, b2, acc[10]);
+    acc[11] = std::fma(a3, b2, acc[11]);
+    acc[12] = std::fma(a0, b3, acc[12]);
+    acc[13] = std::fma(a1, b3, acc[13]);
+    acc[14] = std::fma(a2, b3, acc[14]);
+    acc[15] = std::fma(a3, b3, acc[15]);
     ap += 4;
     bp += 4;
   }
   if (accumulate && mr == 4 && nr == 4) {
     for (idx jr = 0; jr < 4; ++jr) {
-      double* cj = c + static_cast<std::size_t>(jr) * ldc;
-      const double* aj = acc + jr * 4;
+      T* cj = c + static_cast<std::size_t>(jr) * ldc;
+      const T* aj = acc + jr * 4;
       cj[0] -= aj[0];
       cj[1] -= aj[1];
       cj[2] -= aj[2];
@@ -109,18 +124,44 @@ void micro_kernel_4x4(idx kc, const double* ap, const double* bp, double* c,
     }
   } else if (accumulate) {
     for (idx jr = 0; jr < nr; ++jr) {
-      double* cj = c + static_cast<std::size_t>(jr) * ldc;
+      T* cj = c + static_cast<std::size_t>(jr) * ldc;
       for (idx ir = 0; ir < mr; ++ir) cj[ir] -= acc[jr * 4 + ir];
     }
   } else {
     for (idx jr = 0; jr < nr; ++jr) {
-      double* cj = c + static_cast<std::size_t>(jr) * ldc;
-      for (idx ir = 0; ir < mr; ++ir) cj[ir] = -acc[jr * 4 + ir];
+      T* cj = c + static_cast<std::size_t>(jr) * ldc;
+      for (idx ir = 0; ir < mr; ++ir) cj[ir] = T(0) - acc[jr * 4 + ir];
     }
   }
 }
 
+void micro_kernel_4x4_d(idx kc, const double* ap, const double* bp, double* c,
+                        idx ldc, idx mr, idx nr, bool accumulate) {
+  micro_kernel_4x4_body<double>(kc, ap, bp, c, ldc, mr, nr, accumulate);
+}
+
+void micro_kernel_4x4_f(idx kc, const float* ap, const float* bp, float* c,
+                        idx ldc, idx mr, idx nr, bool accumulate) {
+  micro_kernel_4x4_body<float>(kc, ap, bp, c, ldc, mr, nr, accumulate);
+}
+
 #if SPC_X86_MICROKERNELS
+// FMA-target clones of the portable kernel: std::fma inlines to vfmadd
+// instead of the baseline libm call. Bitwise identical to the baseline
+// clones (fma is exactly rounded), so the scalar table may pick these on
+// FMA-capable hosts purely for speed.
+__attribute__((target("avx,fma"))) void micro_kernel_4x4_d_fma(
+    idx kc, const double* ap, const double* bp, double* c, idx ldc, idx mr,
+    idx nr, bool accumulate) {
+  micro_kernel_4x4_body<double>(kc, ap, bp, c, ldc, mr, nr, accumulate);
+}
+
+__attribute__((target("avx,fma"))) void micro_kernel_4x4_f_fma(
+    idx kc, const float* ap, const float* bp, float* c, idx ldc, idx mr,
+    idx nr, bool accumulate) {
+  micro_kernel_4x4_body<float>(kc, ap, bp, c, ldc, mr, nr, accumulate);
+}
+
 // AVX2+FMA 8x4 micro-kernel, compiled with a target attribute and selected
 // at runtime (the library itself is built for baseline x86-64). Eight ymm
 // accumulators stay live across the whole k-loop; each iteration is two
@@ -197,56 +238,219 @@ __attribute__((target("avx2,fma"))) void micro_kernel_8x4_avx2(
     } else {
       for (idx jr = 0; jr < nr; ++jr) {
         double* cj = c + static_cast<std::size_t>(jr) * ldc;
-        for (idx ir = 0; ir < mr; ++ir) cj[ir] = -acc[jr * 8 + ir];
+        for (idx ir = 0; ir < mr; ++ir) cj[ir] = 0.0 - acc[jr * 8 + ir];
       }
+    }
+  }
+}
+
+// AVX-512 16x4 micro-kernel: two zmm loads of the packed A strip, four
+// broadcasts from the packed B strip, eight FMAs per rank. Edge tiles
+// (mr < 16) use masked loads/stores, so only live C lanes are ever touched.
+__attribute__((target("avx512f"))) void micro_kernel_16x4_avx512(
+    idx kc, const double* ap, const double* bp, double* c, idx ldc, idx mr,
+    idx nr, bool accumulate) {
+  __m512d c00 = _mm512_setzero_pd(), c10 = _mm512_setzero_pd();
+  __m512d c01 = _mm512_setzero_pd(), c11 = _mm512_setzero_pd();
+  __m512d c02 = _mm512_setzero_pd(), c12 = _mm512_setzero_pd();
+  __m512d c03 = _mm512_setzero_pd(), c13 = _mm512_setzero_pd();
+  for (idx p = 0; p < kc; ++p) {
+    const __m512d a0 = _mm512_loadu_pd(ap);
+    const __m512d a1 = _mm512_loadu_pd(ap + 8);
+    const __m512d b0 = _mm512_set1_pd(bp[0]);
+    c00 = _mm512_fmadd_pd(a0, b0, c00);
+    c10 = _mm512_fmadd_pd(a1, b0, c10);
+    const __m512d b1 = _mm512_set1_pd(bp[1]);
+    c01 = _mm512_fmadd_pd(a0, b1, c01);
+    c11 = _mm512_fmadd_pd(a1, b1, c11);
+    const __m512d b2 = _mm512_set1_pd(bp[2]);
+    c02 = _mm512_fmadd_pd(a0, b2, c02);
+    c12 = _mm512_fmadd_pd(a1, b2, c12);
+    const __m512d b3 = _mm512_set1_pd(bp[3]);
+    c03 = _mm512_fmadd_pd(a0, b3, c03);
+    c13 = _mm512_fmadd_pd(a1, b3, c13);
+    ap += 16;
+    bp += 4;
+  }
+  const __mmask8 m0 = mr >= 8 ? static_cast<__mmask8>(0xFF)
+                              : static_cast<__mmask8>((1u << mr) - 1);
+  const __mmask8 m1 = mr > 8 ? static_cast<__mmask8>((1u << (mr - 8)) - 1)
+                             : static_cast<__mmask8>(0);
+  const __m512d z = _mm512_setzero_pd();
+  const __m512d lo[4] = {c00, c01, c02, c03};
+  const __m512d hi[4] = {c10, c11, c12, c13};
+  for (idx jr = 0; jr < nr; ++jr) {
+    double* cj = c + static_cast<std::size_t>(jr) * ldc;
+    if (accumulate) {
+      _mm512_mask_storeu_pd(
+          cj, m0,
+          _mm512_sub_pd(_mm512_mask_loadu_pd(z, m0, cj), lo[jr]));
+      if (m1) {
+        _mm512_mask_storeu_pd(
+            cj + 8, m1,
+            _mm512_sub_pd(_mm512_mask_loadu_pd(z, m1, cj + 8), hi[jr]));
+      }
+    } else {
+      _mm512_mask_storeu_pd(cj, m0, _mm512_sub_pd(z, lo[jr]));
+      if (m1) _mm512_mask_storeu_pd(cj + 8, m1, _mm512_sub_pd(z, hi[jr]));
+    }
+  }
+}
+
+// fp32 AVX2 16x4: two ymm of eight floats each; edge tiles spill the
+// accumulators and finish with scalar loops (AVX2 has no cheap lane masks).
+__attribute__((target("avx2,fma"))) void micro_kernel_16x4_f_avx2(
+    idx kc, const float* ap, const float* bp, float* c, idx ldc, idx mr,
+    idx nr, bool accumulate) {
+  __m256 c00 = _mm256_setzero_ps(), c10 = _mm256_setzero_ps();
+  __m256 c01 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c02 = _mm256_setzero_ps(), c12 = _mm256_setzero_ps();
+  __m256 c03 = _mm256_setzero_ps(), c13 = _mm256_setzero_ps();
+  for (idx p = 0; p < kc; ++p) {
+    const __m256 a0 = _mm256_loadu_ps(ap);
+    const __m256 a1 = _mm256_loadu_ps(ap + 8);
+    const __m256 b0 = _mm256_broadcast_ss(bp);
+    c00 = _mm256_fmadd_ps(a0, b0, c00);
+    c10 = _mm256_fmadd_ps(a1, b0, c10);
+    const __m256 b1 = _mm256_broadcast_ss(bp + 1);
+    c01 = _mm256_fmadd_ps(a0, b1, c01);
+    c11 = _mm256_fmadd_ps(a1, b1, c11);
+    const __m256 b2 = _mm256_broadcast_ss(bp + 2);
+    c02 = _mm256_fmadd_ps(a0, b2, c02);
+    c12 = _mm256_fmadd_ps(a1, b2, c12);
+    const __m256 b3 = _mm256_broadcast_ss(bp + 3);
+    c03 = _mm256_fmadd_ps(a0, b3, c03);
+    c13 = _mm256_fmadd_ps(a1, b3, c13);
+    ap += 16;
+    bp += 4;
+  }
+  if (mr == 16 && nr == 4) {
+    const __m256 z = _mm256_setzero_ps();
+    float* cj = c;
+    if (accumulate) {
+      _mm256_storeu_ps(cj, _mm256_sub_ps(_mm256_loadu_ps(cj), c00));
+      _mm256_storeu_ps(cj + 8, _mm256_sub_ps(_mm256_loadu_ps(cj + 8), c10));
+      cj += ldc;
+      _mm256_storeu_ps(cj, _mm256_sub_ps(_mm256_loadu_ps(cj), c01));
+      _mm256_storeu_ps(cj + 8, _mm256_sub_ps(_mm256_loadu_ps(cj + 8), c11));
+      cj += ldc;
+      _mm256_storeu_ps(cj, _mm256_sub_ps(_mm256_loadu_ps(cj), c02));
+      _mm256_storeu_ps(cj + 8, _mm256_sub_ps(_mm256_loadu_ps(cj + 8), c12));
+      cj += ldc;
+      _mm256_storeu_ps(cj, _mm256_sub_ps(_mm256_loadu_ps(cj), c03));
+      _mm256_storeu_ps(cj + 8, _mm256_sub_ps(_mm256_loadu_ps(cj + 8), c13));
+    } else {
+      _mm256_storeu_ps(cj, _mm256_sub_ps(z, c00));
+      _mm256_storeu_ps(cj + 8, _mm256_sub_ps(z, c10));
+      cj += ldc;
+      _mm256_storeu_ps(cj, _mm256_sub_ps(z, c01));
+      _mm256_storeu_ps(cj + 8, _mm256_sub_ps(z, c11));
+      cj += ldc;
+      _mm256_storeu_ps(cj, _mm256_sub_ps(z, c02));
+      _mm256_storeu_ps(cj + 8, _mm256_sub_ps(z, c12));
+      cj += ldc;
+      _mm256_storeu_ps(cj, _mm256_sub_ps(z, c03));
+      _mm256_storeu_ps(cj + 8, _mm256_sub_ps(z, c13));
+    }
+  } else {
+    float acc[64];
+    _mm256_storeu_ps(acc + 0, c00);
+    _mm256_storeu_ps(acc + 8, c10);
+    _mm256_storeu_ps(acc + 16, c01);
+    _mm256_storeu_ps(acc + 24, c11);
+    _mm256_storeu_ps(acc + 32, c02);
+    _mm256_storeu_ps(acc + 40, c12);
+    _mm256_storeu_ps(acc + 48, c03);
+    _mm256_storeu_ps(acc + 56, c13);
+    if (accumulate) {
+      for (idx jr = 0; jr < nr; ++jr) {
+        float* cj = c + static_cast<std::size_t>(jr) * ldc;
+        for (idx ir = 0; ir < mr; ++ir) cj[ir] -= acc[jr * 16 + ir];
+      }
+    } else {
+      for (idx jr = 0; jr < nr; ++jr) {
+        float* cj = c + static_cast<std::size_t>(jr) * ldc;
+        for (idx ir = 0; ir < mr; ++ir) cj[ir] = 0.0f - acc[jr * 16 + ir];
+      }
+    }
+  }
+}
+
+// fp32 AVX-512 32x4: two zmm of sixteen floats each, masked edges.
+__attribute__((target("avx512f"))) void micro_kernel_32x4_f_avx512(
+    idx kc, const float* ap, const float* bp, float* c, idx ldc, idx mr,
+    idx nr, bool accumulate) {
+  __m512 c00 = _mm512_setzero_ps(), c10 = _mm512_setzero_ps();
+  __m512 c01 = _mm512_setzero_ps(), c11 = _mm512_setzero_ps();
+  __m512 c02 = _mm512_setzero_ps(), c12 = _mm512_setzero_ps();
+  __m512 c03 = _mm512_setzero_ps(), c13 = _mm512_setzero_ps();
+  for (idx p = 0; p < kc; ++p) {
+    const __m512 a0 = _mm512_loadu_ps(ap);
+    const __m512 a1 = _mm512_loadu_ps(ap + 16);
+    const __m512 b0 = _mm512_set1_ps(bp[0]);
+    c00 = _mm512_fmadd_ps(a0, b0, c00);
+    c10 = _mm512_fmadd_ps(a1, b0, c10);
+    const __m512 b1 = _mm512_set1_ps(bp[1]);
+    c01 = _mm512_fmadd_ps(a0, b1, c01);
+    c11 = _mm512_fmadd_ps(a1, b1, c11);
+    const __m512 b2 = _mm512_set1_ps(bp[2]);
+    c02 = _mm512_fmadd_ps(a0, b2, c02);
+    c12 = _mm512_fmadd_ps(a1, b2, c12);
+    const __m512 b3 = _mm512_set1_ps(bp[3]);
+    c03 = _mm512_fmadd_ps(a0, b3, c03);
+    c13 = _mm512_fmadd_ps(a1, b3, c13);
+    ap += 32;
+    bp += 4;
+  }
+  const __mmask16 m0 = mr >= 16 ? static_cast<__mmask16>(0xFFFF)
+                                : static_cast<__mmask16>((1u << mr) - 1);
+  const __mmask16 m1 = mr > 16 ? static_cast<__mmask16>((1u << (mr - 16)) - 1)
+                               : static_cast<__mmask16>(0);
+  const __m512 z = _mm512_setzero_ps();
+  const __m512 lo[4] = {c00, c01, c02, c03};
+  const __m512 hi[4] = {c10, c11, c12, c13};
+  for (idx jr = 0; jr < nr; ++jr) {
+    float* cj = c + static_cast<std::size_t>(jr) * ldc;
+    if (accumulate) {
+      _mm512_mask_storeu_ps(
+          cj, m0, _mm512_sub_ps(_mm512_mask_loadu_ps(z, m0, cj), lo[jr]));
+      if (m1) {
+        _mm512_mask_storeu_ps(
+            cj + 16, m1,
+            _mm512_sub_ps(_mm512_mask_loadu_ps(z, m1, cj + 16), hi[jr]));
+      }
+    } else {
+      _mm512_mask_storeu_ps(cj, m0, _mm512_sub_ps(z, lo[jr]));
+      if (m1) _mm512_mask_storeu_ps(cj + 16, m1, _mm512_sub_ps(z, hi[jr]));
     }
   }
 }
 #endif  // SPC_X86_MICROKERNELS
 
-// Micro-kernel configuration, fixed at first use: tile shape plus function
+// Micro-kernel configuration per element type: tile shape plus function
 // pointers for packing and the register kernel.
-struct MicroConfig {
+template <typename T>
+struct MicroConfigT {
   idx mr;
   idx nr;
-  void (*pack_a)(const double*, idx, idx, idx, double*);
-  void (*pack_b)(const double*, idx, idx, idx, double*);
-  void (*pack_a_t)(const double*, idx, idx, idx, double*);
-  void (*pack_b_t)(const double*, idx, idx, idx, double*);
-  void (*kernel)(idx, const double*, const double*, double*, idx, idx, idx,
-                 bool);
+  void (*pack_a)(const T*, idx, idx, idx, T*);
+  void (*pack_b)(const T*, idx, idx, idx, T*);
+  void (*pack_a_t)(const T*, idx, idx, idx, T*);
+  void (*pack_b_t)(const T*, idx, idx, idx, T*);
+  void (*kernel)(idx, const T*, const T*, T*, idx, idx, idx, bool);
 };
-
-const MicroConfig& micro_config() {
-  static const MicroConfig cfg = [] {
-#if SPC_X86_MICROKERNELS
-    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-      return MicroConfig{8,
-                         4,
-                         pack_panel<8>,
-                         pack_panel<4>,
-                         pack_panel_trans<8>,
-                         pack_panel_trans<4>,
-                         micro_kernel_8x4_avx2};
-    }
-#endif
-    return MicroConfig{4,           4,
-                       pack_panel<4>, pack_panel<4>,
-                       pack_panel_trans<4>, pack_panel_trans<4>,
-                       micro_kernel_4x4};
-  }();
-  return cfg;
-}
 
 // Scratch for the packed panels. thread_local so parallel workers never
 // contend and steady-state factorization does no allocation (the vectors
 // keep their high-water capacity).
-struct PackBuffers {
-  std::vector<double> a;
-  std::vector<double> b;
+template <typename T>
+struct PackBuffersT {
+  std::vector<T> a;
+  std::vector<T> b;
 };
-PackBuffers& pack_buffers() {
-  thread_local PackBuffers bufs;
+template <typename T>
+PackBuffersT<T>& pack_buffers() {
+  thread_local PackBuffersT<T> bufs;
   return bufs;
 }
 
@@ -258,12 +462,12 @@ PackBuffers& pack_buffers() {
 // storage columns) by routing it through the transposing pack: with b_trans
 // the op becomes C -= A * B for a k x n stored B, with a_trans additionally
 // C -= A^T * B for a k x m stored A.
-void gemm_packed_raw(idx m, idx n, idx k, const double* a, idx lda,
-                     const double* b, idx ldb, double* c, idx ldc,
-                     bool overwrite = false, bool a_trans = false,
-                     bool b_trans = false) {
-  const MicroConfig& cfg = micro_config();
-  PackBuffers& bufs = pack_buffers();
+template <typename T>
+void gemm_packed_t(const MicroConfigT<T>& cfg, idx m, idx n, idx k, const T* a,
+                   idx lda, const T* b, idx ldb, T* c, idx ldc,
+                   bool overwrite = false, bool a_trans = false,
+                   bool b_trans = false) {
+  PackBuffersT<T>& bufs = pack_buffers<T>();
   const idx mc_max = std::min<idx>(kMC, m);
   const idx nc_max = std::min<idx>(kNC, n);
   const idx kc_max = std::min<idx>(kKC, k);
@@ -295,11 +499,11 @@ void gemm_packed_raw(idx m, idx n, idx k, const double* a, idx lda,
         }
         for (idx jr = 0; jr < nc; jr += cfg.nr) {
           const idx nr = std::min<idx>(cfg.nr, nc - jr);
-          const double* bp =
+          const T* bp =
               bufs.b.data() + static_cast<std::size_t>(jr / cfg.nr) * cfg.nr * kc;
           for (idx ir = 0; ir < mc; ir += cfg.mr) {
             const idx mr = std::min<idx>(cfg.mr, mc - ir);
-            const double* ap =
+            const T* ap =
                 bufs.a.data() + static_cast<std::size_t>(ir / cfg.mr) * cfg.mr * kc;
             cfg.kernel(kc, ap, bp,
                        c + static_cast<std::size_t>(jc + jr) * ldc + ic + ir,
@@ -314,43 +518,44 @@ void gemm_packed_raw(idx m, idx n, idx k, const double* a, idx lda,
 // Register-blocked strided kernel (two C columns x four ranks), used for
 // shapes too small to amortize packing. Also handles the single-column tail
 // with a rank-4 unroll so tall-skinny updates read C only ~k/4 times.
-// The body is an always_inline helper so it can be compiled twice: once for
-// the baseline ISA (gemm_blocked_raw, also the seed-baseline kernel) and
-// once under an AVX2+FMA target attribute, where the compiler auto-vectorizes
-// the unit-stride i-loops with ymm FMAs (selected at runtime, see
-// gemm_small_raw below).
+// The body is an always_inline template helper compiled once per ISA table:
+// baseline (also the seed-baseline kernel), AVX2+FMA, and AVX-512 clones,
+// where the compiler auto-vectorizes the unit-stride i-loops. Unlike the
+// packed path, these strided kernels are NOT bitwise identical across ISA
+// paths (FP contraction differs per target).
+template <typename T>
 __attribute__((always_inline)) inline void gemm_blocked_body(
-    idx m, idx n, idx k, const double* a, idx lda, const double* b, idx ldb,
-    double* c, idx ldc) {
+    idx m, idx n, idx k, const T* a, idx lda, const T* b, idx ldb, T* c,
+    idx ldc) {
   idx j = 0;
   for (; j + 1 < n; j += 2) {
-    double* c0 = c + static_cast<std::size_t>(j) * ldc;
-    double* c1 = c + static_cast<std::size_t>(j + 1) * ldc;
+    T* c0 = c + static_cast<std::size_t>(j) * ldc;
+    T* c1 = c + static_cast<std::size_t>(j + 1) * ldc;
     idx p = 0;
     for (; p + 3 < k; p += 4) {
-      const double* a0 = a + static_cast<std::size_t>(p) * lda;
-      const double* a1 = a0 + lda;
-      const double* a2 = a1 + lda;
-      const double* a3 = a2 + lda;
-      const double* bj = b + j;
-      const double b00 = bj[static_cast<std::size_t>(p) * ldb],
-                   b01 = bj[static_cast<std::size_t>(p + 1) * ldb],
-                   b02 = bj[static_cast<std::size_t>(p + 2) * ldb],
-                   b03 = bj[static_cast<std::size_t>(p + 3) * ldb];
-      const double b10 = bj[static_cast<std::size_t>(p) * ldb + 1],
-                   b11 = bj[static_cast<std::size_t>(p + 1) * ldb + 1],
-                   b12 = bj[static_cast<std::size_t>(p + 2) * ldb + 1],
-                   b13 = bj[static_cast<std::size_t>(p + 3) * ldb + 1];
+      const T* a0 = a + static_cast<std::size_t>(p) * lda;
+      const T* a1 = a0 + lda;
+      const T* a2 = a1 + lda;
+      const T* a3 = a2 + lda;
+      const T* bj = b + j;
+      const T b00 = bj[static_cast<std::size_t>(p) * ldb],
+              b01 = bj[static_cast<std::size_t>(p + 1) * ldb],
+              b02 = bj[static_cast<std::size_t>(p + 2) * ldb],
+              b03 = bj[static_cast<std::size_t>(p + 3) * ldb];
+      const T b10 = bj[static_cast<std::size_t>(p) * ldb + 1],
+              b11 = bj[static_cast<std::size_t>(p + 1) * ldb + 1],
+              b12 = bj[static_cast<std::size_t>(p + 2) * ldb + 1],
+              b13 = bj[static_cast<std::size_t>(p + 3) * ldb + 1];
       for (idx i = 0; i < m; ++i) {
-        const double v0 = a0[i], v1 = a1[i], v2 = a2[i], v3 = a3[i];
+        const T v0 = a0[i], v1 = a1[i], v2 = a2[i], v3 = a3[i];
         c0[i] -= v0 * b00 + v1 * b01 + v2 * b02 + v3 * b03;
         c1[i] -= v0 * b10 + v1 * b11 + v2 * b12 + v3 * b13;
       }
     }
     for (; p < k; ++p) {
-      const double* ap = a + static_cast<std::size_t>(p) * lda;
-      const double b0 = b[static_cast<std::size_t>(p) * ldb + j];
-      const double b1 = b[static_cast<std::size_t>(p) * ldb + j + 1];
+      const T* ap = a + static_cast<std::size_t>(p) * lda;
+      const T b0 = b[static_cast<std::size_t>(p) * ldb + j];
+      const T b1 = b[static_cast<std::size_t>(p) * ldb + j + 1];
       for (idx i = 0; i < m; ++i) {
         c0[i] -= ap[i] * b0;
         c1[i] -= ap[i] * b1;
@@ -358,24 +563,24 @@ __attribute__((always_inline)) inline void gemm_blocked_body(
     }
   }
   if (j < n) {
-    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    T* cj = c + static_cast<std::size_t>(j) * ldc;
     idx p = 0;
     for (; p + 3 < k; p += 4) {
-      const double* a0 = a + static_cast<std::size_t>(p) * lda;
-      const double* a1 = a0 + lda;
-      const double* a2 = a1 + lda;
-      const double* a3 = a2 + lda;
-      const double b0 = b[static_cast<std::size_t>(p) * ldb + j],
-                   b1 = b[static_cast<std::size_t>(p + 1) * ldb + j],
-                   b2 = b[static_cast<std::size_t>(p + 2) * ldb + j],
-                   b3 = b[static_cast<std::size_t>(p + 3) * ldb + j];
+      const T* a0 = a + static_cast<std::size_t>(p) * lda;
+      const T* a1 = a0 + lda;
+      const T* a2 = a1 + lda;
+      const T* a3 = a2 + lda;
+      const T b0 = b[static_cast<std::size_t>(p) * ldb + j],
+              b1 = b[static_cast<std::size_t>(p + 1) * ldb + j],
+              b2 = b[static_cast<std::size_t>(p + 2) * ldb + j],
+              b3 = b[static_cast<std::size_t>(p + 3) * ldb + j];
       for (idx i = 0; i < m; ++i) {
         cj[i] -= a0[i] * b0 + a1[i] * b1 + a2[i] * b2 + a3[i] * b3;
       }
     }
     for (; p < k; ++p) {
-      const double* ap = a + static_cast<std::size_t>(p) * lda;
-      const double bjp = b[static_cast<std::size_t>(p) * ldb + j];
+      const T* ap = a + static_cast<std::size_t>(p) * lda;
+      const T bjp = b[static_cast<std::size_t>(p) * ldb + j];
       for (idx i = 0; i < m; ++i) cj[i] -= ap[i] * bjp;
     }
   }
@@ -383,36 +588,39 @@ __attribute__((always_inline)) inline void gemm_blocked_body(
 
 void gemm_blocked_raw(idx m, idx n, idx k, const double* a, idx lda,
                       const double* b, idx ldb, double* c, idx ldc) {
-  gemm_blocked_body(m, n, k, a, lda, b, ldb, c, ldc);
+  gemm_blocked_body<double>(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_blocked_raw_f(idx m, idx n, idx k, const float* a, idx lda,
+                        const float* b, idx ldb, float* c, idx ldc) {
+  gemm_blocked_body<float>(m, n, k, a, lda, b, ldb, c, ldc);
 }
 
 #if SPC_X86_MICROKERNELS
 __attribute__((target("avx2,fma"))) void gemm_blocked_avx2(
     idx m, idx n, idx k, const double* a, idx lda, const double* b, idx ldb,
     double* c, idx ldc) {
-  gemm_blocked_body(m, n, k, a, lda, b, ldb, c, ldc);
+  gemm_blocked_body<double>(m, n, k, a, lda, b, ldb, c, ldc);
 }
-#endif
 
-// Small-shape GEMM with the best ISA the host supports. The packed path
-// covers big operands; this covers the fragmented row segments of irregular
-// problems (m < 8 or few columns), where packing cannot be amortized but
-// wider vectors still pay.
-using GemmRawFn = void (*)(idx, idx, idx, const double*, idx, const double*,
-                           idx, double*, idx);
-GemmRawFn pick_gemm_small() {
-#if SPC_X86_MICROKERNELS
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return gemm_blocked_avx2;
-  }
+__attribute__((target("avx2,fma"))) void gemm_blocked_avx2_f(
+    idx m, idx n, idx k, const float* a, idx lda, const float* b, idx ldb,
+    float* c, idx ldc) {
+  gemm_blocked_body<float>(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+__attribute__((target("avx512f,avx2,fma"))) void gemm_blocked_avx512(
+    idx m, idx n, idx k, const double* a, idx lda, const double* b, idx ldb,
+    double* c, idx ldc) {
+  gemm_blocked_body<double>(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+__attribute__((target("avx512f,avx2,fma"))) void gemm_blocked_avx512_f(
+    idx m, idx n, idx k, const float* a, idx lda, const float* b, idx ldb,
+    float* c, idx ldc) {
+  gemm_blocked_body<float>(m, n, k, a, lda, b, ldb, c, ldc);
+}
 #endif
-  return gemm_blocked_raw;
-}
-void gemm_small_raw(idx m, idx n, idx k, const double* a, idx lda,
-                    const double* b, idx ldb, double* c, idx ldc) {
-  static const GemmRawFn fn = pick_gemm_small();
-  fn(m, n, k, a, lda, b, ldb, c, ldc);
-}
 
 // True when the packed path's pack/write-back overhead is amortized. Tuned
 // against gemm_blocked_raw on this machine (see bench/kernel_bench.cpp):
@@ -441,35 +649,38 @@ void check_gemm_shapes(const DenseMatrix& a, const DenseMatrix& b,
 // Pivots failing the control's test are replaced (never thrown on): the
 // local column (base_col + j) is appended to `adjusted` and the first bad
 // value recorded. The test is `!(d > thresh)` so NaN pivots (poisoned or
-// propagated) are caught alongside non-positive ones.
-idx potrf_raw(idx n, double* a, idx lda, const PivotControl& pc, idx base_col,
-              std::vector<idx>& adjusted, double* first_bad) {
+// propagated) are caught alongside non-positive ones. The test runs in
+// double for both element types so the fp32 path keeps the fp64 policy
+// thresholds.
+template <typename T>
+idx potrf_raw_t(idx n, T* a, idx lda, const PivotControl& pc, idx base_col,
+                std::vector<idx>& adjusted, double* first_bad) {
   const double thresh = pc.policy == PivotPolicy::kPerturb ? pc.boost : 0.0;
   const double repl =
       pc.policy == PivotPolicy::kPerturb && pc.boost > 0.0 ? pc.boost : 1.0;
   idx replaced = 0;
   for (idx j = 0; j < n; ++j) {
-    double* aj = a + static_cast<std::size_t>(j) * lda;
-    double d = aj[j];
+    T* aj = a + static_cast<std::size_t>(j) * lda;
+    T d = aj[j];
     for (idx p = 0; p < j; ++p) {
-      const double v = a[static_cast<std::size_t>(p) * lda + j];
+      const T v = a[static_cast<std::size_t>(p) * lda + j];
       d -= v * v;
     }
-    if (!(d > thresh)) {
+    if (!(static_cast<double>(d) > thresh)) {
       if (replaced == 0 && adjusted.empty() && first_bad != nullptr) {
-        *first_bad = d;
+        *first_bad = static_cast<double>(d);
       }
       adjusted.push_back(base_col + j);
       ++replaced;
-      d = repl;
+      d = static_cast<T>(repl);
     }
     d = std::sqrt(d);
     aj[j] = d;
-    const double inv_d = 1.0 / d;
+    const T inv_d = T(1) / d;
     for (idx i = j + 1; i < n; ++i) {
-      double s = aj[i];
+      T s = aj[i];
       for (idx p = 0; p < j; ++p) {
-        const double* col = a + static_cast<std::size_t>(p) * lda;
+        const T* col = a + static_cast<std::size_t>(p) * lda;
         s -= col[i] * col[j];
       }
       aj[i] = s * inv_d;
@@ -478,92 +689,103 @@ idx potrf_raw(idx n, double* a, idx lda, const PivotControl& pc, idx base_col,
   return replaced;
 }
 
-// Like the blocked GEMM above, the triangular solve body is compiled twice:
-// baseline (trsm_rlt_raw, which the seed-baseline unblocked entry point
-// uses) and under an AVX2+FMA target, runtime-selected via trsm_rlt_fast.
-// The axpy-style i-loops are unit stride, so the wide clone vectorizes.
+idx potrf_raw(idx n, double* a, idx lda, const PivotControl& pc, idx base_col,
+              std::vector<idx>& adjusted, double* first_bad) {
+  return potrf_raw_t<double>(n, a, lda, pc, base_col, adjusted, first_bad);
+}
+
+// Like the blocked GEMM above, the triangular solve body is compiled per ISA
+// table: baseline (trsm_rlt_raw, which the seed-baseline unblocked entry
+// point uses), AVX2+FMA, and AVX-512 clones. The axpy-style i-loops are unit
+// stride, so the wide clones vectorize.
+template <typename T>
 __attribute__((always_inline)) inline void trsm_rlt_body(idx m, idx k,
-                                                         const double* l,
-                                                         idx ldl, double* b,
-                                                         idx ldb) {
+                                                         const T* l, idx ldl,
+                                                         T* b, idx ldb) {
   for (idx j = 0; j < k; ++j) {
-    double* bj = b + static_cast<std::size_t>(j) * ldb;
+    T* bj = b + static_cast<std::size_t>(j) * ldb;
     for (idx p = 0; p < j; ++p) {
-      const double ljp = l[static_cast<std::size_t>(p) * ldl + j];
-      if (ljp == 0.0) continue;
-      const double* bp = b + static_cast<std::size_t>(p) * ldb;
+      const T ljp = l[static_cast<std::size_t>(p) * ldl + j];
+      if (ljp == T(0)) continue;
+      const T* bp = b + static_cast<std::size_t>(p) * ldb;
       for (idx i = 0; i < m; ++i) bj[i] -= bp[i] * ljp;
     }
-    const double inv = 1.0 / l[static_cast<std::size_t>(j) * ldl + j];
+    const T inv = T(1) / l[static_cast<std::size_t>(j) * ldl + j];
     for (idx i = 0; i < m; ++i) bj[i] *= inv;
   }
 }
 
 void trsm_rlt_raw(idx m, idx k, const double* l, idx ldl, double* b, idx ldb) {
-  trsm_rlt_body(m, k, l, ldl, b, ldb);
+  trsm_rlt_body<double>(m, k, l, ldl, b, ldb);
+}
+
+void trsm_rlt_raw_f(idx m, idx k, const float* l, idx ldl, float* b, idx ldb) {
+  trsm_rlt_body<float>(m, k, l, ldl, b, ldb);
 }
 
 #if SPC_X86_MICROKERNELS
 __attribute__((target("avx2,fma"))) void trsm_rlt_avx2(idx m, idx k,
                                                        const double* l, idx ldl,
                                                        double* b, idx ldb) {
-  trsm_rlt_body(m, k, l, ldl, b, ldb);
+  trsm_rlt_body<double>(m, k, l, ldl, b, ldb);
 }
-#endif
 
-using TrsmRawFn = void (*)(idx, idx, const double*, idx, double*, idx);
-TrsmRawFn pick_trsm() {
-#if SPC_X86_MICROKERNELS
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return trsm_rlt_avx2;
-  }
+__attribute__((target("avx2,fma"))) void trsm_rlt_avx2_f(idx m, idx k,
+                                                         const float* l,
+                                                         idx ldl, float* b,
+                                                         idx ldb) {
+  trsm_rlt_body<float>(m, k, l, ldl, b, ldb);
+}
+
+__attribute__((target("avx512f,avx2,fma"))) void trsm_rlt_avx512(
+    idx m, idx k, const double* l, idx ldl, double* b, idx ldb) {
+  trsm_rlt_body<double>(m, k, l, ldl, b, ldb);
+}
+
+__attribute__((target("avx512f,avx2,fma"))) void trsm_rlt_avx512_f(
+    idx m, idx k, const float* l, idx ldl, float* b, idx ldb) {
+  trsm_rlt_body<float>(m, k, l, ldl, b, ldb);
+}
 #endif
-  return trsm_rlt_raw;
-}
-void trsm_rlt_fast(idx m, idx k, const double* l, idx ldl, double* b, idx ldb) {
-  static const TrsmRawFn fn = pick_trsm();
-  fn(m, k, l, ldl, b, ldb);
-}
 
 // ---------------------------------------------------------------------------
-// Solve-path small-shape kernels. Same dual-compile pattern as above: each
-// body is an always_inline helper compiled once for the baseline ISA and
-// once under an AVX2+FMA target attribute, with the variant picked at first
-// use. They cover the fragmented row segments (m or n too small for the
-// packed core) of the panel triangular solves.
+// Solve-path small-shape kernels. Same per-table compile pattern as above.
+// They cover the fragmented row segments (m or n too small for the packed
+// core) of the panel triangular solves.
 // ---------------------------------------------------------------------------
 
 // C -= A * B, register-blocked two C columns x four ranks. Structurally the
 // NT kernel above with B read down its stored columns (B is k x n here).
+template <typename T>
 __attribute__((always_inline)) inline void gemm_nn_body(
-    idx m, idx n, idx k, const double* a, idx lda, const double* b, idx ldb,
-    double* c, idx ldc) {
+    idx m, idx n, idx k, const T* a, idx lda, const T* b, idx ldb, T* c,
+    idx ldc) {
   idx j = 0;
   for (; j + 1 < n; j += 2) {
-    double* c0 = c + static_cast<std::size_t>(j) * ldc;
-    double* c1 = c + static_cast<std::size_t>(j + 1) * ldc;
-    const double* b0col = b + static_cast<std::size_t>(j) * ldb;
-    const double* b1col = b0col + ldb;
+    T* c0 = c + static_cast<std::size_t>(j) * ldc;
+    T* c1 = c + static_cast<std::size_t>(j + 1) * ldc;
+    const T* b0col = b + static_cast<std::size_t>(j) * ldb;
+    const T* b1col = b0col + ldb;
     idx p = 0;
     for (; p + 3 < k; p += 4) {
-      const double* a0 = a + static_cast<std::size_t>(p) * lda;
-      const double* a1 = a0 + lda;
-      const double* a2 = a1 + lda;
-      const double* a3 = a2 + lda;
-      const double b00 = b0col[p], b01 = b0col[p + 1], b02 = b0col[p + 2],
-                   b03 = b0col[p + 3];
-      const double b10 = b1col[p], b11 = b1col[p + 1], b12 = b1col[p + 2],
-                   b13 = b1col[p + 3];
+      const T* a0 = a + static_cast<std::size_t>(p) * lda;
+      const T* a1 = a0 + lda;
+      const T* a2 = a1 + lda;
+      const T* a3 = a2 + lda;
+      const T b00 = b0col[p], b01 = b0col[p + 1], b02 = b0col[p + 2],
+              b03 = b0col[p + 3];
+      const T b10 = b1col[p], b11 = b1col[p + 1], b12 = b1col[p + 2],
+              b13 = b1col[p + 3];
       for (idx i = 0; i < m; ++i) {
-        const double v0 = a0[i], v1 = a1[i], v2 = a2[i], v3 = a3[i];
+        const T v0 = a0[i], v1 = a1[i], v2 = a2[i], v3 = a3[i];
         c0[i] -= v0 * b00 + v1 * b01 + v2 * b02 + v3 * b03;
         c1[i] -= v0 * b10 + v1 * b11 + v2 * b12 + v3 * b13;
       }
     }
     for (; p < k; ++p) {
-      const double* ap = a + static_cast<std::size_t>(p) * lda;
-      const double bv0 = b0col[p];
-      const double bv1 = b1col[p];
+      const T* ap = a + static_cast<std::size_t>(p) * lda;
+      const T bv0 = b0col[p];
+      const T bv1 = b1col[p];
       for (idx i = 0; i < m; ++i) {
         c0[i] -= ap[i] * bv0;
         c1[i] -= ap[i] * bv1;
@@ -571,22 +793,22 @@ __attribute__((always_inline)) inline void gemm_nn_body(
     }
   }
   if (j < n) {
-    double* cj = c + static_cast<std::size_t>(j) * ldc;
-    const double* bj = b + static_cast<std::size_t>(j) * ldb;
+    T* cj = c + static_cast<std::size_t>(j) * ldc;
+    const T* bj = b + static_cast<std::size_t>(j) * ldb;
     idx p = 0;
     for (; p + 3 < k; p += 4) {
-      const double* a0 = a + static_cast<std::size_t>(p) * lda;
-      const double* a1 = a0 + lda;
-      const double* a2 = a1 + lda;
-      const double* a3 = a2 + lda;
-      const double b0 = bj[p], b1 = bj[p + 1], b2 = bj[p + 2], b3 = bj[p + 3];
+      const T* a0 = a + static_cast<std::size_t>(p) * lda;
+      const T* a1 = a0 + lda;
+      const T* a2 = a1 + lda;
+      const T* a3 = a2 + lda;
+      const T b0 = bj[p], b1 = bj[p + 1], b2 = bj[p + 2], b3 = bj[p + 3];
       for (idx i = 0; i < m; ++i) {
         cj[i] -= a0[i] * b0 + a1[i] * b1 + a2[i] * b2 + a3[i] * b3;
       }
     }
     for (; p < k; ++p) {
-      const double* ap = a + static_cast<std::size_t>(p) * lda;
-      const double bjp = bj[p];
+      const T* ap = a + static_cast<std::size_t>(p) * lda;
+      const T bjp = bj[p];
       for (idx i = 0; i < m; ++i) cj[i] -= ap[i] * bjp;
     }
   }
@@ -594,42 +816,35 @@ __attribute__((always_inline)) inline void gemm_nn_body(
 
 void gemm_nn_small(idx m, idx n, idx k, const double* a, idx lda,
                    const double* b, idx ldb, double* c, idx ldc) {
-  gemm_nn_body(m, n, k, a, lda, b, ldb, c, ldc);
+  gemm_nn_body<double>(m, n, k, a, lda, b, ldb, c, ldc);
 }
 
 #if SPC_X86_MICROKERNELS
 __attribute__((target("avx2,fma"))) void gemm_nn_small_avx2(
     idx m, idx n, idx k, const double* a, idx lda, const double* b, idx ldb,
     double* c, idx ldc) {
-  gemm_nn_body(m, n, k, a, lda, b, ldb, c, ldc);
+  gemm_nn_body<double>(m, n, k, a, lda, b, ldb, c, ldc);
 }
-#endif
 
-GemmRawFn pick_gemm_nn_small() {
-#if SPC_X86_MICROKERNELS
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return gemm_nn_small_avx2;
-  }
+__attribute__((target("avx512f,avx2,fma"))) void gemm_nn_small_avx512(
+    idx m, idx n, idx k, const double* a, idx lda, const double* b, idx ldb,
+    double* c, idx ldc) {
+  gemm_nn_body<double>(m, n, k, a, lda, b, ldb, c, ldc);
+}
 #endif
-  return gemm_nn_small;
-}
-void gemm_nn_small_raw(idx m, idx n, idx k, const double* a, idx lda,
-                       const double* b, idx ldb, double* c, idx ldc) {
-  static const GemmRawFn fn = pick_gemm_nn_small();
-  fn(m, n, k, a, lda, b, ldb, c, ldc);
-}
 
 // C -= A^T * B with A stored k x m: both operands stream contiguously down
 // their stored columns, so this is four-way-split dot products.
+template <typename T>
 __attribute__((always_inline)) inline void gemm_tn_body(
-    idx m, idx n, idx k, const double* a, idx lda, const double* b, idx ldb,
-    double* c, idx ldc) {
+    idx m, idx n, idx k, const T* a, idx lda, const T* b, idx ldb, T* c,
+    idx ldc) {
   for (idx j = 0; j < n; ++j) {
-    const double* bj = b + static_cast<std::size_t>(j) * ldb;
-    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    const T* bj = b + static_cast<std::size_t>(j) * ldb;
+    T* cj = c + static_cast<std::size_t>(j) * ldc;
     for (idx i = 0; i < m; ++i) {
-      const double* ai = a + static_cast<std::size_t>(i) * lda;
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      const T* ai = a + static_cast<std::size_t>(i) * lda;
+      T s0 = T(0), s1 = T(0), s2 = T(0), s3 = T(0);
       idx p = 0;
       for (; p + 3 < k; p += 4) {
         s0 += ai[p] * bj[p];
@@ -637,7 +852,7 @@ __attribute__((always_inline)) inline void gemm_tn_body(
         s2 += ai[p + 2] * bj[p + 2];
         s3 += ai[p + 3] * bj[p + 3];
       }
-      double s = (s0 + s1) + (s2 + s3);
+      T s = (s0 + s1) + (s2 + s3);
       for (; p < k; ++p) s += ai[p] * bj[p];
       cj[i] -= s;
     }
@@ -646,45 +861,37 @@ __attribute__((always_inline)) inline void gemm_tn_body(
 
 void gemm_tn_small(idx m, idx n, idx k, const double* a, idx lda,
                    const double* b, idx ldb, double* c, idx ldc) {
-  gemm_tn_body(m, n, k, a, lda, b, ldb, c, ldc);
+  gemm_tn_body<double>(m, n, k, a, lda, b, ldb, c, ldc);
 }
 
 #if SPC_X86_MICROKERNELS
 __attribute__((target("avx2,fma"))) void gemm_tn_small_avx2(
     idx m, idx n, idx k, const double* a, idx lda, const double* b, idx ldb,
     double* c, idx ldc) {
-  gemm_tn_body(m, n, k, a, lda, b, ldb, c, ldc);
+  gemm_tn_body<double>(m, n, k, a, lda, b, ldb, c, ldc);
 }
-#endif
 
-GemmRawFn pick_gemm_tn_small() {
-#if SPC_X86_MICROKERNELS
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return gemm_tn_small_avx2;
-  }
+__attribute__((target("avx512f,avx2,fma"))) void gemm_tn_small_avx512(
+    idx m, idx n, idx k, const double* a, idx lda, const double* b, idx ldb,
+    double* c, idx ldc) {
+  gemm_tn_body<double>(m, n, k, a, lda, b, ldb, c, ldc);
+}
 #endif
-  return gemm_tn_small;
-}
-void gemm_tn_small_raw(idx m, idx n, idx k, const double* a, idx lda,
-                       const double* b, idx ldb, double* c, idx ldc) {
-  static const GemmRawFn fn = pick_gemm_tn_small();
-  fn(m, n, k, a, lda, b, ldb, c, ldc);
-}
 
 // Scalar forward substitution on a k x n panel: X := L^{-1} X. Column p's
 // pivot divide is a multiply by the reciprocal; the rank-1 update below the
-// pivot streams L's stored column with unit stride, so the AVX2 clone
-// vectorizes it.
+// pivot streams L's stored column with unit stride, so the wide clones
+// vectorize it.
+template <typename T>
 __attribute__((always_inline)) inline void trsm_ll_body(idx kdim, idx n,
-                                                        const double* l,
-                                                        idx ldl, double* x,
-                                                        idx ldx) {
+                                                        const T* l, idx ldl,
+                                                        T* x, idx ldx) {
   for (idx p = 0; p < kdim; ++p) {
-    const double* lp = l + static_cast<std::size_t>(p) * ldl;
-    const double inv = 1.0 / lp[p];
+    const T* lp = l + static_cast<std::size_t>(p) * ldl;
+    const T inv = T(1) / lp[p];
     for (idx j = 0; j < n; ++j) {
-      double* xj = x + static_cast<std::size_t>(j) * ldx;
-      const double xp = xj[p] * inv;
+      T* xj = x + static_cast<std::size_t>(j) * ldx;
+      const T xp = xj[p] * inv;
       xj[p] = xp;
       for (idx i = p + 1; i < kdim; ++i) xj[i] -= lp[i] * xp;
     }
@@ -693,44 +900,34 @@ __attribute__((always_inline)) inline void trsm_ll_body(idx kdim, idx n,
 
 void trsm_ll_raw(idx kdim, idx n, const double* l, idx ldl, double* x,
                  idx ldx) {
-  trsm_ll_body(kdim, n, l, ldl, x, ldx);
+  trsm_ll_body<double>(kdim, n, l, ldl, x, ldx);
 }
 
 #if SPC_X86_MICROKERNELS
 __attribute__((target("avx2,fma"))) void trsm_ll_avx2(idx kdim, idx n,
                                                       const double* l, idx ldl,
                                                       double* x, idx ldx) {
-  trsm_ll_body(kdim, n, l, ldl, x, ldx);
+  trsm_ll_body<double>(kdim, n, l, ldl, x, ldx);
 }
-#endif
 
-using TrsmLeftFn = void (*)(idx, idx, const double*, idx, double*, idx);
-TrsmLeftFn pick_trsm_ll() {
-#if SPC_X86_MICROKERNELS
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return trsm_ll_avx2;
-  }
+__attribute__((target("avx512f,avx2,fma"))) void trsm_ll_avx512(
+    idx kdim, idx n, const double* l, idx ldl, double* x, idx ldx) {
+  trsm_ll_body<double>(kdim, n, l, ldl, x, ldx);
+}
 #endif
-  return trsm_ll_raw;
-}
-void trsm_ll_fast(idx kdim, idx n, const double* l, idx ldl, double* x,
-                  idx ldx) {
-  static const TrsmLeftFn fn = pick_trsm_ll();
-  fn(kdim, n, l, ldl, x, ldx);
-}
 
 // Scalar backward substitution: X := L^{-T} X. Row p of L^T is stored
 // column p of L, so the inner dot streams contiguously.
+template <typename T>
 __attribute__((always_inline)) inline void trsm_llt_body(idx kdim, idx n,
-                                                         const double* l,
-                                                         idx ldl, double* x,
-                                                         idx ldx) {
+                                                         const T* l, idx ldl,
+                                                         T* x, idx ldx) {
   for (idx p = kdim - 1; p >= 0; --p) {
-    const double* lp = l + static_cast<std::size_t>(p) * ldl;
-    const double inv = 1.0 / lp[p];
+    const T* lp = l + static_cast<std::size_t>(p) * ldl;
+    const T inv = T(1) / lp[p];
     for (idx j = 0; j < n; ++j) {
-      double* xj = x + static_cast<std::size_t>(j) * ldx;
-      double s = xj[p];
+      T* xj = x + static_cast<std::size_t>(j) * ldx;
+      T s = xj[p];
       for (idx i = p + 1; i < kdim; ++i) s -= lp[i] * xj[i];
       xj[p] = s * inv;
     }
@@ -739,34 +936,204 @@ __attribute__((always_inline)) inline void trsm_llt_body(idx kdim, idx n,
 
 void trsm_llt_raw(idx kdim, idx n, const double* l, idx ldl, double* x,
                   idx ldx) {
-  trsm_llt_body(kdim, n, l, ldl, x, ldx);
+  trsm_llt_body<double>(kdim, n, l, ldl, x, ldx);
 }
 
 #if SPC_X86_MICROKERNELS
 __attribute__((target("avx2,fma"))) void trsm_llt_avx2(idx kdim, idx n,
                                                        const double* l, idx ldl,
                                                        double* x, idx ldx) {
-  trsm_llt_body(kdim, n, l, ldl, x, ldx);
+  trsm_llt_body<double>(kdim, n, l, ldl, x, ldx);
+}
+
+__attribute__((target("avx512f,avx2,fma"))) void trsm_llt_avx512(
+    idx kdim, idx n, const double* l, idx ldl, double* x, idx ldx) {
+  trsm_llt_body<double>(kdim, n, l, ldl, x, ldx);
 }
 #endif
 
-TrsmLeftFn pick_trsm_llt() {
+// ---------------------------------------------------------------------------
+// ISA dispatch tables. One immutable table per path holds every function
+// pointer the entry points route through: the fp64 and fp32 packed
+// micro-kernel configurations plus the small-shape strided kernels. The
+// active table is a single atomic pointer, switchable at runtime
+// (set_kernel_isa / SPC_FORCE_ISA) — which is why the old per-function
+// `static const Fn fn = pick()` first-use caches are gone: they could never
+// be re-pointed once resolved.
+// ---------------------------------------------------------------------------
+using GemmRawFn = void (*)(idx, idx, idx, const double*, idx, const double*,
+                           idx, double*, idx);
+using GemmRawFnF = void (*)(idx, idx, idx, const float*, idx, const float*,
+                            idx, float*, idx);
+using TrsmRawFn = void (*)(idx, idx, const double*, idx, double*, idx);
+using TrsmRawFnF = void (*)(idx, idx, const float*, idx, float*, idx);
+
+struct IsaTable {
+  KernelIsa isa;
+  MicroConfigT<double> cfg_d;
+  MicroConfigT<float> cfg_f;
+  GemmRawFn gemm_small;     // strided NT fallback
+  GemmRawFn gemm_nn_small;
+  GemmRawFn gemm_tn_small;
+  TrsmRawFn trsm_rlt;
+  TrsmRawFn trsm_ll;
+  TrsmRawFn trsm_llt;
+  GemmRawFnF gemm_small_f;
+  TrsmRawFnF trsm_rlt_f;
+};
+
+bool isa_supported_impl(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return true;
+    case KernelIsa::kAvx2:
 #if SPC_X86_MICROKERNELS
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return trsm_llt_avx2;
-  }
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
 #endif
-  return trsm_llt_raw;
+    case KernelIsa::kAvx512:
+#if SPC_X86_MICROKERNELS
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+  }
+  return false;
 }
-void trsm_llt_fast(idx kdim, idx n, const double* l, idx ldl, double* x,
-                   idx ldx) {
-  static const TrsmLeftFn fn = pick_trsm_llt();
-  fn(kdim, n, l, ldl, x, ldx);
+
+const IsaTable& scalar_table() {
+  static const IsaTable t = [] {
+    IsaTable s{KernelIsa::kScalar,
+               {4, 4, pack_panel<4, double>, pack_panel<4, double>,
+                pack_panel_trans<4, double>, pack_panel_trans<4, double>,
+                micro_kernel_4x4_d},
+               {4, 4, pack_panel<4, float>, pack_panel<4, float>,
+                pack_panel_trans<4, float>, pack_panel_trans<4, float>,
+                micro_kernel_4x4_f},
+               gemm_blocked_raw,
+               gemm_nn_small,
+               gemm_tn_small,
+               trsm_rlt_raw,
+               trsm_ll_raw,
+               trsm_llt_raw,
+               gemm_blocked_raw_f,
+               trsm_rlt_raw_f};
+#if SPC_X86_MICROKERNELS
+    // On FMA-capable hosts the portable micro-kernel's std::fma inlines to
+    // vfmadd in the target clone — bitwise identical, much faster than the
+    // baseline libm calls.
+    if (__builtin_cpu_supports("avx") && __builtin_cpu_supports("fma")) {
+      s.cfg_d.kernel = micro_kernel_4x4_d_fma;
+      s.cfg_f.kernel = micro_kernel_4x4_f_fma;
+    }
+#endif
+    return s;
+  }();
+  return t;
+}
+
+#if SPC_X86_MICROKERNELS
+const IsaTable& avx2_table() {
+  static const IsaTable t{KernelIsa::kAvx2,
+                          {8, 4, pack_panel<8, double>, pack_panel<4, double>,
+                           pack_panel_trans<8, double>,
+                           pack_panel_trans<4, double>, micro_kernel_8x4_avx2},
+                          {16, 4, pack_panel<16, float>, pack_panel<4, float>,
+                           pack_panel_trans<16, float>,
+                           pack_panel_trans<4, float>, micro_kernel_16x4_f_avx2},
+                          gemm_blocked_avx2,
+                          gemm_nn_small_avx2,
+                          gemm_tn_small_avx2,
+                          trsm_rlt_avx2,
+                          trsm_ll_avx2,
+                          trsm_llt_avx2,
+                          gemm_blocked_avx2_f,
+                          trsm_rlt_avx2_f};
+  return t;
+}
+
+const IsaTable& avx512_table() {
+  static const IsaTable t{
+      KernelIsa::kAvx512,
+      {16, 4, pack_panel<16, double>, pack_panel<4, double>,
+       pack_panel_trans<16, double>, pack_panel_trans<4, double>,
+       micro_kernel_16x4_avx512},
+      {32, 4, pack_panel<32, float>, pack_panel<4, float>,
+       pack_panel_trans<32, float>, pack_panel_trans<4, float>,
+       micro_kernel_32x4_f_avx512},
+      gemm_blocked_avx512,
+      gemm_nn_small_avx512,
+      gemm_tn_small_avx512,
+      trsm_rlt_avx512,
+      trsm_ll_avx512,
+      trsm_llt_avx512,
+      gemm_blocked_avx512_f,
+      trsm_rlt_avx512_f};
+  return t;
+}
+#endif  // SPC_X86_MICROKERNELS
+
+const IsaTable& table_for(KernelIsa isa) {
+#if SPC_X86_MICROKERNELS
+  if (isa == KernelIsa::kAvx512) return avx512_table();
+  if (isa == KernelIsa::kAvx2) return avx2_table();
+#endif
+  return scalar_table();
+}
+
+spc::atomic<const IsaTable*> g_isa{nullptr};
+
+const IsaTable* resolve_initial_isa() {
+  const char* env = std::getenv("SPC_FORCE_ISA");
+  if (env != nullptr && env[0] != '\0') {
+    const std::string s(env);
+    KernelIsa want;
+    if (s == "scalar") {
+      want = KernelIsa::kScalar;
+    } else if (s == "avx2") {
+      want = KernelIsa::kAvx2;
+    } else if (s == "avx512") {
+      want = KernelIsa::kAvx512;
+    } else {
+      throw Error("SPC_FORCE_ISA: unknown value '" + s +
+                      "' (expected scalar|avx2|avx512)",
+                  ErrorKind::kMalformedInput);
+    }
+    if (!isa_supported_impl(want)) {
+      throw Error("SPC_FORCE_ISA=" + s + ": ISA not supported on this host",
+                  ErrorKind::kMalformedInput);
+    }
+    return &table_for(want);
+  }
+#if SPC_X86_MICROKERNELS
+  if (isa_supported_impl(KernelIsa::kAvx512)) return &avx512_table();
+  if (isa_supported_impl(KernelIsa::kAvx2)) return &avx2_table();
+#endif
+  return &scalar_table();
+}
+
+// Hot-path table fetch: one acquire load per kernel call (pairs with the
+// release stores in set_kernel_isa / the first-use resolve below, publishing
+// the pointee's static initialization to readers on other threads). A stale
+// read runs one more call through the previous — equally correct — table.
+const IsaTable& isa_table() {
+  const IsaTable* t = g_isa.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    static const IsaTable* initial = resolve_initial_isa();
+    t = initial;
+    g_isa.store(t, std::memory_order_release);
+  }
+  return *t;
 }
 
 // Panel width for the blocked potrf/trsm: big enough that the trailing
 // GEMM dominates, small enough that the scalar panel stays in L1.
 constexpr idx kPanel = 32;
+
+// Column-panel width for the blocked right triangular solves (fp64 + fp32).
+constexpr idx kTrsmPanel = 16;
 
 }  // namespace
 
@@ -780,6 +1147,25 @@ void set_gemm_dispatch(GemmDispatch mode) {
 
 GemmDispatch gemm_dispatch() { return g_dispatch.load(std::memory_order_relaxed); }
 
+bool kernel_isa_supported(KernelIsa isa) { return isa_supported_impl(isa); }
+
+const char* kernel_isa_name(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar: return "scalar";
+    case KernelIsa::kAvx2: return "avx2";
+    case KernelIsa::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+bool set_kernel_isa(KernelIsa isa) {
+  if (!isa_supported_impl(isa)) return false;
+  g_isa.store(&table_for(isa));  // seq_cst: rare, test/CLI-driven switch
+  return true;
+}
+
+KernelIsa kernel_isa() { return isa_table().isa; }
+
 namespace {
 
 // Shared strict wrapper: run the guarded factorization and convert the
@@ -790,6 +1176,43 @@ void throw_first_pivot(const std::vector<idx>& adjusted, double first_bad) {
   ctx.pivot = first_bad;
   ctx.has_pivot = true;
   throw_not_spd("potrf_lower: matrix is not positive definite", ctx);
+}
+
+void gemm_packed_raw(idx m, idx n, idx k, const double* a, idx lda,
+                     const double* b, idx ldb, double* c, idx ldc,
+                     bool overwrite = false, bool a_trans = false,
+                     bool b_trans = false) {
+  gemm_packed_t<double>(isa_table().cfg_d, m, n, k, a, lda, b, ldb, c, ldc,
+                        overwrite, a_trans, b_trans);
+}
+
+void gemm_small_raw(idx m, idx n, idx k, const double* a, idx lda,
+                    const double* b, idx ldb, double* c, idx ldc) {
+  isa_table().gemm_small(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_nn_small_raw(idx m, idx n, idx k, const double* a, idx lda,
+                       const double* b, idx ldb, double* c, idx ldc) {
+  isa_table().gemm_nn_small(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_tn_small_raw(idx m, idx n, idx k, const double* a, idx lda,
+                       const double* b, idx ldb, double* c, idx ldc) {
+  isa_table().gemm_tn_small(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void trsm_rlt_fast(idx m, idx k, const double* l, idx ldl, double* b, idx ldb) {
+  isa_table().trsm_rlt(m, k, l, ldl, b, ldb);
+}
+
+void trsm_ll_fast(idx kdim, idx n, const double* l, idx ldl, double* x,
+                  idx ldx) {
+  isa_table().trsm_ll(kdim, n, l, ldl, x, ldx);
+}
+
+void trsm_llt_fast(idx kdim, idx n, const double* l, idx ldl, double* x,
+                   idx ldx) {
+  isa_table().trsm_llt(kdim, n, l, ldl, x, ldx);
 }
 
 }  // namespace
@@ -880,7 +1303,6 @@ void trsm_right_ltrans(const DenseMatrix& l, DenseMatrix& b) {
   }
   // Left-looking over column panels of B: the bulk of the solve becomes
   // B(:, jb..) -= B(:, 0..jb) * L(jb.., 0..jb)^T through the GEMM core.
-  constexpr idx kTrsmPanel = 16;
   for (idx jb = 0; jb < k; jb += kTrsmPanel) {
     const idx nb = std::min<idx>(kTrsmPanel, k - jb);
     if (jb > 0) {
@@ -1044,6 +1466,88 @@ void gemm_nt_minus(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {
     return;
   }
   gemm_nt_minus_raw(m, n, k, a.data(), m, b.data(), n, c.data(), m);
+}
+
+// ---------------------------------------------------------------------------
+// fp32 entry points (mixed-precision factorization). Same dispatch shape as
+// the fp64 path: packed core for big operands, strided kernel for fragments.
+// ---------------------------------------------------------------------------
+
+void gemm_nt_minus_raw_f32(idx m, idx n, idx k, const float* a, idx lda,
+                           const float* b, idx ldb, float* c, idx ldc) {
+  if (m == 0 || n == 0 || k == 0) return;
+  const IsaTable& t = isa_table();
+  if (packed_profitable(m, n, k)) {
+    gemm_packed_t<float>(t.cfg_f, m, n, k, a, lda, b, ldb, c, ldc);
+  } else {
+    t.gemm_small_f(m, n, k, a, lda, b, ldb, c, ldc);
+  }
+}
+
+void gemm_nt_neg_raw_f32(idx m, idx n, idx k, const float* a, idx lda,
+                         const float* b, idx ldb, float* c, idx ldc) {
+  if (m == 0 || n == 0) return;
+  const IsaTable& t = isa_table();
+  if (k > 0 && packed_profitable(m, n, k)) {
+    gemm_packed_t<float>(t.cfg_f, m, n, k, a, lda, b, ldb, c, ldc,
+                         /*overwrite=*/true);
+    return;
+  }
+  for (idx j = 0; j < n; ++j) {
+    std::fill(c + static_cast<std::size_t>(j) * ldc,
+              c + static_cast<std::size_t>(j) * ldc + m, 0.0f);
+  }
+  if (k > 0) t.gemm_small_f(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void trsm_right_ltrans_f32(idx m, idx k, const float* l, idx ldl, float* b,
+                           idx ldb) {
+  if (m == 0 || k == 0) return;
+  const IsaTable& t = isa_table();
+  if (k <= kPanel || m < 4) {
+    t.trsm_rlt_f(m, k, l, ldl, b, ldb);
+    return;
+  }
+  for (idx jb = 0; jb < k; jb += kTrsmPanel) {
+    const idx nb = std::min<idx>(kTrsmPanel, k - jb);
+    if (jb > 0) {
+      gemm_nt_minus_raw_f32(m, nb, jb, b, ldb, l + jb, ldl,
+                            b + static_cast<std::size_t>(jb) * ldb, ldb);
+    }
+    t.trsm_rlt_f(m, nb, l + static_cast<std::size_t>(jb) * ldl + jb, ldl,
+                 b + static_cast<std::size_t>(jb) * ldb, ldb);
+  }
+}
+
+idx potrf_lower_guarded_f32(idx n, float* a, idx lda, const PivotControl& pc,
+                            idx base_col, std::vector<idx>& adjusted,
+                            double* first_bad) {
+  idx replaced = 0;
+  if (n <= kPanel) {
+    replaced = potrf_raw_t<float>(n, a, lda, pc, base_col, adjusted, first_bad);
+  } else {
+    for (idx j = 0; j < n; j += kPanel) {
+      const idx nb = std::min<idx>(kPanel, n - j);
+      float* diag = a + static_cast<std::size_t>(j) * lda + j;
+      replaced +=
+          potrf_raw_t<float>(nb, diag, lda, pc, base_col + j, adjusted, first_bad);
+      const idx below = n - j - nb;
+      if (below == 0) continue;
+      trsm_right_ltrans_f32(below, nb, diag, lda, diag + nb, lda);
+      const float* l21 = diag + nb;
+      for (idx c = j + nb; c < n; c += kPanel) {
+        const idx w = std::min<idx>(kPanel, n - c);
+        gemm_nt_minus_raw_f32(n - c, w, nb, l21 + (c - j - nb), lda,
+                              l21 + (c - j - nb), lda,
+                              a + static_cast<std::size_t>(c) * lda + c, lda);
+      }
+    }
+  }
+  for (idx j = 1; j < n; ++j) {
+    float* aj = a + static_cast<std::size_t>(j) * lda;
+    for (idx i = 0; i < j; ++i) aj[i] = 0.0f;
+  }
+  return replaced;
 }
 
 i64 flops_bfac(idx k) {

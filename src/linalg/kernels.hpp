@@ -137,6 +137,53 @@ enum class GemmDispatch { kAuto, kSeedBlocked };
 void set_gemm_dispatch(GemmDispatch mode);
 GemmDispatch gemm_dispatch();
 
+// ---------------------------------------------------------------------------
+// Runtime ISA dispatch. Every dense kernel above routes through one of three
+// immutable dispatch tables (scalar / AVX2+FMA / AVX-512), resolved once at
+// first use from the host CPU — or from SPC_FORCE_ISA=scalar|avx2|avx512 in
+// the environment, which throws Error(kMalformedInput) when the forced path
+// cannot run on this host. The packed GEMM path produces bitwise-identical
+// results on all three paths (shared cache blocking, one exactly-rounded FMA
+// per element per rank); the small-shape strided kernels may differ across
+// paths by compiler FP contraction.
+// ---------------------------------------------------------------------------
+enum class KernelIsa { kScalar, kAvx2, kAvx512 };
+
+// Switches the active table; returns false (and changes nothing) when the
+// host cannot execute that path. Not meant for concurrent flipping while
+// kernels are running (tests switch between runs).
+bool set_kernel_isa(KernelIsa isa);
+KernelIsa kernel_isa();  // currently active path (resolves on first use)
+bool kernel_isa_supported(KernelIsa isa);
+const char* kernel_isa_name(KernelIsa isa);  // "scalar" | "avx2" | "avx512"
+
+// ---------------------------------------------------------------------------
+// fp32 kernels for the mixed-precision factorization (fp32 factor + fp64
+// iterative refinement). Raw strided storage only — the fp32 factor lives in
+// a flat float arena, not in DenseMatrix. Same dispatch tables as above.
+// ---------------------------------------------------------------------------
+
+// C := C - A * B^T with A m x k (lda), B n x k (ldb), C m x n (ldc).
+void gemm_nt_minus_raw_f32(idx m, idx n, idx k, const float* a, idx lda,
+                           const float* b, idx ldb, float* c, idx ldc);
+
+// C := -(A * B^T), overwriting C (need not be initialized).
+void gemm_nt_neg_raw_f32(idx m, idx n, idx k, const float* a, idx lda,
+                         const float* b, idx ldb, float* c, idx ldc);
+
+// B := B * L^{-T} with L k x k lower triangular (ldl), B m x k (ldb).
+void trsm_right_ltrans_f32(idx m, idx k, const float* l, idx ldl, float* b,
+                           idx ldb);
+
+// Guarded blocked fp32 Cholesky of the leading n x n lower triangle of `a`
+// (lda-strided). Same replacement semantics as potrf_lower_guarded: failing
+// pivots (threshold test in double) are replaced, their global columns
+// (base_col + local) appended to `adjusted`, the first bad value recorded in
+// *first_bad, count of replacements returned. Strict upper triangle zeroed.
+idx potrf_lower_guarded_f32(idx n, float* a, idx lda, const PivotControl& pc,
+                            idx base_col, std::vector<idx>& adjusted,
+                            double* first_bad);
+
 // Flop counts for the three ops, matching the conventions in DESIGN.md §5.
 // These feed both the work model used by the mapping heuristics and the
 // simulator cost model.

@@ -151,4 +151,115 @@ std::vector<idx> subcube_col_map(idx num_proc_cols, const BlockStructure& bs,
   return builder.map_col;
 }
 
+AffinityPartition subtree_affinity_partition(int num_workers,
+                                             const BlockStructure& bs,
+                                             const TaskGraph& tg) {
+  const idx nb = bs.num_block_cols();
+  AffinityPartition part;
+  part.num_workers = std::max(num_workers, 1);
+  part.owner.assign(static_cast<std::size_t>(nb), AffinityPartition::kShared);
+  part.worker_work.assign(static_cast<std::size_t>(part.num_workers), 0);
+
+  // Per-column work model: the column's own completion ops (BFAC + BDIVs)
+  // plus every BMOD landing in it. This is where the column's compute time
+  // is actually spent, so balancing it balances worker busy time.
+  part.col_work.assign(static_cast<std::size_t>(nb), 0);
+  for (block_id b = 0; b < tg.num_blocks(); ++b) {
+    part.col_work[static_cast<std::size_t>(
+        tg.col_of_block[static_cast<std::size_t>(b)])] +=
+        tg.completion_flops[static_cast<std::size_t>(b)];
+  }
+  for (const BlockMod& m : tg.mods) {
+    part.col_work[static_cast<std::size_t>(
+        tg.col_of_block[static_cast<std::size_t>(m.dest)])] += m.flops;
+  }
+  for (idx j = 0; j < nb; ++j) {
+    part.total_work += part.col_work[static_cast<std::size_t>(j)];
+  }
+  if (num_workers <= 1 || nb == 0) return part;  // all-shared
+
+  // Block elimination tree: parent(J) = block row of J's first sub-diagonal
+  // block (kNone for columns with no off-diagonal blocks — forest roots).
+  // Block rows are ascending within a column, so entry blkptr[j] is first.
+  std::vector<idx> parent(static_cast<std::size_t>(nb), kNone);
+  std::vector<std::vector<idx>> children(static_cast<std::size_t>(nb));
+  for (idx j = 0; j < nb; ++j) {
+    if (bs.blkptr[static_cast<std::size_t>(j)] <
+        bs.blkptr[static_cast<std::size_t>(j) + 1]) {
+      const idx p = bs.blkrow[static_cast<std::size_t>(
+          bs.blkptr[static_cast<std::size_t>(j)])];
+      parent[static_cast<std::size_t>(j)] = p;
+      children[static_cast<std::size_t>(p)].push_back(j);
+    }
+  }
+  // Bottom-up subtree sums (children have smaller indices than parents).
+  std::vector<i64> subtree(part.col_work);
+  for (idx j = 0; j < nb; ++j) {
+    const idx p = parent[static_cast<std::size_t>(j)];
+    if (p != kNone) {
+      subtree[static_cast<std::size_t>(p)] += subtree[static_cast<std::size_t>(j)];
+    }
+  }
+
+  // Candidate set: start from the forest roots; repeatedly split the
+  // heaviest candidate (its root column becomes shared, its child subtrees
+  // become candidates) until every candidate fits under total/(2P) — small
+  // enough that LPT packs them within half a subtree of perfect balance.
+  std::vector<idx> cand;
+  for (idx j = 0; j < nb; ++j) {
+    if (parent[static_cast<std::size_t>(j)] == kNone) cand.push_back(j);
+  }
+  const auto heavier = [&](idx a, idx b) {
+    return subtree[static_cast<std::size_t>(a)] < subtree[static_cast<std::size_t>(b)];
+  };  // max-heap on subtree work
+  std::make_heap(cand.begin(), cand.end(), heavier);
+  const i64 limit =
+      std::max<i64>(1, part.total_work / (2 * static_cast<i64>(num_workers)));
+  while (!cand.empty() &&
+         subtree[static_cast<std::size_t>(cand.front())] > limit) {
+    std::pop_heap(cand.begin(), cand.end(), heavier);
+    const idx split = cand.back();
+    cand.pop_back();
+    // split's own column goes shared; its children become candidates.
+    for (idx c : children[static_cast<std::size_t>(split)]) {
+      cand.push_back(c);
+      std::push_heap(cand.begin(), cand.end(), heavier);
+    }
+  }
+
+  // LPT: heaviest candidate subtree first, each to the least-loaded worker.
+  std::sort_heap(cand.begin(), cand.end(), heavier);
+  std::reverse(cand.begin(), cand.end());
+  for (idx r : cand) {
+    int w = 0;
+    for (int q = 1; q < num_workers; ++q) {
+      if (part.worker_work[static_cast<std::size_t>(q)] <
+          part.worker_work[static_cast<std::size_t>(w)]) {
+        w = q;
+      }
+    }
+    part.owner[static_cast<std::size_t>(r)] = w;
+    part.worker_work[static_cast<std::size_t>(w)] +=
+        subtree[static_cast<std::size_t>(r)];
+    part.pinned_work += subtree[static_cast<std::size_t>(r)];
+    part.max_pinned_subtree =
+        std::max(part.max_pinned_subtree, subtree[static_cast<std::size_t>(r)]);
+  }
+
+  // Propagate ownership down into the pinned subtrees: a column not itself a
+  // candidate root inherits its parent's owner. Descending index order
+  // processes every parent before its children.
+  std::vector<bool> is_root(static_cast<std::size_t>(nb), false);
+  for (idx r : cand) is_root[static_cast<std::size_t>(r)] = true;
+  for (idx j = nb - 1; j >= 0; --j) {
+    if (is_root[static_cast<std::size_t>(j)]) continue;
+    const idx p = parent[static_cast<std::size_t>(j)];
+    if (p != kNone) {
+      part.owner[static_cast<std::size_t>(j)] =
+          part.owner[static_cast<std::size_t>(p)];
+    }
+  }
+  return part;
+}
+
 }  // namespace spc

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "blocks/block_structure.hpp"
+#include "blocks/task_graph.hpp"
 #include "support/types.hpp"
 #include "symbolic/symbolic_factor.hpp"
 
@@ -22,5 +23,42 @@ namespace spc {
 std::vector<idx> subcube_col_map(idx num_proc_cols, const BlockStructure& bs,
                                  const std::vector<idx>& sn_parent,
                                  const std::vector<i64>& col_work);
+
+// ---------------------------------------------------------------------------
+// Subtree-affinity partition for the shared-memory executor (the
+// shared-memory analogue of the subtree-to-subcube mapping above): the
+// bottom of the *block-column* elimination tree is cut into work-balanced
+// subtrees, each pinned whole to one worker; everything at or above the cut
+// (the "frontier") stays shared and is scheduled by work stealing.
+// ---------------------------------------------------------------------------
+struct AffinityPartition {
+  int num_workers = 0;
+  // Per block column: pinning worker id, or kShared for frontier/top-of-tree
+  // columns scheduled by stealing. Ownership is subtree-closed: an owned
+  // column's descendants all carry the same owner.
+  std::vector<int> owner;
+  std::vector<i64> col_work;     // per block column: completion + inbound-mod flops
+  std::vector<i64> worker_work;  // per worker: total pinned work
+  i64 total_work = 0;            // sum of col_work
+  i64 pinned_work = 0;           // sum of worker_work
+  i64 max_pinned_subtree = 0;    // heaviest single pinned subtree (LPT bound)
+
+  static constexpr int kShared = -1;
+
+  bool empty() const { return owner.empty(); }
+};
+
+// Builds the partition: per-column work model from the task graph
+// (completion flops of the column's blocks plus the flops of every BMOD into
+// them), bottom-up subtree sums over the block elimination tree (parent(J) =
+// block row of J's first sub-diagonal block), repeated splitting of the
+// heaviest candidate subtree until none exceeds total/(2P) (split roots
+// become shared and their child subtrees new candidates), then LPT
+// assignment of the candidate subtrees to the P workers. num_workers <= 1
+// yields the all-shared partition, which keeps the 1-thread schedule
+// bitwise identical to the non-affinity executor.
+AffinityPartition subtree_affinity_partition(int num_workers,
+                                             const BlockStructure& bs,
+                                             const TaskGraph& tg);
 
 }  // namespace spc

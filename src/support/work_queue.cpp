@@ -11,7 +11,8 @@ constexpr i64 kInitialCap = 64;  // power of two
 }
 
 WorkStealingQueues::WorkStealingQueues(int num_workers)
-    : deques_(static_cast<std::size_t>(num_workers)) {
+    : deques_(static_cast<std::size_t>(num_workers)),
+      privates_(static_cast<std::size_t>(num_workers)) {
   SPC_CHECK(num_workers >= 1, "WorkStealingQueues: need at least one worker");
   for (Deque& d : deques_) {
     d.buffers.push_back(std::make_unique<Buffer>(kInitialCap));
@@ -107,6 +108,12 @@ void WorkStealingQueues::push(int worker, WorkItem item) {
   }
 }
 
+void WorkStealingQueues::push_private(int worker, WorkItem item) {
+  // No queued_ bump, no notify: the item is invisible to every other worker
+  // by construction, and the owner checks the private stack before parking.
+  privates_[static_cast<std::size_t>(worker)].push_back(item);
+}
+
 bool WorkStealingQueues::try_steal(int thief, WorkItem& out) {
   const int n = num_workers();
   if (n == 1) return false;
@@ -151,16 +158,28 @@ bool WorkStealingQueues::try_steal(int thief, WorkItem& out) {
   return false;
 }
 
-bool WorkStealingQueues::acquire(int worker, WorkItem& out) {
+bool WorkStealingQueues::acquire(int worker, WorkItem& out,
+                                 AcquireSource* source) {
+  std::vector<WorkItem>& priv = privates_[static_cast<std::size_t>(worker)];
   for (;;) {
     if (done_.load()) return false;
+    if (!priv.empty()) {
+      out = priv.back();
+      priv.pop_back();
+      if (source != nullptr) *source = AcquireSource::kPrivate;
+      return true;
+    }
     i64 id = 0;
     if (pop_bottom(deques_[static_cast<std::size_t>(worker)], id)) {
       queued_.fetch_sub(1);
       out = WorkItem{id, 0};
+      if (source != nullptr) *source = AcquireSource::kOwn;
       return true;
     }
-    if (try_steal(worker, out)) return true;
+    if (try_steal(worker, out)) {
+      if (source != nullptr) *source = AcquireSource::kSteal;
+      return true;
+    }
     // Register as a sleeper BEFORE re-checking queued_: a pusher increments
     // queued_ before reading sleepers_, so either it sees us (and notifies
     // under the sleep mutex) or our queued_ re-check in the wait loop sees

@@ -42,6 +42,10 @@ struct WorkItem {
   i64 priority = 0;  // higher = more critical
 };
 
+// Where acquire() found the task — lets the executor count affinity hits
+// and spilled-task steals without any extra shared counters.
+enum class AcquireSource { kPrivate, kOwn, kSteal };
+
 class WorkStealingQueues {
  public:
   explicit WorkStealingQueues(int num_workers);
@@ -56,10 +60,22 @@ class WorkStealingQueues {
   // concurrently yet.
   void push(int worker, WorkItem item);
 
-  // Blocking acquire for `worker`: own deque first (LIFO), then steal the
-  // oldest task from the victim advertising the most critical work, else
-  // sleep until work arrives. Returns false once shutdown() has been called.
-  bool acquire(int worker, WorkItem& out);
+  // Pushes onto `worker`'s PRIVATE stack — tasks pinned to that worker by
+  // the affinity partition; thieves never see them. Same ownership rule as
+  // push(): only worker `worker` itself at runtime (the seeding thread may
+  // push pre-spawn). Private items are not counted in the queued_ wake
+  // counter and trigger no notify: only the owner can consume them, and the
+  // owner checks its private stack before ever parking, so it cannot sleep
+  // on private work it pushed itself.
+  void push_private(int worker, WorkItem item);
+
+  // Blocking acquire for `worker`: private stack first (LIFO — callers push
+  // ready batches in ascending priority, so the most critical pinned task
+  // pops first), then own deque (LIFO), then steal the oldest task from the
+  // victim advertising the most critical work, else sleep until work
+  // arrives. Returns false once shutdown() has been called. When `source`
+  // is non-null it reports where the task came from.
+  bool acquire(int worker, WorkItem& out, AcquireSource* source = nullptr);
 
   // Wakes every sleeper and makes all subsequent/blocked acquire() calls
   // return false. Pending tasks are discarded.
@@ -100,6 +116,10 @@ class WorkStealingQueues {
   bool try_steal(int thief, WorkItem& out);
 
   std::vector<Deque> deques_;
+  // Per-worker private stacks (affinity-pinned tasks). Owner-only plain
+  // storage: written by the seeding thread pre-spawn (published by thread
+  // creation) and by the owner at runtime; never touched by thieves.
+  std::vector<std::vector<WorkItem>> privates_;
   spc::atomic<i64> queued_{0};    // tasks currently in some deque
   spc::atomic<int> sleepers_{0};  // workers parked (or committing to park)
   spc::atomic<bool> done_{false};

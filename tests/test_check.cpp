@@ -211,6 +211,77 @@ TEST(CheckTaskGraph, DetectsWrongFlops) {
               "taskgraph.flops");
 }
 
+// --- Seeded corruption: subtree-affinity partition --------------------------
+
+TEST(CheckAffinity, CleanPartitionsAcrossWorkerCounts) {
+  const SparseCholesky chol = analyzed(make_grid3d(8, 8, 8));
+  for (const int workers : {1, 2, 4, 8}) {
+    const check::Report r =
+        check::check_affinity(chol.structure(), chol.task_graph(), workers);
+    std::ostringstream os;
+    r.print(os);
+    EXPECT_TRUE(r.ok()) << "workers=" << workers << "\n" << os.str();
+  }
+}
+
+TEST(CheckAffinity, DetectsClosureViolation) {
+  const SparseCholesky chol = analyzed(make_grid3d(8, 8, 8));
+  const BlockStructure& bs = chol.structure();
+  const TaskGraph& tg = chol.task_graph();
+  AffinityPartition part = subtree_affinity_partition(4, bs, tg);
+  // Re-pin one below-frontier column to a different worker: the executor
+  // would seed it on the wrong private stack, and its BDIV/BMOD sources
+  // would cross subtree boundaries.
+  bool corrupted = false;
+  for (idx j = 0; j < bs.num_block_cols() && !corrupted; ++j) {
+    if (bs.blkptr[static_cast<std::size_t>(j)] >=
+        bs.blkptr[static_cast<std::size_t>(j) + 1]) {
+      continue;
+    }
+    const idx p = bs.blkrow[static_cast<std::size_t>(
+        bs.blkptr[static_cast<std::size_t>(j)])];
+    const int oj = part.owner[static_cast<std::size_t>(j)];
+    if (oj >= 0 && part.owner[static_cast<std::size_t>(p)] == oj) {
+      part.owner[static_cast<std::size_t>(j)] = (oj + 1) % part.num_workers;
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "no pinned column with a same-owner parent";
+  expect_only(check::check_affinity_partition(bs, tg, part),
+              "sched.affinity.closure");
+}
+
+TEST(CheckAffinity, DetectsWorkModelDrift) {
+  const SparseCholesky chol = analyzed(make_grid3d(8, 8, 8));
+  const BlockStructure& bs = chol.structure();
+  const TaskGraph& tg = chol.task_graph();
+  {
+    AffinityPartition part = subtree_affinity_partition(4, bs, tg);
+    part.col_work[0] += 1;
+    expect_only(check::check_affinity_partition(bs, tg, part),
+                "sched.affinity.col-work");
+  }
+  {
+    AffinityPartition part = subtree_affinity_partition(4, bs, tg);
+    part.worker_work[0] += 1;
+    expect_only(check::check_affinity_partition(bs, tg, part),
+                "sched.affinity.worker-work");
+  }
+}
+
+TEST(CheckAffinity, DetectsBrokenBalanceBound) {
+  const SparseCholesky chol = analyzed(make_grid3d(8, 8, 8));
+  const BlockStructure& bs = chol.structure();
+  const TaskGraph& tg = chol.task_graph();
+  AffinityPartition part = subtree_affinity_partition(4, bs, tg);
+  ASSERT_GT(part.pinned_work, 0);
+  // A wildly understated max subtree makes the recorded assignment exceed
+  // the LPT guarantee the executor's balance claim rests on.
+  part.max_pinned_subtree = -part.total_work;
+  expect_only(check::check_affinity_partition(bs, tg, part),
+              "sched.affinity.balance");
+}
+
 // --- Seeded corruption: mapping and balance --------------------------------
 
 TEST(CheckMapping, DetectsOutOfRangeMapEntry) {

@@ -3,12 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include "cholesky/sparse_cholesky.hpp"
 #include "factor/residual.hpp"
 #include "gen/benchmark_suite.hpp"
 #include "gen/grid_gen.hpp"
+#include "gen/lp_gen.hpp"
 #include "gen/mesh_gen.hpp"
 #include "graph/permutation.hpp"
 #include "support/error.hpp"
@@ -147,6 +151,94 @@ TEST(Integration, HeuristicRemappingImprovesMeanSimulatedPerformance) {
   }
   EXPECT_GT(ratio_sum / count, 1.0) << "mean speedup of ID over cyclic";
   EXPECT_GT(balance_gain_sum / count, 0.05) << "mean overall-balance gain";
+}
+
+// --- Mixed precision (fp32 factorization + fp64 refinement) ----------------
+
+TEST(Precision, Fp32RefineReachesFp64BackwardError) {
+  // The fp32 engine carries roughly half the significand, so the raw factor
+  // is only good to ~1e-7; the automatic fp64 refinement steps applied by
+  // solve() must pull the normwise backward error back to fp64 levels.
+  LpGenOptions lpo;
+  lpo.n = 400;
+  const SymSparse cases[] = {make_grid3d(8, 8, 8),
+                             make_lp_normal_equations(lpo)};
+  for (const SymSparse& a : cases) {
+    SolverOptions opt;
+    opt.precision = SolverOptions::Precision::kFp32Refine;
+    SparseCholesky chol = SparseCholesky::analyze(a, opt);
+    chol.factorize();
+    EXPECT_TRUE(chol.factorize_info().fp32);
+    EXPECT_FALSE(chol.factorize_info().fp32_fallback);
+
+    Rng rng(31);
+    std::vector<double> b(static_cast<std::size_t>(a.num_rows()));
+    for (double& v : b) v = rng.uniform(-1.0, 1.0);
+    const std::vector<double> x = chol.solve(b);
+    EXPECT_LE(solve_residual(a, x, b), 1e-10) << "n=" << a.num_rows();
+  }
+}
+
+TEST(Precision, Fp32RefineWithPerturbedPivotsStaysBackwardStable) {
+  // A pivot perturbed during the fp32 pass composes with mixed precision:
+  // both sources of factor error are absorbed by the fp64 refinement.
+  const SymSparse a0 = make_fem_mesh(
+      {.nodes = 50, .dof = 2, .dim = 3, .avg_node_degree = 8.0, .seed = 5});
+  const idx n = a0.num_rows();
+  std::vector<double> diag(static_cast<std::size_t>(n));
+  std::vector<std::pair<idx, idx>> pos;
+  std::vector<double> val;
+  const auto& ptr = a0.col_ptr();
+  for (idx c = 0; c < n; ++c) {
+    for (i64 k = ptr[static_cast<std::size_t>(c)];
+         k < ptr[static_cast<std::size_t>(c) + 1]; ++k) {
+      const idx r = a0.row_idx()[static_cast<std::size_t>(k)];
+      const double v = a0.values()[static_cast<std::size_t>(k)];
+      if (r == c) {
+        diag[static_cast<std::size_t>(c)] = v;
+      } else {
+        pos.emplace_back(r, c);
+        val.push_back(v);
+      }
+    }
+  }
+  diag[static_cast<std::size_t>(n / 2)] = 1e-30;
+  const SymSparse a = SymSparse::from_entries(n, diag, pos, val);
+
+  SolverOptions opt;
+  opt.precision = SolverOptions::Precision::kFp32Refine;
+  opt.pivot_policy = PivotPolicy::kPerturb;
+  SparseCholesky chol = SparseCholesky::analyze(a, opt);
+  chol.factorize();
+  EXPECT_TRUE(chol.factorize_info().fp32);
+  EXPECT_GE(chol.factorize_info().perturbed_pivots, 1);
+
+  Rng rng(7);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const std::vector<double> x = chol.solve(b);
+  EXPECT_LE(solve_residual(a, x, b), 1e-10);
+}
+
+TEST(Precision, Fp32BreakdownFallsBackToFp64) {
+  // b = 1 - 2^-25 rounds to exactly 1.0f, so the fp32 Schur complement of
+  // the trailing pivot is 0 (strict breakdown) while the fp64 complement
+  // stays positive. The facade must retry in fp64 transparently.
+  const double b01 = 1.0 - std::ldexp(1.0, -25);
+  const SymSparse a = SymSparse::from_entries(2, {1.0, 1.0}, {{1, 0}}, {b01});
+
+  SolverOptions opt;
+  opt.precision = SolverOptions::Precision::kFp32Refine;
+  opt.ordering = SolverOptions::Ordering::kNatural;
+  SparseCholesky chol = SparseCholesky::analyze(a, opt);
+  chol.factorize();
+  EXPECT_FALSE(chol.factorize_info().fp32);
+  EXPECT_TRUE(chol.factorize_info().fp32_fallback);
+  EXPECT_EQ(chol.factorize_info().perturbed_pivots, 0);
+
+  const std::vector<double> b = {1.0, -1.0};
+  const std::vector<double> x = chol.solve(b);
+  EXPECT_LE(solve_residual(a, x, b), 1e-12);
 }
 
 TEST(Integration, NumericFactorUnaffectedByMappingAnalysis) {

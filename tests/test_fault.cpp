@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cholesky/sparse_cholesky.hpp"
+#include "factor/fp32_factor.hpp"
 #include "factor/multifrontal.hpp"
 #include "factor/parallel_factor.hpp"
 #include "factor/residual.hpp"
@@ -182,6 +183,34 @@ TEST_F(FaultTest, KernelFaultSurfacesFromEveryEngine) {
                                popt);
     });
   }
+}
+
+TEST_F(FaultTest, Fp32EngineSharesTheFaultSites) {
+  if (!fault::compiled_in()) GTEST_SKIP() << "built with SPC_FAULTS=OFF";
+  // The fp32 engine reuses the fp64 engine's site keys (kKernel per task,
+  // kInput per scattered value), so the same armed plan must surface from
+  // both engines — and from the facade's fp32-refine path, where an injected
+  // kernel fault must NOT be confused with a numeric breakdown (no silent
+  // fp64 retry: kInjectedFault propagates).
+  const Analyzed p = analyzed_mesh();
+  const SymSparse& ap = p.chol.permuted_matrix();
+
+  fault::set_plan(single_site(Site::kKernel, 1.0, 3));
+  expect_kind(ErrorKind::kInjectedFault, "injected fault", [&] {
+    block_factorize_fp32(ap, p.chol.structure(), p.chol.task_graph());
+  });
+  EXPECT_GE(fault::injected(Site::kKernel), 1);
+
+  fault::set_plan(single_site(Site::kInput, 1.0, 21));
+  expect_kind(ErrorKind::kNotPositiveDefinite, nullptr, [&] {
+    block_factorize_fp32(ap, p.chol.structure(), p.chol.task_graph());
+  });
+
+  fault::set_plan(single_site(Site::kKernel, 1.0, 3));
+  SolverOptions opt;
+  opt.precision = SolverOptions::Precision::kFp32Refine;
+  SparseCholesky chol = SparseCholesky::analyze(p.a, opt);
+  expect_kind(ErrorKind::kInjectedFault, nullptr, [&] { chol.factorize(); });
 }
 
 TEST_F(FaultTest, AllocFaultRaisesInjectedFault) {

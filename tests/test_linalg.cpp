@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 #include <utility>
+#include <vector>
 
 #include "linalg/dense_matrix.hpp"
 #include "linalg/kernels.hpp"
@@ -486,6 +488,216 @@ TEST(TrsmLeft, LowerAndTransposeInvertAcrossSizes) {
       }
     }
   }
+}
+
+// --- Runtime ISA dispatch --------------------------------------------------
+
+// Restores the active kernel table after a forced-path test so later tests
+// (and other suites in this binary) run on the host's best path again.
+struct IsaGuard {
+  KernelIsa saved = kernel_isa();
+  ~IsaGuard() { set_kernel_isa(saved); }
+};
+
+std::vector<KernelIsa> supported_isas() {
+  std::vector<KernelIsa> out;
+  for (KernelIsa isa :
+       {KernelIsa::kScalar, KernelIsa::kAvx2, KernelIsa::kAvx512}) {
+    if (kernel_isa_supported(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+TEST(KernelIsa, NamesAndScalarAlwaysSupported) {
+  EXPECT_TRUE(kernel_isa_supported(KernelIsa::kScalar));
+  EXPECT_STREQ(kernel_isa_name(KernelIsa::kScalar), "scalar");
+  EXPECT_STREQ(kernel_isa_name(KernelIsa::kAvx2), "avx2");
+  EXPECT_STREQ(kernel_isa_name(KernelIsa::kAvx512), "avx512");
+}
+
+TEST(KernelIsa, SetRefusesUnsupportedAndKeepsActivePath) {
+  IsaGuard guard;
+  const KernelIsa before = kernel_isa();
+  for (KernelIsa isa : {KernelIsa::kAvx2, KernelIsa::kAvx512}) {
+    if (!kernel_isa_supported(isa)) {
+      EXPECT_FALSE(set_kernel_isa(isa));
+      EXPECT_EQ(kernel_isa(), before);
+    } else {
+      EXPECT_TRUE(set_kernel_isa(isa));
+      EXPECT_EQ(kernel_isa(), isa);
+      ASSERT_TRUE(set_kernel_isa(before));
+    }
+  }
+}
+
+// The packed GEMM path promises bitwise-identical results on every ISA:
+// shared cache blocking and exactly one correctly-rounded FMA per element
+// per rank-1 update, whether that FMA comes from std::fma, a ymm, or a zmm.
+// Run the same accumulate-and-overwrite GEMMs under every supported path
+// and compare bit for bit. Shapes all satisfy the packed-path gate
+// (m >= 8, n >= 4, and k >= 8 or m*n >= 8192), including ragged edges that
+// exercise the masked AVX-512 tail lanes.
+TEST(KernelIsa, PackedGemmBitwiseIdenticalAcrossPaths) {
+  const std::vector<KernelIsa> isas = supported_isas();
+  if (isas.size() < 2) GTEST_SKIP() << "only one ISA path on this host";
+  IsaGuard guard;
+  Rng rng(91);
+  for (const auto& [m, n, k] :
+       std::vector<std::tuple<idx, idx, idx>>{
+           {64, 48, 48}, {96, 48, 129}, {33, 5, 9}, {130, 67, 31}}) {
+    DenseMatrix a(m, k), b(n, k), c0(m, n);
+    for (idx cc = 0; cc < k; ++cc) {
+      for (idx r = 0; r < m; ++r) a(r, cc) = rng.uniform(-1.0, 1.0);
+      for (idx r = 0; r < n; ++r) b(r, cc) = rng.uniform(-1.0, 1.0);
+    }
+    for (idx cc = 0; cc < n; ++cc) {
+      for (idx r = 0; r < m; ++r) c0(r, cc) = rng.uniform(-1.0, 1.0);
+    }
+    std::vector<DenseMatrix> acc, over;
+    for (KernelIsa isa : isas) {
+      ASSERT_TRUE(set_kernel_isa(isa));
+      DenseMatrix c1 = c0;
+      gemm_nt_minus_raw(m, n, k, a.data(), m, b.data(), n, c1.data(), m);
+      acc.push_back(std::move(c1));
+      DenseMatrix c2(m, n);
+      gemm_nt_neg_raw(m, n, k, a.data(), m, b.data(), n, c2.data(), m);
+      over.push_back(std::move(c2));
+    }
+    for (std::size_t i = 1; i < isas.size(); ++i) {
+      for (idx cc = 0; cc < n; ++cc) {
+        for (idx r = 0; r < m; ++r) {
+          ASSERT_EQ(acc[0](r, cc), acc[i](r, cc))
+              << kernel_isa_name(isas[i]) << " accumulate m=" << m << " n=" << n
+              << " k=" << k << " at (" << r << "," << cc << ")";
+          ASSERT_EQ(over[0](r, cc), over[i](r, cc))
+              << kernel_isa_name(isas[i]) << " overwrite m=" << m << " n=" << n
+              << " k=" << k << " at (" << r << "," << cc << ")";
+        }
+      }
+    }
+  }
+}
+
+// Same bitwise contract for the fp32 packed path (the mixed-precision
+// factorization's BMOD kernel).
+TEST(KernelIsa, PackedGemmF32BitwiseIdenticalAcrossPaths) {
+  const std::vector<KernelIsa> isas = supported_isas();
+  if (isas.size() < 2) GTEST_SKIP() << "only one ISA path on this host";
+  IsaGuard guard;
+  Rng rng(92);
+  const idx m = 100, n = 48, k = 65;
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> b(static_cast<std::size_t>(n) * k);
+  std::vector<float> c0(static_cast<std::size_t>(m) * n);
+  for (float& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (float& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (float& v : c0) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<std::vector<float>> acc, over;
+  for (KernelIsa isa : isas) {
+    ASSERT_TRUE(set_kernel_isa(isa));
+    std::vector<float> c1 = c0;
+    gemm_nt_minus_raw_f32(m, n, k, a.data(), m, b.data(), n, c1.data(), m);
+    acc.push_back(std::move(c1));
+    std::vector<float> c2(static_cast<std::size_t>(m) * n);
+    gemm_nt_neg_raw_f32(m, n, k, a.data(), m, b.data(), n, c2.data(), m);
+    over.push_back(std::move(c2));
+  }
+  for (std::size_t i = 1; i < isas.size(); ++i) {
+    for (std::size_t p = 0; p < acc[0].size(); ++p) {
+      ASSERT_EQ(acc[0][p], acc[i][p]) << kernel_isa_name(isas[i]) << " acc " << p;
+      ASSERT_EQ(over[0][p], over[i][p])
+          << kernel_isa_name(isas[i]) << " over " << p;
+    }
+  }
+}
+
+// --- fp32 kernels ----------------------------------------------------------
+
+// fp32 BFAC + BDIV against their fp64 counterparts: factor a random SPD
+// block in both precisions and compare within single-precision tolerance.
+TEST(KernelsF32, PotrfAndTrsmTrackFp64) {
+  Rng rng(37);
+  for (idx n : {1, 4, 17, 33, 48, 80}) {
+    const DenseMatrix a = random_spd(n, rng);
+    DenseMatrix l = a;
+    potrf_lower(l);
+    std::vector<float> lf(static_cast<std::size_t>(n) * n);
+    for (idx c = 0; c < n; ++c) {
+      for (idx r = 0; r < n; ++r) {
+        lf[static_cast<std::size_t>(c) * n + r] = static_cast<float>(a(r, c));
+      }
+    }
+    std::vector<idx> adjusted;
+    double first_bad = 0.0;
+    PivotControl pc;  // strict
+    EXPECT_EQ(potrf_lower_guarded_f32(n, lf.data(), n, pc, 0, adjusted,
+                                      &first_bad),
+              0);
+    double scale = 0.0;
+    for (idx c = 0; c < n; ++c) scale = std::max(scale, std::abs(l(c, c)));
+    for (idx c = 0; c < n; ++c) {
+      for (idx r = c; r < n; ++r) {
+        EXPECT_NEAR(lf[static_cast<std::size_t>(c) * n + r], l(r, c),
+                    2e-4 * scale * n)
+            << "n=" << n << " (" << r << "," << c << ")";
+      }
+      for (idx r = 0; r < c; ++r) {
+        EXPECT_EQ(lf[static_cast<std::size_t>(c) * n + r], 0.0f);
+      }
+    }
+
+    // BDIV: B L^{-T} in both precisions.
+    const idx m = 23;
+    DenseMatrix bd(m, n);
+    for (idx c = 0; c < n; ++c) {
+      for (idx r = 0; r < m; ++r) bd(r, c) = rng.uniform(-1.0, 1.0);
+    }
+    std::vector<float> bf(static_cast<std::size_t>(m) * n);
+    for (idx c = 0; c < n; ++c) {
+      for (idx r = 0; r < m; ++r) {
+        bf[static_cast<std::size_t>(c) * m + r] = static_cast<float>(bd(r, c));
+      }
+    }
+    trsm_right_ltrans(l, bd);
+    trsm_right_ltrans_f32(m, n, lf.data(), n, bf.data(), m);
+    double bscale = 0.0;
+    for (idx c = 0; c < n; ++c) {
+      for (idx r = 0; r < m; ++r) bscale = std::max(bscale, std::abs(bd(r, c)));
+    }
+    for (idx c = 0; c < n; ++c) {
+      for (idx r = 0; r < m; ++r) {
+        EXPECT_NEAR(bf[static_cast<std::size_t>(c) * m + r], bd(r, c),
+                    1e-3 * std::max(1.0, bscale) * n)
+            << "n=" << n << " (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+// fp32 strict breakdown: a pivot that survives in double but rounds to a
+// non-positive Schur complement in float must be reported (this is the
+// trigger for SparseCholesky's automatic fp64 retry).
+TEST(KernelsF32, StrictBreakdownOnFp32RoundedPivot) {
+  // [[1, b], [b, 1]] with b = 1 - 2^-25: b rounds to 1.0f, so the fp32
+  // Schur complement is exactly 0 while the fp64 one is 2^-24 - 2^-50 > 0.
+  const double b = 1.0 - std::ldexp(1.0, -25);
+  std::vector<float> a = {1.0f, static_cast<float>(b), 0.0f, 1.0f};
+  std::vector<idx> adjusted;
+  double first_bad = 1.0;
+  PivotControl pc;  // strict
+  EXPECT_EQ(potrf_lower_guarded_f32(2, a.data(), 2, pc, 10, adjusted,
+                                    &first_bad),
+            1);
+  ASSERT_EQ(adjusted.size(), 1u);
+  EXPECT_EQ(adjusted[0], 11);  // base_col + local
+  EXPECT_LE(first_bad, 0.0);
+
+  DenseMatrix ad(2, 2);
+  ad(0, 0) = 1.0;
+  ad(1, 0) = b;
+  ad(1, 1) = 1.0;
+  potrf_lower(ad);  // fp64 succeeds
+  EXPECT_GT(ad(1, 1), 0.0);
 }
 
 }  // namespace

@@ -436,6 +436,74 @@ TEST(Litmus, SwappedRetireOrderStrandsAMod) {
 }
 
 // ---------------------------------------------------------------------------
+// Litmus 3b: subtree-affinity frontier steal-exclusion (push_private /
+// acquire in work_queue.cpp). Below-frontier tasks sit on the owner's
+// PRIVATE stack — plain, unsynchronized memory — which is sound only
+// because thieves never look at it: steals are confined to the public
+// Chase-Lev deques above the frontier. The seeded bug lets an idle thief
+// scan the victim's private stack before stealing; the model flags the
+// unsynchronized read as a data race on the stack cells (and the take as
+// a double consume of the pinned task).
+// ---------------------------------------------------------------------------
+
+template <bool kBuggy>
+void affinity_body(Exec& ex) {
+  auto d = std::make_unique<MiniDeque<false>>();  // public deque, correct
+  Cell<long> priv_task(9, "private_stack_cell");  // one-slot private stack
+  Cell<int> priv_size(1, "private_stack_size");
+  Cell<int> pinned_consumed(0, "pinned_consumed");
+  Cell<int> shared_consumed(0, "shared_consumed");
+  d->push(7);  // the shared (above-frontier) task
+
+  ex.spawn([&] {  // owner: private stack first, then its own deque bottom
+    if (priv_size.read() > 0) {
+      priv_size.write(priv_size.read() - 1);
+      SPC_MODEL_ASSERT(priv_task.read() == 9, "owner sees its pinned task");
+      pinned_consumed.write(pinned_consumed.read() + 1);
+    }
+    long id = 0;
+    if (d->pop(id)) shared_consumed.write(shared_consumed.read() + 1);
+  });
+  ex.spawn([&] {  // thief: public deques only — unless seeded buggy
+    if (kBuggy) {
+      if (priv_size.read() > 0) {
+        priv_size.write(priv_size.read() - 1);
+        pinned_consumed.write(pinned_consumed.read() + 1);
+        return;
+      }
+    }
+    long id = 0;
+    if (d->steal(id)) {
+      SPC_MODEL_ASSERT(id == 7, "steals only reach the public deque");
+      shared_consumed.write(shared_consumed.read() + 1);
+    }
+  });
+  ex.join_all();
+  SPC_MODEL_ASSERT(pinned_consumed.read() == 1,
+                   "pinned task ran exactly once, on its owner");
+  SPC_MODEL_ASSERT(shared_consumed.read() == 1,
+                   "shared task consumed exactly once");
+}
+
+TEST(Litmus, AffinityPrivateStackIsThiefProof) {
+  Result res = explore(exhaustive_opts(), affinity_body<false>);
+  EXPECT_TRUE(res.ok) << res.report();
+  EXPECT_TRUE(res.exhausted);
+}
+
+TEST(Litmus, ThiefTouchingPrivateStackIsCaught) {
+  Result res = explore(exhaustive_opts(), affinity_body<true>);
+  ASSERT_FALSE(res.ok) << "seeded bug escaped " << res.schedules
+                       << " schedules";
+  EXPECT_TRUE(res.error.find("data race") != std::string::npos ||
+              res.error.find("exactly once") != std::string::npos)
+      << res.error;
+  Result rep = replay(res.trace, affinity_body<true>);
+  ASSERT_FALSE(rep.ok);
+  EXPECT_EQ(rep.error, res.error);
+}
+
+// ---------------------------------------------------------------------------
 // Litmus 4: FailureSlot first-failure claim. One CAS 0->1 elects the
 // recorder; the seeded bug claims with load-then-store, so two racing
 // failures both write the payload — a write-write race on the slot.
@@ -600,6 +668,47 @@ TEST(LitmusReal, WorkStealingQueuesConsumeExactlyOnce) {
   Result dfs = explore(exhaustive_opts(/*max_schedules=*/400), body);
   EXPECT_TRUE(dfs.ok) << dfs.report();
   Result pct = explore(pct_opts(pct_budget(200), 99), body);
+  EXPECT_TRUE(pct.ok) << pct.report();
+}
+
+TEST(LitmusReal, PrivateStackTasksStayWithOwner) {
+  // Drives the production WorkStealingQueues with a pinned item on worker
+  // 0's private stack and a public item on its deque: the pinned item must
+  // always be acquired by worker 0, from the private source, regardless of
+  // how the thief's steals interleave.
+  auto body = [](Exec& ex) {
+    WorkStealingQueues q(2);
+    Cell<int> consumed[2] = {};
+    consumed[0].set_name("pinned_item");
+    consumed[1].set_name("public_item");
+    Atomic<int> remaining{2};
+    q.push_private(0, WorkItem{0, 0});
+    q.push(0, WorkItem{1, 1});
+    auto worker = [&](int id) {
+      WorkItem item;
+      AcquireSource src;
+      while (q.acquire(id, item, &src)) {
+        if (item.id == 0) {
+          SPC_MODEL_ASSERT(id == 0, "pinned item acquired by its owner");
+          SPC_MODEL_ASSERT(src == AcquireSource::kPrivate,
+                           "pinned item came off the private stack");
+        }
+        Cell<int>& mark = consumed[item.id];
+        mark.write(mark.read() + 1);
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          q.shutdown();
+        }
+      }
+    };
+    ex.spawn([&, worker] { worker(0); });
+    ex.spawn([&, worker] { worker(1); });
+    ex.join_all();
+    SPC_MODEL_ASSERT(consumed[0].read() == 1, "pinned consumed exactly once");
+    SPC_MODEL_ASSERT(consumed[1].read() == 1, "public consumed exactly once");
+  };
+  Result dfs = explore(exhaustive_opts(/*max_schedules=*/400), body);
+  EXPECT_TRUE(dfs.ok) << dfs.report();
+  Result pct = explore(pct_opts(pct_budget(200), 41), body);
   EXPECT_TRUE(pct.ok) << pct.report();
 }
 

@@ -139,6 +139,13 @@ inline SparseCholesky analyze_from_args(const Args& args, const Loaded& m) {
   if (args.has("pivot-delta")) {
     opt.pivot_delta = std::stod(args.get("pivot-delta", ""));
   }
+  const std::string precision = args.get("precision", "fp64");
+  if (precision == "fp32-refine") {
+    opt.precision = SolverOptions::Precision::kFp32Refine;
+  } else {
+    SPC_CHECK(precision == "fp64",
+              "unknown --precision: " + precision + " (use fp64|fp32-refine)");
+  }
   const std::string ord =
       args.get("ordering", m.has_paper_ordering ? "paper" : "mmd");
   if (ord == "paper" && m.has_paper_ordering) {

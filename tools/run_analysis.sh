@@ -10,10 +10,12 @@
 #   4. AddressSanitizer build + suite      (SPC_SANITIZE=address)
 #   5. UBSanitizer build + suite           (SPC_SANITIZE=undefined)
 #   6. Fault-injection suite under ASan    (SPC_FAULTS=ON, -L fault)
-#   7. Concurrency model checking          (SPC_MODEL=ON, -L model: exhaustive
+#   7. Forced-ISA kernel suite             (test_linalg under each
+#      SPC_FORCE_ISA path the host supports; unsupported paths are skipped)
+#   8. Concurrency model checking          (SPC_MODEL=ON, -L model: exhaustive
 #      litmus + 10000 seeded PCT schedules per protocol)
-#   8. Clang thread-safety analysis build  (SPC_ANALYZE=ON)     [needs clang++]
-#   9. clang-tidy over src/ and tools/     (.clang-tidy)        [needs clang-tidy]
+#   9. Clang thread-safety analysis build  (SPC_ANALYZE=ON)     [needs clang++]
+#  10. clang-tidy over src/ and tools/     (.clang-tidy)        [needs clang-tidy]
 #
 # Steps 8-9 are skipped with a notice when the tools are not installed; the
 # script exits nonzero if any step that *did* run failed, and prints a
@@ -26,7 +28,7 @@ set -u
 
 cd "$(dirname "$0")/.."
 JOBS="${SPC_ANALYSIS_JOBS:-$(nproc)}"
-ALL_STEPS=(lint werror tsan asan ubsan faults model thread-safety tidy)
+ALL_STEPS=(lint werror tsan asan ubsan faults isa model thread-safety tidy)
 STEPS=("$@")
 [ ${#STEPS[@]} -eq 0 ] && STEPS=("${ALL_STEPS[@]}")
 for s in "${STEPS[@]}"; do
@@ -102,6 +104,46 @@ want ubsan && { step ubsan all -DSPC_SANITIZE=undefined || true; }
 # Deterministic fault injection under ASan: every injection site fires at
 # several seeds; termination must be clean and leak-free.
 want faults && { step faults fault -DSPC_FAULTS=ON -DSPC_SANITIZE=address || true; }
+
+# Forced-ISA sweep: the full linalg suite (packed-GEMM bitwise-identity
+# tests included) under each SPC_FORCE_ISA value the host can execute.
+# Paths the host lacks are skipped — the library refuses to force them by
+# design, so running would only test the refusal.
+if want isa; then
+  note isa
+  if ! cmake -B build-isa -S . >build-isa.log 2>&1 ||
+     ! cmake --build build-isa -j "$JOBS" --target test_linalg \
+       >>build-isa.log 2>&1; then
+    failures+=("isa (build)")
+    record isa FAIL
+    tail -40 build-isa.log
+  else
+    isa_fail=0
+    for path in scalar avx2 avx512; do
+      case "$path" in
+        avx2) grep -q ' avx2 \|avx2$' /proc/cpuinfo ||
+                { echo "isa: $path skipped (host lacks it)"; continue; } ;;
+        avx512) grep -q avx512f /proc/cpuinfo ||
+                  { echo "isa: $path skipped (host lacks it)"; continue; } ;;
+      esac
+      if SPC_FORCE_ISA="$path" ./build-isa/tests/test_linalg \
+           >>build-isa.log 2>&1; then
+        echo "isa: $path OK"
+      else
+        echo "isa: $path FAILED"
+        isa_fail=1
+      fi
+    done
+    if [ "$isa_fail" -eq 0 ]; then
+      record isa PASS
+      echo "isa: OK"
+    else
+      record isa FAIL
+      failures+=(isa)
+      tail -40 build-isa.log
+    fi
+  fi
+fi
 
 # Model-checked litmus suite over the lock-free protocols: exhaustive
 # exploration of the small twins plus SPC_MODEL_SCHEDULES seeded PCT

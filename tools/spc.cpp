@@ -4,6 +4,7 @@
 //                [--blocking uniform|supernode] [--block-cap N]
 //   spc solve    <matrix> [--ordering ...] [--refine]
 //                [--pivot-policy strict|perturb] [--pivot-delta D] [--raw]
+//                [--precision fp64|fp32-refine]
 //                [--nrhs N] [--threads N[,N...]] [--nrhs-block B]
 //                (--nrhs/--threads switch to a multi-RHS sweep through the
 //                panel/parallel solve path and print a timing table)
@@ -115,6 +116,11 @@ int cmd_solve(const Args& args) {
   std::printf("%s: solved %d equations, residual %.2e%s\n", m.name.c_str(),
               m.a.num_rows(), solve_residual(m.a, x, b),
               args.has("refine") ? " (with refinement)" : "");
+  if (chol.factorize_info().fp32) {
+    std::printf("precision: factored in fp32; solve applied fp64 refinement\n");
+  } else if (chol.factorize_info().fp32_fallback) {
+    std::printf("precision: fp32 factorization broke down; retried in fp64\n");
+  }
   if (chol.factorize_info().perturbed_pivots > 0) {
     std::printf("pivots: %lld perturbed (delta policy; solve applied one "
                 "refinement step)\n",

@@ -10,7 +10,8 @@
 // the permuted matrix's canonical form, the elimination tree and its
 // postorder, column counts, the supernode partition, the symbolic factor,
 // the block structure, the task graph, a symbolic execution of the
-// schedule, and — when --procs is given — the Cartesian-product mapping,
+// schedule, the subtree-affinity partitions for 2/4/8 workers, and — when
+// --procs is given — the Cartesian-product mapping,
 // domains, and a from-scratch recomputation of the work model and balance
 // statistics.
 //
@@ -38,6 +39,12 @@ int run(int argc, char** argv) {
 
   check::Report report = chol.check_analysis();
   report.merge(check::check_solve_dag(chol.structure()));
+  // Subtree-affinity partitions for the worker counts the shared-memory
+  // executor typically runs with: built and validated from scratch.
+  for (const int workers : {2, 4, 8}) {
+    report.merge(
+        check::check_affinity(chol.structure(), chol.task_graph(), workers));
+  }
   std::string scope = "analysis[" + cli::blocking_summary(chol.options()) + "]";
   if (args.has("procs")) {
     const idx procs = static_cast<idx>(std::stoi(args.get("procs", "64")));
