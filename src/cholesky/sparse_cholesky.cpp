@@ -1,7 +1,9 @@
 #include "cholesky/sparse_cholesky.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "factor/block_solve.hpp"
 #include "factor/fp32_factor.hpp"
@@ -35,6 +37,12 @@ bool invariants_enabled() {
 int auto_refine_steps(const FactorizeInfo& info) {
   if (info.fp32) return 2;
   return info.perturbed_pivots > 0 ? 1 : 0;
+}
+
+// Arms a per-request deadline from SolverOptions::deadline_s (< 0 = none;
+// exactly 0 = armed-and-already-expired).
+governor::Deadline arm_deadline(double limit_s) {
+  return limit_s >= 0.0 ? governor::Deadline(limit_s) : governor::Deadline();
 }
 
 }  // namespace
@@ -89,6 +97,9 @@ SparseCholesky SparseCholesky::analyze_ordered(const SymSparse& a,
   chol.bs_ = build_block_structure(chol.sf_, make_blocking(chol.sf_,
                                                            opt.blocking_options()));
   chol.tg_ = build_task_graph(chol.bs_);
+  // The budget exists even when uncapped so every run is accounted and
+  // peak_bytes() can size a cap for later governed runs.
+  chol.budget_ = std::make_shared<governor::MemoryBudget>(opt.mem_budget_bytes);
   if (invariants_enabled()) chol.check_analysis().require_ok("analyze");
   return chol;
 }
@@ -115,38 +126,180 @@ check::Report SparseCholesky::check_plan(const ParallelPlan& plan) const {
   return check::check_plan(bs_, tg_, plan.domains, plan.map, plan.balance);
 }
 
-void SparseCholesky::factorize() {
+void SparseCholesky::factorize_attempt(bool parallel, int num_threads,
+                                       const governor::Deadline* deadline) {
+  if (parallel) {
+    // The workspace pins the addresses of bs_/tg_; rebuild if this object
+    // was copied or moved since it was created (or it shares a copied-from
+    // peer's).
+    if (!pws_ || pws_->bs != &bs_ || pws_->tg != &tg_ || pws_.use_count() > 1) {
+      pws_ = std::make_shared<ParallelWorkspace>(bs_, tg_);
+    }
+    ParallelFactorOptions opt;
+    opt.num_threads = num_threads;
+    opt.pivot_policy = opt_.pivot_policy;
+    opt.pivot_delta = opt_.pivot_delta;
+    opt.info = &info_;
+    opt.budget = budget_;
+    opt.deadline = deadline;
+    factor_ = block_factorize_parallel(a_perm_, bs_, tg_, opt, pws_.get());
+    return;
+  }
   FactorizeOptions fopt;
   fopt.pivot_policy = opt_.pivot_policy;
   fopt.pivot_delta = opt_.pivot_delta;
+  fopt.budget = budget_;
+  fopt.deadline = deadline;
+  if (opt_.precision == SolverOptions::Precision::kFp32Refine) {
+    factor_ = block_factorize_fp32(a_perm_, bs_, tg_, fopt, &info_);
+  } else {
+    factor_ = block_factorize(a_perm_, bs_, fopt, &info_);
+  }
+}
+
+void SparseCholesky::factorize() {
+  const governor::Deadline dl = arm_deadline(opt_.deadline_s);
+  const governor::Deadline* deadline = dl.armed() ? &dl : nullptr;
   if (opt_.precision == SolverOptions::Precision::kFp32Refine) {
     try {
-      factor_ = block_factorize_fp32(a_perm_, bs_, tg_, fopt, &info_);
+      factorize_attempt(/*parallel=*/false, 1, deadline);
       return;
     } catch (const Error& e) {
       if (e.kind() != ErrorKind::kNotPositiveDefinite) throw;
       // fp32 rounding can push a barely-SPD pivot negative where the fp64
-      // factorization succeeds; retry in full precision and record it.
+      // factorization succeeds; retry in full precision and record it. This
+      // is the plain-factorize special case of the governed ladder's
+      // kFp32ToFp64 rung.
     }
+    FactorizeOptions fopt;
+    fopt.pivot_policy = opt_.pivot_policy;
+    fopt.pivot_delta = opt_.pivot_delta;
+    fopt.budget = budget_;
+    fopt.deadline = deadline;
     factor_ = block_factorize(a_perm_, bs_, fopt, &info_);
     info_.fp32_fallback = true;
     return;
   }
-  factor_ = block_factorize(a_perm_, bs_, fopt, &info_);
+  factorize_attempt(/*parallel=*/false, 1, deadline);
 }
 
 void SparseCholesky::factorize_parallel(int num_threads) {
-  // The workspace pins the addresses of bs_/tg_; rebuild if this object was
-  // copied or moved since it was created (or it shares a copied-from peer's).
-  if (!pws_ || pws_->bs != &bs_ || pws_->tg != &tg_ || pws_.use_count() > 1) {
-    pws_ = std::make_shared<ParallelWorkspace>(bs_, tg_);
+  const governor::Deadline dl = arm_deadline(opt_.deadline_s);
+  factorize_attempt(/*parallel=*/true, num_threads,
+                    dl.armed() ? &dl : nullptr);
+}
+
+void SparseCholesky::reblock() {
+  bs_ = build_block_structure(sf_, make_blocking(sf_, opt_.blocking_options()));
+  tg_ = build_task_graph(bs_);
+  // The factor and both workspaces are built against the old block
+  // structure; drop them (their budget charges release with them).
+  factor_.reset();
+  pws_.reset();
+  sws_.reset();
+}
+
+i64 SparseCholesky::estimate_factor_bytes(int num_threads) const {
+  return estimate_parallel_factor_bytes(bs_, tg_, num_threads);
+}
+
+void SparseCholesky::factorize_governed(int num_threads) {
+  const governor::RetryPolicy pol = opt_.retry;
+  const int max_attempts = std::max(1, pol.max_attempts);
+  const governor::Deadline dl = arm_deadline(opt_.deadline_s);
+  const governor::Deadline* deadline = dl.armed() ? &dl : nullptr;
+  bool parallel = num_threads != 1;
+  bool transient_retried = false;
+  std::vector<governor::DegradeRung> path;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      // Admission control: a parallel attempt whose predicted footprint
+      // cannot fit under the cap degrades immediately instead of running
+      // until the arena charge breaches mid-build.
+      if (parallel && budget_->budget_bytes() > 0) {
+        const i64 est = estimate_factor_bytes(num_threads);
+        if (est + budget_->in_use_bytes() > budget_->budget_bytes()) {
+          ErrorContext ctx;
+          ctx.bytes_requested = est;
+          ctx.bytes_in_use = budget_->in_use_bytes();
+          ctx.budget_bytes = budget_->budget_bytes();
+          ctx.has_budget = true;
+          ctx.phase = "factorize";
+          throw_budget_exceeded("predicted footprint exceeds memory budget",
+                                ctx);
+        }
+      }
+      factorize_attempt(parallel, num_threads, deadline);
+      info_.degrade_path = path;
+      // The plain-factorize flag for the ladder's fp32 rung, so existing
+      // introspection sees the same signal either way.
+      for (const governor::DegradeRung r : path) {
+        if (r == governor::DegradeRung::kFp32ToFp64) info_.fp32_fallback = true;
+      }
+      return;
+    } catch (const Error& e) {
+      const ErrorKind kind = e.kind();
+      bool have_rung = false;
+      governor::DegradeRung rung = governor::DegradeRung::kRetryTransient;
+      if (kind == ErrorKind::kNotPositiveDefinite) {
+        // Only an fp32 breakdown is recoverable: retry in full precision.
+        // An fp64 SPD failure is a property of the matrix, not the run.
+        if (pol.allow_degrade &&
+            opt_.precision == SolverOptions::Precision::kFp32Refine) {
+          opt_.precision = SolverOptions::Precision::kFp64;
+          rung = governor::DegradeRung::kFp32ToFp64;
+          have_rung = true;
+        }
+      } else if (kind == ErrorKind::kResourceExhausted) {
+        // Memory-pressure rungs, cheapest first: shrink the largest blocks
+        // (smaller scratch/arena slack), then the uniform partition, then
+        // give up the parallel workspace entirely.
+        if (pol.allow_degrade) {
+          if (opt_.blocking == BlockingPolicy::kSupernode &&
+              opt_.block_cap > opt_.block_size) {
+            opt_.block_cap = std::max(opt_.block_size, opt_.block_cap / 2);
+            reblock();
+            rung = governor::DegradeRung::kReducedBlockCap;
+            have_rung = true;
+          } else if (opt_.blocking == BlockingPolicy::kSupernode) {
+            opt_.blocking = BlockingPolicy::kUniform;
+            reblock();
+            rung = governor::DegradeRung::kSupernodeToUniform;
+            have_rung = true;
+          } else if (parallel) {
+            parallel = false;
+            rung = governor::DegradeRung::kParallelToSerial;
+            have_rung = true;
+          }
+        }
+      } else if (kind == ErrorKind::kInjectedFault ||
+                 kind == ErrorKind::kInternal) {
+        // Possibly-transient executor faults: one same-configuration retry
+        // (with optional backoff), then fall back to the serial engine.
+        if (!transient_retried) {
+          transient_retried = true;
+          if (pol.backoff_s > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(pol.backoff_s));
+          }
+          rung = governor::DegradeRung::kRetryTransient;
+          have_rung = true;
+        } else if (pol.allow_degrade && parallel) {
+          parallel = false;
+          rung = governor::DegradeRung::kParallelToSerial;
+          have_rung = true;
+        }
+      }
+      // kCancelled / kMalformedInput / kDeadlineExceeded, an exhausted
+      // ladder, or an exhausted attempt bound: surface the failure with the
+      // rungs already taken on record.
+      if (!have_rung || attempt >= max_attempts) {
+        info_.degrade_path = path;
+        throw;
+      }
+      path.push_back(rung);
+    }
   }
-  ParallelFactorOptions opt;
-  opt.num_threads = num_threads;
-  opt.pivot_policy = opt_.pivot_policy;
-  opt.pivot_delta = opt_.pivot_delta;
-  opt.info = &info_;
-  factor_ = block_factorize_parallel(a_perm_, bs_, tg_, opt, pws_.get());
 }
 
 const BlockFactor& SparseCholesky::factor() const {
@@ -193,14 +346,22 @@ std::vector<double> SparseCholesky::solve(const std::vector<double>& b,
   SPC_CHECK(static_cast<idx>(b.size()) == a_perm_.num_rows(),
             "solve(): right-hand side size mismatch");
   SolveWorkspace& ws = solve_workspace();
+  // Governance overlay: the solver's budget and a freshly armed per-request
+  // deadline, unless the caller supplied their own.
+  SolveOptions gopt = opt;
+  if (gopt.budget == nullptr) gopt.budget = budget_;
+  const governor::Deadline dl =
+      gopt.deadline == nullptr ? arm_deadline(opt_.deadline_s)
+                               : governor::Deadline();
+  if (dl.armed()) gopt.deadline = &dl;
   std::vector<double> pb(b.size());
   for (std::size_t k = 0; k < b.size(); ++k) {
     pb[k] = b[static_cast<std::size_t>(perm_[k])];
   }
   std::vector<double> px = pb;
-  block_solve_panel(*factor_, px.data(), 1, opt, &ws);
+  block_solve_panel(*factor_, px.data(), 1, gopt, &ws);
   for (int it = auto_refine_steps(info_); it > 0; --it) {
-    refine_once(a_perm_, *factor_, pb, px, opt, &ws);
+    refine_once(a_perm_, *factor_, pb, px, gopt, &ws);
   }
   std::vector<double> x(b.size());
   for (std::size_t k = 0; k < b.size(); ++k) {
@@ -216,12 +377,18 @@ void SparseCholesky::solve_multi(DenseMatrix& b, const SolveOptions& opt) const 
   if (b.cols() == 0) return;
   SolveWorkspace& ws = solve_workspace();
   const idx n = b.rows();
+  SolveOptions gopt = opt;
+  if (gopt.budget == nullptr) gopt.budget = budget_;
+  const governor::Deadline dl =
+      gopt.deadline == nullptr ? arm_deadline(opt_.deadline_s)
+                               : governor::Deadline();
+  if (dl.armed()) gopt.deadline = &dl;
   // Stage the permuted panel in the workspace's persistent buffer, solve in
   // place (block_solve_multi_parallel panels it by opt.nrhs_block), then
-  // permute back — zero allocation at steady state.
-  const std::size_t elems =
-      static_cast<std::size_t>(n) * static_cast<std::size_t>(b.cols());
-  if (ws.rhs.size() < elems) ws.rhs.resize(elems);
+  // permute back — zero allocation at steady state. Growth is charged
+  // against the budget (and covered by the SPC_FAULT alloc site).
+  const i64 elems = static_cast<i64>(n) * static_cast<i64>(b.cols());
+  ws.stage_rhs(elems, gopt.budget);
   for (idx c = 0; c < b.cols(); ++c) {
     const double* src = b.col(c);
     double* dst = ws.rhs.data() + static_cast<std::size_t>(c) * n;
@@ -229,7 +396,7 @@ void SparseCholesky::solve_multi(DenseMatrix& b, const SolveOptions& opt) const 
   }
   DenseMatrix staged;
   staged.attach(ws.rhs.data(), n, b.cols());
-  block_solve_multi_parallel(*factor_, staged, opt, &ws);
+  block_solve_multi_parallel(*factor_, staged, gopt, &ws);
   if (const int steps = auto_refine_steps(info_); steps > 0) {
     // Column-wise refinement against the unperturbed A (docs/ROBUSTNESS.md);
     // b still holds the original right-hand sides at this point.
@@ -241,7 +408,7 @@ void SparseCholesky::solve_multi(DenseMatrix& b, const SolveOptions& opt) const 
       for (idx k = 0; k < n; ++k) pb[static_cast<std::size_t>(k)] = src[perm_[k]];
       std::copy(sc, sc + n, px.begin());
       for (int it = 0; it < steps; ++it) {
-        refine_once(a_perm_, *factor_, pb, px, opt, &ws);
+        refine_once(a_perm_, *factor_, pb, px, gopt, &ws);
       }
       std::copy(px.begin(), px.end(), sc);
     }
@@ -261,14 +428,20 @@ std::vector<double> SparseCholesky::solve_refined(const std::vector<double>& b,
   SPC_CHECK(static_cast<idx>(b.size()) == a_perm_.num_rows(),
             "solve_refined(): right-hand side size mismatch");
   SolveWorkspace& ws = solve_workspace();
+  SolveOptions gopt = opt;
+  if (gopt.budget == nullptr) gopt.budget = budget_;
+  const governor::Deadline dl =
+      gopt.deadline == nullptr ? arm_deadline(opt_.deadline_s)
+                               : governor::Deadline();
+  if (dl.armed()) gopt.deadline = &dl;
   std::vector<double> pb(b.size());
   for (std::size_t k = 0; k < b.size(); ++k) {
     pb[k] = b[static_cast<std::size_t>(perm_[k])];
   }
   std::vector<double> px = pb;
-  block_solve_panel(*factor_, px.data(), 1, opt, &ws);
+  block_solve_panel(*factor_, px.data(), 1, gopt, &ws);
   for (int it = 0; it < max_iters; ++it) {
-    if (refine_once(a_perm_, *factor_, pb, px, opt, &ws) <= tol) break;
+    if (refine_once(a_perm_, *factor_, pb, px, gopt, &ws) <= tol) break;
   }
   std::vector<double> x(b.size());
   for (std::size_t k = 0; k < b.size(); ++k) {

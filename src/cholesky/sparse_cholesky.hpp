@@ -31,6 +31,7 @@
 #include "sim/cost_model.hpp"
 #include "sim/fanout_sim.hpp"
 #include "sim/machine.hpp"
+#include "support/governor.hpp"
 #include "support/types.hpp"
 #include "symbolic/amalgamate.hpp"
 #include "symbolic/symbolic_factor.hpp"
@@ -88,6 +89,21 @@ struct SolverOptions {
     kFp32Refine,  // fp32 factorization + fp64 iterative refinement
   };
   Precision precision = Precision::kFp64;
+
+  // --- Resource governance (docs/ROBUSTNESS.md §7) -------------------------
+  // Hard cap in bytes on governed allocations (factor arena, execution
+  // workspaces, per-worker scratch, fp32 arena, RHS staging). 0 = unlimited:
+  // accounting still runs, so memory_budget()->peak_bytes() measures a
+  // workload without capping it. A breach throws Error(kResourceExhausted)
+  // with the full accounting in its ErrorContext.
+  i64 mem_budget_bytes = 0;
+  // Per-request wall-clock limit in seconds, armed at the start of each
+  // factorize/solve call; < 0 = no deadline. A limit of exactly 0 is
+  // armed-and-already-expired (deterministic for tests). Breaches throw
+  // Error(kDeadlineExceeded).
+  double deadline_s = -1.0;
+  // Bounds and switches for factorize_governed()'s degradation ladder.
+  governor::RetryPolicy retry{};
 };
 
 // A processor count + block mapping + domain decomposition, with the load
@@ -119,6 +135,39 @@ class SparseCholesky {
   // same analyzed structure re-plan and allocate nothing.
   void factorize_parallel(int num_threads = 0);
   bool factorized() const { return factor_.has_value(); }
+
+  // Governed factorization: runs the configured engine under the solver's
+  // memory budget and a freshly armed deadline, walking an explicit
+  // degradation ladder on failure (docs/ROBUSTNESS.md §7):
+  //   fp32 breakdown          -> refactorize in fp64        (kFp32ToFp64)
+  //   memory-budget breach    -> halve block_cap, re-block  (kReducedBlockCap)
+  //                           -> uniform blocking, re-block (kSupernodeToUniform)
+  //                           -> serial engine              (kParallelToSerial)
+  //   transient fault         -> one same-config retry      (kRetryTransient)
+  //                           -> serial engine              (kParallelToSerial)
+  // Cancellation, malformed input, deadline breaches, and fp64 SPD failures
+  // are never retried. Every rung taken is recorded (in order) in
+  // factorize_info().degrade_path, the attempt count is bounded by
+  // options().retry.max_attempts, and a degraded configuration sticks:
+  // options() reflects the rungs taken. num_threads == 1 starts serial;
+  // anything else starts on the parallel executor. Before a parallel
+  // attempt, estimate_factor_bytes() gates admission so an infeasible
+  // request degrades without wasting numeric work.
+  void factorize_governed(int num_threads = 0);
+
+  // Predicted governed bytes of factorize_parallel(num_threads) for the
+  // current plan (factor/parallel_factor.hpp). 0 threads = hardware
+  // concurrency.
+  i64 estimate_factor_bytes(int num_threads = 0) const;
+
+  // The solver's byte accounting, created at analyze() time (account-only
+  // unless options().mem_budget_bytes caps it). All governed allocations of
+  // this solver charge here; in_use_bytes() returns to the cached
+  // workspaces' steady-state footprint after each run and to 0 when the
+  // solver and its workspaces die.
+  const std::shared_ptr<governor::MemoryBudget>& memory_budget() const {
+    return budget_;
+  }
 
   // Perturbation/breakdown accounting of the most recent factorize() /
   // factorize_parallel() call (zeroed before each run). Under kPerturb,
@@ -200,6 +249,14 @@ class SparseCholesky {
  private:
   SparseCholesky() = default;
 
+  // One ladder attempt: parallel executor or the serial engine selected by
+  // options().precision, under the given deadline and the solver's budget.
+  void factorize_attempt(bool parallel, int num_threads,
+                         const governor::Deadline* deadline);
+  // Rebuilds bs_/tg_ from the cached symbolic factorization after a ladder
+  // rung changed the blocking options; drops the factor and workspaces.
+  void reblock();
+
   std::vector<idx> perm_;      // final new->old (fill order composed with postorder)
   SymSparse a_perm_;
   std::vector<idx> parent_;    // column etree of a_perm_
@@ -219,6 +276,9 @@ class SparseCholesky {
   // const while the workspace's counters/scratch are per-run state.
   SolveWorkspace& solve_workspace() const;
   mutable std::shared_ptr<SolveWorkspace> sws_;
+  // Shared with cached workspaces and arena deleters, so accounting outlives
+  // the facade if a workspace does.
+  std::shared_ptr<governor::MemoryBudget> budget_;
 };
 
 // Convenience one-shot solve.

@@ -30,10 +30,27 @@ void relative_positions(const idx* sub_begin, const idx* sub_end,
 // addressed as column-major views with leading dimension = row count,
 // matching the DenseMatrix views attach_block_arena would create.
 struct F32Arena {
-  explicit F32Arena(const BlockArenaLayout& l)
-      : layout(l), data(static_cast<std::size_t>(l.total), 0.0f) {}
+  explicit F32Arena(const BlockArenaLayout& l,
+                    const std::shared_ptr<governor::MemoryBudget>& budget)
+      : layout(l) {
+    // Same governed-allocation protocol as the fp64 arena: the fault site
+    // can simulate failure, and the bytes are charged before allocation so
+    // a breach is a typed kResourceExhausted. The charge token releases on
+    // destruction (the fp32 arena dies when promotion finishes).
+    SPC_FAULT_POINT(fault::Site::kAlloc, l.total, "fp32 arena allocation");
+    charge_ = governor::BudgetCharge(budget);
+    charge_.add(l.total * static_cast<i64>(sizeof(float)), "factorize");
+    try {
+      data.assign(static_cast<std::size_t>(l.total), 0.0f);
+    } catch (const std::bad_alloc&) {
+      throw Error("fp32 arena allocation of " + std::to_string(l.total) +
+                      " floats failed",
+                  ErrorKind::kResourceExhausted);
+    }
+  }
 
   const BlockArenaLayout& layout;
+  governor::BudgetCharge charge_;
   std::vector<float> data;  // zero-initialized: init only scatters A
 
   float* diag(idx j) {
@@ -160,7 +177,7 @@ BlockFactor block_factorize_fp32(const SymSparse& a, const BlockStructure& bs,
   if (info != nullptr) info->reset();
   const idx nb = bs.num_block_cols();
   const BlockArenaLayout layout = compute_block_arena_layout(bs);
-  F32Arena f(layout);
+  F32Arena f(layout, opt.budget);
   for (idx j = 0; j < nb; ++j) init_block_column_f32(a, bs, j, f);
 
   // Right-looking sweep, structurally identical to block_factorize: BFAC(K),
@@ -171,6 +188,8 @@ BlockFactor block_factorize_fp32(const SymSparse& a, const BlockStructure& bs,
   PivotEnv pivots(bs, make_pivot_control(a, opt), /*deferred=*/false);
   std::size_t cursor = 0;
   for (idx k = 0; k < nb; ++k) {
+    // Supernode-boundary deadline check: one clock read per block column.
+    governor::Deadline::check(opt.deadline, "factorize");
     SPC_FAULT_POINT(fault::Site::kKernel, k, "BFAC");
     adjusted.clear();
     double first_bad = 0.0;
@@ -195,7 +214,7 @@ BlockFactor block_factorize_fp32(const SymSparse& a, const BlockStructure& bs,
   // Promote to the standard double factor (exact: float -> double). The
   // arena layouts share element offsets, so promotion is one linear pass.
   BlockFactor out;
-  attach_block_arena(bs, layout, out);
+  attach_block_arena(bs, layout, out, opt.budget);
   double* dst = out.arena.get();
   for (i64 i = 0; i < layout.total; ++i) {
     dst[i] = static_cast<double>(f.data[static_cast<std::size_t>(i)]);

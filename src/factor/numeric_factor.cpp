@@ -147,33 +147,48 @@ BlockArenaLayout compute_block_arena_layout(const BlockStructure& bs) {
 
 namespace {
 
-std::shared_ptr<double[]> allocate_arena(i64 elems) {
+std::shared_ptr<double[]> allocate_arena(
+    i64 elems, const std::shared_ptr<governor::MemoryBudget>& budget,
+    const char* phase) {
   constexpr std::align_val_t kAlign{64};
   if (elems <= 0) return nullptr;
+  // Charge before allocating: a breach surfaces as kResourceExhausted with
+  // the full accounting instead of bad_alloc. The deleter refunds the bytes
+  // when the last factor reference drops, so the budget tracks live arenas.
+  const i64 bytes = elems * static_cast<i64>(sizeof(double));
   SPC_FAULT_POINT(fault::Site::kAlloc, elems, "factor arena allocation");
+  if (budget != nullptr) budget->charge(bytes, phase);
   double* p = nullptr;
   try {
     p = static_cast<double*>(::operator new[](
         static_cast<std::size_t>(elems) * sizeof(double), kAlign));
   } catch (const std::bad_alloc&) {
+    if (budget != nullptr) budget->release(bytes);
     throw Error("factor arena allocation of " + std::to_string(elems) +
                     " doubles failed",
                 ErrorKind::kResourceExhausted);
+  } catch (...) {
+    if (budget != nullptr) budget->release(bytes);
+    throw;
   }
-  return std::shared_ptr<double[]>(
-      p, [](double* q) { ::operator delete[](q, kAlign); });
+  return std::shared_ptr<double[]>(p, [budget, bytes](double* q) {
+    ::operator delete[](q, kAlign);
+    if (budget != nullptr) budget->release(bytes);
+  });
 }
 
 }  // namespace
 
 void attach_block_arena(const BlockStructure& bs, const BlockArenaLayout& layout,
-                        BlockFactor& f) {
+                        BlockFactor& f,
+                        const std::shared_ptr<governor::MemoryBudget>& budget,
+                        const char* phase) {
   const idx nb = bs.num_block_cols();
   SPC_CHECK(static_cast<idx>(layout.diag_off.size()) == nb &&
                 static_cast<i64>(layout.entry_off.size()) == bs.num_entries(),
             "attach_block_arena: layout/structure mismatch");
   f.structure = &bs;
-  f.arena = allocate_arena(layout.total);
+  f.arena = allocate_arena(layout.total, budget, phase);
   f.arena_elems = layout.total;
   f.diag.resize(static_cast<std::size_t>(nb));
   f.offdiag.resize(static_cast<std::size_t>(bs.num_entries()));
@@ -241,11 +256,13 @@ void init_block_column(const SymSparse& a, const BlockStructure& bs, idx j,
   }
 }
 
-BlockFactor init_block_factor(const SymSparse& a, const BlockStructure& bs) {
+BlockFactor init_block_factor(
+    const SymSparse& a, const BlockStructure& bs,
+    const std::shared_ptr<governor::MemoryBudget>& budget) {
   SPC_CHECK(a.num_rows() == bs.part.num_cols(),
             "init_block_factor: matrix/structure size mismatch");
   BlockFactor f;
-  attach_block_arena(bs, compute_block_arena_layout(bs), f);
+  attach_block_arena(bs, compute_block_arena_layout(bs), f, budget);
   for (idx j = 0; j < bs.num_block_cols(); ++j) init_block_column(a, bs, j, f);
   return f;
 }
@@ -468,7 +485,7 @@ BlockFactor block_factorize_left(const SymSparse& a, const BlockStructure& bs,
                                  const FactorizeOptions& opt,
                                  FactorizeInfo* info) {
   if (info != nullptr) info->reset();
-  BlockFactor f = init_block_factor(a, bs);
+  BlockFactor f = init_block_factor(a, bs, opt.budget);
   const idx nb = bs.num_block_cols();
 
   // Bucket mods by destination block column.
@@ -492,6 +509,8 @@ BlockFactor block_factorize_left(const SymSparse& a, const BlockStructure& bs,
   std::vector<idx> adjusted;
   PivotEnv pivots(bs, make_pivot_control(a, opt), /*deferred=*/false);
   for (idx j = 0; j < nb; ++j) {
+    // Supernode-boundary deadline check: one clock read per block column.
+    governor::Deadline::check(opt.deadline, "factorize");
     // Pull all updates into column j (their sources live in columns < j and
     // are already complete), then factor the column.
     for (i64 k = dptr[static_cast<std::size_t>(j)]; k < dptr[static_cast<std::size_t>(j) + 1]; ++k) {
@@ -513,7 +532,7 @@ BlockFactor block_factorize(const SymSparse& a, const BlockStructure& bs,
                             const FactorizeOptions& opt, FactorizeInfo* info) {
   if (info != nullptr) info->reset();
   const TaskGraph tg = build_task_graph(bs);
-  BlockFactor f = init_block_factor(a, bs);
+  BlockFactor f = init_block_factor(a, bs, opt.budget);
   const idx nb = bs.num_block_cols();
 
   // Right-looking sweep: factor column K, then push its updates.
@@ -523,6 +542,8 @@ BlockFactor block_factorize(const SymSparse& a, const BlockStructure& bs,
   PivotEnv pivots(bs, make_pivot_control(a, opt), /*deferred=*/false);
   std::size_t cursor = 0;
   for (idx k = 0; k < nb; ++k) {
+    // Supernode-boundary deadline check: one clock read per block column.
+    governor::Deadline::check(opt.deadline, "factorize");
     bfac_guarded(k, f, pivots, adjusted);  // BFAC(K,K)
     for (i64 e = bs.blkptr[k]; e < bs.blkptr[k + 1]; ++e) {
       SPC_FAULT_POINT(fault::Site::kKernel, nb + e, "BDIV");

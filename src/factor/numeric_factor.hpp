@@ -18,6 +18,7 @@
 #include "linalg/dense_matrix.hpp"
 #include "linalg/kernels.hpp"
 #include "support/error.hpp"
+#include "support/governor.hpp"
 #include "support/sync.hpp"
 #include "support/types.hpp"
 
@@ -33,6 +34,12 @@ namespace spc {
 struct FactorizeOptions {
   PivotPolicy pivot_policy = PivotPolicy::kStrict;
   double pivot_delta = kDefaultPivotDelta;
+  // Resource governance (docs/ROBUSTNESS.md §7). When set, every large
+  // allocation (arena, scratch) is charged against `budget` before it
+  // happens, and the serial engines poll `deadline` at block-column
+  // boundaries. Both default off; a null budget/deadline costs nothing.
+  std::shared_ptr<governor::MemoryBudget> budget = nullptr;
+  const governor::Deadline* deadline = nullptr;
 };
 
 // Outcome report for one factorization run.
@@ -45,12 +52,18 @@ struct FactorizeInfo {
                                // (block_factorize_fp32); solves should refine
   bool fp32_fallback = false;  // fp32 pass broke down under kStrict and the
                                // caller automatically re-factored in fp64
+  // Degradation rungs taken by the facade's governed retry loop
+  // (SparseCholesky::factorize_governed), in the order walked. Empty for a
+  // first-attempt success. fp32_fallback above is the plain-factorize
+  // special case of the kFp32ToFp64 rung and is still set alongside it.
+  std::vector<governor::DegradeRung> degrade_path;
   void reset() {
     perturbed_pivots = 0;
     perturbed_cols.clear();
     breakdown_col = kNone;
     fp32 = false;
     fp32_fallback = false;
+    degrade_path.clear();
   }
 };
 
@@ -140,9 +153,15 @@ BlockArenaLayout compute_block_arena_layout(const BlockStructure& bs);
 
 // Allocates f's arena (contents uninitialized) and attaches every
 // diag/offdiag block as a view into it. Fill with init_block_column before
-// use. The layout must come from compute_block_arena_layout(bs).
+// use. The layout must come from compute_block_arena_layout(bs). With a
+// budget, the arena bytes are charged before allocation (throwing
+// kResourceExhausted with typed context on breach) and released by the
+// arena's deleter when the last reference drops.
 void attach_block_arena(const BlockStructure& bs, const BlockArenaLayout& layout,
-                        BlockFactor& f);
+                        BlockFactor& f,
+                        const std::shared_ptr<governor::MemoryBudget>& budget =
+                            nullptr,
+                        const char* phase = "factorize");
 
 // Zeroes block column j's blocks and scatters A's columns of that block
 // column into them. Touches only column j's storage, so distinct columns can
@@ -172,8 +191,11 @@ BlockFactor block_factorize_left(const SymSparse& a, const BlockStructure& bs,
 
 // --- Building blocks shared with the parallel executor ---------------------
 
-// Allocates all blocks and scatters A into them.
-BlockFactor init_block_factor(const SymSparse& a, const BlockStructure& bs);
+// Allocates all blocks and scatters A into them. The arena bytes are
+// charged against `budget` when one is given (see attach_block_arena).
+BlockFactor init_block_factor(const SymSparse& a, const BlockStructure& bs,
+                              const std::shared_ptr<governor::MemoryBudget>&
+                                  budget = nullptr);
 
 // Applies one BMOD(I,J,K) from the task graph: computes the outer-product
 // update of the two source blocks and scatters it into the destination

@@ -100,9 +100,26 @@ ParallelWorkspace::ParallelWorkspace(const BlockStructure& bs_in,
         static_cast<i64>(tg_in.rows_of_block[static_cast<std::size_t>(b)]) *
             bs_in.part.width(tg_in.col_of_block[static_cast<std::size_t>(b)]));
   }
+
+  // Static footprint (charged retroactively when prepare_run first sees a
+  // budget): the per-plan arrays built above.
+  footprint_bytes =
+      static_cast<i64>((prio.completion.size() + prio.mod.size() +
+                        dest_prio.size() + src_ptr.size() + src_mods.size() +
+                        layout.diag_off.size() + layout.entry_off.size()) *
+                       sizeof(i64));
 }
 
-void ParallelWorkspace::prepare_run(int num_threads, bool use_affinity) {
+void ParallelWorkspace::prepare_run(
+    int num_threads, bool use_affinity,
+    const std::shared_ptr<governor::MemoryBudget>& budget) {
+  // Bind (or re-bind) the governed accounting. A budget change re-charges
+  // the bytes this workspace already holds under the new budget, so a cached
+  // workspace handed to a governed facade is metered from the first run.
+  if (budget != charge.budget()) {
+    charge.rebind(budget);
+    charge.add(footprint_bytes, "factorize");
+  }
   if (use_affinity) {
     if (affinity.empty() || affinity_threads != num_threads) {
       affinity = subtree_affinity_partition(num_threads, *bs, *tg);
@@ -115,6 +132,13 @@ void ParallelWorkspace::prepare_run(int num_threads, bool use_affinity) {
   const i64 num_blocks = tg->num_blocks();
   const i64 num_mods = static_cast<i64>(tg->mods.size());
   if (!deps) {
+    const i64 counter_bytes =
+        num_blocks * static_cast<i64>(2 * sizeof(spc::atomic<i64>) +
+                                      2 * sizeof(spc::atomic<int>)) +
+        num_mods * static_cast<i64>(sizeof(spc::atomic<i64>) +
+                                    sizeof(spc::atomic<int>));
+    charge.add(counter_bytes, "factorize");  // charge before allocating
+    footprint_bytes += counter_bytes;
     deps = std::make_unique<spc::atomic<i64>[]>(static_cast<std::size_t>(num_blocks));
     pending = std::make_unique<spc::atomic<int>[]>(static_cast<std::size_t>(num_mods));
     mod_next = std::make_unique<spc::atomic<i64>[]>(static_cast<std::size_t>(num_mods));
@@ -141,9 +165,6 @@ void ParallelWorkspace::prepare_run(int num_threads, bool use_affinity) {
         std::memory_order_relaxed);
     mod_next[static_cast<std::size_t>(m)].store(kEmptyList, std::memory_order_relaxed);
   }
-  if (static_cast<int>(scratch.size()) < num_threads) {
-    scratch.resize(static_cast<std::size_t>(num_threads));
-  }
   // High-water scratch reservation (capped at 32 MiB for safety; a vector
   // that once grew past the cap keeps its capacity, so even outsized blocks
   // allocate at most once over the workspace lifetime).
@@ -151,6 +172,17 @@ void ParallelWorkspace::prepare_run(int num_threads, bool use_affinity) {
       static_cast<idx>(std::min<i64>(max_update_elems, i64{1} << 22));
   const idx accum_cap =
       static_cast<idx>(std::min<i64>(max_block_elems, i64{1} << 22));
+  if (static_cast<int>(scratch.size()) < num_threads) {
+    // Per-worker scratch growth is the other big workspace allocation:
+    // charge the new workers' reserved buffers before they materialize.
+    const i64 grow = num_threads - static_cast<i64>(scratch.size());
+    const i64 scratch_bytes =
+        grow * (static_cast<i64>(update_cap) + accum_cap) *
+        static_cast<i64>(sizeof(double));
+    charge.add(scratch_bytes, "factorize");
+    footprint_bytes += scratch_bytes;
+    scratch.resize(static_cast<std::size_t>(num_threads));
+  }
   for (WorkerScratch& s : scratch) {
     s.update.reserve(update_cap, 1);
     s.accum.reserve(accum_cap, 1);
@@ -176,7 +208,9 @@ class WorkStealingExecutor {
                        const TaskGraph& tg, int num_threads,
                        ParallelWorkspace& ws, ParallelProfile* prof,
                        PivotEnv* pivots, const spc::atomic<bool>* cancel,
-                       bool affinity)
+                       bool affinity,
+                       const std::shared_ptr<governor::MemoryBudget>& budget,
+                       const governor::Deadline* deadline)
       : a_(a),
         bs_(bs),
         tg_(tg),
@@ -187,11 +221,12 @@ class WorkStealingExecutor {
         barrier_remaining_(num_threads),
         prof_(prof),
         pivots_(pivots),
-        cancel_(cancel) {
+        cancel_(cancel),
+        deadline_(deadline) {
     SPC_CHECK(ws.bs == &bs && ws.tg == &tg,
               "block_factorize_parallel: workspace built for another plan");
-    ws_.prepare_run(num_threads, affinity);
-    attach_block_arena(bs_, ws_.layout, factor_);
+    ws_.prepare_run(num_threads, affinity, budget);
+    attach_block_arena(bs_, ws_.layout, factor_, budget);
     if (prof_) {
       prof_->workers.assign(static_cast<std::size_t>(num_threads), {});
       prof_->wall_s = 0;
@@ -306,6 +341,10 @@ class WorkStealingExecutor {
     // left fully consumed — ready for the next prepare_run.
     ParallelWorkspace::WorkerScratch& s =
         ws_.scratch[static_cast<std::size_t>(id)];
+    // Per-worker amortized deadline polling: a clock read only every few
+    // tasks when far from expiry, every task inside the near window, so
+    // overshoot is bounded by one task's duration.
+    governor::DeadlinePoller deadline_poll(deadline_);
     WorkItem item;
     for (;;) {
       // relaxed polls: cancellation is advisory — a worker that misses the
@@ -317,6 +356,17 @@ class WorkStealingExecutor {
         fail(std::make_exception_ptr(
                  Error("factorization cancelled", ErrorKind::kCancelled)),
              -1, FailureSlot::Phase::kCancel);
+      }
+      // A deadline breach tears down exactly like cancellation: record the
+      // failure, then keep draining the DAG as no-ops. (relaxed guard: same
+      // advisory pattern as the cancel poll above.)
+      if (deadline_ != nullptr &&
+          !cancelled_.load(std::memory_order_relaxed)) {
+        try {
+          deadline_poll.poll("factorize");
+        } catch (...) {
+          fail(std::current_exception(), -1, FailureSlot::Phase::kCancel);
+        }
       }
       const auto ti = pw ? Clock::now() : Clock::time_point{};
       AcquireSource src = AcquireSource::kOwn;
@@ -623,6 +673,7 @@ class WorkStealingExecutor {
   ParallelProfile* prof_;
   PivotEnv* pivots_;
   const spc::atomic<bool>* cancel_;
+  const governor::Deadline* deadline_;
   FailureSlot slot_;
   spc::atomic<bool> cancelled_{false};
   spc::atomic<i64> completed_{0};
@@ -637,14 +688,17 @@ class GlobalQueueExecutor {
  public:
   GlobalQueueExecutor(const SymSparse& a, const BlockStructure& bs,
                       const TaskGraph& tg, int num_threads, PivotEnv* pivots,
-                      const spc::atomic<bool>* cancel)
+                      const spc::atomic<bool>* cancel,
+                      const std::shared_ptr<governor::MemoryBudget>& budget,
+                      const governor::Deadline* deadline)
       : bs_(bs),
         tg_(tg),
-        factor_(init_block_factor(a, bs)),
+        factor_(init_block_factor(a, bs, budget)),
         block_locks_(tg.num_blocks()),
         threads_(num_threads),
         pivots_(pivots),
-        cancel_(cancel) {
+        cancel_(cancel),
+        deadline_(deadline) {
     const i64 nb = bs.num_block_cols();
     const i64 num_blocks = tg.num_blocks();
     // Counter init is relaxed throughout the constructor: the workers that
@@ -756,12 +810,22 @@ class GlobalQueueExecutor {
   void worker() {
     DenseMatrix update;
     std::vector<idx> rel_rows;
+    governor::DeadlinePoller deadline_poll(deadline_);
     Task task{};
     while (pop(task)) {
       // relaxed poll: advisory cancellation (see WorkStealingExecutor).
       if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
         fail(std::make_exception_ptr(
             Error("factorization cancelled", ErrorKind::kCancelled)));
+        return;
+      }
+      // Amortized deadline poll at the task-acquire boundary. This backend
+      // aborts on failure (it has no drain protocol), matching its existing
+      // error path.
+      try {
+        deadline_poll.poll("factorize");
+      } catch (...) {
+        fail(std::current_exception());
         return;
       }
       try {
@@ -827,6 +891,7 @@ class GlobalQueueExecutor {
   int threads_;
   PivotEnv* pivots_;
   const spc::atomic<bool>* cancel_;
+  const governor::Deadline* deadline_;
   Mutex queue_mutex_;
   CondVar queue_cv_;
   std::deque<Task> queue_ SPC_GUARDED_BY(queue_mutex_);
@@ -897,7 +962,8 @@ BlockFactor block_factorize_parallel(const SymSparse& a, const BlockStructure& b
   fopt.pivot_delta = opt.pivot_delta;
   PivotEnv pivots(bs, make_pivot_control(a, fopt), /*deferred=*/true);
   if (opt.scheduler == ParallelFactorOptions::Scheduler::kGlobalQueue) {
-    GlobalQueueExecutor exec(a, bs, tg, threads, &pivots, opt.cancel);
+    GlobalQueueExecutor exec(a, bs, tg, threads, &pivots, opt.cancel,
+                             opt.budget, opt.deadline);
     BlockFactor f;
     try {
       f = exec.run();
@@ -922,7 +988,8 @@ BlockFactor block_factorize_parallel(const SymSparse& a, const BlockStructure& b
   if (env_dump && prof == nullptr) prof = &env_profile;
   WorkStealingExecutor exec(
       a, bs, tg, threads, *ws, prof, &pivots, opt.cancel,
-      opt.affinity == ParallelFactorOptions::Affinity::kSubtree);
+      opt.affinity == ParallelFactorOptions::Affinity::kSubtree, opt.budget,
+      opt.deadline);
   BlockFactor f;
   try {
     f = exec.run();
@@ -934,6 +1001,53 @@ BlockFactor block_factorize_parallel(const SymSparse& a, const BlockStructure& b
   pivots.export_info(opt.info);
   if (pivots.has_breakdown()) pivots.throw_breakdown();
   return f;
+}
+
+i64 estimate_parallel_factor_bytes(const BlockStructure& bs, const TaskGraph& tg,
+                                   int num_threads) {
+  int threads = num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  const BlockArenaLayout layout = compute_block_arena_layout(bs);
+  const i64 num_blocks = tg.num_blocks();
+  const i64 num_mods = static_cast<i64>(tg.mods.size());
+  // Mirror of ParallelWorkspace's governed accounting (constructor +
+  // prepare_run): the static per-plan arrays, the per-run counters, and the
+  // reserved per-worker scratch. The peak-accounting test pins this mirror
+  // against the budget's measured peak.
+  i64 src_entries = 0;
+  i64 max_update = 0;
+  for (const BlockMod& m : tg.mods) {
+    src_entries += m.src_a == m.src_b ? 1 : 2;
+    max_update = std::max(
+        max_update,
+        static_cast<i64>(tg.rows_of_block[static_cast<std::size_t>(m.src_a)]) *
+            tg.rows_of_block[static_cast<std::size_t>(m.src_b)]);
+  }
+  i64 max_block = 0;
+  for (i64 b = 0; b < num_blocks; ++b) {
+    max_block = std::max(
+        max_block,
+        static_cast<i64>(tg.rows_of_block[static_cast<std::size_t>(b)]) *
+            bs.part.width(tg.col_of_block[static_cast<std::size_t>(b)]));
+  }
+  const i64 update_cap = std::min<i64>(max_update, i64{1} << 22);
+  const i64 accum_cap = std::min<i64>(max_block, i64{1} << 22);
+  i64 bytes = layout.total * static_cast<i64>(sizeof(double));  // factor arena
+  bytes += static_cast<i64>(layout.diag_off.size() + layout.entry_off.size() +
+                            // completion + mod priorities, dest_prio, src CSR
+                            num_blocks + num_mods + num_blocks +
+                            (num_blocks + 1) + src_entries) *
+           static_cast<i64>(sizeof(i64));
+  bytes += num_blocks * static_cast<i64>(2 * sizeof(spc::atomic<i64>) +
+                                         2 * sizeof(spc::atomic<int>)) +
+           num_mods * static_cast<i64>(sizeof(spc::atomic<i64>) +
+                                       sizeof(spc::atomic<int>));
+  bytes += static_cast<i64>(threads) * (update_cap + accum_cap) *
+           static_cast<i64>(sizeof(double));
+  return bytes;
 }
 
 }  // namespace spc

@@ -166,11 +166,23 @@ struct ParallelWorkspace {
   AffinityPartition affinity;
   int affinity_threads = 0;  // thread count the cached partition was built for
 
+  // Governed accounting (docs/ROBUSTNESS.md §7): bytes this workspace holds
+  // — counter arrays plus reserved per-worker scratch — tracked in
+  // footprint_bytes and charged against the budget handed to prepare_run.
+  // The charge follows the workspace's lifetime: released when it dies,
+  // rebound (and re-charged) when a run arrives under a different budget.
+  governor::BudgetCharge charge;
+  i64 footprint_bytes = 0;
+
   // Re-initializes the atomic counters for a fresh run and grows the
   // per-worker scratch to `num_threads` entries (existing entries, and any
   // run with the same or fewer threads, reuse their buffers). When
   // `use_affinity` is set, also (re)builds the cached affinity partition.
-  void prepare_run(int num_threads, bool use_affinity = false);
+  // With a budget, allocations are charged before they happen and a breach
+  // throws Error(kResourceExhausted) with typed context.
+  void prepare_run(int num_threads, bool use_affinity = false,
+                   const std::shared_ptr<governor::MemoryBudget>& budget =
+                       nullptr);
 };
 
 struct ParallelFactorOptions {
@@ -216,6 +228,14 @@ struct ParallelFactorOptions {
   // call throws Error(kCancelled) after a clean join. The workspace stays
   // reusable.
   const spc::atomic<bool>* cancel = nullptr;
+
+  // Resource governance (docs/ROBUSTNESS.md §7). `budget` meters the factor
+  // arena and workspace allocations; `deadline` is polled at task-acquire
+  // boundaries with amortized clock reads (governor::DeadlinePoller) — a
+  // breach tears the run down exactly like cancellation (DAG drains as
+  // no-ops, workspace stays reusable) but throws Error(kDeadlineExceeded).
+  std::shared_ptr<governor::MemoryBudget> budget = nullptr;
+  const governor::Deadline* deadline = nullptr;
 };
 
 // Factors `a` over the given block structure / task graph. When `ws` is
@@ -233,5 +253,15 @@ BlockFactor block_factorize_parallel(const SymSparse& a, const BlockStructure& b
                                      const TaskGraph& tg,
                                      const ParallelFactorOptions& opt = {},
                                      ParallelWorkspace* ws = nullptr);
+
+// Predicted governed bytes of a `num_threads`-way parallel factorization of
+// this plan: factor arena + workspace static arrays + per-run counters +
+// reserved per-worker scratch — every allocation block_factorize_parallel
+// charges against a MemoryBudget. Conservative upper bound on the measured
+// peak (it assumes full scratch reservation); the facade uses it for
+// admission control before numeric work starts. 0 threads = hardware
+// concurrency.
+i64 estimate_parallel_factor_bytes(const BlockStructure& bs, const TaskGraph& tg,
+                                   int num_threads);
 
 }  // namespace spc

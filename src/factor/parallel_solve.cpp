@@ -131,9 +131,76 @@ SolveWorkspace::SolveWorkspace(const BlockStructure& bs_in) : bs(&bs_in) {
   if (nb == 0) fwd_levels = bwd_levels = 0;
 }
 
-void SolveWorkspace::prepare_run(int num_threads, idx nrhs) {
+void SolveWorkspace::bind_budget(
+    const std::shared_ptr<governor::MemoryBudget>& budget) {
+  if (budget == charge.budget()) return;
+  // Budget change: re-charge what the workspace already holds so a cached
+  // workspace handed to a governed facade is metered from the first run.
+  charge.rebind(budget);
+  i64 held = scratch_bytes();
+  if (deps) {
+    held += static_cast<i64>(bs->num_block_cols()) *
+            static_cast<i64>(sizeof(spc::atomic<i64>));
+  }
+  charge.add(held, "solve");
+}
+
+void SolveWorkspace::stage_rhs(
+    i64 elems, const std::shared_ptr<governor::MemoryBudget>& budget) {
+  bind_budget(budget);
+  if (static_cast<i64>(rhs.size()) >= elems) return;
+  const i64 grow_bytes =
+      (elems - static_cast<i64>(rhs.size())) * static_cast<i64>(sizeof(double));
+  SPC_FAULT_POINT(fault::Site::kAlloc, elems, "solve RHS staging allocation");
+  charge.add(grow_bytes, "solve");
+  rhs.resize(static_cast<std::size_t>(elems));
+}
+
+void SolveWorkspace::prepare_run(
+    int num_threads, idx nrhs,
+    const std::shared_ptr<governor::MemoryBudget>& budget) {
+  bind_budget(budget);
   const idx nb = bs->num_block_cols();
   const idx n = bs->part.num_cols();
+
+  // Governed growth: everything this call may allocate — the dependency
+  // counters, new workers' scratch, and per-worker accumulator/update-panel
+  // growth — is summed and charged before any allocation happens. The alloc
+  // fault site covers the growth path, so tests can prove the workspace
+  // stays reusable after an injected workspace-allocation failure.
+  {
+    const i64 accum_elems = static_cast<i64>(n) * nrhs;
+    const i64 new_update_res =
+        std::max(update_reserved, max_entry_rows * nrhs);
+    i64 grow_bytes = 0;
+    if (!deps) {
+      grow_bytes +=
+          static_cast<i64>(nb) * static_cast<i64>(sizeof(spc::atomic<i64>));
+    }
+    for (const WorkerScratch& s : scratch) {
+      if (static_cast<i64>(s.accum.size()) < accum_elems) {
+        grow_bytes += (accum_elems - static_cast<i64>(s.accum.size())) *
+                      static_cast<i64>(sizeof(double));
+      }
+      grow_bytes +=
+          (new_update_res - update_reserved) * static_cast<i64>(sizeof(double));
+      if (static_cast<i64>(s.ready.capacity()) < nb) {
+        grow_bytes += (nb - static_cast<i64>(s.ready.capacity())) *
+                      static_cast<i64>(sizeof(i64));
+      }
+    }
+    if (static_cast<int>(scratch.size()) < num_threads) {
+      grow_bytes += (num_threads - static_cast<i64>(scratch.size())) *
+                    ((accum_elems + new_update_res) *
+                         static_cast<i64>(sizeof(double)) +
+                     static_cast<i64>(nb) * static_cast<i64>(sizeof(i64)));
+    }
+    if (grow_bytes > 0) {
+      SPC_FAULT_POINT(fault::Site::kAlloc, grow_bytes,
+                      "solve workspace allocation");
+      charge.add(grow_bytes, "solve");
+    }
+  }
   if (!deps) {
     deps = std::make_unique<spc::atomic<i64>[]>(static_cast<std::size_t>(nb));
   }
@@ -208,6 +275,8 @@ void run_serial_panel(const BlockFactor& f, double* x, idx nrhs,
   const auto t0 = Clock::now();
   for (idx k = 0; k < nb; ++k) {
     check_cancel(opt.cancel);
+    // Per-column deadline check: one clock read per block column.
+    governor::Deadline::check(opt.deadline, "solve");
     SPC_FAULT_POINT(fault::Site::kKernel, k, "solve forward column");
     const idx first = bs.part.first_col[k];
     const idx w = bs.part.width(k);
@@ -233,6 +302,7 @@ void run_serial_panel(const BlockFactor& f, double* x, idx nrhs,
   const auto t1 = Clock::now();
   for (idx k = nb - 1; k >= 0; --k) {
     check_cancel(opt.cancel);
+    governor::Deadline::check(opt.deadline, "solve");
     SPC_FAULT_POINT(fault::Site::kKernel, nb + k, "solve backward column");
     const idx first = bs.part.first_col[k];
     const idx w = bs.part.width(k);
@@ -283,7 +353,9 @@ class SolveExecutor {
  public:
   SolveExecutor(const BlockFactor& f, double* x, idx nrhs, int threads,
                 SolveWorkspace& ws, SolveProfile* prof,
-                const spc::atomic<bool>* cancel)
+                const spc::atomic<bool>* cancel,
+                const std::shared_ptr<governor::MemoryBudget>& budget,
+                const governor::Deadline* deadline)
       : f_(f),
         bs_(*f.structure),
         ws_(ws),
@@ -296,8 +368,9 @@ class SolveExecutor {
         bwd_queues_(threads),
         barrier_remaining_(threads),
         prof_(prof),
-        cancel_(cancel) {
-    ws_.prepare_run(threads, nrhs);
+        cancel_(cancel),
+        deadline_(deadline) {
+    ws_.prepare_run(threads, nrhs, budget);
     if (prof_ != nullptr) {
       prof_->workers.assign(static_cast<std::size_t>(threads), {});
       prof_->nrhs = static_cast<int>(nrhs);
@@ -398,6 +471,9 @@ class SolveExecutor {
   void run_sweep(int id, bool forward, SolveWorkspace::WorkerScratch& s,
                  SolveProfile::Worker* pw) {
     WorkStealingQueues& q = forward ? fwd_queues_ : bwd_queues_;
+    // Per-worker amortized deadline polling (same bound as the factor
+    // executor: one task's duration of overshoot near expiry).
+    governor::DeadlinePoller deadline_poll(deadline_);
     WorkItem item;
     for (;;) {
       // relaxed polls: advisory cancellation — a missed flag runs at most
@@ -407,6 +483,16 @@ class SolveExecutor {
         fail(std::make_exception_ptr(
                  Error("solve cancelled", ErrorKind::kCancelled)),
              -1, FailureSlot::Phase::kCancel);
+      }
+      // Deadline breach = cancellation with a typed error; the DAG drains
+      // as no-ops. (relaxed guard: advisory, same as the cancel poll.)
+      if (deadline_ != nullptr &&
+          !cancelled_.load(std::memory_order_relaxed)) {
+        try {
+          deadline_poll.poll("solve");
+        } catch (...) {
+          fail(std::current_exception(), -1, FailureSlot::Phase::kCancel);
+        }
       }
       const auto ti = pw ? Clock::now() : Clock::time_point{};
       const bool got = q.acquire(id, item);
@@ -589,6 +675,7 @@ class SolveExecutor {
   i64 barrier_generation_ SPC_GUARDED_BY(barrier_mutex_) = 0;
   SolveProfile* prof_;
   const spc::atomic<bool>* cancel_;
+  const governor::Deadline* deadline_;
   FailureSlot slot_;
   spc::atomic<bool> cancelled_{false};
   spc::atomic<i64> fwd_completed_{0};
@@ -660,7 +747,8 @@ void block_solve_panel(const BlockFactor& f, double* x, idx nrhs,
   if (threads <= 1) {
     run_serial_panel(f, x, nrhs, opt, *ws, prof);
   } else {
-    SolveExecutor ex(f, x, nrhs, threads, *ws, prof, opt.cancel);
+    SolveExecutor ex(f, x, nrhs, threads, *ws, prof, opt.cancel, opt.budget,
+                     opt.deadline);
     ex.run();
   }
   if (env_dump && prof != nullptr) dump_solve_profile_json(*prof);

@@ -64,6 +64,14 @@ struct SolveOptions {
   // throws Error(kCancelled) after a clean join. The workspace stays
   // reusable.
   const spc::atomic<bool>* cancel = nullptr;
+
+  // Resource governance (docs/ROBUSTNESS.md §7): `budget` meters workspace
+  // scratch growth; `deadline` is polled per column in the serial sweeps and
+  // at task-acquire boundaries (amortized) in the DAG executor, throwing
+  // Error(kDeadlineExceeded) on breach with the same drain-as-no-op teardown
+  // as cancellation.
+  std::shared_ptr<governor::MemoryBudget> budget = nullptr;
+  const governor::Deadline* deadline = nullptr;
 };
 
 // Reusable solve state for one BlockStructure, mirroring ParallelWorkspace:
@@ -102,10 +110,30 @@ struct SolveWorkspace {
   std::vector<WorkerScratch> scratch;
   std::vector<double> rhs;  // permuted-RHS staging for SparseCholesky
 
+  // Governed accounting, mirroring ParallelWorkspace: scratch growth is
+  // charged against the budget handed to prepare_run / stage_rhs before the
+  // allocation happens; the charge is released when the workspace dies and
+  // rebound when a run arrives under a different budget.
+  governor::BudgetCharge charge;
+
   // Re-initializes the forward dependency counters, grows the per-worker
   // scratch to `num_threads` entries sized for `nrhs` columns, and re-zeroes
-  // accumulators left dirty by a failed/cancelled run.
-  void prepare_run(int num_threads, idx nrhs);
+  // accumulators left dirty by a failed/cancelled run. Scratch growth is
+  // charged against `budget` when one is given; the SPC_FAULT `alloc` site
+  // covers the growth allocation.
+  void prepare_run(int num_threads, idx nrhs,
+                   const std::shared_ptr<governor::MemoryBudget>& budget =
+                       nullptr);
+
+  // Grows the permuted-RHS staging buffer to `elems` doubles under the same
+  // governed-allocation protocol (charge first, alloc-site fault hook).
+  void stage_rhs(i64 elems,
+                 const std::shared_ptr<governor::MemoryBudget>& budget =
+                     nullptr);
+
+  // Rebinds the charge token when the governing budget changes, re-charging
+  // the bytes the workspace already holds. Called by prepare_run/stage_rhs.
+  void bind_budget(const std::shared_ptr<governor::MemoryBudget>& budget);
 
   // Bytes of backing scratch currently reserved (accumulators, update
   // panels, RHS staging). A second solve of the same shape leaves this

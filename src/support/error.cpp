@@ -12,6 +12,7 @@ const char* error_kind_name(ErrorKind kind) {
     case ErrorKind::kResourceExhausted: return "ResourceExhausted";
     case ErrorKind::kCancelled: return "Cancelled";
     case ErrorKind::kInjectedFault: return "InjectedFault";
+    case ErrorKind::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Internal";
 }
@@ -24,6 +25,7 @@ int exit_code_for(ErrorKind kind) {
     case ErrorKind::kResourceExhausted: return 5;
     case ErrorKind::kCancelled: return 6;
     case ErrorKind::kInjectedFault: return 7;
+    case ErrorKind::kDeadlineExceeded: return 8;
   }
   return 1;
 }
@@ -57,6 +59,25 @@ void throw_not_spd(const std::string& msg, const ErrorContext& ctx) {
     what += ", pivot " + std::string(buf);
   }
   throw Error(what, ErrorKind::kNotPositiveDefinite, ctx);
+}
+
+void throw_budget_exceeded(const std::string& msg, const ErrorContext& ctx) {
+  std::string what = msg;
+  if (ctx.phase != nullptr) what += " during " + std::string(ctx.phase);
+  what += ": " + std::to_string(ctx.bytes_requested) + " bytes requested with " +
+          std::to_string(ctx.bytes_in_use) + " in use exceeds budget of " +
+          std::to_string(ctx.budget_bytes) + " bytes";
+  throw Error(what, ErrorKind::kResourceExhausted, ctx);
+}
+
+void throw_deadline_exceeded(const std::string& msg, const ErrorContext& ctx) {
+  char buf[64];
+  std::string what = msg;
+  if (ctx.phase != nullptr) what += " during " + std::string(ctx.phase);
+  std::snprintf(buf, sizeof(buf), ": %.3fs elapsed, limit %.3fs", ctx.elapsed_s,
+                ctx.limit_s);
+  what += buf;
+  throw Error(what, ErrorKind::kDeadlineExceeded, ctx);
 }
 
 }  // namespace spc

@@ -18,9 +18,10 @@ enum class ErrorKind {
   kInternal,             // precondition/invariant violation (SPC_CHECK)
   kNotPositiveDefinite,  // numeric breakdown: a pivot failed d > 0
   kMalformedInput,       // unparseable or out-of-range external input
-  kResourceExhausted,    // allocation failure (arena, workspace, scratch)
+  kResourceExhausted,    // allocation failure or memory-budget breach
   kCancelled,            // cooperative cancellation via a caller's token
   kInjectedFault,        // deterministic fault injection (SPC_FAULTS=ON)
+  kDeadlineExceeded,     // a governed request overran its wall-clock deadline
 };
 
 // Human-readable name for an ErrorKind ("NotPositiveDefinite", ...).
@@ -28,14 +29,16 @@ const char* error_kind_name(ErrorKind kind);
 
 // Documented process exit code for CLI tools reporting this kind
 // (docs/ROBUSTNESS.md): Internal=1, MalformedInput=3, NotPositiveDefinite=4,
-// ResourceExhausted=5, Cancelled=6, InjectedFault=7. (2 is reserved for
-// usage errors, which never reach an Error object.)
+// ResourceExhausted=5, Cancelled=6, InjectedFault=7, DeadlineExceeded=8.
+// (2 is reserved for usage errors, which never reach an Error object.)
 int exit_code_for(ErrorKind kind);
 
 // Optional structured payload. Fields default to "unknown" and are filled in
 // where the information exists: pivot failures carry the global (permuted)
 // column, owning supernode, and block coordinates; parser failures carry the
-// 1-based input line.
+// 1-based input line; governed failures carry the resource accounting
+// (bytes requested / in use / budget, or elapsed vs limit) plus the phase
+// ("factorize", "solve", ...) that breached.
 struct ErrorContext {
   std::int32_t column = -1;     // global column of the failing pivot
   std::int32_t supernode = -1;  // owning supernode
@@ -44,6 +47,16 @@ struct ErrorContext {
   double pivot = 0.0;           // offending pivot value (valid iff has_pivot)
   bool has_pivot = false;
   std::int64_t line = 0;        // 1-based input line (MalformedInput), 0 = n/a
+  // Memory-budget breach payload (valid iff has_budget).
+  std::int64_t bytes_requested = 0;  // size of the charge that breached
+  std::int64_t bytes_in_use = 0;     // bytes charged at the time of breach
+  std::int64_t budget_bytes = 0;     // the configured budget
+  bool has_budget = false;
+  // Deadline breach payload (valid iff has_deadline).
+  double elapsed_s = 0.0;  // wall-clock seconds elapsed when detected
+  double limit_s = 0.0;    // the configured deadline
+  bool has_deadline = false;
+  const char* phase = nullptr;  // static string: "analyze"/"factorize"/"solve"
 };
 
 class Error : public std::runtime_error {
@@ -68,6 +81,16 @@ class Error : public std::runtime_error {
 
 // Throws Error(kNotPositiveDefinite) with the pivot location appended to msg.
 [[noreturn]] void throw_not_spd(const std::string& msg, const ErrorContext& ctx);
+
+// Throws Error(kResourceExhausted) with the budget accounting appended to msg
+// (requires ctx.has_budget; ctx.phase is included when set).
+[[noreturn]] void throw_budget_exceeded(const std::string& msg,
+                                        const ErrorContext& ctx);
+
+// Throws Error(kDeadlineExceeded) with elapsed-vs-limit appended to msg
+// (requires ctx.has_deadline; ctx.phase is included when set).
+[[noreturn]] void throw_deadline_exceeded(const std::string& msg,
+                                          const ErrorContext& ctx);
 
 }  // namespace spc
 

@@ -49,6 +49,8 @@ bool site_from_name(const std::string& name, Site* out) {
   if (name == "alloc") { *out = Site::kAlloc; return true; }
   if (name == "kernel") { *out = Site::kKernel; return true; }
   if (name == "input") { *out = Site::kInput; return true; }
+  if (name == "budget") { *out = Site::kBudget; return true; }
+  if (name == "deadline") { *out = Site::kDeadline; return true; }
   return false;
 }
 

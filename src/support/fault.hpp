@@ -9,8 +9,11 @@
 //
 //   SPC_FAULT=site:prob:seed[:budget][,site:prob:seed[:budget]...]
 //
-// where site is one of alloc | kernel | input (see docs/ROBUSTNESS.md for
-// the full grammar). Injection sites are compiled in only when the library
+// where site is one of alloc | kernel | input | budget | deadline (see
+// docs/ROBUSTNESS.md for the full grammar). The budget and deadline sites
+// drive the governor (src/support/governor.hpp): they simulate memory and
+// time pressure so every rung of the facade's degradation ladder is
+// deterministically reachable in tests. Injection sites are compiled in only when the library
 // is built with -DSPC_FAULTS=ON; in normal builds the SPC_FAULT_POINT /
 // SPC_FAULT_POISON macros expand to nothing and the hot path is untouched.
 #pragma once
@@ -22,11 +25,13 @@
 namespace spc::fault {
 
 enum class Site {
-  kAlloc,   // arena / workspace allocation: throws InjectedFault
-  kKernel,  // kernel entry (BFAC/BDIV/BMOD): throws InjectedFault
-  kInput,   // input values: poisons with NaN or a flipped-sign diagonal
+  kAlloc,     // arena / workspace allocation: throws InjectedFault
+  kKernel,    // kernel entry (BFAC/BDIV/BMOD): throws InjectedFault
+  kInput,     // input values: poisons with NaN or a flipped-sign diagonal
+  kBudget,    // memory-budget charge: forces ResourceExhausted (governor)
+  kDeadline,  // deadline poll: forces DeadlineExceeded (governor)
 };
-inline constexpr int kNumSites = 3;
+inline constexpr int kNumSites = 5;
 
 struct SitePlan {
   double prob = 0.0;         // per-draw injection probability in [0,1]

@@ -11,13 +11,16 @@
 #include <vector>
 
 #include "cholesky/sparse_cholesky.hpp"
+#include "factor/block_solve.hpp"
 #include "factor/fp32_factor.hpp"
 #include "factor/multifrontal.hpp"
 #include "factor/parallel_factor.hpp"
+#include "factor/parallel_solve.hpp"
 #include "factor/residual.hpp"
 #include "gen/mesh_gen.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
+#include "support/rng.hpp"
 
 namespace spc {
 namespace {
@@ -221,6 +224,62 @@ TEST_F(FaultTest, AllocFaultRaisesInjectedFault) {
     block_factorize(p.chol.permuted_matrix(), p.chol.structure());
   });
   EXPECT_GE(fault::injected(Site::kAlloc), 1);
+}
+
+TEST_F(FaultTest, Fp32ArenaAllocFaultSurfacesAndRetryRecovers) {
+  if (!fault::compiled_in()) GTEST_SKIP() << "built with SPC_FAULTS=OFF";
+  const Analyzed p = analyzed_mesh();
+  const SymSparse& ap = p.chol.permuted_matrix();
+  fault::set_plan(single_site(Site::kAlloc, 1.0, 15));
+  expect_kind(ErrorKind::kInjectedFault, "fp32 arena", [&] {
+    block_factorize_fp32(ap, p.chol.structure(), p.chol.task_graph());
+  });
+  EXPECT_GE(fault::injected(Site::kAlloc), 1);
+  // The failed allocation left nothing behind: the same plan factorizes
+  // cleanly (and accurately) once the plan is disarmed.
+  fault::clear();
+  FactorizeInfo info;
+  const BlockFactor f =
+      block_factorize_fp32(ap, p.chol.structure(), p.chol.task_graph(), {},
+                           &info);
+  EXPECT_TRUE(info.fp32);
+  EXPECT_LT(factor_residual_probe(ap, f), 1e-3);  // fp32 accuracy
+}
+
+TEST_F(FaultTest, SolveWorkspaceAllocFaultLeavesWorkspaceReusable) {
+  if (!fault::compiled_in()) GTEST_SKIP() << "built with SPC_FAULTS=OFF";
+  const Analyzed p = analyzed_mesh();
+  SparseCholesky chol = SparseCholesky::analyze(p.a);
+  chol.factorize();
+  const idx n = chol.num_rows();
+  SolveWorkspace ws(chol.structure());
+  Rng rng(33);
+  DenseMatrix b(n, 2);
+  for (idx c = 0; c < 2; ++c) {
+    for (idx r = 0; r < n; ++r) b(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  // First parallel solve on a fresh workspace must grow the per-worker
+  // scratch — exactly where the alloc site sits.
+  fault::set_plan(single_site(Site::kAlloc, 1.0, 25));
+  SolveOptions opt;
+  opt.threads = 4;
+  expect_kind(ErrorKind::kInjectedFault, "solve workspace", [&] {
+    DenseMatrix x = b;
+    block_solve_multi_parallel(chol.factor(), x, opt, &ws);
+  });
+  EXPECT_GE(fault::injected(Site::kAlloc), 1);
+  // Clean retry on the same workspace agrees with the serial sweep.
+  fault::clear();
+  DenseMatrix serial = b;
+  block_solve_multi(chol.factor(), serial, 2);
+  DenseMatrix retry = b;
+  opt.nrhs_block = 2;
+  block_solve_multi_parallel(chol.factor(), retry, opt, &ws);
+  for (idx c = 0; c < retry.cols(); ++c) {
+    for (idx r = 0; r < retry.rows(); ++r) {
+      EXPECT_NEAR(retry(r, c), serial(r, c), 1e-10);
+    }
+  }
 }
 
 TEST_F(FaultTest, InputPoisoningTripsStrictPivotCheck) {

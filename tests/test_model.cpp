@@ -626,6 +626,63 @@ TEST(Litmus, IfInsteadOfWhileWaitIsCaught) {
   EXPECT_EQ(rep.error, res.error);
 }
 
+// ---------------------------------------------------------------------------
+// Litmus 6: MemoryBudget charge/refund (support/governor.cpp). The real
+// protocol reserves optimistically with fetch_add, checks the cap on the
+// *reserved* total, and refunds on breach — so two racing charges can never
+// both be admitted past the budget, and the accounting stays exact. The
+// seeded bug uses the classic load-check-store: both threads read the old
+// in-use value, both pass the cap check, and the second store loses the
+// first thread's reservation (over-admission + inexact accounting).
+// ---------------------------------------------------------------------------
+
+template <bool kBuggy>
+void budget_charge_body(Exec& ex) {
+  constexpr long kCap = 100;
+  constexpr long kBytes = 60;  // two admissions would breach the cap
+  Atomic<long> in_use{0};
+  Atomic<int> admitted{0};
+  auto charge = [&] {
+    bool ok;
+    if (kBuggy) {
+      const long cur = in_use.load(std::memory_order_relaxed);
+      ok = cur + kBytes <= kCap;
+      if (ok) in_use.store(cur + kBytes, std::memory_order_relaxed);
+    } else {
+      const long reserved =
+          in_use.fetch_add(kBytes, std::memory_order_relaxed) + kBytes;
+      ok = reserved <= kCap;
+      if (!ok) in_use.fetch_sub(kBytes, std::memory_order_relaxed);  // refund
+    }
+    if (ok) admitted.fetch_add(1, std::memory_order_relaxed);
+  };
+  ex.spawn([&, charge] { charge(); });
+  ex.spawn([&, charge] { charge(); });
+  ex.join_all();
+  // Exactly the admitted charges are on the books, and never past the cap.
+  SPC_MODEL_ASSERT(in_use.load() == admitted.load() * kBytes,
+                   "accounting is exact");
+  SPC_MODEL_ASSERT(in_use.load() <= kCap, "cap never exceeded");
+}
+
+TEST(Litmus, BudgetChargeRefundProtocolHolds) {
+  Result res = explore(exhaustive_opts(), budget_charge_body<false>);
+  EXPECT_TRUE(res.ok) << res.report();
+  EXPECT_TRUE(res.exhausted);
+}
+
+TEST(Litmus, BudgetLoadCheckStoreIsCaught) {
+  Result res = explore(exhaustive_opts(), budget_charge_body<true>);
+  ASSERT_FALSE(res.ok) << "seeded bug escaped " << res.schedules
+                       << " schedules";
+  EXPECT_TRUE(res.error.find("accounting is exact") != std::string::npos ||
+              res.error.find("cap never exceeded") != std::string::npos)
+      << res.error;
+  Result rep = replay(res.trace, budget_charge_body<true>);
+  ASSERT_FALSE(rep.ok);
+  EXPECT_EQ(rep.error, res.error);
+}
+
 #if defined(SPC_MODEL_ENABLED)
 
 // ---------------------------------------------------------------------------

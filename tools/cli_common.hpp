@@ -146,6 +146,21 @@ inline SparseCholesky analyze_from_args(const Args& args, const Loaded& m) {
     SPC_CHECK(precision == "fp64",
               "unknown --precision: " + precision + " (use fp64|fp32-refine)");
   }
+  // Resource governance (docs/ROBUSTNESS.md §7): --mem-budget-mb caps the
+  // governed allocations, --deadline-ms arms a per-request wall-clock limit
+  // (0 = already expired, deterministic), --retries bounds the ladder's
+  // extra attempts, --no-degrade restricts it to same-configuration retries.
+  if (args.has("mem-budget-mb")) {
+    opt.mem_budget_bytes = static_cast<i64>(
+        std::stod(args.get("mem-budget-mb", "0")) * 1024.0 * 1024.0);
+  }
+  if (args.has("deadline-ms")) {
+    opt.deadline_s = std::stod(args.get("deadline-ms", "0")) / 1000.0;
+  }
+  if (args.has("retries")) {
+    opt.retry.max_attempts = 1 + std::stoi(args.get("retries", "0"));
+  }
+  if (args.has("no-degrade")) opt.retry.allow_degrade = false;
   const std::string ord =
       args.get("ordering", m.has_paper_ordering ? "paper" : "mmd");
   if (ord == "paper" && m.has_paper_ordering) {

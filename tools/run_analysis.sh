@@ -14,8 +14,11 @@
 #      SPC_FORCE_ISA path the host supports; unsupported paths are skipped)
 #   8. Concurrency model checking          (SPC_MODEL=ON, -L model: exhaustive
 #      litmus + 10000 seeded PCT schedules per protocol)
-#   9. Clang thread-safety analysis build  (SPC_ANALYZE=ON)     [needs clang++]
-#  10. clang-tidy over src/ and tools/     (.clang-tidy)        [needs clang-tidy]
+#   9. Resource-governance suite under ASan (SPC_FAULTS=ON, -L governance:
+#      budget/deadline/ladder tests + the randomized `spc soak` accounting
+#      drain, tools/soak.sh)
+#  10. Clang thread-safety analysis build  (SPC_ANALYZE=ON)     [needs clang++]
+#  11. clang-tidy over src/ and tools/     (.clang-tidy)        [needs clang-tidy]
 #
 # Steps 8-9 are skipped with a notice when the tools are not installed; the
 # script exits nonzero if any step that *did* run failed, and prints a
@@ -28,7 +31,7 @@ set -u
 
 cd "$(dirname "$0")/.."
 JOBS="${SPC_ANALYSIS_JOBS:-$(nproc)}"
-ALL_STEPS=(lint werror tsan asan ubsan faults isa model thread-safety tidy)
+ALL_STEPS=(lint werror tsan asan ubsan faults isa model governance thread-safety tidy)
 STEPS=("$@")
 [ ${#STEPS[@]} -eq 0 ] && STEPS=("${ALL_STEPS[@]}")
 for s in "${STEPS[@]}"; do
@@ -152,6 +155,22 @@ want model && {
   SPC_MODEL_SCHEDULES="${SPC_MODEL_SCHEDULES:-10000}" \
     step model model -DSPC_MODEL=ON || true
 }
+
+# Resource governance under ASan with fault sites compiled in: every
+# degradation-ladder rung is walked deterministically (SPC_FAULT budget
+# site), plus the randomized governed soak (tools/soak.sh) which asserts
+# the byte accounting drains to zero after every mix of requests.
+if want governance; then
+  if step governance governance -DSPC_FAULTS=ON -DSPC_SANITIZE=address; then
+    if tools/soak.sh build-governance >>build-governance.log 2>&1; then
+      echo "governance: soak OK"
+    else
+      failures+=("governance (soak)")
+      results=("${results[@]/governance PASS/governance FAIL}")
+      tail -40 build-governance.log
+    fi
+  fi
+fi
 
 if want thread-safety; then
   if command -v clang++ >/dev/null 2>&1; then

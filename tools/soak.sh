@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Governed soak runner (docs/ROBUSTNESS.md §7): hammers `spc soak` — which
+# issues randomized governed factorize/solve requests against one shared
+# MemoryBudget and exits nonzero unless the byte accounting drains to zero
+# after teardown — across several matrices, seeds, and governance settings
+# (unlimited, generous budget + deadline, and a starvation budget where every
+# request walks the degradation ladder or fails recoverably).
+#
+# Usage: tools/soak.sh [build-dir]   (default: build)
+# The build must already exist (tools/run_analysis.sh's `governance` step
+# builds it with -DSPC_FAULTS=ON -DSPC_SANITIZE=address and then calls this).
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+SPC="$BUILD/tools/spc"
+if [ ! -x "$SPC" ]; then
+  echo "soak.sh: $SPC not found (build '$BUILD' first)" >&2
+  exit 2
+fi
+
+fail=0
+run() {
+  echo "+ spc soak $*"
+  if ! "$SPC" soak "$@" --scale small; then
+    echo "soak.sh: FAILED: spc soak $*" >&2
+    fail=1
+  fi
+}
+
+for seed in 1 2 3; do
+  # Ungoverned: pure accounting, every request should succeed.
+  run GRID150 --iters 6 --seed "$seed"
+  # Governed but feasible: budget and deadline present, never binding.
+  run GRID150 --iters 6 --seed "$seed" --mem-budget-mb 64 --deadline-ms 30000
+  # Starvation budget: requests breach, degrade, or fail recoverably — the
+  # accounting must still drain to zero no matter which path each one took.
+  run GRID150 --iters 6 --seed "$seed" --mem-budget-mb 0.05
+done
+run CUBE30 --iters 4 --seed 7 --mem-budget-mb 64
+run CUBE30 --iters 4 --seed 7 --mem-budget-mb 0.05 --no-degrade
+
+if [ "$fail" -ne 0 ]; then
+  echo "soak.sh: FAILED"
+  exit 1
+fi
+echo "soak.sh: all soak runs drained to zero"

@@ -5,6 +5,11 @@
 //   spc solve    <matrix> [--ordering ...] [--refine]
 //                [--pivot-policy strict|perturb] [--pivot-delta D] [--raw]
 //                [--precision fp64|fp32-refine]
+//                [--mem-budget-mb MB] [--deadline-ms MS] [--retries N]
+//                [--no-degrade]
+//                (governed execution, docs/ROBUSTNESS.md §7: budget breaches
+//                and deadline overruns surface as exit 5 / exit 8, and the
+//                degradation ladder logs every rung it takes)
 //                [--nrhs N] [--threads N[,N...]] [--nrhs-block B]
 //                (--nrhs/--threads switch to a multi-RHS sweep through the
 //                panel/parallel solve path and print a timing table)
@@ -13,13 +18,17 @@
 //   spc engines  <matrix> [--threads N[,N...]]   (a list sweeps the parallel
 //                executor over the thread counts and prints a timing table)
 //   spc suite    [--scale small|medium|full]
+//   spc soak     <matrix> [--iters N] [--seed S] [--mem-budget-mb MB]
+//                [--deadline-ms MS]   (N randomized governed requests
+//                against one cached workspace; verifies the byte accounting
+//                drains to zero when the solver dies)
 //
 // <matrix> is a MatrixMarket (.mtx) or Harwell-Boeing (.rsa/.rb/.psa) file,
 // or the name of a generated benchmark matrix (e.g. CUBE30, BCSSTK31).
 //
 // Exit codes (docs/ROBUSTNESS.md): 0 success, 1 internal error, 2 usage,
 // 3 malformed input, 4 not positive definite, 5 resource exhausted,
-// 6 cancelled, 7 injected fault.
+// 6 cancelled, 7 injected fault, 8 deadline exceeded.
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -101,10 +110,30 @@ int cmd_solve_sweep(const Args& args, const Loaded& m,
   return 0;
 }
 
+// Prints the ladder rungs the most recent governed run took, if any.
+void print_degrade_path(const SparseCholesky& chol) {
+  const std::vector<governor::DegradeRung>& path =
+      chol.factorize_info().degrade_path;
+  if (path.empty()) return;
+  std::fprintf(stderr, "degradation:");
+  for (const governor::DegradeRung r : path) {
+    std::fprintf(stderr, " %s", governor::degrade_rung_name(r));
+  }
+  std::fprintf(stderr, "\n");
+}
+
 int cmd_solve(const Args& args) {
   const Loaded m = load_matrix(args);
   SparseCholesky chol = analyze_from_args(args, m);
-  chol.factorize();
+  try {
+    // Serial start (matching the historical `spc solve` engine); the ladder
+    // still recovers fp32 breakdowns and transient faults.
+    chol.factorize_governed(1);
+  } catch (...) {
+    print_degrade_path(chol);
+    throw;
+  }
+  print_degrade_path(chol);
   if (args.has("nrhs") || args.has("threads")) {
     return cmd_solve_sweep(args, m, chol);
   }
@@ -223,6 +252,58 @@ int cmd_engines(const Args& args) {
   return 0;
 }
 
+// Governed soak: N randomized factorize+solve requests against ONE analyzed
+// plan and its cached workspaces, mixing thread counts, RHS widths, and solve
+// paths. Recoverable failures (budget/deadline under tight caps) are counted,
+// not fatal; what must hold is that the byte accounting drains to zero when
+// the solver and its workspaces die. tools/soak.sh drives this under ASan.
+int cmd_soak(const Args& args) {
+  const Loaded m = load_matrix(args);
+  const int iters = std::stoi(args.get("iters", "8"));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(std::stoull(args.get("seed", "1")));
+  int failures = 0;
+  i64 peak = 0;
+  std::shared_ptr<governor::MemoryBudget> budget;
+  {
+    SparseCholesky chol = analyze_from_args(args, m);
+    budget = chol.memory_budget();
+    Rng rng(seed);
+    const idx n = m.a.num_rows();
+    for (int i = 0; i < iters; ++i) {
+      const int threads = static_cast<int>(rng.uniform_int(1, 4));
+      try {
+        chol.factorize_governed(threads);
+        const idx nrhs = rng.uniform_int(1, 4);
+        DenseMatrix b(n, nrhs);
+        for (idx c = 0; c < nrhs; ++c) {
+          for (idx r = 0; r < n; ++r) b(r, c) = rng.uniform(-1.0, 1.0);
+        }
+        SolveOptions sopt;
+        sopt.threads = rng.bernoulli(0.5) ? 1 : threads;
+        chol.solve_multi(b, sopt);
+      } catch (const Error& e) {
+        ++failures;
+        std::fprintf(stderr, "  iteration %d: recoverable failure [%s]\n", i,
+                     error_kind_name(e.kind()));
+      }
+    }
+    peak = budget->peak_bytes();
+    std::printf("soak: %d iterations, %d failures, peak %lld bytes, "
+                "%lld bytes cached across runs\n",
+                iters, failures, static_cast<long long>(peak),
+                static_cast<long long>(budget->in_use_bytes()));
+  }
+  if (budget->in_use_bytes() != 0) {
+    std::fprintf(stderr,
+                 "soak: LEAK — %lld bytes still charged after teardown\n",
+                 static_cast<long long>(budget->in_use_bytes()));
+    return 1;
+  }
+  std::printf("soak: accounting drained to zero after teardown\n");
+  return 0;
+}
+
 int cmd_suite(const Args& args) {
   const std::string s = args.get("scale", "medium");
   const SuiteScale scale = s == "full" ? SuiteScale::kFull
@@ -254,20 +335,38 @@ int cmd_suite(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args =
-        cli::parse_args(argc, argv, "usage: spc <stats|solve|simulate|suite> ...");
+        cli::parse_args(argc, argv, "usage: spc <stats|solve|simulate|engines|suite|soak> ...");
     if (args.command == "stats") return cmd_stats(args);
     if (args.command == "solve") return cmd_solve(args);
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "engines") return cmd_engines(args);
     if (args.command == "suite") return cmd_suite(args);
+    if (args.command == "soak") return cmd_soak(args);
     std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
     return 2;
   } catch (const spc::Error& e) {
     // Exit-code contract (docs/ROBUSTNESS.md): Internal=1, usage=2,
     // MalformedInput=3, NotPositiveDefinite=4, ResourceExhausted=5,
-    // Cancelled=6, InjectedFault=7.
+    // Cancelled=6, InjectedFault=7, DeadlineExceeded=8.
     std::fprintf(stderr, "error [%s]: %s\n", spc::error_kind_name(e.kind()),
                  e.what());
+    // Typed governed context, when the failure carries it.
+    const spc::ErrorContext& c = e.context();
+    if (c.has_budget) {
+      std::fprintf(stderr,
+                   "  budget: %lld bytes requested, %lld in use, cap %lld%s%s\n",
+                   static_cast<long long>(c.bytes_requested),
+                   static_cast<long long>(c.bytes_in_use),
+                   static_cast<long long>(c.budget_bytes),
+                   c.phase != nullptr ? ", phase " : "",
+                   c.phase != nullptr ? c.phase : "");
+    }
+    if (c.has_deadline) {
+      std::fprintf(stderr, "  deadline: %.3f s elapsed, limit %.3f s%s%s\n",
+                   c.elapsed_s, c.limit_s,
+                   c.phase != nullptr ? ", phase " : "",
+                   c.phase != nullptr ? c.phase : "");
+    }
     return spc::exit_code_for(e.kind());
   }
 }
